@@ -1,0 +1,400 @@
+// Package repro_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation section (run with
+// `go test -bench=. -benchmem`), ablation benchmarks for the design
+// choices called out in DESIGN.md, and micro-benchmarks for the hot
+// paths of the library.
+//
+// The Figure* benchmarks execute the same experiment harness as
+// cmd/erbench; each iteration regenerates the complete figure. Reported
+// custom metrics summarize the figure's headline numbers so that
+// `-bench` output alone documents the reproduction (see EXPERIMENTS.md
+// for the full tables).
+package repro_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bdm"
+	"repro/internal/blocking"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/entity"
+	"repro/internal/er"
+	"repro/internal/experiments"
+	"repro/internal/mapreduce"
+	"repro/internal/report"
+	"repro/internal/similarity"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.DefaultOptions() // 5% scale, calibrated cost model
+}
+
+func cell(b *testing.B, t *report.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(t.Rows[row][col], "%"), 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q not numeric", row, col, t.Rows[row][col])
+	}
+	return v
+}
+
+// BenchmarkFigure8DatasetStats regenerates the dataset table (entities,
+// blocks, largest-block share).
+func BenchmarkFigure8DatasetStats(b *testing.B) {
+	var largestPairShare float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		largestPairShare = cell(b, t, 0, 6)
+	}
+	b.ReportMetric(largestPairShare, "DS1-largest-%pairs")
+}
+
+// BenchmarkFigure9Skew regenerates the robustness experiment (execution
+// time per 10^4 pairs vs. data skew). Metric: how many times slower
+// Basic is than BlockSplit at s=1 (paper: >12×).
+func BenchmarkFigure9Skew(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		ratio = cell(b, t, last, 2) / cell(b, t, last, 3)
+	}
+	b.ReportMetric(ratio, "basic/blocksplit@s=1")
+}
+
+// BenchmarkFigure10ReduceTasks regenerates the reduce-task sweep.
+// Metric: Basic vs BlockSplit at r=160 (paper: factor 6).
+func BenchmarkFigure10ReduceTasks(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		ratio = cell(b, t, last, 1) / cell(b, t, last, 2)
+	}
+	b.ReportMetric(ratio, "basic/blocksplit@r=160")
+}
+
+// BenchmarkFigure11Sorted regenerates the sorted-input experiment.
+// Metric: BlockSplit's slowdown on sorted input (paper: 1.8×).
+func BenchmarkFigure11Sorted(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		slowdown = cell(b, t, last, 2) / cell(b, t, last, 1)
+	}
+	b.ReportMetric(slowdown, "blocksplit-sorted-slowdown")
+}
+
+// BenchmarkFigure12MapOutput regenerates the map-output experiment.
+// Metric: PairRange's map output relative to BlockSplit's at r=160
+// (paper: PairRange largest for large r).
+func BenchmarkFigure12MapOutput(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure12(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		ratio = cell(b, t, last, 3) / cell(b, t, last, 2)
+	}
+	b.ReportMetric(ratio, "pairrange/blocksplit-emits@r=160")
+}
+
+// BenchmarkFigure13ScalabilityDS1 regenerates the DS1 scalability sweep.
+// Metrics: speedup of BlockSplit and Basic at 100 nodes.
+func BenchmarkFigure13ScalabilityDS1(b *testing.B) {
+	var bsSpeedup, basicSpeedup float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		basicSpeedup = cell(b, t, last, 4)
+		bsSpeedup = cell(b, t, last, 6)
+	}
+	b.ReportMetric(basicSpeedup, "basic-speedup@100")
+	b.ReportMetric(bsSpeedup, "blocksplit-speedup@100")
+}
+
+// BenchmarkFigure14ScalabilityDS2 regenerates the DS2 scalability sweep.
+// Metric: PairRange speedup at 100 nodes (paper: DS2 scales much
+// further than DS1).
+func BenchmarkFigure14ScalabilityDS2(b *testing.B) {
+	var prSpeedup float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure14(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		prSpeedup = cell(b, t, last, 6)
+	}
+	b.ReportMetric(prSpeedup, "pairrange-speedup@100")
+}
+
+// ---- Ablation benchmarks (design choices from DESIGN.md) ----
+
+// benchBDM builds the default ablation input: the DS1 stand-in at bench
+// scale, partitioned round-robin over 20 map tasks.
+func benchBDM(b *testing.B) *bdm.Matrix {
+	b.Helper()
+	es, _ := datagen.Generate(datagen.DS1Spec(0.05))
+	x, err := bdm.FromPartitions(entity.SplitRoundRobin(es, 20), datagen.AttrTitle, datagen.BlockKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return x
+}
+
+// BenchmarkAblationBlockSplitAssignment compares the paper's greedy
+// descending-size match-task assignment against naive round-robin.
+// Metric: round-robin's max reduce load relative to greedy's (>1 means
+// the greedy heuristic earns its keep).
+func BenchmarkAblationBlockSplitAssignment(b *testing.B) {
+	x := benchBDM(b)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		greedy, err := core.BlockSplit{}.PlanWithAssign(x, 20, 100, core.GreedyAssign)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, err := core.BlockSplit{}.PlanWithAssign(x, 20, 100, core.RoundRobinAssign)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(rr.MaxReduceComparisons()) / float64(greedy.MaxReduceComparisons())
+	}
+	b.ReportMetric(ratio, "roundrobin/greedy-maxload")
+}
+
+// BenchmarkAblationBDMCombiner measures the BDM job with and without
+// the frequency-aggregating combiner (the paper's footnote-2
+// optimization). Metric: map-output reduction factor.
+func BenchmarkAblationBDMCombiner(b *testing.B) {
+	es, _ := datagen.Generate(datagen.DS1Spec(0.05))
+	parts := entity.SplitRoundRobin(es, 20)
+	eng := &mapreduce.Engine{Parallelism: 4}
+	var reduction float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, plain, err := bdm.Compute(eng, parts, bdm.JobOptions{
+			Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, combined, err := bdm.Compute(eng, parts, bdm.JobOptions{
+			Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20, UseCombiner: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = float64(plain.MapOutputRecords) / float64(combined.MapOutputRecords)
+	}
+	b.ReportMetric(reduction, "map-output-reduction")
+}
+
+// BenchmarkAblationPairRangeRanges sweeps the number of ranges r and
+// reports the replication overhead (map emits per input entity) at the
+// largest r — the cost PairRange pays for its perfect balance.
+func BenchmarkAblationPairRangeRanges(b *testing.B) {
+	x := benchBDM(b)
+	var emitsPerEntity float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range []int{10, 100, 1000} {
+			plan, err := core.PairRange{}.Plan(x, 20, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			emitsPerEntity = float64(plan.TotalMapEmits()) / float64(x.TotalEntities())
+		}
+	}
+	b.ReportMetric(emitsPerEntity, "emits-per-entity@r=1000")
+}
+
+// BenchmarkAblationSlotHeterogeneity quantifies how much of the
+// benefit-from-more-reduce-tasks effect (Figure 10) stems from slot
+// speed heterogeneity: makespan ratio r=20 vs r=160 on heterogeneous
+// slots for a perfectly balanced workload.
+func BenchmarkAblationSlotHeterogeneity(b *testing.B) {
+	cfg := cluster.DefaultSlots(10)
+	speeds := cfg.SlotSpeeds(cfg.ReduceSlots())
+	coarse := make([]float64, 20) // one 1000-unit task per slot
+	for j := range coarse {
+		coarse[j] = 1000
+	}
+	fine := make([]float64, 160) // eight 125-unit tasks per slot
+	for j := range fine {
+		fine[j] = 125
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mcoarse := cluster.ScheduleWithSpeeds(coarse, speeds)
+		mfine := cluster.ScheduleWithSpeeds(fine, speeds)
+		ratio = mcoarse.Makespan / mfine.Makespan
+	}
+	b.ReportMetric(ratio, "coarse/fine-makespan")
+}
+
+// ---- Micro-benchmarks for the library's hot paths ----
+
+func BenchmarkLevenshteinTitles(b *testing.B) {
+	a := "canon eos 5d mark iii digital slr camera body"
+	c := "canon eos 5d mark iv digital slr camera body only"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		similarity.Levenshtein(a, c)
+	}
+}
+
+func BenchmarkLevenshteinBounded(b *testing.B) {
+	a := "canon eos 5d mark iii digital slr camera body"
+	c := "nikon d850 45mp full frame dslr with battery grip"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		similarity.LevenshteinBounded(a, c, 9) // 0.8 threshold band
+	}
+}
+
+func BenchmarkPairEnumeration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for p := int64(0); p < 1000; p++ {
+			core.CellOf(p, 1<<20)
+		}
+	}
+}
+
+func BenchmarkBDMFromPartitions(b *testing.B) {
+	es, _ := datagen.Generate(datagen.DS1Spec(0.05))
+	parts := entity.SplitRoundRobin(es, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bdm.FromPartitions(parts, datagen.AttrTitle, datagen.BlockKey()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBDMJobExecution(b *testing.B) {
+	es, _ := datagen.Generate(datagen.DS1Spec(0.05))
+	parts := entity.SplitRoundRobin(es, 20)
+	eng := &mapreduce.Engine{Parallelism: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := bdm.Compute(eng, parts, bdm.JobOptions{
+			Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20, UseCombiner: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanBlockSplit(b *testing.B) {
+	x := benchBDM(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.BlockSplit{}).Plan(x, 20, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanPairRange(b *testing.B) {
+	x := benchBDM(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.PairRange{}).Plan(x, 20, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndStrategies executes the full two-job pipeline
+// (counting matcher) on a 1% DS1 sample for each strategy — the
+// library's end-to-end throughput.
+func BenchmarkEndToEndStrategies(b *testing.B) {
+	es, _ := datagen.Generate(datagen.DS1Spec(0.01))
+	parts := entity.SplitRoundRobin(es, 4)
+	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
+		b.Run(strat.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := er.Run(parts, er.Config{
+					Strategy:    strat,
+					Attr:        datagen.AttrTitle,
+					BlockKey:    datagen.BlockKey(),
+					R:           16,
+					Engine:      &mapreduce.Engine{Parallelism: 4},
+					UseCombiner: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedule measures the cluster simulator's list scheduler.
+func BenchmarkSchedule(b *testing.B) {
+	costs := make([]float64, 1000)
+	for i := range costs {
+		costs[i] = float64(i%97 + 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cluster.Schedule(costs, 200)
+	}
+}
+
+// BenchmarkMatcherEndToEnd runs a real edit-distance matching pass over
+// a small catalog through the PairRange pipeline (the workload of the
+// cmd/ermatch tool).
+func BenchmarkMatcherEndToEnd(b *testing.B) {
+	es, _ := datagen.Generate(datagen.DS1Spec(0.005))
+	parts := entity.SplitRoundRobin(es, 4)
+	matcher := func(x, y entity.Entity) (float64, bool) {
+		tx, ty := x.Attr(datagen.AttrTitle), y.Attr(datagen.AttrTitle)
+		if !similarity.LevenshteinAtLeast(tx, ty, 0.8) {
+			return 0, false
+		}
+		return similarity.LevenshteinSimilarity(tx, ty), true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := er.Run(parts, er.Config{
+			Strategy: core.PairRange{},
+			Attr:     datagen.AttrTitle,
+			BlockKey: blocking.NormalizedPrefix(3),
+			Matcher:  matcher,
+			R:        16,
+			Engine:   &mapreduce.Engine{Parallelism: 4},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

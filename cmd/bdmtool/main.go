@@ -1,0 +1,139 @@
+// Command bdmtool computes and prints the Block Distribution Matrix of a
+// CSV dataset, plus summary statistics: what the first MR job of the
+// paper's workflow would produce.
+//
+// Usage:
+//
+//	bdmtool -in ds1.csv -m 8
+//	bdmtool -in ds1.csv -m 8 -top 20     # 20 largest blocks only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/bdm"
+	"repro/internal/blocking"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input CSV (default stdin)")
+		attr   = flag.String("attr", datagen.AttrTitle, "blocking attribute")
+		m      = flag.Int("m", 4, "number of input partitions (map tasks)")
+		r      = flag.Int("r", 4, "number of reduce tasks for the BDM job")
+		prefix = flag.Int("prefix", 3, "blocking key length")
+		top    = flag.Int("top", 10, "print only the N largest blocks (0 = all)")
+		plan   = flag.String("plan", "", "also show a strategy's reduce-task plan and timeline: basic, blocksplit, or pairrange")
+		nodes  = flag.Int("nodes", 4, "simulated cluster size for the -plan timeline")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	entities, err := entity.ReadCSV(src)
+	if err != nil {
+		fail(err)
+	}
+
+	parts := entity.SplitRoundRobin(entities, *m)
+	matrix, _, _, err := bdm.Compute(&mapreduce.Engine{}, parts, bdm.JobOptions{
+		Attr:           *attr,
+		KeyFunc:        blocking.NormalizedPrefix(*prefix),
+		NumReduceTasks: *r,
+		UseCombiner:    true,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("entities=%d partitions=%d blocks=%d pairs=%d\n",
+		parts.Total(), matrix.NumPartitions(), matrix.NumBlocks(), matrix.Pairs())
+
+	type row struct {
+		k     int
+		size  int
+		pairs int64
+	}
+	rows := make([]row, matrix.NumBlocks())
+	for k := range rows {
+		rows[k] = row{k: k, size: matrix.Size(k), pairs: matrix.BlockPairs(k)}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pairs > rows[j].pairs })
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+
+	t := &report.Table{Headers: []string{"block", "key", "entities", "pairs", "%pairs"}}
+	for _, rw := range rows {
+		pct := 0.0
+		if matrix.Pairs() > 0 {
+			pct = 100 * float64(rw.pairs) / float64(matrix.Pairs())
+		}
+		t.AddRow(rw.k, matrix.BlockKey(rw.k), rw.size, rw.pairs, fmt.Sprintf("%.1f%%", pct))
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	if *plan != "" {
+		if err := showPlan(matrix, *plan, *m, *r, *nodes); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// showPlan prints a strategy's per-reduce-task workload statistics and
+// the simulated reduce-phase timeline on a small cluster.
+func showPlan(matrix *bdm.Matrix, name string, m, r, nodes int) error {
+	var strat core.Strategy
+	switch name {
+	case "basic":
+		strat = core.Basic{}
+	case "blocksplit":
+		strat = core.BlockSplit{}
+	case "pairrange":
+		strat = core.PairRange{}
+	default:
+		return fmt.Errorf("unknown strategy %q (want basic, blocksplit, or pairrange)", name)
+	}
+	plan, err := strat.Plan(matrix, m, r)
+	if err != nil {
+		return err
+	}
+	st := plan.ComparisonStats()
+	fmt.Printf("\n%s plan: r=%d max=%d mean=%.1f max/mean=%.2f CV=%.3f Gini=%.3f\n",
+		strat.Name(), r, st.Max, st.Mean, st.MaxOverMean, st.CV, st.Gini)
+
+	cfg := cluster.DefaultSlots(nodes)
+	cm := cluster.DefaultCostModel()
+	jr, err := cluster.SimulateJob(cfg, cm, plan.Workload(strat.Name()))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated reduce phase on %d nodes (makespan %.0f units, utilization %.1f%%):\n",
+		nodes, jr.ReducePhase.Makespan, 100*jr.ReducePhase.Utilization())
+	fmt.Print(jr.ReducePhase.Gantt(60))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "bdmtool: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command erbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	erbench -figure 9            # one figure (8-14)
+//	erbench -all                 # everything
+//	erbench -figure 13 -scale 1  # full-size DS1 (planner mode keeps it fast)
+//	erbench -figure 10 -csv      # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// reportTable aliases the report type for compact function signatures.
+type reportTable = report.Table
+
+func main() {
+	var (
+		figure    = flag.Int("figure", 0, "figure to reproduce (8-14)")
+		all       = flag.Bool("all", false, "reproduce all figures")
+		appendix  = flag.Bool("appendix", false, "run the Appendix I two-source experiment")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		balance   = flag.Bool("balance", false, "report per-strategy reduce-task balance statistics")
+		quality   = flag.Bool("quality", false, "sweep the match threshold and report precision/recall")
+		snrobust  = flag.Bool("sn", false, "sorted-neighborhood skew-robustness extension table")
+		scale     = flag.Float64("scale", 0.05, "dataset scale factor in (0,1]; 1 = paper-sized datasets")
+		executed  = flag.Bool("exec", false, "figures 9/10: execute the real MapReduce jobs instead of the analytic planner (identical tables, slower)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.Executed = *executed
+
+	type namedTable func(experiments.Options) (*reportTable, error)
+	var runs []namedTable
+	if *all {
+		for _, f := range []int{8, 9, 10, 11, 12, 13, 14} {
+			f := f
+			runs = append(runs, func(o experiments.Options) (*reportTable, error) {
+				return experiments.ByNumber(f, o)
+			})
+		}
+	} else if *figure != 0 {
+		f := *figure
+		runs = append(runs, func(o experiments.Options) (*reportTable, error) {
+			return experiments.ByNumber(f, o)
+		})
+	}
+	if *appendix || *all {
+		runs = append(runs, experiments.AppendixDual)
+	}
+	if *ablations || *all {
+		runs = append(runs, experiments.Ablations)
+	}
+	if *balance || *all {
+		runs = append(runs, experiments.BalanceTable)
+	}
+	if *quality || *all {
+		runs = append(runs, experiments.QualityTable)
+	}
+	if *snrobust || *all {
+		runs = append(runs, experiments.SNRobustness)
+	}
+	if len(runs) == 0 {
+		fmt.Fprintln(os.Stderr, "erbench: specify -figure 8..14, -all, -appendix, -ablations, -balance, or -quality")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for i, run := range runs {
+		table, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			err = table.WriteCSV(os.Stdout)
+		} else {
+			err = table.Fprint(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command ermatch runs blocking-based entity resolution over a CSV
+// dataset with a selectable load-balancing strategy, executing the full
+// two-job MapReduce workflow on the in-process engine.
+//
+// Usage:
+//
+//	ermatch -in ds1.csv -strategy pairrange -m 8 -r 32 -threshold 0.8
+//	ergen -dataset ds1 -scale 0.02 | ermatch -strategy blocksplit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/entity"
+	"repro/internal/er"
+	"repro/internal/mapreduce"
+	"repro/internal/similarity"
+	"repro/internal/sn"
+)
+
+func main() {
+	var (
+		in           = flag.String("in", "", "input CSV (default stdin)")
+		attr         = flag.String("attr", datagen.AttrTitle, "attribute carrying the match-relevant text")
+		strategy     = flag.String("strategy", "blocksplit", "basic, blocksplit, pairrange, or sn (sorted neighborhood)")
+		m            = flag.Int("m", runtime.NumCPU(), "number of map tasks (input partitions)")
+		r            = flag.Int("r", 4*runtime.NumCPU(), "number of reduce tasks")
+		prefix       = flag.Int("prefix", 3, "blocking key length (title prefix)")
+		threshold    = flag.Float64("threshold", 0.8, "minimum normalized edit-distance similarity")
+		window       = flag.Int("window", 10, "sorted-neighborhood window size (strategy sn)")
+		showPairs    = flag.Bool("pairs", false, "print every match pair")
+		showClusters = flag.Bool("clusters", false, "print duplicate clusters (transitive closure)")
+		simulate     = flag.Bool("simulate", false, "also report simulated cluster time (10 nodes)")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	entities, err := entity.ReadCSV(src)
+	if err != nil {
+		fail(err)
+	}
+
+	matchAttr := *attr
+	th := *threshold
+	matcher := func(a, b entity.Entity) (float64, bool) {
+		if !similarity.LevenshteinAtLeast(a.Attr(matchAttr), b.Attr(matchAttr), th) {
+			return 0, false
+		}
+		return similarity.LevenshteinSimilarity(a.Attr(matchAttr), b.Attr(matchAttr)), true
+	}
+	engine := &mapreduce.Engine{Parallelism: runtime.NumCPU()}
+	parts := entity.SplitRoundRobin(entities, *m)
+
+	var (
+		matches     []core.MatchPair
+		comparisons int64
+	)
+	start := time.Now()
+	if *strategy == "sn" {
+		res, err := sn.Run(parts, sn.Config{
+			Attr:    matchAttr,
+			Key:     func(v string) string { return v },
+			Window:  *window,
+			R:       *r,
+			Matcher: matcher,
+			Engine:  engine,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("strategy=SortedNeighborhood entities=%d m=%d r=%d window=%d\n",
+			len(entities), *m, *r, *window)
+		matches, comparisons = res.Matches, res.Comparisons
+	} else {
+		var strat core.Strategy
+		switch *strategy {
+		case "basic":
+			strat = core.Basic{}
+		case "blocksplit":
+			strat = core.BlockSplit{}
+		case "pairrange":
+			strat = core.PairRange{}
+		default:
+			fail(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+		res, err := er.Run(parts, er.Config{
+			Strategy:    strat,
+			Attr:        matchAttr,
+			BlockKey:    blocking.NormalizedPrefix(*prefix),
+			Matcher:     matcher,
+			R:           *r,
+			Engine:      engine,
+			UseCombiner: true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("strategy=%s entities=%d m=%d r=%d\n", strat.Name(), len(entities), *m, *r)
+		if res.BDM != nil {
+			_, largest := res.BDM.LargestBlock()
+			fmt.Printf("blocks=%d pairs=%d largest-block=%d\n", res.BDM.NumBlocks(), res.BDM.Pairs(), largest)
+		}
+		if *simulate {
+			t, err := res.SimulatedTime(cluster.DefaultSlots(10), cluster.DefaultCostModel())
+			if err != nil {
+				fail(err)
+			}
+			defer fmt.Printf("simulated-cluster-time=%.0f units (10 nodes)\n", t)
+		}
+		matches, comparisons = res.Matches, res.Comparisons
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("comparisons=%d matches=%d wall=%s\n", comparisons, len(matches), elapsed)
+	if *showPairs {
+		for _, p := range matches {
+			fmt.Printf("%s\t%s\n", p.A, p.B)
+		}
+	}
+	if *showClusters {
+		for _, c := range er.Clusters(matches) {
+			fmt.Println(strings.Join(c, " "))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ermatch: %v\n", err)
+	os.Exit(1)
+}

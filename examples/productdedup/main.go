@@ -1,0 +1,64 @@
+// Productdedup is the paper's motivating workload at library scale:
+// deduplicate a skewed product catalog (the DS1 stand-in) with all three
+// strategies, measure match quality against the generator's injected
+// duplicates, and compare real wall-clock behaviour of the executing
+// engine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/entity"
+	"repro/internal/er"
+	"repro/internal/mapreduce"
+	"repro/internal/similarity"
+)
+
+func main() {
+	spec := datagen.DS1Spec(0.02) // ~2,400 products
+	entities, truthPairs := datagen.Generate(spec)
+	st := datagen.ComputeStats(entities, datagen.AttrTitle, datagen.BlockKey())
+	fmt.Printf("catalog: %d products, %d blocks, largest block %.1f%% of entities / %.1f%% of pairs\n",
+		st.Entities, st.Blocks, 100*st.LargestBlockFrac, 100*st.LargestPairsFrac)
+
+	truth := make([]core.MatchPair, len(truthPairs))
+	for i, tp := range truthPairs {
+		truth[i] = core.NewMatchPair(tp[0], tp[1])
+	}
+
+	matcher := func(a, b entity.Entity) (float64, bool) {
+		ta, tb := a.Attr(datagen.AttrTitle), b.Attr(datagen.AttrTitle)
+		if !similarity.LevenshteinAtLeast(ta, tb, 0.8) {
+			return 0, false
+		}
+		return similarity.LevenshteinSimilarity(ta, tb), true
+	}
+
+	parts := entity.SplitRoundRobin(entities, runtime.NumCPU())
+	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
+		start := time.Now()
+		res, err := er.Run(parts, er.Config{
+			Strategy:    strat,
+			Attr:        datagen.AttrTitle,
+			BlockKey:    datagen.BlockKey(),
+			Matcher:     matcher,
+			R:           4 * runtime.NumCPU(),
+			Engine:      &mapreduce.Engine{Parallelism: runtime.NumCPU()},
+			UseCombiner: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := er.Evaluate(res.Matches, truth)
+		fmt.Printf("%-10s comparisons=%9d matches=%4d precision=%.3f recall=%.3f f1=%.3f wall=%v\n",
+			strat.Name(), res.Comparisons, len(res.Matches),
+			q.Precision(), q.Recall(), q.F1(), time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nAll strategies evaluate exactly the same candidate pairs, so")
+	fmt.Println("match quality is identical; only the work distribution differs.")
+}

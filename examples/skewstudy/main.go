@@ -1,0 +1,76 @@
+// Skewstudy demonstrates the paper's central claim on live executions:
+// under skewed block distributions, the Basic strategy concentrates
+// nearly all comparisons on a few reduce tasks while BlockSplit and
+// PairRange keep every reduce task busy. It executes the real MapReduce
+// jobs (not the analytic planner) on an exponentially skewed dataset and
+// prints per-reduce-task comparison counts plus the simulated cluster
+// time — a miniature of Figure 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/blocking"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/entity"
+	"repro/internal/er"
+	"repro/internal/mapreduce"
+)
+
+func main() {
+	const (
+		n      = 3000
+		blocks = 20
+		skew   = 0.6 // |Φk| ∝ e^(−0.6·k): block 0 holds ~45% of entities
+		m      = 4
+		r      = 8
+	)
+	entities := datagen.Exponential(n, blocks, skew, 7)
+	parts := entity.SplitRoundRobin(entities, m)
+
+	cfg := cluster.DefaultSlots(4)
+	cm := cluster.DefaultCostModel()
+
+	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
+		res, err := er.Run(parts, er.Config{
+			Strategy: strat,
+			Attr:     datagen.AttrBlock,
+			BlockKey: blocking.Identity(),
+			Matcher:  nil, // count comparisons only
+			R:        r,
+			Engine:   &mapreduce.Engine{Parallelism: 4},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s comparisons per reduce task: ", strat.Name())
+		var mx int64
+		for _, rm := range res.MatchResult.ReduceMetrics {
+			c := rm.Counter(core.ComparisonsCounter)
+			fmt.Printf("%8d", c)
+			if c > mx {
+				mx = c
+			}
+		}
+		t, err := res.SimulatedTime(cfg, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		imbalance := float64(mx) * float64(r) / float64(res.Comparisons)
+		fmt.Printf("   max/avg=%.2f simulated=%8.0f\n", imbalance, t)
+
+		// Reduce-phase timeline: the straggler slot of Basic versus the
+		// solid bars of the balanced strategies.
+		jr, err := cluster.SimulateJob(cfg, cm, cluster.WorkloadFromResult(res.MatchResult))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(jr.ReducePhase.Gantt(52))
+		fmt.Println()
+	}
+	fmt.Println("Basic's heaviest task carries the whole largest block; the")
+	fmt.Println("balanced strategies stay within a few percent of the average.")
+}

@@ -1,0 +1,187 @@
+// Package bdm implements the Block Distribution Matrix (BDM) of
+// Section III-B: a b×m matrix giving the number of entities of each of
+// the b blocks in each of the m input partitions. Both load-balancing
+// strategies read the BDM during map-task initialization of the second
+// MR job to compute their routing decisions.
+//
+// The package provides the matrix type itself, a direct in-memory
+// builder, and the MapReduce job of Algorithm 3 that computes the matrix
+// and side-writes the blocking-key-annotated entities consumed by Job 2.
+package bdm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is the block distribution matrix for a single source. Blocks
+// are indexed 0..b-1 in lexicographic order of their blocking key (the
+// paper permits any fixed order agreed on by all map tasks).
+type Matrix struct {
+	keys    []string       // block index -> blocking key
+	index   map[string]int // blocking key -> block index
+	sizes   [][]int        // [block][partition] -> #entities
+	m       int            // number of partitions
+	total   []int          // [block] -> Σ over partitions
+	offsets []int64        // [block] -> Σ pairs of preceding blocks (o(i))
+	pairs   int64          // total number of pairs P
+}
+
+// NumBlocks returns b, the number of distinct blocks.
+func (x *Matrix) NumBlocks() int { return len(x.keys) }
+
+// NumPartitions returns m, the number of input partitions.
+func (x *Matrix) NumPartitions() int { return x.m }
+
+// BlockKey returns the blocking key of block k.
+func (x *Matrix) BlockKey(k int) string { return x.keys[k] }
+
+// BlockIndex returns the index of the given blocking key.
+func (x *Matrix) BlockIndex(key string) (int, bool) {
+	k, ok := x.index[key]
+	return k, ok
+}
+
+// Size returns the total number of entities in block k.
+func (x *Matrix) Size(k int) int { return x.total[k] }
+
+// SizeIn returns the number of entities of block k in partition p.
+func (x *Matrix) SizeIn(k, p int) int { return x.sizes[k][p] }
+
+// BlockPairs returns the number of entity pairs within block k:
+// |Φk|·(|Φk|−1)/2.
+func (x *Matrix) BlockPairs(k int) int64 {
+	n := int64(x.total[k])
+	return n * (n - 1) / 2
+}
+
+// Pairs returns P, the total number of pairs over all blocks.
+func (x *Matrix) Pairs() int64 { return x.pairs }
+
+// PairOffset returns o(k): the total number of pairs in blocks 0..k-1,
+// i.e. the global pair index at which block k's pairs begin.
+func (x *Matrix) PairOffset(k int) int64 { return x.offsets[k] }
+
+// TotalEntities returns the number of entities across all blocks.
+func (x *Matrix) TotalEntities() int {
+	n := 0
+	for _, t := range x.total {
+		n += t
+	}
+	return n
+}
+
+// EntityOffset returns the number of entities of block k in partitions
+// 0..p-1 — the base entity index assigned to block-k entities of
+// partition p by the PairRange enumeration (Section V).
+func (x *Matrix) EntityOffset(k, p int) int {
+	off := 0
+	for i := 0; i < p; i++ {
+		off += x.sizes[k][i]
+	}
+	return off
+}
+
+// LargestBlock returns the index and size of the largest block; -1 when
+// the matrix is empty.
+func (x *Matrix) LargestBlock() (k, size int) {
+	k = -1
+	for i, t := range x.total {
+		if t > size {
+			k, size = i, t
+		}
+	}
+	return k, size
+}
+
+// Cell is one non-zero matrix cell in the reduce output of Algorithm 3:
+// (blocking key, partition index, number of entities).
+type Cell struct {
+	BlockKey  string
+	Partition int
+	Count     int
+}
+
+// FromCells assembles a Matrix from reduce-output cells. m must cover
+// every referenced partition index. Duplicate cells for the same
+// (block, partition) are rejected.
+func FromCells(cells []Cell, m int) (*Matrix, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("bdm: FromCells requires m > 0, got %d", m)
+	}
+	keySet := make(map[string]bool)
+	for _, c := range cells {
+		if c.Partition < 0 || c.Partition >= m {
+			return nil, fmt.Errorf("bdm: cell %q references partition %d outside [0,%d)", c.BlockKey, c.Partition, m)
+		}
+		if c.Count < 0 {
+			return nil, fmt.Errorf("bdm: cell %q partition %d has negative count %d", c.BlockKey, c.Partition, c.Count)
+		}
+		keySet[c.BlockKey] = true
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	x := &Matrix{
+		keys:  keys,
+		index: make(map[string]int, len(keys)),
+		sizes: make([][]int, len(keys)),
+		m:     m,
+		total: make([]int, len(keys)),
+	}
+	for i, k := range keys {
+		x.index[k] = i
+		x.sizes[i] = make([]int, m)
+	}
+	seen := make(map[[2]int]bool, len(cells))
+	for _, c := range cells {
+		k := x.index[c.BlockKey]
+		if seen[[2]int{k, c.Partition}] {
+			return nil, fmt.Errorf("bdm: duplicate cell for block %q partition %d", c.BlockKey, c.Partition)
+		}
+		seen[[2]int{k, c.Partition}] = true
+		x.sizes[k][c.Partition] = c.Count
+		x.total[k] += c.Count
+	}
+	x.finalize()
+	return x, nil
+}
+
+func (x *Matrix) finalize() {
+	x.offsets = make([]int64, len(x.keys)+1)
+	for k := range x.keys {
+		x.offsets[k+1] = x.offsets[k] + x.BlockPairs(k)
+	}
+	x.pairs = x.offsets[len(x.keys)]
+	x.offsets = x.offsets[:len(x.keys)]
+	if len(x.offsets) == 0 {
+		x.offsets = []int64{}
+	}
+}
+
+// Cells returns the matrix's non-zero cells in (block, partition) order —
+// the row-wise enumeration the paper describes as the reduce output.
+func (x *Matrix) Cells() []Cell {
+	var cells []Cell
+	for k, key := range x.keys {
+		for p := 0; p < x.m; p++ {
+			if x.sizes[k][p] > 0 {
+				cells = append(cells, Cell{BlockKey: key, Partition: p, Count: x.sizes[k][p]})
+			}
+		}
+	}
+	return cells
+}
+
+// String renders the matrix as a small table for logs and tests.
+func (x *Matrix) String() string {
+	s := fmt.Sprintf("BDM %d blocks × %d partitions, P=%d pairs\n", len(x.keys), x.m, x.pairs)
+	for k, key := range x.keys {
+		s += fmt.Sprintf("  Φ%-3d %-12q %v total=%d pairs=%d offset=%d\n",
+			k, key, x.sizes[k], x.total[k], x.BlockPairs(k), x.offsets[k])
+	}
+	return s
+}

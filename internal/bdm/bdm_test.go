@@ -1,0 +1,180 @@
+package bdm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+func parts2() entity.Partitions {
+	mk := func(id, key string) entity.Entity { return entity.New(id, "k", key) }
+	return entity.Partitions{
+		{mk("a", "x"), mk("b", "x"), mk("c", "y")},
+		{mk("d", "x"), mk("e", "z"), mk("f", "z"), mk("g", "z")},
+	}
+}
+
+func TestFromPartitions(t *testing.T) {
+	x, err := FromPartitions(parts2(), "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumBlocks() != 3 || x.NumPartitions() != 2 {
+		t.Fatalf("shape = %d×%d, want 3×2", x.NumBlocks(), x.NumPartitions())
+	}
+	// Lexicographic block order: x, y, z.
+	if x.BlockKey(0) != "x" || x.BlockKey(2) != "z" {
+		t.Errorf("block order = %q..%q", x.BlockKey(0), x.BlockKey(2))
+	}
+	xk, _ := x.BlockIndex("x")
+	if x.SizeIn(xk, 0) != 2 || x.SizeIn(xk, 1) != 1 || x.Size(xk) != 3 {
+		t.Errorf("x sizes wrong: %d/%d total %d", x.SizeIn(xk, 0), x.SizeIn(xk, 1), x.Size(xk))
+	}
+	// Pairs: x: 3, y: 0, z: 3 → 6; offsets 0, 3, 3.
+	if x.Pairs() != 6 {
+		t.Errorf("Pairs = %d, want 6", x.Pairs())
+	}
+	if x.PairOffset(1) != 3 || x.PairOffset(2) != 3 {
+		t.Errorf("offsets = %d,%d, want 3,3", x.PairOffset(1), x.PairOffset(2))
+	}
+	if x.TotalEntities() != 7 {
+		t.Errorf("TotalEntities = %d, want 7", x.TotalEntities())
+	}
+	k, size := x.LargestBlock()
+	if size != 3 || (x.BlockKey(k) != "x" && x.BlockKey(k) != "z") {
+		t.Errorf("LargestBlock = %d (size %d)", k, size)
+	}
+}
+
+func TestEntityOffset(t *testing.T) {
+	x, err := FromPartitions(parts2(), "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xk, _ := x.BlockIndex("x")
+	if got := x.EntityOffset(xk, 0); got != 0 {
+		t.Errorf("EntityOffset(x, 0) = %d, want 0", got)
+	}
+	if got := x.EntityOffset(xk, 1); got != 2 {
+		t.Errorf("EntityOffset(x, 1) = %d, want 2", got)
+	}
+}
+
+func TestFromCellsValidation(t *testing.T) {
+	if _, err := FromCells(nil, 0); err == nil {
+		t.Error("m=0: want error")
+	}
+	if _, err := FromCells([]Cell{{BlockKey: "a", Partition: 5, Count: 1}}, 2); err == nil {
+		t.Error("partition out of range: want error")
+	}
+	if _, err := FromCells([]Cell{{BlockKey: "a", Partition: 0, Count: -1}}, 2); err == nil {
+		t.Error("negative count: want error")
+	}
+	if _, err := FromCells([]Cell{
+		{BlockKey: "a", Partition: 0, Count: 1},
+		{BlockKey: "a", Partition: 0, Count: 2},
+	}, 2); err == nil {
+		t.Error("duplicate cell: want error")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	x, err := FromCells(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumBlocks() != 0 || x.Pairs() != 0 || x.TotalEntities() != 0 {
+		t.Errorf("empty matrix not empty: %v", x)
+	}
+	if k, size := x.LargestBlock(); k != -1 || size != 0 {
+		t.Errorf("LargestBlock on empty = %d,%d", k, size)
+	}
+}
+
+func TestCellsRoundTrip(t *testing.T) {
+	x, err := FromPartitions(parts2(), "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := FromCells(x.Cells(), x.NumPartitions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x.Cells(), y.Cells()) {
+		t.Error("Cells round trip changed the matrix")
+	}
+}
+
+// TestMRJobAgreesWithDirectBuilder is the core BDM property: Algorithm 3
+// executed on the MR engine produces exactly the direct computation, for
+// random inputs, any reduce-task count, with and without the combiner.
+func TestMRJobAgreesWithDirectBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		m := rng.Intn(5) + 1
+		parts := make(entity.Partitions, m)
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			p := rng.Intn(m)
+			key := fmt.Sprintf("b%02d", rng.Intn(10))
+			parts[p] = append(parts[p], entity.New(fmt.Sprintf("e%d", i), "k", key))
+		}
+		want, err := FromPartitions(parts, "k", blocking.Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, combiner := range []bool{false, true} {
+			r := rng.Intn(7) + 1
+			got, side, _, err := Compute(&mapreduce.Engine{}, parts, JobOptions{
+				Attr: "k", KeyFunc: blocking.Identity(), NumReduceTasks: r, UseCombiner: combiner,
+			})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !reflect.DeepEqual(got.Cells(), want.Cells()) {
+				t.Fatalf("trial %d (r=%d combiner=%v): MR cells differ", trial, r, combiner)
+			}
+			// Side output preserves partitioning and annotates keys.
+			for p := range parts {
+				if len(side[p]) != len(parts[p]) {
+					t.Fatalf("side output partition %d has %d records, want %d", p, len(side[p]), len(parts[p]))
+				}
+				for j, kv := range side[p] {
+					if kv.Key.(string) != parts[p][j].Attr("k") {
+						t.Fatalf("side output key mismatch at %d/%d", p, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	x, err := FromPartitions(parts2(), "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := x.String()
+	if !strings.Contains(s, "3 blocks") || !strings.Contains(s, "P=6") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestJobPanicsOnBadOptions(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("nil KeyFunc", func() { Job(JobOptions{NumReduceTasks: 1}) })
+	assertPanic("r=0", func() { Job(JobOptions{KeyFunc: blocking.Identity()}) })
+}

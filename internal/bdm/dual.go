@@ -1,0 +1,168 @@
+package bdm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blocking"
+	"repro/internal/entity"
+)
+
+// Source identifies one of the two input sources in the two-source
+// matching extension of Appendix I.
+type Source int
+
+// The two sources, named as in the paper.
+const (
+	SourceR Source = 0
+	SourceS Source = 1
+)
+
+func (s Source) String() string {
+	if s == SourceR {
+		return "R"
+	}
+	return "S"
+}
+
+// DualMatrix is the BDM for matching two sources R and S. Each input
+// partition holds entities of exactly one source (the paper ensures this
+// via Hadoop's MultipleInputs); the matrix distinguishes per block how
+// many entities fall in each partition and, aggregated, in each source.
+// Only cross-source pairs |Φk,R|·|Φk,S| count as match work.
+type DualMatrix struct {
+	keys    []string
+	index   map[string]int
+	sizes   [][]int  // [block][partition]
+	srcOf   []Source // partition -> source
+	m       int
+	totalR  []int
+	totalS  []int
+	offsets []int64 // o(i) = Σ_{k<i} |Φk,R|·|Φk,S|
+	pairs   int64
+}
+
+// NumBlocks returns the number of distinct blocking keys in R ∪ S.
+func (x *DualMatrix) NumBlocks() int { return len(x.keys) }
+
+// NumPartitions returns the total number of input partitions (both
+// sources combined).
+func (x *DualMatrix) NumPartitions() int { return x.m }
+
+// PartitionSource returns the source partition p belongs to.
+func (x *DualMatrix) PartitionSource(p int) Source { return x.srcOf[p] }
+
+// BlockKey returns the blocking key of block k.
+func (x *DualMatrix) BlockKey(k int) string { return x.keys[k] }
+
+// BlockIndex returns the index for the given blocking key.
+func (x *DualMatrix) BlockIndex(key string) (int, bool) {
+	k, ok := x.index[key]
+	return k, ok
+}
+
+// SizeIn returns the entity count of block k in partition p.
+func (x *DualMatrix) SizeIn(k, p int) int { return x.sizes[k][p] }
+
+// SourceSize returns |Φk,src|.
+func (x *DualMatrix) SourceSize(k int, src Source) int {
+	if src == SourceR {
+		return x.totalR[k]
+	}
+	return x.totalS[k]
+}
+
+// BlockPairs returns |Φk,R| · |Φk,S|, the match work of block k.
+func (x *DualMatrix) BlockPairs(k int) int64 {
+	return int64(x.totalR[k]) * int64(x.totalS[k])
+}
+
+// Pairs returns the total number of cross-source pairs P.
+func (x *DualMatrix) Pairs() int64 { return x.pairs }
+
+// PairOffset returns o(k), the number of pairs in preceding blocks.
+func (x *DualMatrix) PairOffset(k int) int64 { return x.offsets[k] }
+
+// EntityOffset returns the entity-index base for block k entities of
+// partition p: the number of block-k entities in preceding partitions of
+// the same source.
+func (x *DualMatrix) EntityOffset(k, p int) int {
+	src := x.srcOf[p]
+	off := 0
+	for i := 0; i < p; i++ {
+		if x.srcOf[i] == src {
+			off += x.sizes[k][i]
+		}
+	}
+	return off
+}
+
+// FromDualPartitions builds the two-source BDM directly. sources[p]
+// names the source of partition p; len(sources) must equal len(parts).
+func FromDualPartitions(parts entity.Partitions, sources []Source, attr string, keyFunc blocking.KeyFunc) (*DualMatrix, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("bdm: FromDualPartitions requires at least one partition")
+	}
+	if len(sources) != len(parts) {
+		return nil, fmt.Errorf("bdm: FromDualPartitions: %d partitions but %d source tags", len(parts), len(sources))
+	}
+	for p, s := range sources {
+		if s != SourceR && s != SourceS {
+			return nil, fmt.Errorf("bdm: partition %d has invalid source %d", p, s)
+		}
+	}
+	counts := make(map[Key]int)
+	keySet := make(map[string]bool)
+	for p, part := range parts {
+		for _, e := range part {
+			bk := keyFunc(e.Attr(attr))
+			counts[Key{BlockKey: bk, Partition: p}]++
+			keySet[bk] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	x := &DualMatrix{
+		keys:   keys,
+		index:  make(map[string]int, len(keys)),
+		sizes:  make([][]int, len(keys)),
+		srcOf:  append([]Source(nil), sources...),
+		m:      len(parts),
+		totalR: make([]int, len(keys)),
+		totalS: make([]int, len(keys)),
+	}
+	for i, k := range keys {
+		x.index[k] = i
+		x.sizes[i] = make([]int, x.m)
+	}
+	for key, n := range counts {
+		k := x.index[key.BlockKey]
+		x.sizes[k][key.Partition] = n
+		if x.srcOf[key.Partition] == SourceR {
+			x.totalR[k] += n
+		} else {
+			x.totalS[k] += n
+		}
+	}
+	x.offsets = make([]int64, len(keys)+1)
+	for k := range keys {
+		x.offsets[k+1] = x.offsets[k] + x.BlockPairs(k)
+	}
+	x.pairs = x.offsets[len(keys)]
+	x.offsets = x.offsets[:len(keys)]
+	return x, nil
+}
+
+// String renders the dual matrix for logs and tests.
+func (x *DualMatrix) String() string {
+	s := fmt.Sprintf("DualBDM %d blocks × %d partitions, P=%d pairs\n", len(x.keys), x.m, x.pairs)
+	for k, key := range x.keys {
+		s += fmt.Sprintf("  Φ%-3d %-12q %v R=%d S=%d pairs=%d offset=%d\n",
+			k, key, x.sizes[k], x.totalR[k], x.totalS[k], x.BlockPairs(k), x.offsets[k])
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package bdm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/entity"
+)
+
+func dualParts() (entity.Partitions, []Source) {
+	mk := func(id, key string) entity.Entity { return entity.New(id, "k", key) }
+	parts := entity.Partitions{
+		{mk("a", "x"), mk("b", "x"), mk("c", "y")}, // R
+		{mk("d", "x"), mk("e", "z")},               // S
+		{mk("f", "x"), mk("g", "z")},               // S
+	}
+	return parts, []Source{SourceR, SourceS, SourceS}
+}
+
+func TestFromDualPartitions(t *testing.T) {
+	parts, sources := dualParts()
+	x, err := FromDualPartitions(parts, sources, "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumBlocks() != 3 || x.NumPartitions() != 3 {
+		t.Fatalf("shape %d×%d, want 3×3", x.NumBlocks(), x.NumPartitions())
+	}
+	xk, ok := x.BlockIndex("x")
+	if !ok {
+		t.Fatal("block x missing")
+	}
+	if x.SourceSize(xk, SourceR) != 2 || x.SourceSize(xk, SourceS) != 2 {
+		t.Errorf("|x,R|=%d |x,S|=%d, want 2/2", x.SourceSize(xk, SourceR), x.SourceSize(xk, SourceS))
+	}
+	// Pairs: x: 2·2=4, y: 1·0=0, z: 0·2=0 → P=4.
+	if x.Pairs() != 4 {
+		t.Errorf("Pairs = %d, want 4", x.Pairs())
+	}
+	if got := x.BlockPairs(xk); got != 4 {
+		t.Errorf("x pairs = %d, want 4", got)
+	}
+	// Entity offsets within source S: partition 2's x-entity is the
+	// second S entity of block x.
+	if got := x.EntityOffset(xk, 2); got != 1 {
+		t.Errorf("EntityOffset(x, Π2) = %d, want 1", got)
+	}
+	if got := x.EntityOffset(xk, 1); got != 0 {
+		t.Errorf("EntityOffset(x, Π1) = %d, want 0", got)
+	}
+	if x.PartitionSource(0) != SourceR || x.PartitionSource(2) != SourceS {
+		t.Error("PartitionSource wrong")
+	}
+}
+
+func TestFromDualPartitionsValidation(t *testing.T) {
+	parts, sources := dualParts()
+	if _, err := FromDualPartitions(nil, nil, "k", blocking.Identity()); err == nil {
+		t.Error("empty partitions: want error")
+	}
+	if _, err := FromDualPartitions(parts, sources[:2], "k", blocking.Identity()); err == nil {
+		t.Error("mismatched source tags: want error")
+	}
+	bad := []Source{SourceR, Source(7), SourceS}
+	if _, err := FromDualPartitions(parts, bad, "k", blocking.Identity()); err == nil {
+		t.Error("invalid source: want error")
+	}
+}
+
+func TestDualString(t *testing.T) {
+	parts, sources := dualParts()
+	x, err := FromDualPartitions(parts, sources, "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := x.String(); !strings.Contains(s, "P=4") {
+		t.Errorf("String() = %q", s)
+	}
+	if SourceR.String() != "R" || SourceS.String() != "S" {
+		t.Error("Source strings wrong")
+	}
+}

@@ -1,0 +1,152 @@
+package bdm
+
+import (
+	"fmt"
+
+	"repro/internal/blocking"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// Key is the composite map-output key of Algorithm 3:
+// blockingKey.partitionIndex.
+type Key struct {
+	BlockKey  string
+	Partition int
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s.%d", k.BlockKey, k.Partition) }
+
+// compareKeys sorts by blocking key, then partition index.
+func compareKeys(a, b any) int {
+	ka, kb := a.(Key), b.(Key)
+	if c := mapreduce.CompareStrings(ka.BlockKey, kb.BlockKey); c != 0 {
+		return c
+	}
+	return mapreduce.CompareInts(ka.Partition, kb.Partition)
+}
+
+// JobOptions configures the BDM computation job.
+type JobOptions struct {
+	// Attr is the entity attribute the blocking key is derived from.
+	Attr string
+	// KeyFunc derives the blocking key from the attribute value.
+	KeyFunc blocking.KeyFunc
+	// NumReduceTasks is r for the BDM job.
+	NumReduceTasks int
+	// UseCombiner enables the frequency-aggregating combiner the paper
+	// suggests as an optimization (footnote 2).
+	UseCombiner bool
+}
+
+// Job returns the MapReduce job of Algorithm 3. The map function
+// computes each entity's blocking key, side-writes the annotated entity
+// (key=blocking key, value=entity) for Job 2, and emits
+// (blockingKey.partitionIndex, 1). Partitioning is by blocking key only
+// so all cells of one block are produced by the same reduce task; sort
+// and group use the entire composite key.
+func Job(opts JobOptions) *mapreduce.Job {
+	if opts.KeyFunc == nil {
+		panic("bdm: JobOptions.KeyFunc is required")
+	}
+	if opts.NumReduceTasks <= 0 {
+		panic("bdm: JobOptions.NumReduceTasks must be > 0")
+	}
+	job := &mapreduce.Job{
+		Name:           "bdm",
+		NumReduceTasks: opts.NumReduceTasks,
+		NewMapper: func() mapreduce.Mapper {
+			return &bdmMapper{attr: opts.Attr, keyFunc: opts.KeyFunc}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return &countReducer{}
+		},
+		Partition: func(key any, r int) int {
+			return mapreduce.HashPartition(key.(Key).BlockKey, r)
+		},
+		Compare: compareKeys,
+		// Group on the entire key: one reduce call per (block, partition).
+		Group: compareKeys,
+	}
+	if opts.UseCombiner {
+		job.NewCombiner = func() mapreduce.Reducer { return &countReducer{} }
+	}
+	return job
+}
+
+type bdmMapper struct {
+	attr      string
+	keyFunc   blocking.KeyFunc
+	partition int
+}
+
+func (m *bdmMapper) Configure(_, _, partitionIndex int) { m.partition = partitionIndex }
+
+func (m *bdmMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
+	e := kv.Value.(entity.Entity)
+	blockKey := m.keyFunc(e.Attr(m.attr))
+	// additionalOutput: the annotated entity for the second MR job.
+	ctx.SideEmit(blockKey, e)
+	ctx.Emit(Key{BlockKey: blockKey, Partition: m.partition}, 1)
+}
+
+// countReducer sums the 1s (or partial sums from a combiner) for one
+// (block, partition) group and emits a Cell. It serves as both combiner
+// and reducer: as a combiner it re-emits the composite key with the
+// partial count.
+type countReducer struct{}
+
+func (c *countReducer) Configure(_, _, _ int) {}
+
+func (c *countReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
+	k := key.(Key)
+	sum := 0
+	for _, v := range values {
+		sum += v.Value.(int)
+	}
+	ctx.Emit(k, sum)
+}
+
+// Compute runs Algorithm 3 over the partitioned input and returns the
+// assembled Matrix plus the per-partition side output (entities annotated
+// with their blocking key) that forms the input of the second MR job.
+func Compute(eng *mapreduce.Engine, parts entity.Partitions, opts JobOptions) (*Matrix, [][]mapreduce.KeyValue, *mapreduce.Result, error) {
+	input := make([][]mapreduce.KeyValue, len(parts))
+	for i, p := range parts {
+		input[i] = make([]mapreduce.KeyValue, len(p))
+		for j, e := range p {
+			input[i][j] = mapreduce.KeyValue{Key: nil, Value: e}
+		}
+	}
+	res, err := eng.Run(Job(opts), input)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("bdm: compute: %w", err)
+	}
+	cells := make([]Cell, 0, len(res.Output))
+	for _, kv := range res.Output {
+		k := kv.Key.(Key)
+		cells = append(cells, Cell{BlockKey: k.BlockKey, Partition: k.Partition, Count: kv.Value.(int)})
+	}
+	matrix, err := FromCells(cells, len(parts))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("bdm: compute: assemble matrix: %w", err)
+	}
+	return matrix, res.SideOutput, res, nil
+}
+
+// FromPartitions builds the Matrix directly in memory, without running
+// the MR job. The analytic planners and the data-generation tooling use
+// it; tests assert it agrees exactly with the MR computation.
+func FromPartitions(parts entity.Partitions, attr string, keyFunc blocking.KeyFunc) (*Matrix, error) {
+	var cells []Cell
+	counts := make(map[Key]int)
+	for p, part := range parts {
+		for _, e := range part {
+			counts[Key{BlockKey: keyFunc(e.Attr(attr)), Partition: p}]++
+		}
+	}
+	for k, n := range counts {
+		cells = append(cells, Cell{BlockKey: k.BlockKey, Partition: k.Partition, Count: n})
+	}
+	return FromCells(cells, len(parts))
+}

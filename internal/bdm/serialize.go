@@ -1,0 +1,86 @@
+package bdm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The paper's Algorithm 3 writes the BDM to the distributed file system
+// as triples (blocking key, partition index, count), one per non-zero
+// cell, which the second job's map tasks read at initialization time.
+// WriteTo/ReadFrom implement that on-disk format: a header line with the
+// partition count, then one tab-separated cell per line. Blocking keys
+// are quoted so that keys containing tabs or newlines survive the round
+// trip.
+
+// WriteTo serializes the matrix in the cell format. It returns the
+// number of bytes written.
+func (x *Matrix) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "bdm\t%d\n", x.m)); err != nil {
+		return n, fmt.Errorf("bdm: write header: %w", err)
+	}
+	for _, c := range x.Cells() {
+		if err := count(fmt.Fprintf(bw, "%s\t%d\t%d\n", strconv.Quote(c.BlockKey), c.Partition, c.Count)); err != nil {
+			return n, fmt.Errorf("bdm: write cell %q: %w", c.BlockKey, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("bdm: flush: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFrom parses a matrix previously written by WriteTo.
+func ReadFrom(r io.Reader) (*Matrix, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !br.Scan() {
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("bdm: read header: %w", err)
+		}
+		return nil, fmt.Errorf("bdm: empty input")
+	}
+	header := strings.Split(br.Text(), "\t")
+	if len(header) != 2 || header[0] != "bdm" {
+		return nil, fmt.Errorf("bdm: malformed header %q", br.Text())
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil || m <= 0 {
+		return nil, fmt.Errorf("bdm: malformed partition count %q", header[1])
+	}
+	var cells []Cell
+	line := 1
+	for br.Scan() {
+		line++
+		fields := strings.Split(br.Text(), "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bdm: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		key, err := strconv.Unquote(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bdm: line %d: bad key %q: %w", line, fields[0], err)
+		}
+		part, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bdm: line %d: bad partition %q: %w", line, fields[1], err)
+		}
+		cnt, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bdm: line %d: bad count %q: %w", line, fields[2], err)
+		}
+		cells = append(cells, Cell{BlockKey: key, Partition: part, Count: cnt})
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("bdm: read: %w", err)
+	}
+	return FromCells(cells, m)
+}

@@ -1,0 +1,121 @@
+package bdm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/entity"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	x, err := FromPartitions(parts2(), "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := x.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d bytes, buffer holds %d", n, buf.Len())
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x.Cells(), back.Cells()) || back.NumPartitions() != x.NumPartitions() {
+		t.Error("round trip changed the matrix")
+	}
+	if back.Pairs() != x.Pairs() {
+		t.Errorf("pairs = %d, want %d", back.Pairs(), x.Pairs())
+	}
+}
+
+func TestSerializeAwkwardKeys(t *testing.T) {
+	// Keys with tabs, newlines, unicode, and emptiness must survive.
+	parts := entity.Partitions{{
+		entity.New("a", "k", "tab\tkey"),
+		entity.New("b", "k", "new\nline"),
+		entity.New("c", "k", "日本語"),
+		entity.New("d", "k", ""),
+		entity.New("e", "k", `quoted "key"`),
+	}}
+	x, err := FromPartitions(parts, "k", blocking.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x.Cells(), back.Cells()) {
+		t.Errorf("awkward keys mangled:\n%v\nvs\n%v", x.Cells(), back.Cells())
+	}
+}
+
+func TestSerializeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 20; trial++ {
+		m := rng.Intn(6) + 1
+		parts := make(entity.Partitions, m)
+		for i := 0; i < rng.Intn(300); i++ {
+			p := rng.Intn(m)
+			parts[p] = append(parts[p], entity.New(fmt.Sprintf("e%d", i), "k", fmt.Sprintf("key%02d", rng.Intn(25))))
+		}
+		x, err := FromPartitions(parts, "k", blocking.Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(x.Cells(), back.Cells()) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "nope\t3\n",
+		"bad partitions":  "bdm\tzero\n",
+		"zero partitions": "bdm\t0\n",
+		"short line":      "bdm\t2\n\"a\"\t1\n",
+		"bad key quoting": "bdm\t2\nnoquotes\t0\t1\n",
+		"bad count":       "bdm\t2\n\"a\"\t0\tmany\n",
+		"bad partition":   "bdm\t2\n\"a\"\tx\t1\n",
+		"out of range":    "bdm\t2\n\"a\"\t7\t1\n",
+		"duplicate cells": "bdm\t2\n\"a\"\t0\t1\n\"a\"\t0\t2\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadFrom(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadFromEmptyMatrix(t *testing.T) {
+	x, err := ReadFrom(strings.NewReader("bdm\t4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumBlocks() != 0 || x.NumPartitions() != 4 {
+		t.Errorf("empty matrix = %d blocks × %d partitions", x.NumBlocks(), x.NumPartitions())
+	}
+}

@@ -1,0 +1,97 @@
+package blocking
+
+import "testing"
+
+func TestPrefix(t *testing.T) {
+	p3 := Prefix(3)
+	tests := map[string]string{
+		"abcdef": "abc",
+		"ab":     "ab",
+		"":       "",
+		"日本語です":  "日本語", // rune-wise
+		"ABC":    "ABC", // no normalization
+	}
+	for in, want := range tests {
+		if got := p3(in); got != want {
+			t.Errorf("Prefix(3)(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrefixPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Prefix(0) did not panic")
+		}
+	}()
+	Prefix(0)
+}
+
+func TestNormalizedPrefix(t *testing.T) {
+	p3 := NormalizedPrefix(3)
+	tests := map[string]string{
+		"Canon EOS":   "can",
+		"  sony a7":   "son",
+		"\"quoted\"":  "quo",
+		"a b":         "a", // separator ends the key
+		"ABCdef":      "abc",
+		"":            "",
+		"!!!":         "",
+		"x":           "x",
+		"123 printer": "123", // digits count
+	}
+	for in, want := range tests {
+		if got := p3(in); got != want {
+			t.Errorf("NormalizedPrefix(3)(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizedPrefixPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NormalizedPrefix(0) did not panic")
+		}
+	}()
+	NormalizedPrefix(0)
+}
+
+func TestSuffix(t *testing.T) {
+	s3 := Suffix(3)
+	tests := map[string]string{
+		"abcdef": "def",
+		"ab":     "ab",
+		"":       "",
+		"日本語です":  "語です",
+	}
+	for in, want := range tests {
+		if got := s3(in); got != want {
+			t.Errorf("Suffix(3)(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSuffixPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Suffix(0) did not panic")
+		}
+	}()
+	Suffix(0)
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant("⊥")
+	if c("anything") != "⊥" || c("") != "⊥" {
+		t.Error("Constant not constant")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity()
+	for _, s := range []string{"", "x", "block-42"} {
+		if id(s) != s {
+			t.Errorf("Identity()(%q) = %q", s, id(s))
+		}
+	}
+}

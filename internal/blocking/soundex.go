@@ -1,0 +1,88 @@
+package blocking
+
+import "strings"
+
+// Soundex returns a KeyFunc computing the American Soundex code of the
+// value's first word — the classic phonetic blocking key of the record
+// linkage literature, useful as an additional pass in multi-pass
+// blocking: it groups names that sound alike despite spelling variation
+// ("Robert"/"Rupert" → R163).
+//
+// Rules implemented: the first letter is kept; subsequent letters map to
+// digit classes (1: BFPV, 2: CGJKQSXZ, 3: DT, 4: L, 5: MN, 6: R);
+// adjacent same-class letters collapse; H and W are transparent for the
+// collapsing rule; vowels (and Y) separate classes; the code is padded
+// or truncated to one letter plus three digits. Values that do not start
+// with an ASCII letter yield the empty key (no valid blocking key).
+func Soundex() KeyFunc {
+	return func(v string) string {
+		word := firstWord(v)
+		if word == "" {
+			return ""
+		}
+		first := upper(word[0])
+		if first < 'A' || first > 'Z' {
+			return ""
+		}
+		code := []byte{first}
+		prevClass := soundexClass(first)
+		for i := 1; i < len(word) && len(code) < 4; i++ {
+			c := upper(word[i])
+			if c < 'A' || c > 'Z' {
+				break // stop at the first non-letter
+			}
+			class := soundexClass(c)
+			switch {
+			case c == 'H' || c == 'W':
+				// Transparent: do not reset the previous class.
+				continue
+			case class == 0:
+				// Vowel: emits nothing but separates equal classes.
+				prevClass = 0
+			case class != prevClass:
+				code = append(code, '0'+class)
+				prevClass = class
+			}
+		}
+		for len(code) < 4 {
+			code = append(code, '0')
+		}
+		return string(code)
+	}
+}
+
+func firstWord(v string) string {
+	v = strings.TrimSpace(v)
+	if i := strings.IndexByte(v, ' '); i >= 0 {
+		return v[:i]
+	}
+	return v
+}
+
+func upper(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+// soundexClass returns the digit class of an uppercase letter (0 for
+// vowels, H, W, and Y).
+func soundexClass(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,55 @@
+package blocking
+
+import "testing"
+
+func TestSoundexKnownCodes(t *testing.T) {
+	sx := Soundex()
+	// Classic reference vectors (US National Archives rules).
+	tests := map[string]string{
+		"Robert":     "R163",
+		"Rupert":     "R163",
+		"Ashcraft":   "A261", // H is transparent: s,c collapse
+		"Ashcroft":   "A261",
+		"Tymczak":    "T522",
+		"Pfister":    "P236",
+		"Honeyman":   "H555",
+		"Jackson":    "J250",
+		"Washington": "W252",
+		"Lee":        "L000",
+		"Gutierrez":  "G362",
+	}
+	for in, want := range tests {
+		if got := sx(in); got != want {
+			t.Errorf("Soundex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSoundexNormalization(t *testing.T) {
+	sx := Soundex()
+	if sx("robert") != sx("ROBERT") {
+		t.Error("case should not matter")
+	}
+	if got := sx("Robert Smith"); got != "R163" {
+		t.Errorf("first word only: got %q", got)
+	}
+	if got := sx("  Robert"); got != "R163" {
+		t.Errorf("leading spaces: got %q", got)
+	}
+}
+
+func TestSoundexInvalidInput(t *testing.T) {
+	sx := Soundex()
+	for _, in := range []string{"", "123", "!robert", " "} {
+		if got := sx(in); got != "" {
+			t.Errorf("Soundex(%q) = %q, want empty (no valid key)", in, got)
+		}
+	}
+}
+
+func TestSoundexStopsAtNonLetter(t *testing.T) {
+	sx := Soundex()
+	if got, want := sx("O'Brien"), "O000"; got != want {
+		t.Errorf("Soundex(O'Brien) = %q, want %q (stops at apostrophe)", got, want)
+	}
+}

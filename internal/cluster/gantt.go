@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the phase as a per-slot text timeline of the given
+// character width — a quick visual of load balance. Each slot gets one
+// row; a '#' marks simulated time the slot spent executing tasks, '.'
+// marks idle time before the phase's makespan. The straggler pattern of
+// a skewed Basic run (one long row, many short ones) is immediately
+// visible.
+func (p PhaseResult) Gantt(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if p.Makespan <= 0 || len(p.SlotBusy) == 0 {
+		return "(empty phase)\n"
+	}
+	// Reconstruct per-slot busy intervals from the task spans.
+	type span struct{ start, end float64 }
+	spans := make([][]span, len(p.SlotBusy))
+	for i := range p.Assignment {
+		s := p.Assignment[i]
+		spans[s] = append(spans[s], span{p.TaskStart[i], p.TaskEnd[i]})
+	}
+	var b strings.Builder
+	scale := float64(width) / p.Makespan
+	for s, ss := range spans {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range ss {
+			lo := int(sp.start * scale)
+			hi := int(sp.end * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "slot %3d |%s| busy %5.1f%%\n", s, row, 100*p.SlotBusy[s]/p.Makespan)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttBalanced(t *testing.T) {
+	res := Schedule([]float64{10, 10, 10, 10}, 4)
+	g := res.Gantt(20)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d rows:\n%s", len(lines), g)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "100.0%") {
+			t.Errorf("balanced slot not fully busy: %q", l)
+		}
+		if strings.Contains(l, ".") && strings.Contains(strings.SplitN(l, "|", 3)[1], ".") {
+			t.Errorf("balanced slot shows idle time: %q", l)
+		}
+	}
+}
+
+func TestGanttStraggler(t *testing.T) {
+	res := Schedule([]float64{100, 1, 1, 1}, 4)
+	g := res.Gantt(40)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	full, mostlyIdle := 0, 0
+	for _, l := range lines {
+		bar := strings.SplitN(l, "|", 3)[1]
+		hashes := strings.Count(bar, "#")
+		if hashes == len(bar) {
+			full++
+		}
+		if hashes <= len(bar)/10 {
+			mostlyIdle++
+		}
+	}
+	if full != 1 || mostlyIdle != 3 {
+		t.Errorf("straggler pattern not visible (%d full, %d idle):\n%s", full, mostlyIdle, g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var p PhaseResult
+	if g := p.Gantt(10); !strings.Contains(g, "empty") {
+		t.Errorf("empty phase gantt = %q", g)
+	}
+}
+
+func TestTaskSpansConsistent(t *testing.T) {
+	costs := []float64{5, 3, 8, 2, 7}
+	res := Schedule(costs, 2)
+	for i := range costs {
+		if res.TaskEnd[i]-res.TaskStart[i] != costs[i] {
+			t.Errorf("task %d span %g..%g, want duration %g", i, res.TaskStart[i], res.TaskEnd[i], costs[i])
+		}
+		if res.TaskEnd[i] > res.Makespan {
+			t.Errorf("task %d ends after the makespan", i)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import "sort"
+
+// ScheduleSpeculative models Hadoop's speculative execution on top of
+// the list schedule: once every task is assigned and a slot goes idle,
+// it launches a backup copy of the still-running task with the latest
+// expected finish; the task completes when either copy does. Backups
+// matter exactly where the paper's figures show straggler sensitivity —
+// coarse workloads (few tasks per slot) on heterogeneous hardware.
+//
+// The model launches at most one backup per task and assigns idle slots
+// in order of when they become free, mirroring the single-backup policy
+// of Hadoop's default speculative scheduler.
+func ScheduleSpeculative(costs []float64, speeds []float64) PhaseResult {
+	res := ScheduleWithSpeeds(costs, speeds)
+	n := len(costs)
+	if n == 0 || len(speeds) < 2 {
+		return res
+	}
+	// Slot free times after the primary schedule.
+	free := make([]float64, len(speeds))
+	for s := range free {
+		free[s] = 0
+	}
+	for i := 0; i < n; i++ {
+		if res.TaskEnd[i] > free[res.Assignment[i]] {
+			free[res.Assignment[i]] = res.TaskEnd[i]
+		}
+	}
+	// Idle slots in the order they become available.
+	type idleSlot struct {
+		at   float64
+		slot int
+	}
+	idle := make([]idleSlot, 0, len(speeds))
+	for s, f := range free {
+		idle = append(idle, idleSlot{at: f, slot: s})
+	}
+	sort.Slice(idle, func(i, j int) bool {
+		if idle[i].at != idle[j].at {
+			return idle[i].at < idle[j].at
+		}
+		return idle[i].slot < idle[j].slot
+	})
+
+	end := append([]float64(nil), res.TaskEnd...)
+	backed := make([]bool, n)
+	for _, is := range idle {
+		// Pick the un-backed task with the latest effective end that is
+		// still running when this slot idles.
+		best := -1
+		for i := 0; i < n; i++ {
+			if backed[i] || end[i] <= is.at || res.Assignment[i] == is.slot {
+				continue
+			}
+			if best < 0 || end[i] > end[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		backed[best] = true
+		backupEnd := is.at + costs[best]/speeds[is.slot]
+		if backupEnd < end[best] {
+			end[best] = backupEnd
+		}
+	}
+	res.TaskEnd = end
+	res.Makespan = 0
+	for i := 0; i < n; i++ {
+		if end[i] > res.Makespan {
+			res.Makespan = end[i]
+		}
+	}
+	return res
+}

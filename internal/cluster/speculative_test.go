@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpeculativeNeverSlower(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(40) + 1
+		slots := rng.Intn(10) + 2
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = float64(rng.Intn(500) + 1)
+		}
+		cfg := Config{SlotSpeedSpread: 0.4, Seed: int64(trial)}
+		speeds := cfg.SlotSpeeds(slots)
+		plain := ScheduleWithSpeeds(costs, speeds).Makespan
+		spec := ScheduleSpeculative(costs, speeds).Makespan
+		if spec > plain+1e-9 {
+			t.Fatalf("trial %d: speculative makespan %g exceeds plain %g", trial, spec, plain)
+		}
+	}
+}
+
+func TestSpeculativeRescuesStraggler(t *testing.T) {
+	// Two slots, speeds 1.0 and 0.5; one long task lands on the slow
+	// slot and a short task on the fast one. Without backups the long
+	// task takes 200 on the slow slot; the fast slot idles at t=10 and
+	// reruns it, finishing at 10+100=110.
+	speeds := []float64{1.0, 0.5}
+	costs := []float64{10, 100} // task 0 → slot 0, task 1 → slot 1
+	plain := ScheduleWithSpeeds(costs, speeds)
+	if plain.Makespan != 200 {
+		t.Fatalf("plain makespan = %g, want 200", plain.Makespan)
+	}
+	spec := ScheduleSpeculative(costs, speeds)
+	if spec.Makespan != 110 {
+		t.Fatalf("speculative makespan = %g, want 110", spec.Makespan)
+	}
+}
+
+func TestSpeculativeBackupLoses(t *testing.T) {
+	// The backup starts too late to help: the original still wins.
+	speeds := []float64{1.0, 0.9}
+	costs := []float64{95, 100}
+	spec := ScheduleSpeculative(costs, speeds)
+	// Original task 1 on slot 1 ends at 100/0.9 ≈ 111.1; backup on slot
+	// 0 starts at 95 and would end at 195.
+	if spec.Makespan < 111 || spec.Makespan > 112 {
+		t.Fatalf("makespan = %g, want ≈111.1 (original wins)", spec.Makespan)
+	}
+}
+
+func TestSpeculativeDegenerate(t *testing.T) {
+	if ms := ScheduleSpeculative(nil, []float64{1, 1}).Makespan; ms != 0 {
+		t.Errorf("empty tasks makespan = %g", ms)
+	}
+	// Single slot: no idle slot can back anything up.
+	res := ScheduleSpeculative([]float64{5, 5}, []float64{1})
+	if res.Makespan != 10 {
+		t.Errorf("single slot makespan = %g, want 10", res.Makespan)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bdm"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// Basic is the straightforward MR implementation of blocking-based ER
+// described in Section III: map emits (blocking key, entity), the default
+// hash partitioner routes whole blocks to reduce tasks, and each reduce
+// call compares all entities of one block. It needs no BDM and no
+// preprocessing job, but the match work of an entire block lands on a
+// single reduce task, so skewed block sizes dominate the execution time.
+type Basic struct{}
+
+// Name implements Strategy.
+func (Basic) Name() string { return "Basic" }
+
+// NeedsBDM implements Strategy: Basic runs without the preprocessing job.
+func (Basic) NeedsBDM() bool { return false }
+
+// Job implements Strategy. The BDM is ignored and may be nil.
+func (Basic) Job(_ *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
+	if err := validateJobParams("Basic", r); err != nil {
+		return nil, err
+	}
+	return &mapreduce.Job{
+		Name:           "basic",
+		NumReduceTasks: r,
+		NewMapper: func() mapreduce.Mapper {
+			return &mapreduce.FuncMapper{
+				OnMap: func(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
+					// Input records are the BDM job's side output
+					// (blocking key, entity); Basic forwards them
+					// unchanged. (Run standalone, the blocking key would
+					// be computed here — the dataflow is identical.)
+					ctx.Emit(kv.Key.(string), kv.Value.(entity.Entity))
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return &basicReducer{match: match}
+		},
+		Partition: func(key any, r int) int {
+			return mapreduce.HashPartition(key.(string), r)
+		},
+		Compare: mapreduce.CompareStrings,
+	}, nil
+}
+
+type basicReducer struct {
+	match  Matcher
+	buffer []entity.Entity
+}
+
+// Reduce compares all entities of one block with each other. The buffer
+// of already-seen entities is what forces a reduce task to hold an entire
+// block in memory — the paper's memory-bottleneck argument against Basic.
+func (b *basicReducer) Configure(_, _, _ int) {}
+
+func (b *basicReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+	b.buffer = b.buffer[:0]
+	for _, v := range values {
+		e2 := v.Value.(entity.Entity)
+		for _, e1 := range b.buffer {
+			matchAndEmit(ctx, b.match, e1, e2)
+		}
+		b.buffer = append(b.buffer, e2)
+	}
+}
+
+// Plan implements Strategy: per-reduce-task comparisons follow from
+// hash-partitioning whole blocks; the map phase emits exactly one
+// key-value pair per input entity.
+func (Basic) Plan(x *bdm.Matrix, m, r int) (*Plan, error) {
+	if err := validatePlanParams("Basic", m, r); err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("core: Basic.Plan requires a BDM (used only for analysis)")
+	}
+	if x.NumPartitions() != m {
+		return nil, fmt.Errorf("core: Basic.Plan: BDM has %d partitions, want m=%d", x.NumPartitions(), m)
+	}
+	p := newPlan("Basic", m, r)
+	for k := 0; k < x.NumBlocks(); k++ {
+		j := mapreduce.HashPartition(x.BlockKey(k), r)
+		p.ReduceComparisons[j] += x.BlockPairs(k)
+		p.ReduceRecords[j] += int64(x.Size(k))
+		for pi := 0; pi < m; pi++ {
+			n := int64(x.SizeIn(k, pi))
+			p.MapRecords[pi] += n
+			p.MapEmits[pi] += n
+		}
+	}
+	return p, nil
+}

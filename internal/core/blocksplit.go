@@ -1,0 +1,436 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/bdm"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// BlockSplit implements the block-based load balancing strategy of
+// Section IV. Blocks whose pair count does not exceed the average reduce
+// workload P/r are processed like in Basic, as a single "match task".
+// Larger blocks are split along the m input partitions into m sub-blocks,
+// yielding m self-join match tasks (k.i) and m·(m−1)/2 cross-product
+// match tasks (k.i×j). Match tasks are assigned to reduce tasks greedily
+// in descending size order, each to the currently least-loaded task.
+//
+// The zero value is the paper's strategy. MaxEntitiesPerTask additionally
+// enforces the memory constraint Section IV alludes to ("assigns entire
+// blocks to reduce tasks if this does not violate load balancing or
+// memory constraints"): a block whose entity count exceeds the limit is
+// split even when its pair count is below the average reduce workload,
+// bounding the number of entities any reduce call must buffer in memory.
+type BlockSplit struct {
+	// MaxEntitiesPerTask bounds the entities a single match task may
+	// hold (0 = unlimited, the paper's default behaviour).
+	MaxEntitiesPerTask int
+}
+
+// Name implements Strategy.
+func (BlockSplit) Name() string { return "BlockSplit" }
+
+// NeedsBDM implements Strategy.
+func (BlockSplit) NeedsBDM() bool { return true }
+
+// BSKey is the composite map-output key: reduce index ‖ block index ‖
+// split. The partition function uses only Reduce; sorting and grouping
+// use (Block, I, J). The split component (I, J) encodes the match task:
+// I = J = −1 for an unsplit block (k.*), I = J = i for sub-block k.i,
+// and I > J for the cross product k.J×I.
+type BSKey struct {
+	Reduce int
+	Block  int
+	I, J   int
+}
+
+func (k BSKey) String() string {
+	switch {
+	case k.I < 0:
+		return fmt.Sprintf("%d.%d.*", k.Reduce, k.Block)
+	case k.I == k.J:
+		return fmt.Sprintf("%d.%d.%d", k.Reduce, k.Block, k.I)
+	default:
+		return fmt.Sprintf("%d.%d.%dx%d", k.Reduce, k.Block, k.J, k.I)
+	}
+}
+
+// bsValue annotates an entity with its input partition index so the
+// reduce function of a cross-product task can separate the two
+// sub-blocks.
+type bsValue struct {
+	E         entity.Entity
+	Partition int
+}
+
+// taskID identifies one match task.
+type taskID struct {
+	block int
+	i, j  int // −1,−1 = unsplit; i==j = sub-block; i>j = cross product
+}
+
+// matchTask is one unit of reduce-side work with its assignment.
+type matchTask struct {
+	id     taskID
+	comps  int64
+	reduce int
+}
+
+// Assignment is the deterministic outcome of BlockSplit's match-task
+// creation and greedy distribution; both the executable job and the
+// analytic planner are driven by it. Exported for the ablation
+// benchmarks, which compare the greedy heuristic against alternatives.
+type Assignment struct {
+	tasks   map[taskID]*matchTask
+	ordered []*matchTask // descending comparisons
+	loads   []int64      // per reduce task
+	avg     int64        // compsPerReduceTask = P/r
+	split   []bool       // per block: was it split into sub-blocks?
+}
+
+// Split reports whether block k was split into sub-blocks.
+func (a *Assignment) Split(k int) bool { return a.split[k] }
+
+// ReduceLoads returns the per-reduce-task comparison loads.
+func (a *Assignment) ReduceLoads() []int64 { return a.loads }
+
+// NumTasks returns the number of match tasks created.
+func (a *Assignment) NumTasks() int { return len(a.ordered) }
+
+// AssignFunc chooses reduce tasks for match tasks; tasks arrive in
+// descending comparison order. The default is greedy least-loaded.
+type AssignFunc func(tasks []*matchTask, r int) (loads []int64)
+
+// GreedyAssign implements the paper's heuristic: process match tasks in
+// descending size and give each to the reduce task with the fewest
+// already-assigned comparisons (ties: lowest index).
+func GreedyAssign(tasks []*matchTask, r int) []int64 {
+	loads := make([]int64, r)
+	h := make(loadHeap, r)
+	for i := range h {
+		h[i] = loadEntry{load: 0, idx: i}
+	}
+	heap.Init(&h)
+	for _, t := range tasks {
+		e := heap.Pop(&h).(loadEntry)
+		t.reduce = e.idx
+		e.load += t.comps
+		loads[e.idx] = e.load
+		heap.Push(&h, e)
+	}
+	return loads
+}
+
+// RoundRobinAssign is the naive baseline for the assignment ablation:
+// match task n goes to reduce task n mod r regardless of size.
+func RoundRobinAssign(tasks []*matchTask, r int) []int64 {
+	loads := make([]int64, r)
+	for n, t := range tasks {
+		t.reduce = n % r
+		loads[t.reduce] += t.comps
+	}
+	return loads
+}
+
+// BuildAssignment performs match-task creation (Algorithm 1, lines 6-21)
+// and reduce-task assignment (lines 22-27) from the BDM, using the given
+// assignment policy (nil = GreedyAssign).
+func BuildAssignment(x *bdm.Matrix, r int, assign AssignFunc) *Assignment {
+	return buildAssignment(x, r, assign, 0)
+}
+
+func buildAssignment(x *bdm.Matrix, r int, assign AssignFunc, maxEntities int) *Assignment {
+	if assign == nil {
+		assign = GreedyAssign
+	}
+	m := x.NumPartitions()
+	a := &Assignment{
+		tasks: make(map[taskID]*matchTask),
+		split: make([]bool, x.NumBlocks()),
+	}
+	if p := x.Pairs(); p > 0 {
+		a.avg = p / int64(r)
+	}
+	for k := 0; k < x.NumBlocks(); k++ {
+		comps := x.BlockPairs(k)
+		if comps <= a.avg && (maxEntities <= 0 || x.Size(k) <= maxEntities) {
+			a.add(taskID{block: k, i: -1, j: -1}, comps)
+			continue
+		}
+		// Split along the input partitions; skip combinations with an
+		// empty side (|Φik|·|Φjk| = 0).
+		a.split[k] = true
+		for i := 0; i < m; i++ {
+			ni := int64(x.SizeIn(k, i))
+			for j := 0; j <= i; j++ {
+				nj := int64(x.SizeIn(k, j))
+				if ni*nj == 0 {
+					continue
+				}
+				if i == j {
+					a.add(taskID{block: k, i: i, j: i}, ni*(ni-1)/2)
+				} else {
+					a.add(taskID{block: k, i: i, j: j}, ni*nj)
+				}
+			}
+		}
+	}
+	// Descending by comparisons; ties by ascending (block, i, j) for
+	// determinism (this reproduces the ordering of the paper's example).
+	sort.SliceStable(a.ordered, func(p, q int) bool {
+		tp, tq := a.ordered[p], a.ordered[q]
+		if tp.comps != tq.comps {
+			return tp.comps > tq.comps
+		}
+		if tp.id.block != tq.id.block {
+			return tp.id.block < tq.id.block
+		}
+		if tp.id.i != tq.id.i {
+			return tp.id.i < tq.id.i
+		}
+		return tp.id.j < tq.id.j
+	})
+	a.loads = assign(a.ordered, r)
+	return a
+}
+
+func (a *Assignment) add(id taskID, comps int64) {
+	t := &matchTask{id: id, comps: comps}
+	a.tasks[id] = t
+	a.ordered = append(a.ordered, t)
+}
+
+// lookup returns the match task for (block k, i, j), nil if absent.
+func (a *Assignment) lookup(k, i, j int) *matchTask {
+	return a.tasks[taskID{block: k, i: i, j: j}]
+}
+
+type loadEntry struct {
+	load int64
+	idx  int
+}
+
+type loadHeap []loadEntry
+
+func (h loadHeap) Len() int { return len(h) }
+func (h loadHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].idx < h[j].idx
+}
+func (h loadHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *loadHeap) Push(x any)   { *h = append(*h, x.(loadEntry)) }
+func (h *loadHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func compareBSKeys(a, b any) int {
+	ka, kb := a.(BSKey), b.(BSKey)
+	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+		return c
+	}
+	if c := mapreduce.CompareInts(ka.I, kb.I); c != 0 {
+		return c
+	}
+	return mapreduce.CompareInts(ka.J, kb.J)
+}
+
+// Job implements Strategy (Algorithm 1). Input records must be the BDM
+// job's side output (key = blocking key, value = entity).
+func (bs BlockSplit) Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
+	return blockSplitJob(x, r, match, nil, bs.MaxEntitiesPerTask)
+}
+
+// JobWithAssign is Job with a custom assignment policy (for ablations).
+func (bs BlockSplit) JobWithAssign(x *bdm.Matrix, r int, match Matcher, assign AssignFunc) (*mapreduce.Job, error) {
+	return blockSplitJob(x, r, match, assign, bs.MaxEntitiesPerTask)
+}
+
+func blockSplitJob(x *bdm.Matrix, r int, match Matcher, assign AssignFunc, maxEntities int) (*mapreduce.Job, error) {
+	if err := validateJobParams("BlockSplit", r); err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("core: BlockSplit requires a BDM")
+	}
+	// The assignment is deterministic and identical in every map task;
+	// compute it once and share it read-only (each Hadoop map task would
+	// recompute it from the distributed BDM file).
+	asg := buildAssignment(x, r, assign, maxEntities)
+	return &mapreduce.Job{
+		Name:           "blocksplit",
+		NumReduceTasks: r,
+		NewMapper: func() mapreduce.Mapper {
+			return &bsMapper{x: x, asg: asg}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return &bsReducer{match: match}
+		},
+		Partition: func(key any, r int) int { return key.(BSKey).Reduce % r },
+		Compare:   compareBSKeys,
+		Group:     compareBSKeys,
+	}, nil
+}
+
+type bsMapper struct {
+	x         *bdm.Matrix
+	asg       *Assignment
+	m         int
+	partition int
+}
+
+func (mp *bsMapper) Configure(m, _, partitionIndex int) {
+	if m != mp.x.NumPartitions() {
+		panic(fmt.Sprintf("core: BlockSplit: job has %d map tasks but BDM was built for %d partitions", m, mp.x.NumPartitions()))
+	}
+	mp.m = m
+	mp.partition = partitionIndex
+}
+
+// Map implements Algorithm 1 lines 29-44: one output per unsplit block
+// entity, m outputs (own sub-block + m−1 combinations) per split-block
+// entity.
+func (mp *bsMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
+	blockKey := kv.Key.(string)
+	e := kv.Value.(entity.Entity)
+	k, ok := mp.x.BlockIndex(blockKey)
+	if !ok {
+		panic(fmt.Sprintf("core: BlockSplit: blocking key %q not present in BDM", blockKey))
+	}
+	if !mp.asg.split[k] {
+		if mp.x.BlockPairs(k) == 0 {
+			return // singleton block: nothing to compare
+		}
+		t := mp.asg.lookup(k, -1, -1)
+		ctx.Emit(BSKey{Reduce: t.reduce, Block: k, I: -1, J: -1},
+			bsValue{E: e, Partition: mp.partition})
+		return
+	}
+	for i := 0; i < mp.m; i++ {
+		hi, lo := mp.partition, i
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		t := mp.asg.lookup(k, hi, lo)
+		if t == nil {
+			continue // empty counterpart partition
+		}
+		ctx.Emit(BSKey{Reduce: t.reduce, Block: k, I: hi, J: lo},
+			bsValue{E: e, Partition: mp.partition})
+	}
+}
+
+type bsReducer struct {
+	match  Matcher
+	buffer []entity.Entity
+}
+
+func (rd *bsReducer) Configure(_, _, _ int) {}
+
+// Reduce implements Algorithm 1 lines 48-65. For a self-join task
+// (unsplit block or single sub-block, I == J) it compares all values
+// pairwise. For a cross-product task it buffers the first partition's
+// entities (the stable map-task-ordered merge guarantees they arrive
+// first) and compares every later entity against the buffer.
+func (rd *bsReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
+	k := key.(BSKey)
+	rd.buffer = rd.buffer[:0]
+	if k.I == k.J {
+		for _, v := range values {
+			e2 := v.Value.(bsValue).E
+			for _, e1 := range rd.buffer {
+				matchAndEmit(ctx, rd.match, e1, e2)
+			}
+			rd.buffer = append(rd.buffer, e2)
+		}
+		return
+	}
+	firstPartition := values[0].Value.(bsValue).Partition
+	for _, v := range values {
+		bv := v.Value.(bsValue)
+		if bv.Partition == firstPartition {
+			rd.buffer = append(rd.buffer, bv.E)
+			continue
+		}
+		for _, e1 := range rd.buffer {
+			matchAndEmit(ctx, rd.match, e1, bv.E)
+		}
+	}
+}
+
+// Plan implements Strategy: it reuses the exact match-task creation and
+// assignment of the executable job and derives all per-task workloads
+// from the BDM alone.
+func (bs BlockSplit) Plan(x *bdm.Matrix, m, r int) (*Plan, error) {
+	return blockSplitPlan(x, m, r, nil, bs.MaxEntitiesPerTask)
+}
+
+// PlanWithAssign is Plan with a custom assignment policy (ablations).
+func (bs BlockSplit) PlanWithAssign(x *bdm.Matrix, m, r int, assign AssignFunc) (*Plan, error) {
+	return blockSplitPlan(x, m, r, assign, bs.MaxEntitiesPerTask)
+}
+
+func blockSplitPlan(x *bdm.Matrix, m, r int, assign AssignFunc, maxEntities int) (*Plan, error) {
+	if err := validatePlanParams("BlockSplit", m, r); err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("core: BlockSplit.Plan requires a BDM")
+	}
+	if x.NumPartitions() != m {
+		return nil, fmt.Errorf("core: BlockSplit.Plan: BDM has %d partitions, want m=%d", x.NumPartitions(), m)
+	}
+	asg := buildAssignment(x, r, assign, maxEntities)
+	p := newPlan("BlockSplit", m, r)
+	copy(p.ReduceComparisons, asg.loads)
+
+	for _, t := range asg.ordered {
+		k := t.id.block
+		switch {
+		case t.id.i < 0: // unsplit: receives the whole block (if non-trivial)
+			if t.comps > 0 {
+				p.ReduceRecords[t.reduce] += int64(x.Size(k))
+			}
+		case t.id.i == t.id.j: // sub-block self-join
+			p.ReduceRecords[t.reduce] += int64(x.SizeIn(k, t.id.i))
+		default: // cross product of two sub-blocks
+			p.ReduceRecords[t.reduce] += int64(x.SizeIn(k, t.id.i) + x.SizeIn(k, t.id.j))
+		}
+	}
+
+	for k := 0; k < x.NumBlocks(); k++ {
+		comps := x.BlockPairs(k)
+		split := asg.split[k]
+		for pi := 0; pi < m; pi++ {
+			n := int64(x.SizeIn(k, pi))
+			if n == 0 {
+				continue
+			}
+			p.MapRecords[pi] += n
+			switch {
+			case !split && comps > 0:
+				p.MapEmits[pi] += n
+			case split:
+				// Each entity of partition pi is emitted once per match
+				// task involving pi: its own sub-block plus one cross
+				// task per other non-empty partition.
+				emitsPer := int64(0)
+				for i := 0; i < m; i++ {
+					if x.SizeIn(k, i) > 0 {
+						emitsPer++
+					}
+				}
+				p.MapEmits[pi] += n * emitsPer
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,184 @@
+// Package core implements the paper's primary contribution: the three
+// entity-redistribution strategies for MapReduce-based entity resolution
+// with blocking —
+//
+//   - Basic (Section III): the straightforward one-block-per-reduce-call
+//     dataflow, vulnerable to data skew;
+//   - BlockSplit (Section IV): splits above-average blocks into
+//     per-input-partition sub-blocks and greedily assigns the resulting
+//     match tasks to reduce tasks;
+//   - PairRange (Section V): globally enumerates all entity pairs and
+//     assigns each reduce task an (almost) equal-sized contiguous range
+//     of pair indexes.
+//
+// Each strategy can produce an executable mapreduce.Job (Job 2 of the
+// paper's workflow, consuming the BDM job's annotated side output) and an
+// analytic Plan that computes the identical per-task workloads directly
+// from the BDM without materializing any pairs. Plans make cluster-scale
+// experiments (Figures 13/14) tractable on one machine; tests assert that
+// executed workloads and planned workloads agree exactly.
+//
+// Two-source variants (Appendix I) are provided as BlockSplitDual and
+// PairRangeDual.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bdm"
+	"repro/internal/cluster"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// Matcher compares two entities and reports their similarity and whether
+// they match. A nil Matcher is valid everywhere and means "count the
+// comparison but do not compare" — used by benchmarks that only measure
+// redistribution behaviour. Matchers are invoked from concurrently
+// executing reduce tasks and must be safe for concurrent use (pure
+// functions, the common case, trivially are).
+type Matcher func(a, b entity.Entity) (float64, bool)
+
+// MatchPair is one entry of the match result: the IDs of two entities
+// considered the same, with A < B lexicographically for canonical form.
+type MatchPair struct {
+	A, B string
+}
+
+// NewMatchPair returns the canonical (ordered) pair for two entity IDs.
+func NewMatchPair(id1, id2 string) MatchPair {
+	if id1 > id2 {
+		id1, id2 = id2, id1
+	}
+	return MatchPair{A: id1, B: id2}
+}
+
+func (p MatchPair) String() string { return p.A + "|" + p.B }
+
+// ComparisonsCounter is the user-counter name under which every
+// strategy's reduce function records the number of pair comparisons it
+// performed. The cluster simulator keys its cost model off it.
+const ComparisonsCounter = "comparisons"
+
+// Strategy is a one-source redistribution strategy. Implementations:
+// Basic, BlockSplit, PairRange.
+type Strategy interface {
+	// Name returns the paper's name for the strategy.
+	Name() string
+	// NeedsBDM reports whether the strategy requires the block
+	// distribution matrix (true for BlockSplit and PairRange; Basic runs
+	// as a single job without the preprocessing step).
+	NeedsBDM() bool
+	// Job builds the executable MR Job 2. Input records must be the BDM
+	// job's side output: key = blocking key (string), value =
+	// entity.Entity. x may be nil iff !NeedsBDM().
+	Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error)
+	// Plan computes the exact per-task workloads Job would produce for m
+	// input partitions and r reduce tasks, without executing anything.
+	Plan(x *bdm.Matrix, m, r int) (*Plan, error)
+}
+
+// DualStrategy is a two-source (R×S) redistribution strategy from
+// Appendix I. Implementations: BlockSplitDual, PairRangeDual.
+type DualStrategy interface {
+	Name() string
+	Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error)
+	Plan(x *bdm.DualMatrix, r int) (*Plan, error)
+}
+
+// Plan holds the exact per-task workloads a strategy's Job 2 produces.
+// It is the analytic twin of an executed job's metrics.
+type Plan struct {
+	Strategy string
+	M, R     int
+	// MapRecords[i] is the number of input records map task i reads;
+	// MapEmits[i] the number of key-value pairs it emits.
+	MapRecords []int64
+	MapEmits   []int64
+	// ReduceRecords[j] is the number of key-value pairs reduce task j
+	// receives; ReduceComparisons[j] the number of pair comparisons it
+	// performs.
+	ReduceRecords     []int64
+	ReduceComparisons []int64
+}
+
+// TotalComparisons sums the per-reduce-task comparisons; for a correct
+// plan this equals the BDM's total pair count P.
+func (p *Plan) TotalComparisons() int64 {
+	var t int64
+	for _, c := range p.ReduceComparisons {
+		t += c
+	}
+	return t
+}
+
+// TotalMapEmits sums the emitted map-output key-value pairs (the metric
+// of Figure 12).
+func (p *Plan) TotalMapEmits() int64 {
+	var t int64
+	for _, e := range p.MapEmits {
+		t += e
+	}
+	return t
+}
+
+// MaxReduceComparisons returns the heaviest reduce-task workload, the
+// quantity that lower-bounds the reduce-phase makespan.
+func (p *Plan) MaxReduceComparisons() int64 {
+	var mx int64
+	for _, c := range p.ReduceComparisons {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// Workload converts the plan into the cluster simulator's job workload.
+func (p *Plan) Workload(name string) cluster.JobWorkload {
+	return cluster.JobWorkload{
+		Name:              name,
+		MapRecords:        p.MapRecords,
+		MapEmits:          p.MapEmits,
+		ReduceRecords:     p.ReduceRecords,
+		ReduceComparisons: p.ReduceComparisons,
+	}
+}
+
+func newPlan(strategy string, m, r int) *Plan {
+	return &Plan{
+		Strategy:          strategy,
+		M:                 m,
+		R:                 r,
+		MapRecords:        make([]int64, m),
+		MapEmits:          make([]int64, m),
+		ReduceRecords:     make([]int64, r),
+		ReduceComparisons: make([]int64, r),
+	}
+}
+
+// matchAndEmit performs one comparison via the matcher and emits the
+// canonical pair on success. A nil matcher counts only.
+func matchAndEmit(ctx *mapreduce.Context, match Matcher, a, b entity.Entity) {
+	ctx.Inc(ComparisonsCounter, 1)
+	if match == nil {
+		return
+	}
+	if sim, ok := match(a, b); ok {
+		ctx.Emit(NewMatchPair(a.ID, b.ID), sim)
+	}
+}
+
+func validateJobParams(name string, r int) error {
+	if r <= 0 {
+		return fmt.Errorf("core: %s: number of reduce tasks must be > 0, got %d", name, r)
+	}
+	return nil
+}
+
+func validatePlanParams(name string, m, r int) error {
+	if m <= 0 {
+		return fmt.Errorf("core: %s: number of map tasks must be > 0, got %d", name, m)
+	}
+	return validateJobParams(name, r)
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdm"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// BlockSplitDual is the two-source extension of BlockSplit described in
+// Appendix I-A. Match work of block Φk is |Φk,R|·|Φk,S| cross-source
+// comparisons; blocks whose work exceeds the average reduce workload are
+// split along the input partitions, but the resulting cross-product match
+// tasks k.i×j are restricted to Πi ∈ R and Πj ∈ S (no same-source
+// comparisons). Keys and values carry the entity's source so the reduce
+// function can buffer all R entities and compare each S entity against
+// them.
+type BlockSplitDual struct{}
+
+// Name implements DualStrategy.
+func (BlockSplitDual) Name() string { return "BlockSplit" }
+
+// BSDKey is the composite map-output key: reduce index ‖ block index ‖
+// split ‖ source. RPart/SPart identify the sub-block pair of a split
+// block (−1,−1 = unsplit). Sorting places source R before S within a
+// group, which lets the reduce function buffer R first.
+type BSDKey struct {
+	Reduce int
+	Block  int
+	RPart  int
+	SPart  int
+	Source bdm.Source
+}
+
+func (k BSDKey) String() string {
+	if k.RPart < 0 {
+		return fmt.Sprintf("%d.%d.*.%s", k.Reduce, k.Block, k.Source)
+	}
+	return fmt.Sprintf("%d.%d.%dx%d.%s", k.Reduce, k.Block, k.RPart, k.SPart, k.Source)
+}
+
+type bsdValue struct {
+	E      entity.Entity
+	Source bdm.Source
+}
+
+type dualTaskID struct {
+	block        int
+	rPart, sPart int // −1,−1 = unsplit
+}
+
+type dualMatchTask struct {
+	id     dualTaskID
+	comps  int64
+	reduce int
+}
+
+// dualAssignment mirrors Assignment for the two-source case.
+type dualAssignment struct {
+	tasks   map[dualTaskID]*dualMatchTask
+	ordered []*dualMatchTask
+	loads   []int64
+	avg     int64
+}
+
+func buildDualAssignment(x *bdm.DualMatrix, r int) *dualAssignment {
+	a := &dualAssignment{tasks: make(map[dualTaskID]*dualMatchTask)}
+	if p := x.Pairs(); p > 0 {
+		a.avg = p / int64(r)
+	}
+	m := x.NumPartitions()
+	for k := 0; k < x.NumBlocks(); k++ {
+		comps := x.BlockPairs(k)
+		if comps == 0 {
+			continue // one side empty: the block needs no processing
+		}
+		if comps <= a.avg {
+			a.add(dualTaskID{block: k, rPart: -1, sPart: -1}, comps)
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if x.PartitionSource(i) != bdm.SourceR {
+				continue
+			}
+			ni := int64(x.SizeIn(k, i))
+			if ni == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if x.PartitionSource(j) != bdm.SourceS {
+					continue
+				}
+				nj := int64(x.SizeIn(k, j))
+				if nj == 0 {
+					continue
+				}
+				a.add(dualTaskID{block: k, rPart: i, sPart: j}, ni*nj)
+			}
+		}
+	}
+	sort.SliceStable(a.ordered, func(p, q int) bool {
+		tp, tq := a.ordered[p], a.ordered[q]
+		if tp.comps != tq.comps {
+			return tp.comps > tq.comps
+		}
+		if tp.id.block != tq.id.block {
+			return tp.id.block < tq.id.block
+		}
+		if tp.id.rPart != tq.id.rPart {
+			return tp.id.rPart < tq.id.rPart
+		}
+		return tp.id.sPart < tq.id.sPart
+	})
+	a.loads = assignDualGreedy(a.ordered, r)
+	return a
+}
+
+func (a *dualAssignment) add(id dualTaskID, comps int64) {
+	t := &dualMatchTask{id: id, comps: comps}
+	a.tasks[id] = t
+	a.ordered = append(a.ordered, t)
+}
+
+func assignDualGreedy(tasks []*dualMatchTask, r int) []int64 {
+	// Same greedy least-loaded policy as the one-source GreedyAssign.
+	loads := make([]int64, r)
+	for _, t := range tasks {
+		best := 0
+		for j := 1; j < r; j++ {
+			if loads[j] < loads[best] {
+				best = j
+			}
+		}
+		t.reduce = best
+		loads[best] += t.comps
+	}
+	return loads
+}
+
+func compareBSDKeys(a, b any) int {
+	ka, kb := a.(BSDKey), b.(BSDKey)
+	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+		return c
+	}
+	if c := mapreduce.CompareInts(ka.RPart, kb.RPart); c != 0 {
+		return c
+	}
+	if c := mapreduce.CompareInts(ka.SPart, kb.SPart); c != 0 {
+		return c
+	}
+	return mapreduce.CompareInts(int(ka.Source), int(kb.Source))
+}
+
+func groupBSDKeys(a, b any) int {
+	ka, kb := a.(BSDKey), b.(BSDKey)
+	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+		return c
+	}
+	if c := mapreduce.CompareInts(ka.RPart, kb.RPart); c != 0 {
+		return c
+	}
+	return mapreduce.CompareInts(ka.SPart, kb.SPart)
+}
+
+// Job implements DualStrategy. Input records must carry key = blocking
+// key (string) and value = entity; each input partition holds entities
+// of exactly one source as recorded in the DualMatrix.
+func (BlockSplitDual) Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error) {
+	if err := validateJobParams("BlockSplitDual", r); err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("core: BlockSplitDual requires a dual BDM")
+	}
+	asg := buildDualAssignment(x, r)
+	return &mapreduce.Job{
+		Name:           "blocksplit-dual",
+		NumReduceTasks: r,
+		NewMapper: func() mapreduce.Mapper {
+			return &bsdMapper{x: x, asg: asg}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return &bsdReducer{match: match}
+		},
+		Partition: func(key any, r int) int { return key.(BSDKey).Reduce % r },
+		Compare:   compareBSDKeys,
+		Group:     groupBSDKeys,
+	}, nil
+}
+
+type bsdMapper struct {
+	x         *bdm.DualMatrix
+	asg       *dualAssignment
+	partition int
+	source    bdm.Source
+}
+
+func (mp *bsdMapper) Configure(m, _, partitionIndex int) {
+	if m != mp.x.NumPartitions() {
+		panic(fmt.Sprintf("core: BlockSplitDual: job has %d map tasks but dual BDM was built for %d partitions", m, mp.x.NumPartitions()))
+	}
+	mp.partition = partitionIndex
+	mp.source = mp.x.PartitionSource(partitionIndex)
+}
+
+func (mp *bsdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
+	blockKey := kv.Key.(string)
+	e := kv.Value.(entity.Entity)
+	k, ok := mp.x.BlockIndex(blockKey)
+	if !ok {
+		panic(fmt.Sprintf("core: BlockSplitDual: blocking key %q not present in dual BDM", blockKey))
+	}
+	comps := mp.x.BlockPairs(k)
+	if comps == 0 {
+		return // counterpart source has no entities with this key
+	}
+	if comps <= mp.asg.avg {
+		t := mp.asg.tasks[dualTaskID{block: k, rPart: -1, sPart: -1}]
+		ctx.Emit(BSDKey{Reduce: t.reduce, Block: k, RPart: -1, SPart: -1, Source: mp.source},
+			bsdValue{E: e, Source: mp.source})
+		return
+	}
+	// Split block: emit one copy per match task pairing this entity's
+	// partition with each non-empty partition of the other source.
+	for p := 0; p < mp.x.NumPartitions(); p++ {
+		if mp.x.PartitionSource(p) == mp.source || mp.x.SizeIn(k, p) == 0 {
+			continue
+		}
+		id := dualTaskID{block: k, rPart: mp.partition, sPart: p}
+		if mp.source == bdm.SourceS {
+			id = dualTaskID{block: k, rPart: p, sPart: mp.partition}
+		}
+		t := mp.asg.tasks[id]
+		if t == nil {
+			continue
+		}
+		ctx.Emit(BSDKey{Reduce: t.reduce, Block: k, RPart: id.rPart, SPart: id.sPart, Source: mp.source},
+			bsdValue{E: e, Source: mp.source})
+	}
+}
+
+type bsdReducer struct {
+	match  Matcher
+	buffer []entity.Entity
+}
+
+func (rd *bsdReducer) Configure(_, _, _ int) {}
+
+// Reduce buffers all R entities (sorted first via the Source key
+// component) and compares each S entity against the buffer — only
+// cross-source pairs are evaluated.
+func (rd *bsdReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+	rd.buffer = rd.buffer[:0]
+	for _, v := range values {
+		bv := v.Value.(bsdValue)
+		if bv.Source == bdm.SourceR {
+			rd.buffer = append(rd.buffer, bv.E)
+			continue
+		}
+		for _, e1 := range rd.buffer {
+			matchAndEmit(ctx, rd.match, e1, bv.E)
+		}
+	}
+}
+
+// Plan implements DualStrategy analytically.
+func (BlockSplitDual) Plan(x *bdm.DualMatrix, r int) (*Plan, error) {
+	if err := validateJobParams("BlockSplitDual", r); err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("core: BlockSplitDual.Plan requires a dual BDM")
+	}
+	m := x.NumPartitions()
+	asg := buildDualAssignment(x, r)
+	p := newPlan("BlockSplitDual", m, r)
+	copy(p.ReduceComparisons, asg.loads)
+
+	for _, t := range asg.ordered {
+		k := t.id.block
+		if t.id.rPart < 0 {
+			p.ReduceRecords[t.reduce] += int64(x.SourceSize(k, bdm.SourceR) + x.SourceSize(k, bdm.SourceS))
+		} else {
+			p.ReduceRecords[t.reduce] += int64(x.SizeIn(k, t.id.rPart) + x.SizeIn(k, t.id.sPart))
+		}
+	}
+
+	for k := 0; k < x.NumBlocks(); k++ {
+		comps := x.BlockPairs(k)
+		split := comps > asg.avg
+		for pi := 0; pi < m; pi++ {
+			n := int64(x.SizeIn(k, pi))
+			if n == 0 {
+				continue
+			}
+			p.MapRecords[pi] += n
+			if comps == 0 {
+				continue
+			}
+			if !split {
+				p.MapEmits[pi] += n
+				continue
+			}
+			other := bdm.SourceR
+			if x.PartitionSource(pi) == bdm.SourceR {
+				other = bdm.SourceS
+			}
+			emitsPer := int64(0)
+			for q := 0; q < m; q++ {
+				if x.PartitionSource(q) == other && x.SizeIn(k, q) > 0 {
+					emitsPer++
+				}
+			}
+			p.MapEmits[pi] += n * emitsPer
+		}
+	}
+	return p, nil
+}

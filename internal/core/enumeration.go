@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdm"
+)
+
+// This file implements the pair-enumeration scheme of Section V.
+//
+// Within a block of N entities (indexed 0..N-1), all pairs (x,y) with
+// x < y are enumerated column-wise:
+//
+//	c(x, y, N) = x·(2N−x−3)/2 + y − 1
+//
+// so column x occupies the contiguous index interval
+// [colStart(x), colStart(x)+N−1−x). Globally, block Φi's pairs start at
+// offset o(i) = Σ_{k<i} |Φk|·(|Φk|−1)/2, giving the global pair index
+// p_i(x,y) = c(x,y,|Φi|) + o(i).
+
+// CellIndex computes c(x, y, n): the column-wise index of cell (x,y),
+// x < y, in the strictly-upper-triangular n×n matrix.
+func CellIndex(x, y, n int64) int64 {
+	// x·(2n−x−3) is always even: x and (2n−x−3) have opposite parity.
+	return x*(2*n-x-3)/2 + y - 1
+}
+
+// ColumnStart returns the index of column x's first pair, c(x, x+1, n).
+func ColumnStart(x, n int64) int64 {
+	return CellIndex(x, x+1, n)
+}
+
+// ColumnLen returns the number of pairs in column x: n−1−x.
+func ColumnLen(x, n int64) int64 { return n - 1 - x }
+
+// CellOf inverts CellIndex: it returns the (x, y) pair with
+// CellIndex(x,y,n) == p. It panics if p is outside [0, n(n−1)/2).
+func CellOf(p, n int64) (x, y int64) {
+	total := n * (n - 1) / 2
+	if p < 0 || p >= total {
+		panic(fmt.Sprintf("core: CellOf: pair index %d outside [0,%d)", p, total))
+	}
+	x = ColumnOf(p, n)
+	y = x + 1 + (p - ColumnStart(x, n))
+	return x, y
+}
+
+// ColumnOf returns the column x whose index interval contains local pair
+// index p: the largest x with ColumnStart(x,n) <= p.
+func ColumnOf(p, n int64) int64 {
+	// Binary search over x in [0, n-1).
+	lo, hi := int64(0), n-1 // search in [lo, hi)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ColumnStart(mid, n) <= p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// PairIndex returns the global pair index p_k(x,y) of entities with
+// block-k entity indexes x < y.
+func PairIndex(x *bdm.Matrix, k int, ex, ey int64) int64 {
+	return CellIndex(ex, ey, int64(x.Size(k))) + x.PairOffset(k)
+}
+
+// Ranges captures the PairRange partitioning of [0, P) into r ranges of
+// q = ceil(P/r) pairs each (the last range holds the remainder). This is
+// the rangeIndex function of Algorithm 2.
+type Ranges struct {
+	P int64 // total number of pairs
+	R int   // number of ranges (= reduce tasks)
+	Q int64 // pairs per range, ceil(P/R)
+}
+
+// NewRanges computes the range partitioning for P pairs and r reduce
+// tasks.
+func NewRanges(p int64, r int) Ranges {
+	if r <= 0 {
+		panic("core: NewRanges requires r > 0")
+	}
+	q := int64(1)
+	if p > 0 {
+		q = (p + int64(r) - 1) / int64(r)
+	}
+	return Ranges{P: p, R: r, Q: q}
+}
+
+// Index returns the range containing global pair index p.
+func (rg Ranges) Index(p int64) int {
+	if p < 0 || p >= rg.P {
+		panic(fmt.Sprintf("core: Ranges.Index: pair index %d outside [0,%d)", p, rg.P))
+	}
+	return int(p / rg.Q)
+}
+
+// Bounds returns the half-open global pair-index interval [lo, hi)
+// assigned to range k. Empty for trailing ranges when P < k·Q.
+func (rg Ranges) Bounds(k int) (lo, hi int64) {
+	lo = int64(k) * rg.Q
+	hi = lo + rg.Q
+	if lo > rg.P {
+		lo = rg.P
+	}
+	if hi > rg.P {
+		hi = rg.P
+	}
+	return lo, hi
+}
+
+// Size returns the number of pairs in range k.
+func (rg Ranges) Size(k int) int64 {
+	lo, hi := rg.Bounds(k)
+	return hi - lo
+}
+
+// relevantRanges returns, in ascending order, every range that contains
+// at least one pair involving the entity with index ex in a block of
+// size n whose global pair offset is off.
+//
+// The entity participates in the "row pairs" (0,ex)...(ex−1,ex), whose
+// indexes are strictly increasing but not contiguous, and in the "column
+// pairs" (ex,ex+1)...(ex,n−1), which are contiguous. Row ranges are
+// found by galloping over range boundaries (monotonicity of the pair
+// index in the column argument); column ranges form one contiguous run.
+func (rg Ranges) relevantRanges(ex, n, off int64, out []int) []int {
+	out = out[:0]
+	if n < 2 {
+		return out
+	}
+	// Row pairs: (k, ex) for k in [0, ex). Index f(k) = c(k,ex,n)+off is
+	// strictly increasing in k, so the sequence of range indexes is
+	// non-decreasing; enumerate each distinct range once via binary
+	// search for the last k still inside the current range.
+	for k := int64(0); k < ex; {
+		p := CellIndex(k, ex, n) + off
+		r := rg.Index(p)
+		out = append(out, r)
+		// Find the largest k' < ex with range(f(k')) == r.
+		_, hi := rg.Bounds(r)
+		k = searchFirstAtLeast(k+1, ex, func(kk int64) bool {
+			return CellIndex(kk, ex, n)+off >= hi
+		})
+	}
+	// Column pairs: (ex, ex+1)..(ex, n−1), contiguous indexes.
+	if ex <= n-2 {
+		first := rg.Index(CellIndex(ex, ex+1, n) + off)
+		last := rg.Index(CellIndex(ex, n-1, n) + off)
+		for r := first; r <= last; r++ {
+			if len(out) > 0 && out[len(out)-1] == r {
+				continue
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// searchFirstAtLeast returns the smallest k in [lo, hi] for which
+// pred(k) is true, assuming pred is monotone (false...true); returns hi
+// when pred is false everywhere in [lo, hi).
+func searchFirstAtLeast(lo, hi int64, pred func(int64) bool) int64 {
+	return lo + int64(sort.Search(int(hi-lo), func(i int) bool {
+		return pred(lo + int64(i))
+	}))
+}
+
+// interval is a half-open [lo, hi) range of entity indexes.
+type interval struct{ lo, hi int64 }
+
+func (iv interval) empty() bool { return iv.hi <= iv.lo }
+func (iv interval) len() int64 {
+	if iv.empty() {
+		return 0
+	}
+	return iv.hi - iv.lo
+}
+
+// mergeIntervals sorts and merges overlapping/adjacent intervals.
+func mergeIntervals(ivs []interval) []interval {
+	kept := ivs[:0]
+	for _, iv := range ivs {
+		if !iv.empty() {
+			kept = append(kept, iv)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].lo < kept[j].lo })
+	out := kept[:0]
+	for _, iv := range kept {
+		if n := len(out); n > 0 && iv.lo <= out[n-1].hi {
+			if iv.hi > out[n-1].hi {
+				out[n-1].hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+func intervalsTotal(ivs []interval) int64 {
+	var t int64
+	for _, iv := range ivs {
+		t += iv.len()
+	}
+	return t
+}
+
+// intersectLen returns |[alo,ahi) ∩ [blo,bhi)|.
+func intersectLen(a interval, blo, bhi int64) int64 {
+	lo, hi := a.lo, a.hi
+	if blo > lo {
+		lo = blo
+	}
+	if bhi < hi {
+		hi = bhi
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// relevantEntities returns the set of entity indexes (as merged
+// intervals) of a block of size n that participate in at least one pair
+// with local pair index in [a, b). Used by the PairRange planner to
+// compute exact reduce-input sizes and per-partition map emits without
+// enumerating pairs.
+func relevantEntities(a, b, n int64) []interval {
+	if b <= a || n < 2 {
+		return nil
+	}
+	xa := ColumnOf(a, n)
+	xb := ColumnOf(b-1, n)
+	ya := xa + 1 + (a - ColumnStart(xa, n))
+	yb := xb + 1 + (b - 1 - ColumnStart(xb, n))
+
+	ivs := make([]interval, 0, 4)
+	// Column entities: every column with at least one pair in [a,b).
+	ivs = append(ivs, interval{xa, xb + 1})
+	if xa == xb {
+		// Single column: rows ya..yb.
+		ivs = append(ivs, interval{ya, yb + 1})
+	} else {
+		// First (partial) column contributes rows ya..n−1.
+		ivs = append(ivs, interval{ya, n})
+		// Full columns in between contribute rows xa+2..n−1 (already
+		// subsumed by {ya..n−1} only when ya <= xa+2; keep both and let
+		// the merge handle it).
+		if xb > xa+1 {
+			ivs = append(ivs, interval{xa + 2, n})
+		}
+		// Last (partial) column contributes rows xb+1..yb.
+		ivs = append(ivs, interval{xb + 1, yb + 1})
+	}
+	return mergeIntervals(ivs)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// maxGroup returns the largest reduce-call value list observed across
+// all reduce tasks — the in-memory buffering lower bound.
+func maxGroup(res *mapreduce.Result) int64 {
+	var mx int64
+	for _, m := range res.ReduceMetrics {
+		if m.MaxGroupRecords > mx {
+			mx = m.MaxGroupRecords
+		}
+	}
+	return mx
+}
+
+// TestMemoryFootprintOrdering demonstrates the paper's memory argument
+// quantitatively on a skewed input: Basic must buffer the whole largest
+// block in one reduce call, while BlockSplit's splitting caps every
+// reduce call near the sub-block size.
+func TestMemoryFootprintOrdering(t *testing.T) {
+	const bigBlock = 120
+	var es []entity.Entity
+	for i := 0; i < bigBlock; i++ {
+		es = append(es, entity.New(fmt.Sprintf("b%03d", i), "k", "big"))
+	}
+	for i := 0; i < 80; i++ {
+		es = append(es, entity.New(fmt.Sprintf("s%03d", i), "k", fmt.Sprintf("u%02d", i%40)))
+	}
+	const m = 6
+	parts := entity.SplitRoundRobin(es, m)
+	x := mustBDM(t, parts)
+	const r = 8
+
+	basicRes := runStrategy(t, Basic{}, x, parts, r, nil)
+	bsRes := runStrategy(t, BlockSplit{}, x, parts, r, nil)
+
+	basicMax := maxGroup(basicRes)
+	bsMax := maxGroup(bsRes)
+
+	if basicMax != bigBlock {
+		t.Errorf("Basic max group = %d, want the whole largest block (%d)", basicMax, bigBlock)
+	}
+	// A cross-product match task buffers two sub-blocks of ~bigBlock/m.
+	if want := int64(2 * bigBlock / m); bsMax != want {
+		t.Errorf("BlockSplit max group = %d, want %d (two sub-blocks)", bsMax, want)
+	}
+}
+
+// TestMemoryCapBoundsBuffering: a mid-sized block below the average
+// workload is nevertheless split when it exceeds MaxEntitiesPerTask,
+// bounding the reduce-call buffer. (The cap cannot split finer than the
+// m input partitions — splitting is partition-based, as in the paper.)
+func TestMemoryCapBoundsBuffering(t *testing.T) {
+	var es []entity.Entity
+	for i := 0; i < 60; i++ {
+		es = append(es, entity.New(fmt.Sprintf("m%03d", i), "k", "mid"))
+	}
+	for i := 0; i < 30; i++ {
+		es = append(es, entity.New(fmt.Sprintf("s%03d", i), "k", fmt.Sprintf("u%02d", i%15)))
+	}
+	const m = 6
+	parts := entity.SplitRoundRobin(es, m)
+	x := mustBDM(t, parts)
+	const r = 1 // the average workload is P itself: nothing splits by load alone
+
+	uncapped := runStrategy(t, BlockSplit{}, x, parts, r, nil)
+	capped := runStrategy(t, BlockSplit{MaxEntitiesPerTask: 20}, x, parts, r, nil)
+
+	if got := maxGroup(uncapped); got != 60 {
+		t.Errorf("uncapped max group = %d, want the whole mid block (60)", got)
+	}
+	// Sub-blocks of 10 each; cross tasks buffer 20.
+	if got := maxGroup(capped); got != 20 {
+		t.Errorf("capped max group = %d, want 20 (two sub-blocks of 10)", got)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStatsUniform(t *testing.T) {
+	st := ComputeLoadStats([]int64{10, 10, 10, 10})
+	if st.Total != 40 || st.Max != 10 || st.Min != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CV != 0 || st.Gini != 0 || st.MaxOverMean != 1 {
+		t.Errorf("uniform loads should have zero dispersion: %+v", st)
+	}
+}
+
+func TestLoadStatsAllOnOne(t *testing.T) {
+	st := ComputeLoadStats([]int64{100, 0, 0, 0})
+	if st.MaxOverMean != 4 {
+		t.Errorf("MaxOverMean = %g, want 4", st.MaxOverMean)
+	}
+	// Gini of (0,0,0,100) = 3/4.
+	if math.Abs(st.Gini-0.75) > 1e-9 {
+		t.Errorf("Gini = %g, want 0.75", st.Gini)
+	}
+}
+
+func TestLoadStatsEmptyAndZero(t *testing.T) {
+	if st := ComputeLoadStats(nil); st.Tasks != 0 || st.Gini != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if st := ComputeLoadStats([]int64{0, 0}); st.Gini != 0 || st.CV != 0 {
+		t.Errorf("all-zero stats = %+v", st)
+	}
+}
+
+// TestGiniRangeProperty: Gini is always in [0,1) and invariant under
+// permutation.
+func TestGiniRangeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		loads := make([]int64, len(raw))
+		for i, r := range raw {
+			loads[i] = int64(r)
+		}
+		g := gini(loads)
+		if g < 0 || g >= 1 {
+			return len(loads) == 0 && g == 0
+		}
+		// Permutation invariance.
+		rng := rand.New(rand.NewSource(1))
+		shuffled := append([]int64(nil), loads...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return math.Abs(gini(shuffled)-g) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStrategyBalanceStats quantifies the paper's balance claims on a
+// skewed dataset: Basic's straggler factor is large, the balanced
+// strategies stay close to 1.
+func TestStrategyBalanceStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	parts := randomParts(rng, 500, 4, 3) // few blocks → heavy skew
+	x := mustBDM(t, parts)
+	r := 8
+
+	basic, err := Basic{}.Plan(x, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := BlockSplit{}.Plan(x, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PairRange{}.Plan(x, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	basicStats := basic.ComparisonStats()
+	bsStats := bs.ComparisonStats()
+	prStats := pr.ComparisonStats()
+
+	if basicStats.MaxOverMean < 2 {
+		t.Errorf("Basic straggler factor = %.2f, expected heavy imbalance on skewed input", basicStats.MaxOverMean)
+	}
+	if bsStats.MaxOverMean > 1.5 {
+		t.Errorf("BlockSplit straggler factor = %.2f, want near 1", bsStats.MaxOverMean)
+	}
+	if prStats.MaxOverMean > 1.01 {
+		t.Errorf("PairRange straggler factor = %.2f, want ~1 (perfect ranges)", prStats.MaxOverMean)
+	}
+	if !(prStats.Gini <= bsStats.Gini && bsStats.Gini < basicStats.Gini) {
+		t.Errorf("Gini ordering violated: PairRange %.3f, BlockSplit %.3f, Basic %.3f",
+			prStats.Gini, bsStats.Gini, basicStats.Gini)
+	}
+}

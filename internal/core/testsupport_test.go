@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdm"
+	"repro/internal/blocking"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// assertPlanMatchesExecution executes the strategy's job over the given
+// partitions and checks every analytic plan quantity against the
+// engine's measured metrics — the core validation that makes the
+// planner-driven experiments trustworthy.
+func assertPlanMatchesExecution(t *testing.T, strat Strategy, x *bdm.Matrix, parts entity.Partitions, attr string, r int) {
+	t.Helper()
+	plan, err := strat.Plan(x, len(parts), r)
+	if err != nil {
+		t.Fatalf("%s.Plan: %v", strat.Name(), err)
+	}
+	job, err := strat.Job(x, r, nil)
+	if err != nil {
+		t.Fatalf("%s.Job: %v", strat.Name(), err)
+	}
+	input := make([][]mapreduce.KeyValue, len(parts))
+	for i, p := range parts {
+		input[i] = make([]mapreduce.KeyValue, len(p))
+		for j, e := range p {
+			input[i][j] = mapreduce.KeyValue{Key: e.Attr(attr), Value: e}
+		}
+	}
+	res, err := (&mapreduce.Engine{}).Run(job, input)
+	if err != nil {
+		t.Fatalf("%s: Run: %v", strat.Name(), err)
+	}
+	for i := range res.MapMetrics {
+		if got, want := res.MapMetrics[i].InputRecords, plan.MapRecords[i]; got != want {
+			t.Errorf("%s: map task %d records: executed %d, planned %d", strat.Name(), i, got, want)
+		}
+		if got, want := res.MapMetrics[i].OutputRecords, plan.MapEmits[i]; got != want {
+			t.Errorf("%s: map task %d emits: executed %d, planned %d", strat.Name(), i, got, want)
+		}
+	}
+	for j := range res.ReduceMetrics {
+		if got, want := res.ReduceMetrics[j].InputRecords, plan.ReduceRecords[j]; got != want {
+			t.Errorf("%s: reduce task %d records: executed %d, planned %d", strat.Name(), j, got, want)
+		}
+		if got, want := res.ReduceMetrics[j].Counter(ComparisonsCounter), plan.ReduceComparisons[j]; got != want {
+			t.Errorf("%s: reduce task %d comparisons: executed %d, planned %d", strat.Name(), j, got, want)
+		}
+	}
+	if got, want := plan.TotalComparisons(), x.Pairs(); got != want {
+		t.Errorf("%s: plan total comparisons = %d, want P=%d", strat.Name(), got, want)
+	}
+}
+
+// randomParts generates m partitions with block keys drawn from a skewed
+// distribution — the fuzz input for plan/execution equivalence and
+// completeness properties.
+func randomParts(rng *rand.Rand, n, m, blocks int) entity.Partitions {
+	es := make([]entity.Entity, n)
+	for i := range es {
+		// Quadratic skew: low block indexes are much more likely.
+		b := int(float64(blocks) * rng.Float64() * rng.Float64())
+		if b >= blocks {
+			b = blocks - 1
+		}
+		es[i] = entity.New(fmt.Sprintf("e%04d", i), "k", fmt.Sprintf("b%03d", b))
+	}
+	parts := make(entity.Partitions, m)
+	for _, e := range es {
+		p := rng.Intn(m)
+		parts[p] = append(parts[p], e)
+	}
+	return parts
+}
+
+func mustBDM(t *testing.T, parts entity.Partitions) *bdm.Matrix {
+	t.Helper()
+	x, err := bdm.FromPartitions(parts, "k", blocking.Identity())
+	if err != nil {
+		t.Fatalf("FromPartitions: %v", err)
+	}
+	return x
+}
+
+// runStrategy executes a strategy end to end with the given matcher and
+// returns the result.
+func runStrategy(t *testing.T, strat Strategy, x *bdm.Matrix, parts entity.Partitions, r int, match Matcher) *mapreduce.Result {
+	t.Helper()
+	job, err := strat.Job(x, r, match)
+	if err != nil {
+		t.Fatalf("%s.Job: %v", strat.Name(), err)
+	}
+	input := make([][]mapreduce.KeyValue, len(parts))
+	for i, p := range parts {
+		input[i] = make([]mapreduce.KeyValue, len(p))
+		for j, e := range p {
+			input[i][j] = mapreduce.KeyValue{Key: e.Attr("k"), Value: e}
+		}
+	}
+	res, err := (&mapreduce.Engine{}).Run(job, input)
+	if err != nil {
+		t.Fatalf("%s: Run: %v", strat.Name(), err)
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package entity
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes entities as CSV with a header row. The first column is
+// always "id"; the remaining columns are the given attribute names in
+// order. Missing attributes are written as empty strings.
+func WriteCSV(w io.Writer, entities []Entity, attrs []string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, attrs...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("entity: write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, e := range entities {
+		row[0] = e.ID
+		for i, a := range attrs {
+			row[i+1] = e.Attr(a)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("entity: write csv row for %s: %w", e.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads entities from CSV produced by WriteCSV (or any CSV whose
+// first column is an id and whose header names the attribute columns).
+func ReadCSV(r io.Reader) ([]Entity, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("entity: read csv header: %w", err)
+	}
+	if len(header) == 0 || header[0] != "id" {
+		return nil, fmt.Errorf("entity: csv header must start with %q, got %v", "id", header)
+	}
+	var out []Entity
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("entity: read csv row: %w", err)
+		}
+		if len(rec) == 0 {
+			continue
+		}
+		e := Entity{ID: rec[0], Attrs: make(map[string]string, len(header)-1)}
+		for i := 1; i < len(rec) && i < len(header); i++ {
+			e.Attrs[header[i]] = rec[i]
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package er
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Clusters groups entities into duplicate clusters: the connected
+// components of the match-pair graph (i.e., the transitive closure of
+// the pairwise match relation). This is the standard ER post-processing
+// step that turns pairwise decisions into deduplicated groups. Each
+// cluster is sorted by ID; clusters are sorted by their first member;
+// only entities appearing in at least one pair are returned (singletons
+// carry no information).
+func Clusters(pairs []core.MatchPair) [][]string {
+	uf := newUnionFind()
+	for _, p := range pairs {
+		uf.union(p.A, p.B)
+	}
+	byRoot := make(map[string][]string)
+	for id := range uf.parent {
+		root := uf.find(id)
+		byRoot[root] = append(byRoot[root], id)
+	}
+	out := make([][]string, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// unionFind is a path-compressing, rank-balanced disjoint-set forest
+// over string IDs.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[string]string), rank: make(map[string]int)}
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root // path compression
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

@@ -1,0 +1,107 @@
+package er
+
+import (
+	"fmt"
+
+	"repro/internal/bdm"
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// DualConfig configures a two-source (R×S) pipeline run (Appendix I).
+type DualConfig struct {
+	Strategy core.DualStrategy
+	Attr     string
+	BlockKey blocking.KeyFunc
+	Matcher  core.Matcher
+	R        int
+	Engine   *mapreduce.Engine
+}
+
+func (c *DualConfig) validate() error {
+	switch {
+	case c.Strategy == nil:
+		return fmt.Errorf("er: DualConfig.Strategy is required")
+	case c.BlockKey == nil:
+		return fmt.Errorf("er: DualConfig.BlockKey is required")
+	case c.R <= 0:
+		return fmt.Errorf("er: DualConfig.R must be > 0, got %d", c.R)
+	}
+	return nil
+}
+
+// DualResult is the outcome of a two-source run.
+type DualResult struct {
+	Matches     []core.MatchPair
+	Comparisons int64
+	BDM         *bdm.DualMatrix
+	MatchResult *mapreduce.Result
+}
+
+// RunDual matches two sources. partsR and partsS are each source's input
+// partitions; as in the paper, every partition holds entities of exactly
+// one source (partition indexes are assigned R-first, then S).
+func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = &mapreduce.Engine{}
+	}
+	parts := append(append(entity.Partitions{}, partsR...), partsS...)
+	sources := make([]bdm.Source, len(parts))
+	for i := range partsR {
+		sources[i] = bdm.SourceR
+	}
+	for i := range partsS {
+		sources[len(partsR)+i] = bdm.SourceS
+	}
+
+	matrix, err := bdm.FromDualPartitions(parts, sources, cfg.Attr, cfg.BlockKey)
+	if err != nil {
+		return nil, err
+	}
+	job, err := cfg.Strategy.Job(matrix, cfg.R, cfg.Matcher)
+	if err != nil {
+		return nil, err
+	}
+	matchRes, err := eng.Run(job, AnnotateInput(parts, cfg.Attr, cfg.BlockKey))
+	if err != nil {
+		return nil, err
+	}
+	return &DualResult{
+		Matches:     CollectMatches(matchRes),
+		Comparisons: matchRes.Counter(core.ComparisonsCounter),
+		BDM:         matrix,
+		MatchResult: matchRes,
+	}, nil
+}
+
+// SerialMatchDual is the two-source reference: compare every R entity
+// with every S entity sharing the same blocking key.
+func SerialMatchDual(r, s []entity.Entity, attr string, key blocking.KeyFunc, match core.Matcher) ([]core.MatchPair, int64) {
+	blocksR := make(map[string][]entity.Entity)
+	for _, e := range r {
+		k := key(e.Attr(attr))
+		blocksR[k] = append(blocksR[k], e)
+	}
+	var pairs []core.MatchPair
+	var comparisons int64
+	for _, es := range s {
+		k := key(es.Attr(attr))
+		for _, er := range blocksR[k] {
+			comparisons++
+			if match == nil {
+				continue
+			}
+			if _, ok := match(er, es); ok {
+				pairs = append(pairs, core.NewMatchPair(er.ID, es.ID))
+			}
+		}
+	}
+	SortMatches(pairs)
+	return pairs, comparisons
+}

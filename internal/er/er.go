@@ -1,0 +1,208 @@
+// Package er provides the high-level entity-resolution pipeline: the
+// two-job MapReduce workflow of Figure 2 (BDM computation followed by
+// the load-balanced matching job), result collection, simulated-time
+// accounting, and match-quality metrics.
+package er
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdm"
+	"repro/internal/blocking"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// Config configures a pipeline run.
+type Config struct {
+	// Strategy selects the redistribution scheme (core.Basic{},
+	// core.BlockSplit{}, core.PairRange{}).
+	Strategy core.Strategy
+	// Attr is the entity attribute the blocking key is derived from.
+	Attr string
+	// BlockKey derives the blocking key from the attribute value.
+	BlockKey blocking.KeyFunc
+	// Matcher decides whether two entities match. nil counts
+	// comparisons without comparing.
+	Matcher core.Matcher
+	// R is the number of reduce tasks of the matching job (and of the
+	// BDM job).
+	R int
+	// Engine executes the jobs; the zero value runs tasks sequentially.
+	Engine *mapreduce.Engine
+	// UseCombiner enables the combiner in the BDM job.
+	UseCombiner bool
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Strategy == nil:
+		return fmt.Errorf("er: Config.Strategy is required")
+	case c.BlockKey == nil:
+		return fmt.Errorf("er: Config.BlockKey is required")
+	case c.R <= 0:
+		return fmt.Errorf("er: Config.R must be > 0, got %d", c.R)
+	}
+	return nil
+}
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	// Matches holds the deduplicated match pairs in canonical order.
+	Matches []core.MatchPair
+	// Comparisons is the total number of pair comparisons performed by
+	// the matching job's reduce phase.
+	Comparisons int64
+	// BDM is the block distribution matrix (nil for Basic).
+	BDM *bdm.Matrix
+	// BDMResult / MatchResult expose the raw per-task metrics of the
+	// two jobs (BDMResult is nil for Basic).
+	BDMResult   *mapreduce.Result
+	MatchResult *mapreduce.Result
+}
+
+// Workloads converts the run's metrics into cluster-simulator workloads,
+// in execution order (BDM job first when present).
+func (r *Result) Workloads() []cluster.JobWorkload {
+	var ws []cluster.JobWorkload
+	if r.BDMResult != nil {
+		ws = append(ws, cluster.WorkloadFromResult(r.BDMResult))
+	}
+	ws = append(ws, cluster.WorkloadFromResult(r.MatchResult))
+	return ws
+}
+
+// SimulatedTime runs the cluster simulator over the run's workloads and
+// returns the total simulated execution time.
+func (r *Result) SimulatedTime(cfg cluster.Config, cm cluster.CostModel) (float64, error) {
+	var total float64
+	for _, w := range r.Workloads() {
+		jr, err := cluster.SimulateJob(cfg, cm, w)
+		if err != nil {
+			return 0, err
+		}
+		total += jr.Time
+	}
+	return total, nil
+}
+
+// Run executes the full workflow of Figure 2 over the partitioned input:
+// Job 1 computes the BDM and side-writes blocking-key-annotated entities
+// per partition; Job 2 redistributes them with the configured strategy
+// and performs the matching. For the Basic strategy only a single job
+// runs (it needs no BDM); its input is annotated inline to keep the
+// dataflow identical.
+func Run(parts entity.Partitions, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = &mapreduce.Engine{}
+	}
+	res := &Result{}
+
+	var job2Input [][]mapreduce.KeyValue
+	if cfg.Strategy.NeedsBDM() {
+		matrix, side, bdmRes, err := bdm.Compute(eng, parts, bdm.JobOptions{
+			Attr:           cfg.Attr,
+			KeyFunc:        cfg.BlockKey,
+			NumReduceTasks: cfg.R,
+			UseCombiner:    cfg.UseCombiner,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.BDM = matrix
+		res.BDMResult = bdmRes
+		job2Input = side
+	} else {
+		job2Input = AnnotateInput(parts, cfg.Attr, cfg.BlockKey)
+	}
+
+	job, err := cfg.Strategy.Job(res.BDM, cfg.R, cfg.Matcher)
+	if err != nil {
+		return nil, err
+	}
+	matchRes, err := eng.Run(job, job2Input)
+	if err != nil {
+		return nil, err
+	}
+	res.MatchResult = matchRes
+	res.Comparisons = matchRes.Counter(core.ComparisonsCounter)
+	res.Matches = CollectMatches(matchRes)
+	return res, nil
+}
+
+// AnnotateInput converts raw partitions into the (blocking key, entity)
+// records Job 2 consumes, exactly as the BDM job's side output would.
+func AnnotateInput(parts entity.Partitions, attr string, key blocking.KeyFunc) [][]mapreduce.KeyValue {
+	input := make([][]mapreduce.KeyValue, len(parts))
+	for i, p := range parts {
+		input[i] = make([]mapreduce.KeyValue, len(p))
+		for j, e := range p {
+			input[i][j] = mapreduce.KeyValue{Key: key(e.Attr(attr)), Value: e}
+		}
+	}
+	return input
+}
+
+// CollectMatches extracts, deduplicates, and sorts the match pairs from
+// a matching job's output. (BlockSplit replicates entities of split
+// blocks, but every pair is still compared exactly once, so duplicates
+// can only arise from user matchers emitting on reflexive inputs;
+// deduplication keeps the result canonical regardless.)
+func CollectMatches(res *mapreduce.Result) []core.MatchPair {
+	seen := make(map[core.MatchPair]bool, len(res.Output))
+	out := make([]core.MatchPair, 0, len(res.Output))
+	for _, kv := range res.Output {
+		p := kv.Key.(core.MatchPair)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	SortMatches(out)
+	return out
+}
+
+// SortMatches orders pairs lexicographically for deterministic output.
+func SortMatches(ps []core.MatchPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// SerialMatch is the reference implementation the property tests compare
+// against: group entities by blocking key and compare all pairs within
+// each block with a simple nested loop.
+func SerialMatch(entities []entity.Entity, attr string, key blocking.KeyFunc, match core.Matcher) ([]core.MatchPair, int64) {
+	blocks := make(map[string][]entity.Entity)
+	for _, e := range entities {
+		k := key(e.Attr(attr))
+		blocks[k] = append(blocks[k], e)
+	}
+	var pairs []core.MatchPair
+	var comparisons int64
+	for _, block := range blocks {
+		for i := 0; i < len(block); i++ {
+			for j := i + 1; j < len(block); j++ {
+				comparisons++
+				if match == nil {
+					continue
+				}
+				if _, ok := match(block[i], block[j]); ok {
+					pairs = append(pairs, core.NewMatchPair(block[i].ID, block[j].ID))
+				}
+			}
+		}
+	}
+	SortMatches(pairs)
+	return pairs, comparisons
+}

@@ -1,0 +1,62 @@
+package er
+
+import "repro/internal/core"
+
+// Quality holds standard match-quality metrics against a gold standard.
+type Quality struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Precision returns TP / (TP + FP); 1 when nothing was predicted.
+func (q Quality) Precision() float64 {
+	d := q.TruePositives + q.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(q.TruePositives) / float64(d)
+}
+
+// Recall returns TP / (TP + FN); 1 when the gold standard is empty.
+func (q Quality) Recall() float64 {
+	d := q.TruePositives + q.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(q.TruePositives) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (q Quality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate compares predicted match pairs against the gold standard.
+// Both inputs may be unsorted; pairs are compared canonically.
+func Evaluate(predicted, truth []core.MatchPair) Quality {
+	truthSet := make(map[core.MatchPair]bool, len(truth))
+	for _, p := range truth {
+		truthSet[core.NewMatchPair(p.A, p.B)] = true
+	}
+	var q Quality
+	seen := make(map[core.MatchPair]bool, len(predicted))
+	for _, p := range predicted {
+		cp := core.NewMatchPair(p.A, p.B)
+		if seen[cp] {
+			continue
+		}
+		seen[cp] = true
+		if truthSet[cp] {
+			q.TruePositives++
+		} else {
+			q.FalsePositives++
+		}
+	}
+	q.FalseNegatives = len(truthSet) - q.TruePositives
+	return q
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExecutedModeEqualsPlannerMode is the figure-level consequence of
+// the exact planners: running the real MapReduce engine and feeding its
+// measured workloads to the simulator must reproduce the planner-mode
+// tables cell for cell.
+func TestExecutedModeEqualsPlannerMode(t *testing.T) {
+	planner := DefaultOptions()
+	planner.Scale = 0.01
+	executed := planner
+	executed.Executed = true
+
+	for _, figure := range []int{9, 10} {
+		pt, err := ByNumber(figure, planner)
+		if err != nil {
+			t.Fatalf("figure %d planner: %v", figure, err)
+		}
+		et, err := ByNumber(figure, executed)
+		if err != nil {
+			t.Fatalf("figure %d executed: %v", figure, err)
+		}
+		if !reflect.DeepEqual(pt.Rows, et.Rows) {
+			t.Errorf("figure %d: executed rows differ from planner rows\nplanner:  %v\nexecuted: %v",
+				figure, pt.Rows, et.Rows)
+		}
+	}
+}

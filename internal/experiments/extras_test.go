@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAppendixDual(t *testing.T) {
+	tbl, err := AppendixDual(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// PairRange stays essentially perfectly balanced at every r.
+		pr := parseFloat(t, row[3])
+		if pr > 1.05 {
+			t.Errorf("r=%s: PairRangeDual max/mean = %g, want ~1", row[0], pr)
+		}
+		// BlockSplit's balance is never catastrophic (its match-task
+		// granularity bounds the straggler).
+		bs := parseFloat(t, row[1])
+		if bs > 5 {
+			t.Errorf("r=%s: BlockSplitDual max/mean = %g", row[0], bs)
+		}
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	tbl, err := Ablations(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]float64)
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("non-numeric ablation value %q", row[1])
+		}
+		byName[row[0]] = v
+	}
+	if v := byName["greedy vs round-robin assignment"]; v < 1 {
+		t.Errorf("greedy should be at least as good as round-robin, ratio %g", v)
+	}
+	if v := byName["BDM combiner (paper footnote 2)"]; v < 1 {
+		t.Errorf("combiner should not increase map output, factor %g", v)
+	}
+	if byName["PairRange emits per entity (r=1000)"] <= byName["PairRange emits per entity (r=20)"] {
+		t.Error("PairRange replication should grow with r")
+	}
+	if v := byName["task granularity under ±15% slot speeds"]; v <= 1 {
+		t.Errorf("coarse scheduling should be slower under heterogeneity, ratio %g", v)
+	}
+	if v := byName["memory cap 64 entities/task"]; v > 1.5 {
+		t.Errorf("memory cap should cost little balance, ratio %g", v)
+	}
+}
+
+func TestBalanceTable(t *testing.T) {
+	tbl, err := BalanceTable(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Basic's straggler factor dwarfs the balanced strategies'.
+	basic := parseFloat(t, tbl.Rows[0][3])
+	bs := parseFloat(t, tbl.Rows[1][3])
+	pr := parseFloat(t, tbl.Rows[2][3])
+	if basic < 5*bs || basic < 5*pr {
+		t.Errorf("Basic max/mean %g should dwarf BlockSplit %g / PairRange %g", basic, bs, pr)
+	}
+	if pr > 1.05 {
+		t.Errorf("PairRange max/mean = %g, want ~1", pr)
+	}
+}
+
+func TestQualityTable(t *testing.T) {
+	tbl, err := QualityTable(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	prevRecall := 2.0
+	for _, row := range tbl.Rows {
+		p := parseFloat(t, row[3])
+		rc := parseFloat(t, row[4])
+		if p < 0 || p > 1 || rc < 0 || rc > 1 {
+			t.Errorf("threshold %s: precision=%g recall=%g out of range", row[0], p, rc)
+		}
+		// Recall is non-increasing in the threshold.
+		if rc > prevRecall+1e-9 {
+			t.Errorf("recall increased with threshold at %s (%g after %g)", row[0], rc, prevRecall)
+		}
+		prevRecall = rc
+	}
+	// At 0.8 (the paper's threshold) recall should be near-perfect on
+	// lightly perturbed duplicates.
+	if rc := parseFloat(t, tbl.Rows[2][4]); rc < 0.9 {
+		t.Errorf("recall at threshold 0.8 = %g, want > 0.9", rc)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestSNRobustness(t *testing.T) {
+	tbl, err := SNRobustness(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	prevP := 0.0
+	for _, row := range tbl.Rows {
+		p := parseFloat(t, row[1])
+		snc := parseFloat(t, row[2])
+		frac := parseFloat(t, row[3])
+		// Blocked pairs grow with skew; SN comparisons stay bounded.
+		if p < prevP {
+			t.Errorf("s=%s: blocked pairs decreased (%g after %g)", row[0], p, prevP)
+		}
+		prevP = p
+		if snc > 10*114000*0.06 { // < w·n with slack at the test scale
+			t.Errorf("s=%s: SN comparisons = %g, want window-bounded", row[0], snc)
+		}
+		_ = frac
+	}
+	// At the highest skew, SN's work is a small fraction of blocked P.
+	if frac := parseFloat(t, tbl.Rows[3][3]); frac > 0.2 {
+		t.Errorf("SN/P at max skew = %g, want ≪ 1", frac)
+	}
+	// The naive key partitioner congests under skew; the rank
+	// partitioner (the BDM idea applied to SN) stays balanced.
+	if keyed := parseFloat(t, tbl.Rows[3][4]); keyed < 3 {
+		t.Errorf("keyed max/mean at max skew = %g, expected congestion", keyed)
+	}
+	for _, row := range tbl.Rows {
+		if ranked := parseFloat(t, row[5]); ranked > 1.2 {
+			t.Errorf("s=%s: ranked max/mean = %g, want ~1", row[0], ranked)
+		}
+	}
+}

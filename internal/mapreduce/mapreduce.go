@@ -1,0 +1,396 @@
+// Package mapreduce implements a from-scratch MapReduce engine faithful
+// to the execution model described in Section II of the paper (and to
+// Hadoop's semantics where the paper's algorithms depend on them).
+//
+// A Job consists of user map and reduce functions plus the three dataflow
+// functions the paper's strategies rely on:
+//
+//	part  – assigns a map-output key to one of r reduce tasks,
+//	comp  – total order on keys used to sort each reduce task's input,
+//	group – equivalence on keys deciding which runs of sorted pairs are
+//	        passed to a single reduce() invocation.
+//
+// All three operate on keys only, never values, exactly as in the model.
+//
+// The engine runs one map task per input partition (m = #partitions) and
+// r reduce tasks. Map tasks execute concurrently on goroutines; their
+// outputs are shuffled into per-reduce-task buckets and merged *in map
+// task order* for equal keys. This stable merge mirrors Hadoop's merge of
+// per-map-task spill files and is load-bearing for BlockSplit: its reduce
+// function assumes all values from input partition i arrive before those
+// of partition j>i within one key group.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// KeyValue is a single record flowing through the dataflow. Keys may have
+// arbitrary structure (the strategies use composite key structs); the
+// job's Compare/Group/Partition functions define their semantics.
+type KeyValue struct {
+	Key   any
+	Value any
+}
+
+// Mapper is instantiated once per map task. Configure receives the task's
+// partition index before any Map call, mirroring Hadoop's
+// Mapper.configure — the paper's strategies use it to read the BDM and
+// precompute routing tables.
+type Mapper interface {
+	Configure(m, r, partitionIndex int)
+	Map(ctx *Context, kv KeyValue)
+}
+
+// Reducer is instantiated once per reduce task.
+type Reducer interface {
+	Configure(m, r, taskIndex int)
+	// Reduce is called once per key group with the group's first key and
+	// all values in merged order.
+	Reduce(ctx *Context, key any, values []KeyValue)
+}
+
+// Job describes one MapReduce job. NewMapper/NewReducer are factories so
+// that concurrently executing tasks never share mutable state.
+type Job struct {
+	Name string
+
+	// NumReduceTasks is r. The number of map tasks m always equals the
+	// number of input partitions passed to Engine.Run.
+	NumReduceTasks int
+
+	NewMapper  func() Mapper
+	NewReducer func() Reducer
+
+	// Partition implements part: key -> reduce task in [0,r).
+	Partition func(key any, numReduceTasks int) int
+	// Compare implements comp: total order on keys (-1, 0, +1).
+	Compare func(a, b any) int
+	// Group implements group: keys a and b belong to the same reduce
+	// call iff Group(a,b) == 0. It must be compatible with Compare
+	// (groups are runs of the sorted order). When nil, Compare is used.
+	Group func(a, b any) int
+
+	// NewCombiner, when non-nil, is run over each map task's output
+	// before the shuffle (grouped with the same Group/Compare), the
+	// standard Hadoop combiner optimization the paper suggests for the
+	// BDM job.
+	NewCombiner func() Reducer
+}
+
+func (j *Job) validate(numPartitions int) error {
+	switch {
+	case j.NumReduceTasks <= 0:
+		return fmt.Errorf("mapreduce: job %q: NumReduceTasks must be > 0, got %d", j.Name, j.NumReduceTasks)
+	case numPartitions <= 0:
+		return fmt.Errorf("mapreduce: job %q: need at least one input partition", j.Name)
+	case j.NewMapper == nil:
+		return fmt.Errorf("mapreduce: job %q: NewMapper is required", j.Name)
+	case j.NewReducer == nil:
+		return fmt.Errorf("mapreduce: job %q: NewReducer is required", j.Name)
+	case j.Partition == nil:
+		return fmt.Errorf("mapreduce: job %q: Partition function is required", j.Name)
+	case j.Compare == nil:
+		return fmt.Errorf("mapreduce: job %q: Compare function is required", j.Name)
+	}
+	return nil
+}
+
+func (j *Job) group(a, b any) int {
+	if j.Group != nil {
+		return j.Group(a, b)
+	}
+	return j.Compare(a, b)
+}
+
+// Context is passed to map and reduce calls for emitting output and
+// updating counters. It is owned by a single task; methods are not safe
+// for concurrent use by multiple goroutines.
+type Context struct {
+	taskKind TaskKind
+	taskIdx  int
+
+	out     []KeyValue
+	side    []KeyValue
+	metrics *TaskMetrics
+}
+
+// Emit appends a key-value pair to the task's primary output. For map
+// tasks the pair enters the shuffle; for reduce tasks it becomes job
+// output.
+func (c *Context) Emit(key, value any) {
+	c.out = append(c.out, KeyValue{Key: key, Value: value})
+	c.metrics.OutputRecords++
+}
+
+// SideEmit writes to the task's side output, bypassing the shuffle. The
+// BDM job uses it for the "additionalOutput" of Algorithm 3: entities
+// annotated with their blocking key, written per map task so the second
+// job sees the identical input partitioning.
+func (c *Context) SideEmit(key, value any) {
+	c.side = append(c.side, KeyValue{Key: key, Value: value})
+	c.metrics.SideOutputRecords++
+}
+
+// Inc adds delta to the named user counter for this task (e.g., the
+// number of pair comparisons performed by a reduce task).
+func (c *Context) Inc(name string, delta int64) {
+	if c.metrics.Counters == nil {
+		c.metrics.Counters = make(map[string]int64)
+	}
+	c.metrics.Counters[name] += delta
+}
+
+// TaskKind distinguishes map from reduce tasks in metrics.
+type TaskKind int
+
+const (
+	MapTask TaskKind = iota
+	ReduceTask
+)
+
+func (k TaskKind) String() string {
+	if k == MapTask {
+		return "map"
+	}
+	return "reduce"
+}
+
+// TaskMetrics records the observable work of one task; the cluster
+// simulator converts these into simulated execution time.
+type TaskMetrics struct {
+	Kind              TaskKind
+	Index             int
+	InputRecords      int64
+	InputGroups       int64 // reduce only: number of reduce() invocations
+	OutputRecords     int64
+	SideOutputRecords int64
+	// MaxGroupRecords is the largest value list passed to a single
+	// reduce() call — the lower bound on the reduce task's in-memory
+	// buffering, which is the paper's memory argument against Basic
+	// (a whole block per call) and for splitting large blocks.
+	MaxGroupRecords int64
+	Counters        map[string]int64
+}
+
+// Counter returns the named user counter (0 when absent).
+func (m *TaskMetrics) Counter(name string) int64 { return m.Counters[name] }
+
+// Result is the outcome of a job execution.
+type Result struct {
+	JobName string
+	// Output contains the concatenated reduce outputs in reduce task
+	// order (within a task, in emission order).
+	Output []KeyValue
+	// SideOutput holds each map task's side output, indexed by map task
+	// (= input partition) index.
+	SideOutput [][]KeyValue
+	// MapMetrics and ReduceMetrics are indexed by task index.
+	MapMetrics    []TaskMetrics
+	ReduceMetrics []TaskMetrics
+	// MapOutputRecords is the total number of key-value pairs emitted by
+	// the map phase after combining — the quantity plotted in Figure 12.
+	MapOutputRecords int64
+}
+
+// Counter sums the named user counter over all map and reduce tasks.
+func (r *Result) Counter(name string) int64 {
+	var total int64
+	for i := range r.MapMetrics {
+		total += r.MapMetrics[i].Counter(name)
+	}
+	for i := range r.ReduceMetrics {
+		total += r.ReduceMetrics[i].Counter(name)
+	}
+	return total
+}
+
+// Engine executes jobs. Parallelism bounds the number of concurrently
+// executing tasks per phase; 0 means one goroutine per task.
+type Engine struct {
+	Parallelism int
+}
+
+// Run executes the job over the given input partitions and returns the
+// result. Execution is deterministic: map outputs are shuffled with a
+// stable, map-task-ordered merge and sorted with the job's Compare.
+func (e *Engine) Run(job *Job, input [][]KeyValue) (*Result, error) {
+	m := len(input)
+	if err := job.validate(m); err != nil {
+		return nil, err
+	}
+	r := job.NumReduceTasks
+
+	res := &Result{
+		JobName:       job.Name,
+		SideOutput:    make([][]KeyValue, m),
+		MapMetrics:    make([]TaskMetrics, m),
+		ReduceMetrics: make([]TaskMetrics, r),
+	}
+
+	// ---- Map phase ----
+	// mapOut[mapTask][reduceTask] holds the bucketed map output.
+	mapOut := make([][][]KeyValue, m)
+	mapErr := make([]error, m)
+	e.forEachTask(m, func(i int) {
+		mapOut[i], mapErr[i] = e.runMapTask(job, i, m, input[i], res)
+	})
+	for i, err := range mapErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", job.Name, i, err)
+		}
+	}
+	for i := range res.MapMetrics {
+		res.MapMetrics[i].Kind = MapTask
+		res.MapMetrics[i].Index = i
+		res.MapOutputRecords += res.MapMetrics[i].OutputRecords
+	}
+
+	// ---- Shuffle + sort + reduce phase ----
+	reduceOut := make([][]KeyValue, r)
+	reduceErr := make([]error, r)
+	e.forEachTask(r, func(j int) {
+		reduceOut[j], reduceErr[j] = e.runReduceTask(job, j, m, mapOut, res)
+	})
+	for j, err := range reduceErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", job.Name, j, err)
+		}
+	}
+	for j := range res.ReduceMetrics {
+		res.ReduceMetrics[j].Kind = ReduceTask
+		res.ReduceMetrics[j].Index = j
+		res.Output = append(res.Output, reduceOut[j]...)
+	}
+	return res, nil
+}
+
+func (e *Engine) runMapTask(job *Job, idx, m int, input []KeyValue, res *Result) (buckets [][]KeyValue, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	ctx := &Context{taskKind: MapTask, taskIdx: idx, metrics: &res.MapMetrics[idx]}
+	mapper := job.NewMapper()
+	mapper.Configure(m, job.NumReduceTasks, idx)
+	for _, kv := range input {
+		ctx.metrics.InputRecords++
+		mapper.Map(ctx, kv)
+	}
+	out := ctx.out
+	if job.NewCombiner != nil {
+		out, err = e.combine(job, idx, m, out, ctx.metrics)
+		if err != nil {
+			return nil, err
+		}
+		// The combiner rewrote the task's output; fix the metric.
+		ctx.metrics.OutputRecords = int64(len(out))
+	}
+	res.SideOutput[idx] = ctx.side
+
+	buckets = make([][]KeyValue, job.NumReduceTasks)
+	for _, kv := range out {
+		p := job.Partition(kv.Key, job.NumReduceTasks)
+		if p < 0 || p >= job.NumReduceTasks {
+			return nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, job.NumReduceTasks)
+		}
+		buckets[p] = append(buckets[p], kv)
+	}
+	// Sort each bucket now (stable) so the reduce-side merge only has to
+	// concatenate in map-task order — the Hadoop spill-file model.
+	for _, b := range buckets {
+		sortStable(b, job.Compare)
+	}
+	return buckets, nil
+}
+
+// combine runs the job's combiner over one map task's output, grouped
+// exactly like the reduce side would group it.
+func (e *Engine) combine(job *Job, idx, m int, out []KeyValue, metrics *TaskMetrics) ([]KeyValue, error) {
+	sortStable(out, job.Compare)
+	combiner := job.NewCombiner()
+	combiner.Configure(m, job.NumReduceTasks, idx)
+	cctx := &Context{taskKind: MapTask, taskIdx: idx, metrics: metrics}
+	for lo := 0; lo < len(out); {
+		hi := lo + 1
+		for hi < len(out) && job.group(out[lo].Key, out[hi].Key) == 0 {
+			hi++
+		}
+		combiner.Reduce(cctx, out[lo].Key, out[lo:hi])
+		lo = hi
+	}
+	return cctx.out, nil
+}
+
+func (e *Engine) runReduceTask(job *Job, idx, m int, mapOut [][][]KeyValue, res *Result) (out []KeyValue, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	// Merge the per-map-task buckets for this reduce task. Buckets are
+	// already sorted; concatenating in map-task order and stable-sorting
+	// keeps equal keys in map-task order (Hadoop merge semantics).
+	var input []KeyValue
+	for mi := 0; mi < m; mi++ {
+		input = append(input, mapOut[mi][idx]...)
+	}
+	sortStable(input, job.Compare)
+
+	ctx := &Context{taskKind: ReduceTask, taskIdx: idx, metrics: &res.ReduceMetrics[idx]}
+	ctx.metrics.InputRecords = int64(len(input))
+	reducer := job.NewReducer()
+	reducer.Configure(m, job.NumReduceTasks, idx)
+	for lo := 0; lo < len(input); {
+		hi := lo + 1
+		for hi < len(input) && job.group(input[lo].Key, input[hi].Key) == 0 {
+			hi++
+		}
+		ctx.metrics.InputGroups++
+		if g := int64(hi - lo); g > ctx.metrics.MaxGroupRecords {
+			ctx.metrics.MaxGroupRecords = g
+		}
+		reducer.Reduce(ctx, input[lo].Key, input[lo:hi])
+		lo = hi
+	}
+	return ctx.out, nil
+}
+
+// forEachTask runs fn(i) for i in [0,n) with bounded parallelism.
+func (e *Engine) forEachTask(n int, fn func(int)) {
+	workers := e.Parallelism
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func sortStable(kvs []KeyValue, cmp func(a, b any) int) {
+	sort.SliceStable(kvs, func(i, j int) bool {
+		return cmp(kvs[i].Key, kvs[j].Key) < 0
+	})
+}

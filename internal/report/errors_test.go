@@ -1,0 +1,41 @@
+package report
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestFprintPropagatesWriteErrors(t *testing.T) {
+	tbl := &Table{Title: "t", Headers: []string{"a"}}
+	tbl.AddRow("x")
+	tbl.AddRow("y")
+	for n := 0; n < 5; n++ {
+		if err := tbl.Fprint(&failWriter{n: n}); err == nil {
+			t.Errorf("Fprint with writer failing after %d writes: want error", n)
+		}
+	}
+	if err := tbl.Fprint(&failWriter{n: 100}); err != nil {
+		t.Errorf("healthy writer: %v", err)
+	}
+}
+
+func TestWriteCSVPropagatesWriteErrors(t *testing.T) {
+	tbl := &Table{Headers: []string{"a"}}
+	tbl.AddRow("x")
+	for n := 0; n < 2; n++ {
+		if err := tbl.WriteCSV(&failWriter{n: n}); err == nil {
+			t.Errorf("WriteCSV with writer failing after %d writes: want error", n)
+		}
+	}
+}

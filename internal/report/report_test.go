@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		Title:   "Example",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", 42)
+	tbl.AddRow("a-longer-name", 3.5)
+	tbl.AddRow("float-as-int", 7.0)
+	out := tbl.String()
+
+	if !strings.HasPrefix(out, "Example\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every line has the same position for the gap.
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	if !strings.Contains(out, "3.50") {
+		t.Errorf("float not formatted with 2 decimals:\n%s", out)
+	}
+	if strings.Contains(out, "7.00") {
+		t.Errorf("integral float should print as integer:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("missing separator: %q", lines[2])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := map[float64]string{
+		0:      "0",
+		42:     "42",
+		-3:     "-3",
+		1.25:   "1.25",
+		1.2345: "1.23",
+	}
+	for in, want := range tests {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow(1, 2)
+	tbl.AddRow("x", "y")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\nx,y\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tbl := &Table{Headers: []string{"h"}}
+	tbl.AddRow("v")
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("untitled table starts with blank line: %q", out)
+	}
+	if !strings.HasPrefix(out, "h\n") {
+		t.Errorf("unexpected first line: %q", out)
+	}
+}

@@ -1,0 +1,57 @@
+package similarity
+
+import (
+	"math"
+	"strings"
+)
+
+// TokenVector is a term-frequency vector over lowercase whitespace
+// tokens, with a precomputed Euclidean norm for fast cosine similarity.
+// Building the vector once per entity and reusing it across the many
+// comparisons a reduce task performs amortizes the tokenization cost.
+type TokenVector struct {
+	tf   map[string]float64
+	norm float64
+}
+
+// NewTokenVector tokenizes s (lowercased, whitespace-split) into a
+// term-frequency vector.
+func NewTokenVector(s string) TokenVector {
+	tf := make(map[string]float64)
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		tf[tok]++
+	}
+	var ss float64
+	for _, f := range tf {
+		ss += f * f
+	}
+	return TokenVector{tf: tf, norm: math.Sqrt(ss)}
+}
+
+// Cosine returns the cosine similarity of the two vectors in [0,1].
+// Two empty vectors score 1; one empty vector scores 0.
+func (v TokenVector) Cosine(w TokenVector) float64 {
+	if v.norm == 0 && w.norm == 0 {
+		return 1
+	}
+	if v.norm == 0 || w.norm == 0 {
+		return 0
+	}
+	// Iterate over the smaller map.
+	a, b := v, w
+	if len(b.tf) < len(a.tf) {
+		a, b = b, a
+	}
+	var dot float64
+	for tok, fa := range a.tf {
+		if fb, ok := b.tf[tok]; ok {
+			dot += fa * fb
+		}
+	}
+	return dot / (v.norm * w.norm)
+}
+
+// CosineTokens is the convenience form building both vectors on the fly.
+func CosineTokens(a, b string) float64 {
+	return NewTokenVector(a).Cosine(NewTokenVector(b))
+}

@@ -1,0 +1,62 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineKnown(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"a b c", "a b c", 1},
+		{"a b c", "c b a", 1}, // order-insensitive
+		{"a b", "c d", 0},
+		{"", "", 1},
+		{"a", "", 0},
+		{"A B", "a b", 1}, // case-insensitive
+		// tf vectors (1,1) vs (1,0): cos = 1/√2.
+		{"a b", "a", 1 / math.Sqrt2},
+		// repeated tokens weigh in: (2) vs (1) same token → 1.
+		{"a a", "a", 1},
+	}
+	for _, tc := range tests {
+		if got := CosineTokens(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("CosineTokens(%q,%q) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		va, vb := NewTokenVector(a), NewTokenVector(b)
+		s1, s2 := va.Cosine(vb), vb.Cosine(va)
+		self := va.Cosine(va)
+		return s1 >= -1e-12 && s1 <= 1+1e-12 &&
+			math.Abs(s1-s2) < 1e-12 &&
+			(len(a) == 0 || math.Abs(self-1) < 1e-9 || va.norm == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenVectorReuse(t *testing.T) {
+	v := NewTokenVector("shared base title")
+	others := []string{"shared base title x", "completely different", "shared title"}
+	for _, o := range others {
+		got := v.Cosine(NewTokenVector(o))
+		want := CosineTokens("shared base title", o)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("reused vector disagrees for %q: %g vs %g", o, got, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package similarity_test
+
+import (
+	"fmt"
+
+	"repro/internal/similarity"
+)
+
+func ExampleLevenshtein() {
+	fmt.Println(similarity.Levenshtein("kitten", "sitting"))
+	// Output: 3
+}
+
+func ExampleLevenshteinSimilarity() {
+	fmt.Printf("%.2f\n", similarity.LevenshteinSimilarity("canon eos 5d", "canon eos 5d!"))
+	// Output: 0.92
+}
+
+func ExampleLevenshteinAtLeast() {
+	// The paper's match rule: normalized similarity >= 0.8, computed
+	// with an early-exit banded distance.
+	fmt.Println(similarity.LevenshteinAtLeast("acme rocket skates", "acme rocket skates!", 0.8))
+	fmt.Println(similarity.LevenshteinAtLeast("acme rocket skates", "bolt cutter", 0.8))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleJaroWinkler() {
+	fmt.Printf("%.4f\n", similarity.JaroWinkler("martha", "marhta"))
+	// Output: 0.9611
+}
+
+func ExampleJaccardNGram() {
+	fmt.Printf("%.2f\n", similarity.JaccardNGram("abcd", "abce", 2))
+	// Output: 0.50
+}

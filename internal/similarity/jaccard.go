@@ -1,0 +1,84 @@
+package similarity
+
+import "strings"
+
+// NGrams returns the multiset of n-grams of s as a frequency map. For
+// strings shorter than n, the whole string is the single gram. n-grams
+// are computed over runes.
+func NGrams(s string, n int) map[string]int {
+	if n <= 0 {
+		panic("similarity: NGrams requires n > 0")
+	}
+	grams := make(map[string]int)
+	r := []rune(s)
+	if len(r) == 0 {
+		return grams
+	}
+	if len(r) <= n {
+		grams[string(r)]++
+		return grams
+	}
+	for i := 0; i+n <= len(r); i++ {
+		grams[string(r[i:i+n])]++
+	}
+	return grams
+}
+
+// JaccardNGram returns the Jaccard coefficient |A∩B| / |A∪B| of the
+// n-gram multisets of a and b, with multiset intersection/union
+// semantics (min/max of frequencies).
+func JaccardNGram(a, b string, n int) float64 {
+	ga, gb := NGrams(a, n), NGrams(b, n)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	inter, union := 0, 0
+	for g, ca := range ga {
+		cb := gb[g]
+		if ca < cb {
+			inter += ca
+			union += cb
+		} else {
+			inter += cb
+			union += ca
+		}
+	}
+	for g, cb := range gb {
+		if _, seen := ga[g]; !seen {
+			union += cb
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TokenJaccard returns the Jaccard coefficient of the whitespace token
+// sets of a and b (set semantics, case-insensitive).
+func TokenJaccard(a, b string) float64 {
+	ta := tokenSet(a)
+	tb := tokenSet(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range ta {
+		if tb[t] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func tokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range strings.Fields(strings.ToLower(s)) {
+		set[t] = true
+	}
+	return set
+}

@@ -1,0 +1,167 @@
+// Package similarity implements the string similarity measures used by
+// the matcher in the reduce phase: Levenshtein edit distance (the paper's
+// measure, with a 0.8 similarity threshold), Jaro-Winkler, and n-gram
+// Jaccard. All functions operate on runes, not bytes.
+package similarity
+
+// Levenshtein returns the edit distance between a and b: the minimum
+// number of single-rune insertions, deletions, and substitutions that
+// transform a into b. It runs in O(len(a)*len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	// ra is the shorter string; one row of the DP matrix suffices.
+	n := len(ra)
+	if n == 0 {
+		return len(rb)
+	}
+	row := make([]int, n+1)
+	for i := range row {
+		row[i] = i
+	}
+	for j := 1; j <= len(rb); j++ {
+		prev := row[0] // row[j-1][0]
+		row[0] = j
+		for i := 1; i <= n; i++ {
+			cur := row[i]
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			row[i] = min3(row[i]+1, row[i-1]+1, prev+cost)
+			prev = cur
+		}
+	}
+	return row[n]
+}
+
+// LevenshteinBounded returns the edit distance between a and b if it is
+// at most maxDist, and (maxDist+1, false) otherwise. The banded dynamic
+// program runs in O(maxDist * max(len)) time, which is what makes a 0.8
+// similarity threshold cheap on long titles.
+func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return maxDist + 1, false
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	n, m := len(ra), len(rb)
+	if m-n > maxDist {
+		return maxDist + 1, false
+	}
+	if n == 0 {
+		return m, m <= maxDist
+	}
+	const inf = int(^uint(0) >> 2)
+	row := make([]int, n+1)
+	for i := range row {
+		if i <= maxDist {
+			row[i] = i
+		} else {
+			row[i] = inf
+		}
+	}
+	for j := 1; j <= m; j++ {
+		// Only cells with |i-j| <= maxDist can contribute.
+		lo := j - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := j + maxDist
+		if hi > n {
+			hi = n
+		}
+		prev := row[lo-1]
+		if lo == 1 {
+			if j <= maxDist {
+				row[0] = j
+			} else {
+				row[0] = inf
+			}
+		}
+		if lo > 1 {
+			// Left neighbour of the first in-band cell is out of band.
+			row[lo-1] = inf
+		}
+		rowMin := inf
+		for i := lo; i <= hi; i++ {
+			cur := row[i]
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev + cost
+			if row[i]+1 < v {
+				v = row[i] + 1
+			}
+			if row[i-1]+1 < v {
+				v = row[i-1] + 1
+			}
+			row[i] = v
+			if v < rowMin {
+				rowMin = v
+			}
+			prev = cur
+		}
+		if hi < n {
+			row[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return maxDist + 1, false
+		}
+	}
+	if row[n] > maxDist {
+		return maxDist + 1, false
+	}
+	return row[n], true
+}
+
+// LevenshteinSimilarity normalizes the edit distance into [0,1]:
+// 1 - dist/max(len(a), len(b)). Two equal strings score 1; two strings
+// with nothing in common score near 0. Both empty scores 1.
+func LevenshteinSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(longest)
+}
+
+// LevenshteinAtLeast reports whether the normalized Levenshtein
+// similarity of a and b is >= threshold, using the banded distance to
+// bail out early on clearly dissimilar pairs.
+func LevenshteinAtLeast(a, b string, threshold float64) bool {
+	if threshold <= 0 {
+		return true
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return true
+	}
+	// sim >= t  <=>  dist <= (1-t)*longest
+	maxDist := int(float64(longest) * (1 - threshold))
+	_, ok := LevenshteinBounded(a, b, maxDist)
+	return ok
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

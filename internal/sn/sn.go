@@ -1,0 +1,449 @@
+// Package sn implements MapReduce-based Sorted Neighborhood (SN)
+// blocking, the alternative approach of Kolb et al., "Multi-pass Sorted
+// Neighborhood Blocking with MapReduce" (CSRD 2011) that the paper's
+// related-work section contrasts with BlockSplit/PairRange: instead of
+// comparing everything within equal-key blocks, SN sorts all entities by
+// a sorting key and compares each entity with its w−1 predecessors in
+// the sorted order. By design SN is far less vulnerable to skew — every
+// entity participates in at most 2(w−1) comparisons — at the price of
+// missing duplicates that sort far apart.
+//
+// The MR realization follows the replication ("JobSN") scheme:
+//
+//  1. A distribution job counts entities per sorting key (reusing the
+//     BDM machinery's counting pattern) so the driver can cut the key
+//     space into r contiguous ranges of near-equal entity counts,
+//     always on key-group boundaries.
+//  2. The matching job range-partitions entities by sorting key; each
+//     reduce task sorts its range by (key, ID) and slides the window,
+//     side-emitting its first and last w−1 entities.
+//  3. Boundary stitching compares cross-range pairs whose rank distance
+//     is below w, using the side-emitted fringes of adjacent ranges.
+//
+// The result is exactly the serial SN result over the canonical
+// (key, ID) total order; property tests enforce this.
+package sn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
+)
+
+// KeyFunc derives the sorting key from an entity attribute value.
+type KeyFunc func(attrValue string) string
+
+// Config configures a sorted-neighborhood run.
+type Config struct {
+	// Attr is the attribute the sorting key is derived from.
+	Attr string
+	// Key derives the sorting key (identity on the attribute is common).
+	Key KeyFunc
+	// Window is w: each entity is compared with its w−1 predecessors.
+	Window int
+	// R is the number of reduce tasks of the matching job.
+	R int
+	// Matcher decides matches; nil counts comparisons only.
+	Matcher core.Matcher
+	// Engine executes the jobs; zero value runs sequentially.
+	Engine *mapreduce.Engine
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Key == nil:
+		return fmt.Errorf("sn: Config.Key is required")
+	case c.Window < 2:
+		return fmt.Errorf("sn: Config.Window must be >= 2, got %d", c.Window)
+	case c.R <= 0:
+		return fmt.Errorf("sn: Config.R must be > 0, got %d", c.R)
+	}
+	return nil
+}
+
+// Result is the outcome of a sorted-neighborhood run.
+type Result struct {
+	Matches     []core.MatchPair
+	Comparisons int64
+	// RangeBounds holds the key-range boundaries the driver derived
+	// from the distribution job (len R+1 conceptually; stored as the
+	// first key of each range after the initial one).
+	RangeBounds []string
+	// MatchResult exposes the matching job's per-task metrics.
+	MatchResult *mapreduce.Result
+	// BoundaryComparisons counts the cross-range stitching comparisons.
+	BoundaryComparisons int64
+}
+
+// snKey is the matching job's composite key: range ‖ sort key ‖ ID.
+// Partitioning uses Range; sorting uses the entire key (yielding the
+// canonical (key, ID) order within a range); grouping uses Range so one
+// reduce call sees its whole range in order.
+type snKey struct {
+	Range int
+	Key   string
+	ID    string
+}
+
+func compareSNKeys(a, b any) int {
+	ka, kb := a.(snKey), b.(snKey)
+	if c := mapreduce.CompareInts(ka.Range, kb.Range); c != 0 {
+		return c
+	}
+	if c := mapreduce.CompareStrings(ka.Key, kb.Key); c != 0 {
+		return c
+	}
+	return mapreduce.CompareStrings(ka.ID, kb.ID)
+}
+
+func groupSNKeys(a, b any) int {
+	return mapreduce.CompareInts(a.(snKey).Range, b.(snKey).Range)
+}
+
+// fringe tags a side-emitted boundary entity.
+type fringe struct {
+	Range int
+	// Head is true for the first w−1 entities of the range, false for
+	// the last w−1.
+	Head bool
+	// Pos is the entity's rank from the relevant end (0 = first or
+	// last entity of the range, respectively).
+	Pos int
+	E   entity.Entity
+}
+
+// Run executes the full sorted-neighborhood workflow.
+func Run(parts entity.Partitions, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = &mapreduce.Engine{}
+	}
+
+	// ---- Phase 1: key distribution (the SN analogue of the BDM). ----
+	counts := make(map[string]int)
+	for _, part := range parts {
+		for _, e := range part {
+			counts[cfg.Key(e.Attr(cfg.Attr))]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	total := 0
+	for k, c := range counts {
+		keys = append(keys, k)
+		total += c
+	}
+	sort.Strings(keys)
+	bounds := rangeBounds(keys, counts, total, cfg.R)
+
+	// ---- Phase 2: the matching job. ----
+	job := &mapreduce.Job{
+		Name:           "sorted-neighborhood",
+		NumReduceTasks: cfg.R,
+		NewMapper: func() mapreduce.Mapper {
+			return &snMapper{cfg: &cfg, bounds: bounds}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return &snReducer{window: cfg.Window, match: cfg.Matcher}
+		},
+		Partition: func(key any, r int) int { return key.(snKey).Range % r },
+		Compare:   compareSNKeys,
+		Group:     groupSNKeys,
+	}
+	input := make([][]mapreduce.KeyValue, len(parts))
+	for i, p := range parts {
+		input[i] = make([]mapreduce.KeyValue, len(p))
+		for j, e := range p {
+			input[i][j] = mapreduce.KeyValue{Key: nil, Value: e}
+		}
+	}
+	res, err := eng.Run(job, input)
+	if err != nil {
+		return nil, fmt.Errorf("sn: matching job: %w", err)
+	}
+
+	out := &Result{RangeBounds: bounds, MatchResult: res}
+	seen := make(map[core.MatchPair]bool)
+	var fringes []fringe
+	for _, kv := range res.Output {
+		if p, ok := kv.Key.(core.MatchPair); ok {
+			if !seen[p] {
+				seen[p] = true
+				out.Matches = append(out.Matches, p)
+			}
+			continue
+		}
+		fringes = append(fringes, kv.Value.(fringe))
+	}
+	out.Comparisons = res.Counter(core.ComparisonsCounter)
+
+	// ---- Phase 3: boundary stitching. ----
+	// Collect per-range heads and tails in rank order, then compare
+	// cross-range pairs with rank distance < w. A window can span more
+	// than one range when ranges hold fewer than w−1 entities, so walk
+	// the globally concatenated tail/head sequence.
+	stitched, comps := stitchBoundaries(fringes, cfg)
+	out.BoundaryComparisons = comps
+	out.Comparisons += comps
+	for _, p := range stitched {
+		if !seen[p] {
+			seen[p] = true
+			out.Matches = append(out.Matches, p)
+		}
+	}
+	sortPairs(out.Matches)
+	return out, nil
+}
+
+// rangeBounds cuts the sorted key groups into r contiguous ranges of
+// near-equal entity counts. The returned slice holds, for ranges
+// 1..r−1, the first key of the range; an entity's range is the number
+// of bounds that are <= its key.
+func rangeBounds(keys []string, counts map[string]int, total, r int) []string {
+	if r <= 1 || len(keys) == 0 {
+		return nil
+	}
+	per := (total + r - 1) / r
+	bounds := make([]string, 0, r-1)
+	acc := 0
+	for _, k := range keys {
+		if acc >= per*(len(bounds)+1) && len(bounds) < r-1 {
+			bounds = append(bounds, k)
+		}
+		acc += counts[k]
+	}
+	return bounds
+}
+
+// rangeOf returns the range index of a sorting key given the bounds.
+func rangeOf(key string, bounds []string) int {
+	// First bound greater than key ends the search.
+	return sort.SearchStrings(bounds, key+"\x00")
+}
+
+type snMapper struct {
+	cfg    *Config
+	bounds []string
+}
+
+func (m *snMapper) Configure(_, _, _ int) {}
+
+func (m *snMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
+	e := kv.Value.(entity.Entity)
+	k := m.cfg.Key(e.Attr(m.cfg.Attr))
+	ctx.Emit(snKey{Range: rangeOf(k, m.bounds), Key: k, ID: e.ID}, e)
+}
+
+type snReducer struct {
+	window int
+	match  core.Matcher
+	task   int
+	buffer []entity.Entity
+}
+
+func (r *snReducer) Configure(_, _, taskIndex int) { r.task = taskIndex }
+
+// Reduce receives one whole range in canonical order, slides the
+// window, and emits the range's head and tail fringes for the boundary
+// phase. Only the last w−1 seen entities are buffered — SN's
+// constant-memory advantage over block-based matching. The range index
+// equals the reduce task index (both the key-based and the rank-based
+// variant produce at most r ranges, partitioned by range).
+func (r *snReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+	rg := r.task
+	r.buffer = r.buffer[:0]
+	n := len(values)
+	for i, v := range values {
+		e := v.Value.(entity.Entity)
+		for _, prev := range r.buffer {
+			ctx.Inc(core.ComparisonsCounter, 1)
+			if r.match != nil {
+				if _, ok := r.match(prev, e); ok {
+					ctx.Emit(core.NewMatchPair(prev.ID, e.ID), nil)
+				}
+			}
+		}
+		if len(r.buffer) == r.window-1 {
+			r.buffer = r.buffer[1:]
+		}
+		r.buffer = append(r.buffer, e)
+
+		// Fringes for boundary stitching.
+		if i < r.window-1 {
+			ctx.Emit(fringeKeyFor(rg, true, i), fringe{Range: rg, Head: true, Pos: i, E: e})
+		}
+		if n-1-i < r.window-1 {
+			ctx.Emit(fringeKeyFor(rg, false, n-1-i), fringe{Range: rg, Head: false, Pos: n - 1 - i, E: e})
+		}
+	}
+}
+
+// fringeKeyFor builds a distinctive output key for fringe records; the
+// engine treats reduce output keys opaquely, so any value works, but a
+// structured key aids debugging.
+func fringeKeyFor(rg int, head bool, pos int) string {
+	side := "tail"
+	if head {
+		side = "head"
+	}
+	return fmt.Sprintf("fringe:%d:%s:%d", rg, side, pos)
+}
+
+// stitchBoundaries compares cross-range pairs with rank distance < w.
+// It reconstructs the global order around each range boundary from the
+// fringes: ...tail of range i (positions w−2..0), head of range i+1
+// (positions 0..w−2)... and, when ranges are tiny, continues through
+// subsequent heads/tails.
+func stitchBoundaries(fringes []fringe, cfg Config) ([]core.MatchPair, int64) {
+	// Order fringes into the global sequence: heads and tails of a
+	// range interleave (a range shorter than w−1 contributes the same
+	// entity to both its head and tail). Build per-range ordered entity
+	// lists from the head fringe (which is the range's first min(n,w−1)
+	// entities) and the tail fringe (last min(n,w−1)).
+	heads := make(map[int][]entity.Entity)
+	tails := make(map[int][]entity.Entity)
+	maxRange := 0
+	for _, f := range fringes {
+		if f.Range > maxRange {
+			maxRange = f.Range
+		}
+	}
+	headPos := make(map[int]map[int]entity.Entity)
+	tailPos := make(map[int]map[int]entity.Entity)
+	for _, f := range fringes {
+		m := headPos
+		if !f.Head {
+			m = tailPos
+		}
+		if m[f.Range] == nil {
+			m[f.Range] = make(map[int]entity.Entity)
+		}
+		m[f.Range][f.Pos] = f.E
+	}
+	for rg, ps := range headPos {
+		heads[rg] = orderedByPos(ps, false)
+	}
+	for rg, ps := range tailPos {
+		tails[rg] = orderedByPos(ps, true) // tail Pos counts from the end
+	}
+
+	w := cfg.Window
+	var pairs []core.MatchPair
+	var comparisons int64
+	seenPair := make(map[[2]string]bool)
+	// For each boundary between range b and the ranges after it,
+	// compare tail entities of b with head entities of following ranges
+	// while the rank distance stays < w. Rank distance across the
+	// boundary: (entities after x in range b) + (entities in skipped
+	// whole ranges) + (rank of y in its range) + 1.
+	for b := 0; b < maxRange; b++ {
+		tail := tails[b]
+		if len(tail) == 0 {
+			continue
+		}
+		for ti := range tail {
+			after := len(tail) - 1 - ti // entities after x within its fringe
+			dist := after + 1
+			for nb := b + 1; nb <= maxRange && dist < w; nb++ {
+				head := heads[nb]
+				for hi := 0; hi < len(head) && dist+hi < w; hi++ {
+					x, y := tail[ti], head[hi]
+					if x.ID == y.ID {
+						continue
+					}
+					pk := [2]string{x.ID, y.ID}
+					if seenPair[pk] {
+						continue
+					}
+					seenPair[pk] = true
+					comparisons++
+					if cfg.Matcher != nil {
+						if _, ok := cfg.Matcher(x, y); ok {
+							pairs = append(pairs, core.NewMatchPair(x.ID, y.ID))
+						}
+					}
+				}
+				// Advance past range nb: all of its entities separate x
+				// from range nb+1's head. The head fringe length equals
+				// min(|range|, w−1); if the whole range is larger than
+				// the fringe, the remaining distance certainly exceeds
+				// the window, so the fringe length is a safe proxy.
+				if len(head) >= w-1 {
+					dist = w // terminate: a full window separates them
+				} else {
+					dist += len(head)
+				}
+			}
+		}
+	}
+	return pairs, comparisons
+}
+
+func orderedByPos(ps map[int]entity.Entity, reverse bool) []entity.Entity {
+	idx := make([]int, 0, len(ps))
+	for p := range ps {
+		idx = append(idx, p)
+	}
+	sort.Ints(idx)
+	out := make([]entity.Entity, len(idx))
+	for i, p := range idx {
+		if reverse {
+			out[len(idx)-1-i] = ps[p]
+		} else {
+			out[i] = ps[p]
+		}
+	}
+	return out
+}
+
+func sortPairs(ps []core.MatchPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// Serial is the reference implementation: sort all entities by
+// (key, ID) and compare each with its w−1 predecessors.
+func Serial(entities []entity.Entity, attr string, key KeyFunc, window int, match core.Matcher) ([]core.MatchPair, int64) {
+	type keyed struct {
+		k string
+		e entity.Entity
+	}
+	ks := make([]keyed, len(entities))
+	for i, e := range entities {
+		ks[i] = keyed{k: key(e.Attr(attr)), e: e}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].k != ks[j].k {
+			return ks[i].k < ks[j].k
+		}
+		return ks[i].e.ID < ks[j].e.ID
+	})
+	var pairs []core.MatchPair
+	var comparisons int64
+	for i := range ks {
+		lo := i - (window - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			comparisons++
+			if match == nil {
+				continue
+			}
+			if _, ok := match(ks[j].e, ks[i].e); ok {
+				pairs = append(pairs, core.NewMatchPair(ks[j].e.ID, ks[i].e.ID))
+			}
+		}
+	}
+	sortPairs(pairs)
+	return pairs, comparisons
+}
