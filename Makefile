@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test bench-smoke bench clean
+
+# check is the CI gate: static analysis, build, tests, benchmark smoke.
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench-smoke runs the shuffle-merge regression benchmark once to catch
+# benchmark-harness breakage without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkShuffleMerge|BenchmarkEngineAllocs' -benchtime=1x -benchmem .
+
+# bench runs the full figure + micro benchmark suite (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+clean:
+	$(GO) clean ./...

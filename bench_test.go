@@ -1,14 +1,15 @@
 // Package repro_test holds the benchmark harness that regenerates every
 // table and figure of the paper's evaluation section (run with
-// `go test -bench=. -benchmem`), ablation benchmarks for the design
-// choices called out in DESIGN.md, and micro-benchmarks for the hot
-// paths of the library.
+// `go test -bench=. -benchmem`), ablation benchmarks for the engine and
+// strategy design choices documented in DESIGN.md, and micro-benchmarks
+// for the hot paths of the library.
 //
 // The Figure* benchmarks execute the same experiment harness as
 // cmd/erbench; each iteration regenerates the complete figure. Reported
 // custom metrics summarize the figure's headline numbers so that
-// `-bench` output alone documents the reproduction (see EXPERIMENTS.md
-// for the full tables).
+// `-bench` output alone documents the reproduction. DESIGN.md describes
+// the shuffle/merge model the BenchmarkShuffleMerge and
+// BenchmarkEngineAllocs regression benchmarks guard.
 package repro_test
 
 import (
@@ -356,6 +357,105 @@ func BenchmarkEndToEndStrategies(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// shuffleBenchJob builds a shuffle-heavy identity job: composite integer
+// keys with a skewed distribution (a few giant groups plus a long tail),
+// the shape the paper's reduce phase sees. The mapper re-emits its
+// input; the reducer folds each group to one record, so the benchmark
+// time is dominated by spill sort + reduce-side merge.
+func shuffleBenchJob(r int) *mapreduce.Job {
+	type sk struct{ block, sub int }
+	return &mapreduce.Job{
+		Name:           "shuffle-bench",
+		NumReduceTasks: r,
+		NewMapper: func() mapreduce.Mapper {
+			return &mapreduce.FuncMapper{
+				OnMap: func(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
+					v := kv.Value.(int)
+					block := v % 37
+					if v%5 == 0 {
+						block = v % 3 // skew: 20% of records in 3 blocks
+					}
+					ctx.Emit(sk{block: block, sub: v % 11}, v)
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return &mapreduce.FuncReducer{
+				OnReduce: func(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
+					sum := 0
+					for _, v := range values {
+						sum += v.Value.(int)
+					}
+					ctx.Emit(key, sum)
+				},
+			}
+		},
+		Partition: func(key any, r int) int { return key.(sk).block % r },
+		Compare: func(a, b any) int {
+			ka, kb := a.(sk), b.(sk)
+			if c := mapreduce.CompareInts(ka.block, kb.block); c != 0 {
+				return c
+			}
+			return mapreduce.CompareInts(ka.sub, kb.sub)
+		},
+	}
+}
+
+func shuffleBenchInput(m, perTask int) [][]mapreduce.KeyValue {
+	input := make([][]mapreduce.KeyValue, m)
+	for i := range input {
+		input[i] = make([]mapreduce.KeyValue, perTask)
+		for j := range input[i] {
+			input[i][j] = mapreduce.KeyValue{Value: i*perTask + j*7}
+		}
+	}
+	return input
+}
+
+// BenchmarkShuffleMerge pits the engine's streaming k-way merge shuffle
+// against the reference concat+stable-sort path on a shuffle-dominated
+// job (16 map tasks × 4000 records, 8 reduce tasks). The kway/concat
+// pair makes regressions of the merge path visible directly in -bench
+// output.
+func BenchmarkShuffleMerge(b *testing.B) {
+	job := shuffleBenchJob(8)
+	input := shuffleBenchInput(16, 4000)
+	for _, mode := range []struct {
+		name    string
+		shuffle mapreduce.ShuffleMode
+	}{
+		{"kway", mapreduce.ShuffleKWayMerge},
+		{"concat-sort", mapreduce.ShuffleConcatSort},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := &mapreduce.Engine{Parallelism: 4, Shuffle: mode.shuffle}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(job, input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineAllocs tracks the engine's per-job allocation footprint
+// on a small fixed job so that allocs/op regressions in the task hot
+// paths (bucketing, spill sort, group streaming) are caught.
+func BenchmarkEngineAllocs(b *testing.B) {
+	job := shuffleBenchJob(4)
+	input := shuffleBenchInput(4, 500)
+	eng := &mapreduce.Engine{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(job, input); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

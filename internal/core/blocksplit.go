@@ -3,7 +3,7 @@ package core
 import (
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bdm"
 	"repro/internal/entity"
@@ -180,18 +180,22 @@ func buildAssignment(x *bdm.Matrix, r int, assign AssignFunc, maxEntities int) *
 	}
 	// Descending by comparisons; ties by ascending (block, i, j) for
 	// determinism (this reproduces the ordering of the paper's example).
-	sort.SliceStable(a.ordered, func(p, q int) bool {
-		tp, tq := a.ordered[p], a.ordered[q]
+	// The tie-break makes the order total, so a non-stable sort on the
+	// concrete type suffices.
+	slices.SortFunc(a.ordered, func(tp, tq *matchTask) int {
 		if tp.comps != tq.comps {
-			return tp.comps > tq.comps
+			if tp.comps > tq.comps {
+				return -1
+			}
+			return 1
 		}
-		if tp.id.block != tq.id.block {
-			return tp.id.block < tq.id.block
+		if c := tp.id.block - tq.id.block; c != 0 {
+			return c
 		}
-		if tp.id.i != tq.id.i {
-			return tp.id.i < tq.id.i
+		if c := tp.id.i - tq.id.i; c != 0 {
+			return c
 		}
-		return tp.id.j < tq.id.j
+		return tp.id.j - tq.id.j
 	})
 	a.loads = assign(a.ordered, r)
 	return a

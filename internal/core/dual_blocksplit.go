@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bdm"
 	"repro/internal/entity"
@@ -100,18 +100,22 @@ func buildDualAssignment(x *bdm.DualMatrix, r int) *dualAssignment {
 			}
 		}
 	}
-	sort.SliceStable(a.ordered, func(p, q int) bool {
-		tp, tq := a.ordered[p], a.ordered[q]
+	// Total order (ties fully broken), so a non-stable sort on the
+	// concrete type suffices.
+	slices.SortFunc(a.ordered, func(tp, tq *dualMatchTask) int {
 		if tp.comps != tq.comps {
-			return tp.comps > tq.comps
+			if tp.comps > tq.comps {
+				return -1
+			}
+			return 1
 		}
-		if tp.id.block != tq.id.block {
-			return tp.id.block < tq.id.block
+		if c := tp.id.block - tq.id.block; c != 0 {
+			return c
 		}
-		if tp.id.rPart != tq.id.rPart {
-			return tp.id.rPart < tq.id.rPart
+		if c := tp.id.rPart - tq.id.rPart; c != 0 {
+			return c
 		}
-		return tp.id.sPart < tq.id.sPart
+		return tp.id.sPart - tq.id.sPart
 	})
 	a.loads = assignDualGreedy(a.ordered, r)
 	return a

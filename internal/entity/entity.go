@@ -10,6 +10,7 @@ package entity
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -131,12 +132,11 @@ func SplitContiguous(entities []Entity, m int) Partitions {
 // Figure 11 experiment.
 func SortByAttr(entities []Entity, attr string) []Entity {
 	out := append([]Entity(nil), entities...)
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i].Attr(attr), out[j].Attr(attr)
-		if a != b {
-			return a < b
+	slices.SortStableFunc(out, func(x, y Entity) int {
+		if c := strings.Compare(x.Attr(attr), y.Attr(attr)); c != 0 {
+			return c
 		}
-		return out[i].ID < out[j].ID
+		return strings.Compare(x.ID, y.ID)
 	})
 	return out
 }

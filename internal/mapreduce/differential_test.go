@@ -152,6 +152,58 @@ func TestEngineAgainstReferenceModel(t *testing.T) {
 				t.Fatalf("trial %d (m=%d r=%d par=%d): engine output diverges from the reference model\nengine:    %v\nreference: %v",
 					trial, m, r, par, got.Output, want)
 			}
+			// The streaming k-way merge must produce a Result that is
+			// byte-identical — output, side output, and every TaskMetrics
+			// field — to the concat+stable-sort oracle path.
+			oracle, err := (&Engine{Parallelism: par, Shuffle: ShuffleConcatSort}).Run(job, input)
+			if err != nil {
+				t.Fatalf("trial %d (par=%d, oracle): %v", trial, par, err)
+			}
+			if !reflect.DeepEqual(got, oracle) {
+				t.Fatalf("trial %d (m=%d r=%d par=%d): k-way merge Result diverges from concat+sort oracle\nmerge:  %+v\noracle: %+v",
+					trial, m, r, par, got, oracle)
+			}
+		}
+	}
+}
+
+// TestShuffleModesAgreeOnCombinerJobs covers the combiner path (shared
+// map side, both reduce paths) against the oracle as well.
+func TestShuffleModesAgreeOnCombinerJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		m := rng.Intn(4) + 1
+		r := rng.Intn(5) + 1
+		input := make([][]KeyValue, m)
+		for i := range input {
+			n := rng.Intn(40)
+			input[i] = make([]KeyValue, n)
+			for j := range input[i] {
+				input[i][j] = KeyValue{Value: rng.Intn(60)}
+			}
+		}
+		job := randomJob(rng, r)
+		job.NewCombiner = func() Reducer {
+			return &FuncReducer{
+				OnReduce: func(ctx *Context, key any, values []KeyValue) {
+					// Re-emit each value under its own key: a pass-through
+					// combiner that still exercises the grouping machinery.
+					for _, v := range values {
+						ctx.Emit(v.Key, v.Value)
+					}
+				},
+			}
+		}
+		merge, err := (&Engine{Parallelism: 2}).Run(job, input)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		oracle, err := (&Engine{Parallelism: 2, Shuffle: ShuffleConcatSort}).Run(job, input)
+		if err != nil {
+			t.Fatalf("trial %d (oracle): %v", trial, err)
+		}
+		if !reflect.DeepEqual(merge, oracle) {
+			t.Fatalf("trial %d (m=%d r=%d): combiner job Result diverges between shuffle modes", trial, m, r)
 		}
 	}
 }

@@ -13,12 +13,14 @@
 // All three operate on keys only, never values, exactly as in the model.
 //
 // The engine runs one map task per input partition (m = #partitions) and
-// r reduce tasks. Map tasks execute concurrently on goroutines; their
-// outputs are shuffled into per-reduce-task buckets and merged *in map
-// task order* for equal keys. This stable merge mirrors Hadoop's merge of
-// per-map-task spill files and is load-bearing for BlockSplit: its reduce
-// function assumes all values from input partition i arrive before those
-// of partition j>i within one key group.
+// r reduce tasks. Map tasks execute concurrently on goroutines; each map
+// task sorts its per-reduce-task output buckets at spill time, and every
+// reduce task performs a streaming k-way merge of its m pre-sorted
+// buckets, tie-breaking equal keys by map task index. This stable merge
+// mirrors Hadoop's merge of per-map-task spill files and is load-bearing
+// for BlockSplit: its reduce function assumes all values from input
+// partition i arrive before those of partition j>i within one key group.
+// See DESIGN.md for the full merge/stability model.
 package mapreduce
 
 import (
@@ -48,7 +50,10 @@ type Mapper interface {
 type Reducer interface {
 	Configure(m, r, taskIndex int)
 	// Reduce is called once per key group with the group's first key and
-	// all values in merged order.
+	// all values in merged order. The values slice is only valid for the
+	// duration of the call: the engine streams groups out of the shuffle
+	// merge through a reused buffer. Implementations that need values
+	// beyond the call must copy them.
 	Reduce(ctx *Context, key any, values []KeyValue)
 }
 
@@ -105,6 +110,12 @@ func (j *Job) group(a, b any) int {
 	return j.Compare(a, b)
 }
 
+// ComparisonsCounter is the user-counter name under which the strategies'
+// reduce functions record pair comparisons. It is by far the
+// highest-frequency counter (one Inc per candidate pair), so Context.Inc
+// routes it to a dedicated TaskMetrics field instead of the counter map.
+const ComparisonsCounter = "comparisons"
+
 // Context is passed to map and reduce calls for emitting output and
 // updating counters. It is owned by a single task; methods are not safe
 // for concurrent use by multiple goroutines.
@@ -136,11 +147,20 @@ func (c *Context) SideEmit(key, value any) {
 
 // Inc adds delta to the named user counter for this task (e.g., the
 // number of pair comparisons performed by a reduce task).
+// ComparisonsCounter takes an allocation-free fast path.
 func (c *Context) Inc(name string, delta int64) {
-	if c.metrics.Counters == nil {
-		c.metrics.Counters = make(map[string]int64)
+	if name == ComparisonsCounter {
+		c.metrics.Comparisons += delta
+		return
 	}
-	c.metrics.Counters[name] += delta
+	m := c.metrics.Counters
+	if m == nil {
+		// Engine-created contexts initialize the map once per task; this
+		// guard only fires for contexts constructed directly in tests.
+		m = make(map[string]int64)
+		c.metrics.Counters = m
+	}
+	m[name] += delta
 }
 
 // TaskKind distinguishes map from reduce tasks in metrics.
@@ -172,11 +192,19 @@ type TaskMetrics struct {
 	// buffering, which is the paper's memory argument against Basic
 	// (a whole block per call) and for splitting large blocks.
 	MaxGroupRecords int64
-	Counters        map[string]int64
+	// Comparisons is the ComparisonsCounter value, stored outside the
+	// Counters map because it is incremented once per candidate pair.
+	Comparisons int64
+	Counters    map[string]int64
 }
 
 // Counter returns the named user counter (0 when absent).
-func (m *TaskMetrics) Counter(name string) int64 { return m.Counters[name] }
+func (m *TaskMetrics) Counter(name string) int64 {
+	if name == ComparisonsCounter {
+		return m.Comparisons
+	}
+	return m.Counters[name]
+}
 
 // Result is the outcome of a job execution.
 type Result struct {
@@ -207,10 +235,30 @@ func (r *Result) Counter(name string) int64 {
 	return total
 }
 
+// ShuffleMode selects the reduce-side shuffle implementation.
+type ShuffleMode int
+
+const (
+	// ShuffleKWayMerge (the default) streams each reduce task's input
+	// out of a k-way merge of the pre-sorted per-map-task spill buckets,
+	// passing key groups to Reduce without materializing the full task
+	// input. Peak reduce memory is O(largest group), not O(task input).
+	ShuffleKWayMerge ShuffleMode = iota
+	// ShuffleConcatSort concatenates the buckets in map-task order and
+	// re-sorts with a stable sort — the original engine's path, kept as
+	// the reference oracle for differential tests and benchmarks.
+	ShuffleConcatSort
+)
+
 // Engine executes jobs. Parallelism bounds the number of concurrently
 // executing tasks per phase; 0 means one goroutine per task.
 type Engine struct {
 	Parallelism int
+	// Shuffle selects the reduce-side merge implementation. The zero
+	// value is the streaming k-way merge; ShuffleConcatSort is the
+	// reference concat+stable-sort path. Both produce byte-identical
+	// Results (the differential tests prove it).
+	Shuffle ShuffleMode
 }
 
 // Run executes the job over the given input partitions and returns the
@@ -248,7 +296,10 @@ func (e *Engine) Run(job *Job, input [][]KeyValue) (*Result, error) {
 		res.MapOutputRecords += res.MapMetrics[i].OutputRecords
 	}
 
-	// ---- Shuffle + sort + reduce phase ----
+	// ---- Shuffle + merge + reduce phase ----
+	// Reduce tasks run with the same bounded parallelism as map tasks;
+	// each task's merge streams groups into Reduce, so merging and
+	// reducing overlap within a task and across tasks.
 	reduceOut := make([][]KeyValue, r)
 	reduceErr := make([]error, r)
 	e.forEachTask(r, func(j int) {
@@ -259,12 +310,27 @@ func (e *Engine) Run(job *Job, input [][]KeyValue) (*Result, error) {
 			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", job.Name, j, err)
 		}
 	}
+	var total int
+	for j := range reduceOut {
+		total += len(reduceOut[j])
+	}
+	res.Output = make([]KeyValue, 0, total)
 	for j := range res.ReduceMetrics {
 		res.ReduceMetrics[j].Kind = ReduceTask
 		res.ReduceMetrics[j].Index = j
 		res.Output = append(res.Output, reduceOut[j]...)
+		putKVBuf(reduceOut[j])
 	}
 	return res, nil
+}
+
+// newTaskContext builds the per-task Context, initializing the counter
+// map once so Inc never has to on the hot path.
+func newTaskContext(kind TaskKind, idx int, metrics *TaskMetrics) *Context {
+	if metrics.Counters == nil {
+		metrics.Counters = make(map[string]int64)
+	}
+	return &Context{taskKind: kind, taskIdx: idx, metrics: metrics}
 }
 
 func (e *Engine) runMapTask(job *Job, idx, m int, input []KeyValue, res *Result) (buckets [][]KeyValue, err error) {
@@ -273,36 +339,73 @@ func (e *Engine) runMapTask(job *Job, idx, m int, input []KeyValue, res *Result)
 			err = fmt.Errorf("panic: %v", p)
 		}
 	}()
-	ctx := &Context{taskKind: MapTask, taskIdx: idx, metrics: &res.MapMetrics[idx]}
+	r := job.NumReduceTasks
+	ctx := newTaskContext(MapTask, idx, &res.MapMetrics[idx])
+	ctx.out = getKVBuf()
 	mapper := job.NewMapper()
-	mapper.Configure(m, job.NumReduceTasks, idx)
+	mapper.Configure(m, r, idx)
 	for _, kv := range input {
 		ctx.metrics.InputRecords++
 		mapper.Map(ctx, kv)
 	}
 	out := ctx.out
 	if job.NewCombiner != nil {
-		out, err = e.combine(job, idx, m, out, ctx.metrics)
-		if err != nil {
-			return nil, err
+		combined, cerr := e.combine(job, idx, m, out, ctx.metrics)
+		if cerr != nil {
+			return nil, cerr
 		}
+		putKVBuf(out)
+		out = combined
 		// The combiner rewrote the task's output; fix the metric.
 		ctx.metrics.OutputRecords = int64(len(out))
 	}
 	res.SideOutput[idx] = ctx.side
 
-	buckets = make([][]KeyValue, job.NumReduceTasks)
-	for _, kv := range out {
-		p := job.Partition(kv.Key, job.NumReduceTasks)
-		if p < 0 || p >= job.NumReduceTasks {
-			return nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, job.NumReduceTasks)
-		}
-		buckets[p] = append(buckets[p], kv)
+	// Bucket by partition: count first, then carve exact-size buckets
+	// out of one flat allocation instead of growing r slices.
+	parts := getInt32Buf(len(out))
+	counts := getInt32Buf(r)
+	for i := range counts {
+		counts[i] = 0
 	}
-	// Sort each bucket now (stable) so the reduce-side merge only has to
-	// concatenate in map-task order — the Hadoop spill-file model.
+	for i, kv := range out {
+		p := job.Partition(kv.Key, r)
+		if p < 0 || p >= r {
+			putInt32Buf(parts)
+			putInt32Buf(counts)
+			return nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, r)
+		}
+		parts[i] = int32(p)
+		counts[p]++
+	}
+	flat := make([]KeyValue, len(out))
+	// Turn counts into running write offsets (counts[p] ends up holding
+	// the bucket's end offset).
+	next := int32(0)
+	for p := 0; p < r; p++ {
+		c := counts[p]
+		counts[p] = next
+		next += c
+	}
+	for i, kv := range out {
+		p := parts[i]
+		flat[counts[p]] = kv
+		counts[p]++
+	}
+	buckets = make([][]KeyValue, r)
+	start := int32(0)
+	for p := 0; p < r; p++ {
+		end := counts[p]
+		buckets[p] = flat[start:end:end]
+		start = end
+	}
+	putInt32Buf(parts)
+	putInt32Buf(counts)
+	putKVBuf(out)
+	// Sort each bucket now (stable) so the reduce-side k-way merge only
+	// has to interleave pre-sorted runs — the Hadoop spill-file model.
 	for _, b := range buckets {
-		sortStable(b, job.Compare)
+		sortKVsStable(b, job.Compare)
 	}
 	return buckets, nil
 }
@@ -310,10 +413,11 @@ func (e *Engine) runMapTask(job *Job, idx, m int, input []KeyValue, res *Result)
 // combine runs the job's combiner over one map task's output, grouped
 // exactly like the reduce side would group it.
 func (e *Engine) combine(job *Job, idx, m int, out []KeyValue, metrics *TaskMetrics) ([]KeyValue, error) {
-	sortStable(out, job.Compare)
+	sortKVsStable(out, job.Compare)
 	combiner := job.NewCombiner()
 	combiner.Configure(m, job.NumReduceTasks, idx)
 	cctx := &Context{taskKind: MapTask, taskIdx: idx, metrics: metrics}
+	cctx.out = getKVBuf()
 	for lo := 0; lo < len(out); {
 		hi := lo + 1
 		for hi < len(out) && job.group(out[lo].Key, out[hi].Key) == 0 {
@@ -331,32 +435,90 @@ func (e *Engine) runReduceTask(job *Job, idx, m int, mapOut [][][]KeyValue, res 
 			err = fmt.Errorf("panic: %v", p)
 		}
 	}()
-	// Merge the per-map-task buckets for this reduce task. Buckets are
-	// already sorted; concatenating in map-task order and stable-sorting
-	// keeps equal keys in map-task order (Hadoop merge semantics).
-	var input []KeyValue
-	for mi := 0; mi < m; mi++ {
-		input = append(input, mapOut[mi][idx]...)
-	}
-	sortStable(input, job.Compare)
-
-	ctx := &Context{taskKind: ReduceTask, taskIdx: idx, metrics: &res.ReduceMetrics[idx]}
-	ctx.metrics.InputRecords = int64(len(input))
+	ctx := newTaskContext(ReduceTask, idx, &res.ReduceMetrics[idx])
+	ctx.out = getKVBuf()
 	reducer := job.NewReducer()
 	reducer.Configure(m, job.NumReduceTasks, idx)
+
+	if e.Shuffle == ShuffleConcatSort {
+		// Reference path (the original engine): concatenate the buckets
+		// in map-task order and stable-sort the whole input. Kept as the
+		// oracle the k-way merge is differentially tested against.
+		var input []KeyValue
+		for mi := 0; mi < m; mi++ {
+			input = append(input, mapOut[mi][idx]...)
+		}
+		sort.SliceStable(input, func(i, j int) bool {
+			return job.Compare(input[i].Key, input[j].Key) < 0
+		})
+		ctx.metrics.InputRecords = int64(len(input))
+		reduceSortedRun(ctx, job, reducer, input)
+		return ctx.out, nil
+	}
+
+	// Streaming k-way merge of the pre-sorted spill buckets. Equal keys
+	// are popped in map-task order (heap ties break on bucket index),
+	// reproducing the concat+stable-sort order exactly.
+	runs := getRunsBuf(m)
+	total := 0
+	for mi := 0; mi < m; mi++ {
+		if b := mapOut[mi][idx]; len(b) > 0 {
+			runs = append(runs, b)
+			total += len(b)
+		}
+	}
+	ctx.metrics.InputRecords = int64(total)
+	switch len(runs) {
+	case 0:
+	case 1:
+		// Single non-empty bucket: it is the task's sorted input; pass
+		// group subslices straight through, no copying at all.
+		reduceSortedRun(ctx, job, reducer, runs[0])
+	default:
+		mg := newKVMerger(runs, job.Compare)
+		group := getKVBuf()
+		kv, _ := mg.next()
+		group = append(group, kv)
+		for {
+			kv, ok := mg.next()
+			if !ok {
+				break
+			}
+			if job.group(group[0].Key, kv.Key) != 0 {
+				emitGroup(ctx, reducer, group)
+				group = group[:0]
+			}
+			group = append(group, kv)
+		}
+		emitGroup(ctx, reducer, group)
+		putKVBuf(group)
+		mg.release()
+	}
+	putRunsBuf(runs)
+	return ctx.out, nil
+}
+
+// reduceSortedRun walks one fully sorted input run and invokes the
+// reducer once per key group, updating the group metrics.
+func reduceSortedRun(ctx *Context, job *Job, reducer Reducer, input []KeyValue) {
 	for lo := 0; lo < len(input); {
 		hi := lo + 1
 		for hi < len(input) && job.group(input[lo].Key, input[hi].Key) == 0 {
 			hi++
 		}
-		ctx.metrics.InputGroups++
-		if g := int64(hi - lo); g > ctx.metrics.MaxGroupRecords {
-			ctx.metrics.MaxGroupRecords = g
-		}
-		reducer.Reduce(ctx, input[lo].Key, input[lo:hi])
+		emitGroup(ctx, reducer, input[lo:hi])
 		lo = hi
 	}
-	return ctx.out, nil
+}
+
+// emitGroup invokes the reducer for one key group and maintains the
+// group metrics.
+func emitGroup(ctx *Context, reducer Reducer, group []KeyValue) {
+	ctx.metrics.InputGroups++
+	if g := int64(len(group)); g > ctx.metrics.MaxGroupRecords {
+		ctx.metrics.MaxGroupRecords = g
+	}
+	reducer.Reduce(ctx, group[0].Key, group)
 }
 
 // forEachTask runs fn(i) for i in [0,n) with bounded parallelism.
@@ -387,10 +549,4 @@ func (e *Engine) forEachTask(n int, fn func(int)) {
 	}
 	close(next)
 	wg.Wait()
-}
-
-func sortStable(kvs []KeyValue, cmp func(a, b any) int) {
-	sort.SliceStable(kvs, func(i, j int) bool {
-		return cmp(kvs[i].Key, kvs[j].Key) < 0
-	})
 }

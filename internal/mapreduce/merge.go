@@ -1,0 +1,100 @@
+package mapreduce
+
+import "sync"
+
+// kvMerger streams the k-way merge of pre-sorted spill buckets that
+// forms a reduce task's input. It is a binary min-heap of run indexes
+// keyed by (Compare(head key), run index); the run-index tie-break pops
+// equal keys in map-task order, which makes the merged stream identical
+// to concatenating the runs in map-task order and stable-sorting — the
+// Hadoop merge semantics BlockSplit's reduce function depends on (see
+// DESIGN.md).
+//
+// Each next() costs O(log k) comparator calls for k live runs, so a full
+// merge is O(N log k) versus the O(N log N) of re-sorting the
+// concatenated input, and it needs no N-sized materialization at all.
+type kvMerger struct {
+	cmp  func(a, b any) int
+	runs [][]KeyValue // advanced in place as records are popped
+	heap []int32      // indexes into runs; min-heap by (head key, index)
+}
+
+var kvMergerPool = sync.Pool{New: func() any { return new(kvMerger) }}
+
+// newKVMerger builds a merger over the given non-empty sorted runs,
+// which must be listed in map-task order.
+func newKVMerger(runs [][]KeyValue, cmp func(a, b any) int) *kvMerger {
+	m := kvMergerPool.Get().(*kvMerger)
+	m.cmp = cmp
+	m.runs = runs
+	if cap(m.heap) < len(runs) {
+		m.heap = make([]int32, len(runs))
+	}
+	m.heap = m.heap[:len(runs)]
+	for i := range m.heap {
+		m.heap[i] = int32(i)
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+// release returns the merger to the pool once the merge is drained.
+func (m *kvMerger) release() {
+	m.cmp = nil
+	m.runs = nil
+	m.heap = m.heap[:0]
+	kvMergerPool.Put(m)
+}
+
+// less orders run x before run y by head key, breaking ties by run index
+// (= map-task order): the stability guarantee.
+func (m *kvMerger) less(x, y int32) bool {
+	if c := m.cmp(m.runs[x][0].Key, m.runs[y][0].Key); c != 0 {
+		return c < 0
+	}
+	return x < y
+}
+
+func (m *kvMerger) siftDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		s := l
+		if r := l + 1; r < n && m.less(h[r], h[l]) {
+			s = r
+		}
+		if !m.less(h[s], h[i]) {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+}
+
+// next pops the globally smallest remaining record. The second return is
+// false once all runs are drained.
+func (m *kvMerger) next() (KeyValue, bool) {
+	if len(m.heap) == 0 {
+		return KeyValue{}, false
+	}
+	r := m.heap[0]
+	run := m.runs[r]
+	kv := run[0]
+	if len(run) > 1 {
+		m.runs[r] = run[1:]
+	} else {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+	}
+	if len(m.heap) > 1 {
+		m.siftDown(0)
+	}
+	return kv, true
+}

@@ -1,0 +1,155 @@
+package mapreduce
+
+import "sync"
+
+// This file holds the engine's allocation-conscious sorting machinery:
+// a dedicated stable merge sort over []KeyValue that calls the job's
+// comparator directly (no sort.Interface indirection, no closure over
+// boxed indexes), and the sync.Pool-backed scratch buffers the task hot
+// paths reuse. See DESIGN.md ("Allocation discipline").
+
+// insertionRun is the run length below which insertion sort beats
+// merging; it is also the initial width of the bottom-up merge.
+const insertionRun = 24
+
+// maxPooledCap bounds the capacity of slices returned to the pools so a
+// single huge job cannot pin arbitrarily large buffers for the rest of
+// the process.
+const maxPooledCap = 1 << 16
+
+// sortKVsStable sorts kvs by cmp over keys, preserving the relative
+// order of equal keys (the emission order within one map task, which the
+// shuffle's stability guarantee is built on).
+func sortKVsStable(kvs []KeyValue, cmp func(a, b any) int) {
+	n := len(kvs)
+	if n < 2 {
+		return
+	}
+	if n <= insertionRun {
+		insertionSortKVs(kvs, cmp)
+		return
+	}
+	for lo := 0; lo < n; lo += insertionRun {
+		hi := lo + insertionRun
+		if hi > n {
+			hi = n
+		}
+		insertionSortKVs(kvs[lo:hi], cmp)
+	}
+	scratch := getKVBuf()
+	if cap(scratch) < n {
+		scratch = make([]KeyValue, n)
+	}
+	scratch = scratch[:n]
+	for width := insertionRun; width < n; width *= 2 {
+		for lo := 0; lo+width < n; lo += 2 * width {
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			mergeRuns(kvs[lo:hi], width, scratch, cmp)
+		}
+	}
+	putKVBuf(scratch)
+}
+
+// insertionSortKVs is a stable insertion sort (equal keys never swap).
+func insertionSortKVs(a []KeyValue, cmp func(x, y any) int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && cmp(a[j].Key, a[j-1].Key) < 0; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// mergeRuns merges the two adjacent sorted runs a[:mid] and a[mid:] in
+// place, taking from the left run on ties (stability). The left run is
+// staged in scratch; the merged output is written from the front of a,
+// which can never overtake the unread part of the right run.
+func mergeRuns(a []KeyValue, mid int, scratch []KeyValue, cmp func(x, y any) int) {
+	if cmp(a[mid-1].Key, a[mid].Key) <= 0 {
+		return // already in order
+	}
+	left := scratch[:mid]
+	copy(left, a[:mid])
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(a) {
+		if cmp(a[j].Key, left[i].Key) < 0 {
+			a[k] = a[j]
+			j++
+		} else {
+			a[k] = left[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		a[k] = left[i]
+		i++
+		k++
+	}
+}
+
+// ---- pooled scratch buffers ----
+
+var kvBufPool = sync.Pool{New: func() any { return new([]KeyValue) }}
+
+// getKVBuf returns an empty []KeyValue with whatever capacity a previous
+// task left behind.
+func getKVBuf() []KeyValue {
+	return (*kvBufPool.Get().(*[]KeyValue))[:0]
+}
+
+// putKVBuf recycles a buffer. Oversized or empty backing arrays are
+// dropped on the floor for the GC; recycled ones are cleared so the
+// pool does not pin the previous job's keys and values.
+func putKVBuf(b []KeyValue) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	clear(b[:cap(b)])
+	b = b[:0]
+	kvBufPool.Put(&b)
+}
+
+var int32BufPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// getInt32Buf returns a length-n scratch slice with arbitrary contents.
+func getInt32Buf(n int) []int32 {
+	b := *int32BufPool.Get().(*[]int32)
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+func putInt32Buf(b []int32) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	b = b[:0]
+	int32BufPool.Put(&b)
+}
+
+var runsBufPool = sync.Pool{New: func() any { return new([][]KeyValue) }}
+
+// getRunsBuf returns an empty [][]KeyValue with capacity for at least n
+// runs.
+func getRunsBuf(n int) [][]KeyValue {
+	b := (*runsBufPool.Get().(*[][]KeyValue))[:0]
+	if cap(b) < n {
+		return make([][]KeyValue, 0, n)
+	}
+	return b
+}
+
+func putRunsBuf(b [][]KeyValue) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	b = b[:0]
+	for i := range b[:cap(b)] {
+		b[:cap(b)][i] = nil // drop bucket references
+	}
+	runsBufPool.Put(&b)
+}

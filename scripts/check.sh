@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# CI gate: vet + build + test + benchmark smoke. Mirrors `make check`
+# for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> benchmark smoke"
+go test -run '^$' -bench 'BenchmarkShuffleMerge|BenchmarkEngineAllocs' -benchtime=1x -benchmem .
+
+echo "OK"
