@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench clean
+.PHONY: check vet build test bench-smoke bench bench-all clean
 
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
@@ -14,13 +14,19 @@ build:
 test:
 	$(GO) test ./...
 
-# bench-smoke runs the shuffle-merge regression benchmark once to catch
-# benchmark-harness breakage without paying for a full measurement run.
+# bench-smoke builds and runs every benchmark in the repo exactly once,
+# so bench files cannot silently rot, without paying for a full
+# measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkShuffleMerge|BenchmarkEngineAllocs' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
-# bench runs the full figure + micro benchmark suite (slow).
+# bench runs the regression benchmarks with -benchmem and writes a
+# BENCH_<date>.json snapshot (the perf trajectory).
 bench:
+	scripts/bench.sh
+
+# bench-all runs the full figure + micro benchmark suite (slow).
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 clean:

@@ -26,6 +26,7 @@ import (
 	"repro/internal/er"
 	"repro/internal/experiments"
 	"repro/internal/mapreduce"
+	"repro/internal/match"
 	"repro/internal/report"
 	"repro/internal/similarity"
 )
@@ -473,8 +474,32 @@ func BenchmarkSchedule(b *testing.B) {
 
 // BenchmarkMatcherEndToEnd runs a real edit-distance matching pass over
 // a small catalog through the PairRange pipeline (the workload of the
-// cmd/ermatch tool).
+// cmd/ermatch tool), using the prepared comparison kernel the tool now
+// uses. BenchmarkMatcherEndToEndPlain keeps the pre-kernel per-pair
+// path alive so the win stays visible in one -bench run.
 func BenchmarkMatcherEndToEnd(b *testing.B) {
+	es, _ := datagen.Generate(datagen.DS1Spec(0.005))
+	parts := entity.SplitRoundRobin(es, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := er.Run(parts, er.Config{
+			Strategy:        core.PairRange{},
+			Attr:            datagen.AttrTitle,
+			BlockKey:        blocking.NormalizedPrefix(3),
+			PreparedMatcher: match.EditDistance(datagen.AttrTitle, 0.8),
+			R:               16,
+			Engine:          &mapreduce.Engine{Parallelism: 4},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherEndToEndPlain is the same pipeline with the plain
+// per-pair matcher (re-deriving runes and DP state on every
+// comparison) — the baseline the prepared kernel is measured against.
+func BenchmarkMatcherEndToEndPlain(b *testing.B) {
 	es, _ := datagen.Generate(datagen.DS1Spec(0.005))
 	parts := entity.SplitRoundRobin(es, 4)
 	matcher := func(x, y entity.Entity) (float64, bool) {
@@ -484,6 +509,7 @@ func BenchmarkMatcherEndToEnd(b *testing.B) {
 		}
 		return similarity.LevenshteinSimilarity(tx, ty), true
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := er.Run(parts, er.Config{
@@ -497,4 +523,64 @@ func BenchmarkMatcherEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimilarityKernels pits every prepared comparison kernel
+// against its plain-string counterpart on title-shaped inputs. The
+// prepared sub-benchmarks measure the steady-state per-pair cost
+// (preparation done once outside the loop, as in the reducers) and must
+// report 0 allocs/op — TestPreparedKernelAllocs asserts the same
+// contract.
+func BenchmarkSimilarityKernels(b *testing.B) {
+	near1 := "canon eos 5d mark iii digital slr camera body"
+	near2 := "canon eos 5d mark iv digital slr camera body only"
+	far := "nikon d850 45mp full frame dslr with battery grip"
+	p1, p2, pf := similarity.Prepare(near1), similarity.Prepare(near2), similarity.Prepare(far)
+	for _, p := range []*similarity.Prepared{p1, p2, pf} {
+		p.NGramProfile(3)
+	}
+	b.Run("LevenshteinAtLeast/plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.LevenshteinAtLeast(near1, near2, 0.8)
+			similarity.LevenshteinAtLeast(near1, far, 0.8)
+		}
+	})
+	b.Run("LevenshteinAtLeast/prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.LevenshteinMatchPrepared(p1, p2, 0.8)
+			similarity.LevenshteinMatchPrepared(p1, pf, 0.8)
+		}
+	})
+	b.Run("TokenJaccard/plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.TokenJaccard(near1, near2)
+		}
+	})
+	b.Run("TokenJaccard/prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.TokenJaccardPrepared(p1, p2)
+		}
+	})
+	b.Run("NGramJaccard/plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.JaccardNGram(near1, near2, 3)
+		}
+	})
+	b.Run("NGramJaccard/prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.JaccardNGramPrepared(p1, p2, 3)
+		}
+	})
+	b.Run("Prepare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			similarity.Prepare(near1)
+		}
+	})
 }

@@ -24,7 +24,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/er"
 	"repro/internal/mapreduce"
-	"repro/internal/similarity"
+	"repro/internal/match"
 	"repro/internal/sn"
 )
 
@@ -59,13 +59,11 @@ func main() {
 	}
 
 	matchAttr := *attr
-	th := *threshold
-	matcher := func(a, b entity.Entity) (float64, bool) {
-		if !similarity.LevenshteinAtLeast(a.Attr(matchAttr), b.Attr(matchAttr), th) {
-			return 0, false
-		}
-		return similarity.LevenshteinSimilarity(a.Attr(matchAttr), b.Attr(matchAttr)), true
-	}
+	// The prepared matcher caches each entity's comparison form once per
+	// reduce group; sorted neighborhood only accepts the plain form, so
+	// it gets the transparent per-pair adapter.
+	prepared := match.EditDistance(matchAttr, *threshold)
+	matcher := core.PlainMatcher(prepared)
 	engine := &mapreduce.Engine{Parallelism: runtime.NumCPU()}
 	parts := entity.SplitRoundRobin(entities, *m)
 
@@ -102,13 +100,13 @@ func main() {
 			fail(fmt.Errorf("unknown strategy %q", *strategy))
 		}
 		res, err := er.Run(parts, er.Config{
-			Strategy:    strat,
-			Attr:        matchAttr,
-			BlockKey:    blocking.NormalizedPrefix(*prefix),
-			Matcher:     matcher,
-			R:           *r,
-			Engine:      engine,
-			UseCombiner: true,
+			Strategy:        strat,
+			Attr:            matchAttr,
+			BlockKey:        blocking.NormalizedPrefix(*prefix),
+			PreparedMatcher: prepared,
+			R:               *r,
+			Engine:          engine,
+			UseCombiner:     true,
 		})
 		if err != nil {
 			fail(err)

@@ -16,7 +16,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/er"
 	"repro/internal/mapreduce"
-	"repro/internal/similarity"
+	"repro/internal/match"
 )
 
 func main() {
@@ -31,25 +31,19 @@ func main() {
 		truth[i] = core.NewMatchPair(tp[0], tp[1])
 	}
 
-	matcher := func(a, b entity.Entity) (float64, bool) {
-		ta, tb := a.Attr(datagen.AttrTitle), b.Attr(datagen.AttrTitle)
-		if !similarity.LevenshteinAtLeast(ta, tb, 0.8) {
-			return 0, false
-		}
-		return similarity.LevenshteinSimilarity(ta, tb), true
-	}
+	matcher := match.EditDistance(datagen.AttrTitle, 0.8)
 
 	parts := entity.SplitRoundRobin(entities, runtime.NumCPU())
 	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
 		start := time.Now()
 		res, err := er.Run(parts, er.Config{
-			Strategy:    strat,
-			Attr:        datagen.AttrTitle,
-			BlockKey:    datagen.BlockKey(),
-			Matcher:     matcher,
-			R:           4 * runtime.NumCPU(),
-			Engine:      &mapreduce.Engine{Parallelism: runtime.NumCPU()},
-			UseCombiner: true,
+			Strategy:        strat,
+			Attr:            datagen.AttrTitle,
+			BlockKey:        datagen.BlockKey(),
+			PreparedMatcher: matcher,
+			R:               4 * runtime.NumCPU(),
+			Engine:          &mapreduce.Engine{Parallelism: runtime.NumCPU()},
+			UseCombiner:     true,
 		})
 		if err != nil {
 			log.Fatal(err)

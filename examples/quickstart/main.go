@@ -11,7 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/entity"
 	"repro/internal/er"
-	"repro/internal/similarity"
+	"repro/internal/match"
 )
 
 func main() {
@@ -36,18 +36,15 @@ func main() {
 	}
 
 	// Two entities match when their titles' normalized edit-distance
-	// similarity reaches 0.8 — the paper's match rule.
-	matcher := func(a, b entity.Entity) (float64, bool) {
-		sim := similarity.LevenshteinSimilarity(a.Attr("title"), b.Attr("title"))
-		return sim, sim >= 0.8
-	}
-
+	// similarity reaches 0.8 — the paper's match rule. The prepared
+	// matcher caches each title's comparison form once per reduce group
+	// instead of re-deriving it on every pair.
 	res, err := er.Run(entity.SplitRoundRobin(entities, 2), er.Config{
-		Strategy: core.PairRange{},
-		Attr:     "title",
-		BlockKey: blocking.NormalizedPrefix(3),
-		Matcher:  matcher,
-		R:        3,
+		Strategy:        core.PairRange{},
+		Attr:            "title",
+		BlockKey:        blocking.NormalizedPrefix(3),
+		PreparedMatcher: match.EditDistance("title", 0.8),
+		R:               3,
 	})
 	if err != nil {
 		log.Fatal(err)

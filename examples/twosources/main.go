@@ -13,7 +13,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/entity"
 	"repro/internal/er"
-	"repro/internal/similarity"
+	"repro/internal/match"
 )
 
 func main() {
@@ -24,10 +24,7 @@ func main() {
 	r, s := datagen.TwoSources(entities, 0.5, 99)
 	fmt.Printf("source R: %d entities, source S: %d entities\n", len(r), len(s))
 
-	matcher := func(a, b entity.Entity) (float64, bool) {
-		sim := similarity.LevenshteinSimilarity(a.Attr(datagen.AttrTitle), b.Attr(datagen.AttrTitle))
-		return sim, sim >= 0.85
-	}
+	matcher := match.EditDistance(datagen.AttrTitle, 0.85)
 
 	var results []*er.DualResult
 	for _, strat := range []core.DualStrategy{core.BlockSplitDual{}, core.PairRangeDual{}} {
@@ -35,11 +32,11 @@ func main() {
 			entity.SplitRoundRobin(r, 2),
 			entity.SplitRoundRobin(s, 3),
 			er.DualConfig{
-				Strategy: strat,
-				Attr:     datagen.AttrTitle,
-				BlockKey: blocking.NormalizedPrefix(3),
-				Matcher:  matcher,
-				R:        6,
+				Strategy:        strat,
+				Attr:            datagen.AttrTitle,
+				BlockKey:        blocking.NormalizedPrefix(3),
+				PreparedMatcher: matcher,
+				R:               6,
 			})
 		if err != nil {
 			log.Fatal(err)

@@ -11,7 +11,7 @@ package bdm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Matrix is the block distribution matrix for a single source. Blocks
@@ -109,7 +109,7 @@ func FromCells(cells []Cell, m int) (*Matrix, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("bdm: FromCells requires m > 0, got %d", m)
 	}
-	keySet := make(map[string]bool)
+	keys := make([]string, 0, len(cells))
 	for _, c := range cells {
 		if c.Partition < 0 || c.Partition >= m {
 			return nil, fmt.Errorf("bdm: cell %q references partition %d outside [0,%d)", c.BlockKey, c.Partition, m)
@@ -117,14 +117,18 @@ func FromCells(cells []Cell, m int) (*Matrix, error) {
 		if c.Count < 0 {
 			return nil, fmt.Errorf("bdm: cell %q partition %d has negative count %d", c.BlockKey, c.Partition, c.Count)
 		}
-		keySet[c.BlockKey] = true
+		keys = append(keys, c.BlockKey)
 	}
-	keys := make([]string, 0, len(keySet))
-	for k := range keySet {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
 
+	// All rows are carved out of one flat backing array (one allocation
+	// instead of one per block). Cells are initialized to -1 so duplicate
+	// detection needs no auxiliary set; absent cells become 0 afterwards.
+	backing := make([]int, len(keys)*m)
+	for i := range backing {
+		backing[i] = -1
+	}
 	x := &Matrix{
 		keys:  keys,
 		index: make(map[string]int, len(keys)),
@@ -134,17 +138,20 @@ func FromCells(cells []Cell, m int) (*Matrix, error) {
 	}
 	for i, k := range keys {
 		x.index[k] = i
-		x.sizes[i] = make([]int, m)
+		x.sizes[i] = backing[i*m : (i+1)*m : (i+1)*m]
 	}
-	seen := make(map[[2]int]bool, len(cells))
 	for _, c := range cells {
 		k := x.index[c.BlockKey]
-		if seen[[2]int{k, c.Partition}] {
+		if x.sizes[k][c.Partition] >= 0 {
 			return nil, fmt.Errorf("bdm: duplicate cell for block %q partition %d", c.BlockKey, c.Partition)
 		}
-		seen[[2]int{k, c.Partition}] = true
 		x.sizes[k][c.Partition] = c.Count
 		x.total[k] += c.Count
+	}
+	for i := range backing {
+		if backing[i] < 0 {
+			backing[i] = 0
+		}
 	}
 	x.finalize()
 	return x, nil

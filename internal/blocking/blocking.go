@@ -41,8 +41,25 @@ func NormalizedPrefix(n int) KeyFunc {
 		panic("blocking: NormalizedPrefix requires n > 0")
 	}
 	return func(v string) string {
+		// Fast path: the first n bytes are already lowercase ASCII
+		// letters or digits (the common case for normalized titles) —
+		// the key is a substring, no allocation.
+		if len(v) >= n {
+			ok := true
+			for i := 0; i < n; i++ {
+				c := v[i]
+				if !('a' <= c && c <= 'z' || '0' <= c && c <= '9') {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return v[:n]
+			}
+		}
 		var b strings.Builder
-		for _, r := range strings.ToLower(v) {
+		for _, r := range v {
+			r = unicode.ToLower(r)
 			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
 				if b.Len() == 0 {
 					continue // strip leading separators

@@ -24,6 +24,15 @@ func (Basic) NeedsBDM() bool { return false }
 
 // Job implements Strategy. The BDM is ignored and may be nil.
 func (Basic) Job(_ *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
+	return basicJob(r, matchKernel{match: match})
+}
+
+// JobPrepared implements PreparedStrategy.
+func (Basic) JobPrepared(_ *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
+	return basicJob(r, matchKernel{pm: pm})
+}
+
+func basicJob(r int, kern matchKernel) (*mapreduce.Job, error) {
 	if err := validateJobParams("Basic", r); err != nil {
 		return nil, err
 	}
@@ -42,7 +51,7 @@ func (Basic) Job(_ *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
 			}
 		},
 		NewReducer: func() mapreduce.Reducer {
-			return &basicReducer{match: match}
+			return &basicReducer{kern: kern}
 		},
 		Partition: func(key any, r int) int {
 			return mapreduce.HashPartition(key.(string), r)
@@ -52,8 +61,9 @@ func (Basic) Job(_ *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
 }
 
 type basicReducer struct {
-	match  Matcher
+	kern   matchKernel
 	buffer []entity.Entity
+	prep   []PreparedEntity
 }
 
 // Reduce compares all entities of one block with each other. The buffer
@@ -62,11 +72,26 @@ type basicReducer struct {
 func (b *basicReducer) Configure(_, _, _ int) {}
 
 func (b *basicReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+	if pm := b.kern.pm; pm != nil {
+		// Prepared path: derive each entity's comparison form once per
+		// group, compare cached forms pairwise.
+		b.buffer, b.prep = b.buffer[:0], b.prep[:0]
+		for _, v := range values {
+			e2 := v.Value.(entity.Entity)
+			p2 := pm.Prepare(e2)
+			for i, e1 := range b.buffer {
+				matchAndEmitPrepared(ctx, pm, e1, e2, b.prep[i], p2)
+			}
+			b.buffer = append(b.buffer, e2)
+			b.prep = append(b.prep, p2)
+		}
+		return
+	}
 	b.buffer = b.buffer[:0]
 	for _, v := range values {
 		e2 := v.Value.(entity.Entity)
 		for _, e1 := range b.buffer {
-			matchAndEmit(ctx, b.match, e1, e2)
+			matchAndEmit(ctx, b.kern.match, e1, e2)
 		}
 		b.buffer = append(b.buffer, e2)
 	}

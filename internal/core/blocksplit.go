@@ -250,15 +250,20 @@ func compareBSKeys(a, b any) int {
 // Job implements Strategy (Algorithm 1). Input records must be the BDM
 // job's side output (key = blocking key, value = entity).
 func (bs BlockSplit) Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
-	return blockSplitJob(x, r, match, nil, bs.MaxEntitiesPerTask)
+	return blockSplitJob(x, r, matchKernel{match: match}, nil, bs.MaxEntitiesPerTask)
+}
+
+// JobPrepared implements PreparedStrategy.
+func (bs BlockSplit) JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
+	return blockSplitJob(x, r, matchKernel{pm: pm}, nil, bs.MaxEntitiesPerTask)
 }
 
 // JobWithAssign is Job with a custom assignment policy (for ablations).
 func (bs BlockSplit) JobWithAssign(x *bdm.Matrix, r int, match Matcher, assign AssignFunc) (*mapreduce.Job, error) {
-	return blockSplitJob(x, r, match, assign, bs.MaxEntitiesPerTask)
+	return blockSplitJob(x, r, matchKernel{match: match}, assign, bs.MaxEntitiesPerTask)
 }
 
-func blockSplitJob(x *bdm.Matrix, r int, match Matcher, assign AssignFunc, maxEntities int) (*mapreduce.Job, error) {
+func blockSplitJob(x *bdm.Matrix, r int, kern matchKernel, assign AssignFunc, maxEntities int) (*mapreduce.Job, error) {
 	if err := validateJobParams("BlockSplit", r); err != nil {
 		return nil, err
 	}
@@ -276,7 +281,7 @@ func blockSplitJob(x *bdm.Matrix, r int, match Matcher, assign AssignFunc, maxEn
 			return &bsMapper{x: x, asg: asg}
 		},
 		NewReducer: func() mapreduce.Reducer {
-			return &bsReducer{match: match}
+			return &bsReducer{kern: kern}
 		},
 		Partition: func(key any, r int) int { return key.(BSKey).Reduce % r },
 		Compare:   compareBSKeys,
@@ -333,8 +338,9 @@ func (mp *bsMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 }
 
 type bsReducer struct {
-	match  Matcher
+	kern   matchKernel
 	buffer []entity.Entity
+	prep   []PreparedEntity
 }
 
 func (rd *bsReducer) Configure(_, _, _ int) {}
@@ -343,15 +349,22 @@ func (rd *bsReducer) Configure(_, _, _ int) {}
 // (unsplit block or single sub-block, I == J) it compares all values
 // pairwise. For a cross-product task it buffers the first partition's
 // entities (the stable map-task-ordered merge guarantees they arrive
-// first) and compares every later entity against the buffer.
+// first) and compares every later entity against the buffer. With a
+// prepared matcher, every buffered entity is prepared exactly once; in a
+// cross-product task the non-buffered side's entity is prepared once and
+// compared against the whole buffer.
 func (rd *bsReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
 	k := key.(BSKey)
+	if rd.kern.pm != nil {
+		rd.reducePrepared(ctx, k, values)
+		return
+	}
 	rd.buffer = rd.buffer[:0]
 	if k.I == k.J {
 		for _, v := range values {
 			e2 := v.Value.(bsValue).E
 			for _, e1 := range rd.buffer {
-				matchAndEmit(ctx, rd.match, e1, e2)
+				matchAndEmit(ctx, rd.kern.match, e1, e2)
 			}
 			rd.buffer = append(rd.buffer, e2)
 		}
@@ -365,7 +378,37 @@ func (rd *bsReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.
 			continue
 		}
 		for _, e1 := range rd.buffer {
-			matchAndEmit(ctx, rd.match, e1, bv.E)
+			matchAndEmit(ctx, rd.kern.match, e1, bv.E)
+		}
+	}
+}
+
+func (rd *bsReducer) reducePrepared(ctx *mapreduce.Context, k BSKey, values []mapreduce.KeyValue) {
+	pm := rd.kern.pm
+	rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
+	if k.I == k.J {
+		for _, v := range values {
+			e2 := v.Value.(bsValue).E
+			p2 := pm.Prepare(e2)
+			for i, e1 := range rd.buffer {
+				matchAndEmitPrepared(ctx, pm, e1, e2, rd.prep[i], p2)
+			}
+			rd.buffer = append(rd.buffer, e2)
+			rd.prep = append(rd.prep, p2)
+		}
+		return
+	}
+	firstPartition := values[0].Value.(bsValue).Partition
+	for _, v := range values {
+		bv := v.Value.(bsValue)
+		if bv.Partition == firstPartition {
+			rd.buffer = append(rd.buffer, bv.E)
+			rd.prep = append(rd.prep, pm.Prepare(bv.E))
+			continue
+		}
+		p2 := pm.Prepare(bv.E)
+		for i, e1 := range rd.buffer {
+			matchAndEmitPrepared(ctx, pm, e1, bv.E, rd.prep[i], p2)
 		}
 	}
 }

@@ -39,6 +39,49 @@ import (
 // functions, the common case, trivially are).
 type Matcher func(a, b entity.Entity) (float64, bool)
 
+// PreparedEntity is the opaque prepared form of one entity: whatever a
+// PreparedMatcher derives once per entity (cached runes, token sets,
+// n-gram profiles, …) so that the O(group²) comparison loop of a reduce
+// call runs on precomputed forms.
+type PreparedEntity any
+
+// PreparedMatcher is the two-phase form of Matcher. The reducers of all
+// strategies prepare each entity exactly once per key group — O(group)
+// preparation instead of re-deriving both sides on every one of the
+// O(group²) comparisons — and invoke MatchPrepared on the cached forms.
+// Prepare is called from a single goroutine per reduce group; the
+// returned PreparedEntity is never shared across groups. MatchPrepared
+// must be safe for concurrent use across groups (pure functions are).
+//
+// A PreparedMatcher must be semantically equivalent to the plain Matcher
+// PlainMatcher derives from it: same decisions, same similarities.
+type PreparedMatcher interface {
+	// Prepare derives the cached comparison form of one entity.
+	Prepare(e entity.Entity) PreparedEntity
+	// MatchPrepared compares two prepared entities and reports their
+	// similarity and whether they match.
+	MatchPrepared(a, b PreparedEntity) (float64, bool)
+}
+
+// PlainMatcher adapts a PreparedMatcher to the plain Matcher form by
+// preparing both entities on every call. It is the transparent fallback
+// for execution paths that only accept a Matcher (custom strategies,
+// sorted neighborhood, serial references); results are identical, only
+// the per-pair preparation cost returns.
+func PlainMatcher(pm PreparedMatcher) Matcher {
+	return func(a, b entity.Entity) (float64, bool) {
+		return pm.MatchPrepared(pm.Prepare(a), pm.Prepare(b))
+	}
+}
+
+// matchKernel carries whichever matcher form a job was built with. At
+// most one of the fields is set; both nil means "count comparisons
+// without comparing" (the nil-Matcher contract).
+type matchKernel struct {
+	match Matcher
+	pm    PreparedMatcher
+}
+
 // MatchPair is one entry of the match result: the IDs of two entities
 // considered the same, with A < B lexicographically for canonical form.
 type MatchPair struct {
@@ -80,12 +123,30 @@ type Strategy interface {
 	Plan(x *bdm.Matrix, m, r int) (*Plan, error)
 }
 
+// PreparedStrategy is implemented by strategies whose matching job can
+// exploit a PreparedMatcher (all in-tree one-source strategies). The
+// job's dataflow and comparison order are identical to Job's; only the
+// per-pair cost changes.
+type PreparedStrategy interface {
+	Strategy
+	// JobPrepared is Job with a prepared matcher driving the reduce
+	// phase. pm may be nil (count comparisons only).
+	JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error)
+}
+
 // DualStrategy is a two-source (R×S) redistribution strategy from
 // Appendix I. Implementations: BlockSplitDual, PairRangeDual.
 type DualStrategy interface {
 	Name() string
 	Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error)
 	Plan(x *bdm.DualMatrix, r int) (*Plan, error)
+}
+
+// PreparedDualStrategy is the two-source analogue of PreparedStrategy
+// (implemented by BlockSplitDual and PairRangeDual).
+type PreparedDualStrategy interface {
+	DualStrategy
+	JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (*mapreduce.Job, error)
 }
 
 // Plan holds the exact per-task workloads a strategy's Job 2 produces.
@@ -167,6 +228,14 @@ func matchAndEmit(ctx *mapreduce.Context, match Matcher, a, b entity.Entity) {
 		return
 	}
 	if sim, ok := match(a, b); ok {
+		ctx.Emit(NewMatchPair(a.ID, b.ID), sim)
+	}
+}
+
+// matchAndEmitPrepared is matchAndEmit on already-prepared forms.
+func matchAndEmitPrepared(ctx *mapreduce.Context, pm PreparedMatcher, a, b entity.Entity, pa, pb PreparedEntity) {
+	ctx.Inc(ComparisonsCounter, 1)
+	if sim, ok := pm.MatchPrepared(pa, pb); ok {
 		ctx.Emit(NewMatchPair(a.ID, b.ID), sim)
 	}
 }

@@ -172,6 +172,15 @@ func groupBSDKeys(a, b any) int {
 // key (string) and value = entity; each input partition holds entities
 // of exactly one source as recorded in the DualMatrix.
 func (BlockSplitDual) Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error) {
+	return blockSplitDualJob(x, r, matchKernel{match: match})
+}
+
+// JobPrepared implements PreparedDualStrategy.
+func (BlockSplitDual) JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
+	return blockSplitDualJob(x, r, matchKernel{pm: pm})
+}
+
+func blockSplitDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (*mapreduce.Job, error) {
 	if err := validateJobParams("BlockSplitDual", r); err != nil {
 		return nil, err
 	}
@@ -186,7 +195,7 @@ func (BlockSplitDual) Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.J
 			return &bsdMapper{x: x, asg: asg}
 		},
 		NewReducer: func() mapreduce.Reducer {
-			return &bsdReducer{match: match}
+			return &bsdReducer{kern: kern}
 		},
 		Partition: func(key any, r int) int { return key.(BSDKey).Reduce % r },
 		Compare:   compareBSDKeys,
@@ -246,16 +255,35 @@ func (mp *bsdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 }
 
 type bsdReducer struct {
-	match  Matcher
+	kern   matchKernel
 	buffer []entity.Entity
+	prep   []PreparedEntity
 }
 
 func (rd *bsdReducer) Configure(_, _, _ int) {}
 
 // Reduce buffers all R entities (sorted first via the Source key
 // component) and compares each S entity against the buffer — only
-// cross-source pairs are evaluated.
+// cross-source pairs are evaluated. With a prepared matcher, each R
+// entity is prepared once while buffering and each S entity once before
+// its scan of the buffer.
 func (rd *bsdReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+	if pm := rd.kern.pm; pm != nil {
+		rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
+		for _, v := range values {
+			bv := v.Value.(bsdValue)
+			if bv.Source == bdm.SourceR {
+				rd.buffer = append(rd.buffer, bv.E)
+				rd.prep = append(rd.prep, pm.Prepare(bv.E))
+				continue
+			}
+			p2 := pm.Prepare(bv.E)
+			for i, e1 := range rd.buffer {
+				matchAndEmitPrepared(ctx, pm, e1, bv.E, rd.prep[i], p2)
+			}
+		}
+		return
+	}
 	rd.buffer = rd.buffer[:0]
 	for _, v := range values {
 		bv := v.Value.(bsdValue)
@@ -264,7 +292,7 @@ func (rd *bsdReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.K
 			continue
 		}
 		for _, e1 := range rd.buffer {
-			matchAndEmit(ctx, rd.match, e1, bv.E)
+			matchAndEmit(ctx, rd.kern.match, e1, bv.E)
 		}
 	}
 }

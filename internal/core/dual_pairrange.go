@@ -101,6 +101,15 @@ func dualRelevantRanges(x *bdm.DualMatrix, ranges Ranges, k int, src bdm.Source,
 // Job implements DualStrategy. Input records must carry key = blocking
 // key and value = entity, one source per input partition.
 func (PairRangeDual) Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error) {
+	return pairRangeDualJob(x, r, matchKernel{match: match})
+}
+
+// JobPrepared implements PreparedDualStrategy.
+func (PairRangeDual) JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
+	return pairRangeDualJob(x, r, matchKernel{pm: pm})
+}
+
+func pairRangeDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (*mapreduce.Job, error) {
 	if err := validateJobParams("PairRangeDual", r); err != nil {
 		return nil, err
 	}
@@ -115,7 +124,7 @@ func (PairRangeDual) Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Jo
 			return &prdMapper{x: x, ranges: ranges}
 		},
 		NewReducer: func() mapreduce.Reducer {
-			return &prdReducer{x: x, ranges: ranges, match: match}
+			return &prdReducer{x: x, ranges: ranges, kern: kern}
 		},
 		Partition: func(key any, r int) int { return key.(PRDKey).Range % r },
 		Compare:   comparePRDKeys,
@@ -161,9 +170,10 @@ func (mp *prdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 type prdReducer struct {
 	x      *bdm.DualMatrix
 	ranges Ranges
-	match  Matcher
+	kern   matchKernel
 	task   int
 	buffer []prdValue
+	prep   []PreparedEntity
 }
 
 func (rd *prdReducer) Configure(_, _, taskIndex int) { rd.task = taskIndex }
@@ -171,11 +181,37 @@ func (rd *prdReducer) Configure(_, _, taskIndex int) { rd.task = taskIndex }
 // Reduce receives one (range, block) group with all relevant R entities
 // (ascending index) followed by all relevant S entities. For each S
 // entity it scans the R buffer; pair indexes grow with the R index, so
-// the scan stops once the range is exceeded.
+// the scan stops once the range is exceeded. With a prepared matcher,
+// every entity is prepared exactly once per group.
 func (rd *prdReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
 	k := key.(PRDKey)
 	ns := int64(rd.x.SourceSize(k.Block, bdm.SourceS))
 	off := rd.x.PairOffset(k.Block)
+	// Direct bound comparisons replace the per-pair Ranges.Index
+	// division; see prReducer.Reduce for the equivalence argument.
+	lo, hi := rd.ranges.Bounds(rd.task)
+	if pm := rd.kern.pm; pm != nil {
+		rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
+		for _, v := range values {
+			pv := v.Value.(prdValue)
+			if pv.Source == bdm.SourceR {
+				rd.buffer = append(rd.buffer, pv)
+				rd.prep = append(rd.prep, pm.Prepare(pv.E))
+				continue
+			}
+			p2 := pm.Prepare(pv.E)
+			for i, b := range rd.buffer {
+				p := off + b.Index*ns + pv.Index
+				if p >= hi {
+					break
+				}
+				if p >= lo {
+					matchAndEmitPrepared(ctx, pm, b.E, pv.E, rd.prep[i], p2)
+				}
+			}
+		}
+		return
+	}
 	rd.buffer = rd.buffer[:0]
 	for _, v := range values {
 		pv := v.Value.(prdValue)
@@ -185,12 +221,11 @@ func (rd *prdReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce
 		}
 		for _, b := range rd.buffer {
 			p := off + b.Index*ns + pv.Index
-			rg := rd.ranges.Index(p)
-			if rg > rd.task {
+			if p >= hi {
 				break
 			}
-			if rg == rd.task {
-				matchAndEmit(ctx, rd.match, b.E, pv.E)
+			if p >= lo {
+				matchAndEmit(ctx, rd.kern.match, b.E, pv.E)
 			}
 		}
 	}

@@ -65,6 +65,15 @@ func groupPRKeys(a, b any) int {
 // Job implements Strategy (Algorithm 2). Input records must be the BDM
 // job's side output (key = blocking key, value = entity).
 func (PairRange) Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
+	return pairRangeJob(x, r, matchKernel{match: match})
+}
+
+// JobPrepared implements PreparedStrategy.
+func (PairRange) JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
+	return pairRangeJob(x, r, matchKernel{pm: pm})
+}
+
+func pairRangeJob(x *bdm.Matrix, r int, kern matchKernel) (*mapreduce.Job, error) {
 	if err := validateJobParams("PairRange", r); err != nil {
 		return nil, err
 	}
@@ -79,7 +88,7 @@ func (PairRange) Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error
 			return &prMapper{x: x, ranges: ranges}
 		},
 		NewReducer: func() mapreduce.Reducer {
-			return &prReducer{x: x, ranges: ranges, match: match}
+			return &prReducer{x: x, ranges: ranges, kern: kern}
 		},
 		Partition: func(key any, r int) int { return key.(PRKey).Range % r },
 		Compare:   comparePRKeys,
@@ -130,9 +139,10 @@ func (mp *prMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 type prReducer struct {
 	x      *bdm.Matrix
 	ranges Ranges
-	match  Matcher
+	kern   matchKernel
 	task   int
 	buffer []prValue
+	prep   []PreparedEntity
 }
 
 func (rd *prReducer) Configure(_, _, taskIndex int) { rd.task = taskIndex }
@@ -153,20 +163,43 @@ func (rd *prReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.
 	k := key.(PRKey)
 	n := int64(rd.x.Size(k.Block))
 	off := rd.x.PairOffset(k.Block)
+	// Comparing pair indexes against the task's [lo, hi) interval avoids
+	// the per-pair division of Ranges.Index: p >= hi iff the pair's range
+	// exceeds this task, p >= lo iff it is at least this task (every
+	// valid p is < P, so the clamped bounds preserve both equivalences).
+	lo, hi := rd.ranges.Bounds(rd.task)
+	if pm := rd.kern.pm; pm != nil {
+		rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
+		for _, v := range values {
+			pv := v.Value.(prValue)
+			p2 := pm.Prepare(pv.E)
+			for i, b := range rd.buffer {
+				p := CellIndex(b.Index, pv.Index, n) + off
+				if p >= hi {
+					break
+				}
+				if p >= lo {
+					matchAndEmitPrepared(ctx, pm, b.E, pv.E, rd.prep[i], p2)
+				}
+			}
+			rd.buffer = append(rd.buffer, pv)
+			rd.prep = append(rd.prep, p2)
+		}
+		return
+	}
 	rd.buffer = rd.buffer[:0]
 	for _, v := range values {
 		pv := v.Value.(prValue)
 		for _, b := range rd.buffer {
 			p := CellIndex(b.Index, pv.Index, n) + off
-			rg := rd.ranges.Index(p)
-			if rg > rd.task {
+			if p >= hi {
 				// Within this row (fixed pv.Index), pair indexes grow
 				// with the buffered entity's index: nothing further in
 				// the buffer can be in range.
 				break
 			}
-			if rg == rd.task {
-				matchAndEmit(ctx, rd.match, b.E, pv.E)
+			if p >= lo {
+				matchAndEmit(ctx, rd.kern.match, b.E, pv.E)
 			}
 		}
 		rd.buffer = append(rd.buffer, pv)

@@ -16,8 +16,11 @@ type DualConfig struct {
 	Attr     string
 	BlockKey blocking.KeyFunc
 	Matcher  core.Matcher
-	R        int
-	Engine   *mapreduce.Engine
+	// PreparedMatcher, when non-nil, takes precedence over Matcher; see
+	// Config.PreparedMatcher.
+	PreparedMatcher core.PreparedMatcher
+	R               int
+	Engine          *mapreduce.Engine
 }
 
 func (c *DualConfig) validate() error {
@@ -64,7 +67,17 @@ func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, err
 	if err != nil {
 		return nil, err
 	}
-	job, err := cfg.Strategy.Job(matrix, cfg.R, cfg.Matcher)
+	var job *mapreduce.Job
+	switch {
+	case cfg.PreparedMatcher != nil:
+		if ps, ok := cfg.Strategy.(core.PreparedDualStrategy); ok {
+			job, err = ps.JobPrepared(matrix, cfg.R, cfg.PreparedMatcher)
+		} else {
+			job, err = cfg.Strategy.Job(matrix, cfg.R, core.PlainMatcher(cfg.PreparedMatcher))
+		}
+	default:
+		job, err = cfg.Strategy.Job(matrix, cfg.R, cfg.Matcher)
+	}
 	if err != nil {
 		return nil, err
 	}

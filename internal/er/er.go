@@ -28,6 +28,13 @@ type Config struct {
 	// Matcher decides whether two entities match. nil counts
 	// comparisons without comparing.
 	Matcher core.Matcher
+	// PreparedMatcher, when non-nil, takes precedence over Matcher and
+	// drives the prepare-once comparison kernel: strategies implementing
+	// core.PreparedStrategy (all in-tree ones) prepare each entity once
+	// per reduce group; any other strategy falls back transparently to
+	// the plain path via core.PlainMatcher. Results are identical either
+	// way.
+	PreparedMatcher core.PreparedMatcher
 	// R is the number of reduce tasks of the matching job (and of the
 	// BDM job).
 	R int
@@ -123,7 +130,7 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 		job2Input = AnnotateInput(parts, cfg.Attr, cfg.BlockKey)
 	}
 
-	job, err := cfg.Strategy.Job(res.BDM, cfg.R, cfg.Matcher)
+	job, err := buildMatchJob(cfg, res.BDM)
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +142,20 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 	res.Comparisons = matchRes.Counter(core.ComparisonsCounter)
 	res.Matches = CollectMatches(matchRes)
 	return res, nil
+}
+
+// buildMatchJob selects the matching job's matcher path: the prepared
+// kernel when the config carries a PreparedMatcher and the strategy
+// supports it, the plain-Matcher adapter when it does not, and the plain
+// path otherwise.
+func buildMatchJob(cfg Config, x *bdm.Matrix) (*mapreduce.Job, error) {
+	if cfg.PreparedMatcher != nil {
+		if ps, ok := cfg.Strategy.(core.PreparedStrategy); ok {
+			return ps.JobPrepared(x, cfg.R, cfg.PreparedMatcher)
+		}
+		return cfg.Strategy.Job(x, cfg.R, core.PlainMatcher(cfg.PreparedMatcher))
+	}
+	return cfg.Strategy.Job(x, cfg.R, cfg.Matcher)
 }
 
 // AnnotateInput converts raw partitions into the (blocking key, entity)

@@ -97,12 +97,13 @@ func RunWithMissingKeys(parts entity.Partitions, cfg Config) (*MissingKeyResult,
 	// Part 2: R∅ × (R−R∅) under the constant key ⊥ (two sources).
 	if nNoKey > 0 && nKeyed > 0 {
 		res, err := RunDual(compact(noKey), compact(keyed), DualConfig{
-			Strategy: dualStrategyFor(cfg.Strategy),
-			Attr:     cfg.Attr,
-			BlockKey: blocking.Constant(noKeySentinel),
-			Matcher:  cfg.Matcher,
-			R:        cfg.R,
-			Engine:   cfg.Engine,
+			Strategy:        dualStrategyFor(cfg.Strategy),
+			Attr:            cfg.Attr,
+			BlockKey:        blocking.Constant(noKeySentinel),
+			Matcher:         cfg.Matcher,
+			PreparedMatcher: cfg.PreparedMatcher,
+			R:               cfg.R,
+			Engine:          cfg.Engine,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("er: missing-keys decomposition, cross part: %w", err)

@@ -10,8 +10,8 @@ import (
 	"repro/internal/entity"
 	"repro/internal/er"
 	"repro/internal/mapreduce"
+	"repro/internal/match"
 	"repro/internal/report"
-	"repro/internal/similarity"
 )
 
 // AppendixDual exercises the two-source extension of Appendix I (the
@@ -173,19 +173,13 @@ func QualityTable(o Options) (*report.Table, error) {
 	for _, th := range []float64{0.60, 0.70, 0.80, 0.90, 0.95} {
 		th := th
 		res, err := er.Run(parts, er.Config{
-			Strategy: core.BlockSplit{},
-			Attr:     datagen.AttrTitle,
-			BlockKey: datagen.BlockKey(),
-			Matcher: func(a, b entity.Entity) (float64, bool) {
-				ta, tb := a.Attr(datagen.AttrTitle), b.Attr(datagen.AttrTitle)
-				if !similarity.LevenshteinAtLeast(ta, tb, th) {
-					return 0, false
-				}
-				return similarity.LevenshteinSimilarity(ta, tb), true
-			},
-			R:           32,
-			Engine:      &mapreduce.Engine{Parallelism: 8},
-			UseCombiner: true,
+			Strategy:        core.BlockSplit{},
+			Attr:            datagen.AttrTitle,
+			BlockKey:        datagen.BlockKey(),
+			PreparedMatcher: match.EditDistance(datagen.AttrTitle, th),
+			R:               32,
+			Engine:          &mapreduce.Engine{Parallelism: 8},
+			UseCombiner:     true,
 		})
 		if err != nil {
 			return nil, err

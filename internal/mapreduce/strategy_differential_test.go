@@ -36,12 +36,12 @@ func skewedEntities() []entity.Entity {
 			))
 		}
 	}
-	add(40, "canon eos")   // dominant block ("can")
-	add(14, "nikon d850")  // mid block
-	add(9, "sony alpha")   // mid block
-	add(5, "fuji xt")      // small block
-	add(1, "leica m11")    // singleton
-	add(1, "pentax k3")    // singleton
+	add(40, "canon eos")  // dominant block ("can")
+	add(14, "nikon d850") // mid block
+	add(9, "sony alpha")  // mid block
+	add(5, "fuji xt")     // small block
+	add(1, "leica m11")   // singleton
+	add(1, "pentax k3")   // singleton
 	return es
 }
 

@@ -48,7 +48,13 @@ func (v TokenVector) Cosine(w TokenVector) float64 {
 			dot += fa * fb
 		}
 	}
-	return dot / (v.norm * w.norm)
+	sim := dot / (v.norm * w.norm)
+	if sim > 1 {
+		// Norm rounding can push identical vectors a few ulps past 1;
+		// the contract is [0,1].
+		sim = 1
+	}
+	return sim
 }
 
 // CosineTokens is the convenience form building both vectors on the fly.

@@ -1,0 +1,154 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// edgeStrings collects the awkward inputs every measure must survive:
+// empty, single-rune, multi-byte unicode (CJK), combining marks (the
+// same visual glyph as a precomposed rune but a different rune
+// sequence), and whitespace-only.
+var edgeStrings = []string{
+	"",
+	" ",
+	"a",
+	"ä",
+	"é",  // precomposed U+00E9
+	"é", // e + combining acute: two runes, same glyph
+	"日本語テキスト処理",
+	"日本語",
+	"中文分词测试",
+	"한국어 텍스트",
+	"à́", // stacked combining marks
+	"  spaced   out  tokens  ",
+	"ASCII and 中文 mixed",
+}
+
+// TestEdgeCaseKnownValues pins exact results on the tricky inputs.
+func TestEdgeCaseKnownValues(t *testing.T) {
+	if got := Levenshtein("", ""); got != 0 {
+		t.Errorf("Levenshtein(\"\",\"\") = %d, want 0", got)
+	}
+	if got := Levenshtein("", "日本語"); got != 3 {
+		t.Errorf("Levenshtein(\"\",\"日本語\") = %d, want 3 (runes, not bytes)", got)
+	}
+	if got := Levenshtein("é", "é"); got != 2 {
+		t.Errorf("Levenshtein(é, e+combining) = %d, want 2 (no normalization)", got)
+	}
+	if got := LevenshteinSimilarity("", ""); got != 1 {
+		t.Errorf("LevenshteinSimilarity(\"\",\"\") = %v, want 1", got)
+	}
+	if got := LevenshteinSimilarity("a", ""); got != 0 {
+		t.Errorf("LevenshteinSimilarity(\"a\",\"\") = %v, want 0", got)
+	}
+	if !LevenshteinAtLeast("", "", 1) {
+		t.Error("LevenshteinAtLeast(\"\",\"\",1) = false, want true (similarity is exactly 1)")
+	}
+	if LevenshteinAtLeast("", "", 1.5) {
+		t.Error("LevenshteinAtLeast(\"\",\"\",1.5) = true, but similarity 1 < 1.5")
+	}
+	if got := Jaro("", ""); got != 1 {
+		t.Errorf("Jaro(\"\",\"\") = %v, want 1", got)
+	}
+	if got := Jaro("a", ""); got != 0 {
+		t.Errorf("Jaro(\"a\",\"\") = %v, want 0", got)
+	}
+	if got := TokenJaccard("  ", ""); got != 1 {
+		t.Errorf("TokenJaccard(whitespace, empty) = %v, want 1 (both tokenless)", got)
+	}
+	if got := JaccardNGram("日", "日", 3); got != 1 {
+		t.Errorf("JaccardNGram(日,日,3) = %v, want 1 (short string is its own gram)", got)
+	}
+	if got := CosineTokens("", "x"); got != 0 {
+		t.Errorf("CosineTokens(\"\",\"x\") = %v, want 0", got)
+	}
+}
+
+// TestEdgeCaseMeasures runs every measure (plain and prepared) over the
+// full cross product of edge strings and checks range and symmetry; the
+// real assertion is that none of them panics or steps out of [0,1].
+func TestEdgeCaseMeasures(t *testing.T) {
+	measures := map[string]func(a, b string) float64{
+		"LevenshteinSimilarity": LevenshteinSimilarity,
+		"Jaro":                  Jaro,
+		"JaroWinkler":           JaroWinkler,
+		"TokenJaccard":          TokenJaccard,
+		"JaccardNGram2":         func(a, b string) float64 { return JaccardNGram(a, b, 2) },
+		"CosineTokens":          CosineTokens,
+		"TokenJaccardPrepared": func(a, b string) float64 {
+			return TokenJaccardPrepared(Prepare(a), Prepare(b))
+		},
+		"LevenshteinSimilarityPrepared": func(a, b string) float64 {
+			return LevenshteinSimilarityPrepared(Prepare(a), Prepare(b))
+		},
+		"JaccardNGramPrepared2": func(a, b string) float64 {
+			return JaccardNGramPrepared(Prepare(a), Prepare(b), 2)
+		},
+	}
+	for name, sim := range measures {
+		for _, a := range edgeStrings {
+			for _, b := range edgeStrings {
+				got := sim(a, b)
+				if got < 0 || got > 1 {
+					t.Fatalf("%s(%q,%q) = %v out of [0,1]", name, a, b, got)
+				}
+				if rev := sim(b, a); rev != got {
+					t.Fatalf("%s not symmetric on (%q,%q): %v vs %v", name, a, b, got, rev)
+				}
+				// Identity: 1 up to float rounding (cosine normalizes by
+				// a sqrt'd norm, so exact 1 is not guaranteed).
+				if a == b && name != "Jaro" && name != "JaroWinkler" && sim(a, a) < 1-1e-12 {
+					t.Fatalf("%s(%q,%q) = %v, want 1 (identity)", name, a, a, sim(a, a))
+				}
+			}
+		}
+	}
+	// Jaro scores 1 on identical non-empty strings too; the exclusion
+	// above is only for the empty/whitespace identity subtleties shared
+	// with the token measures. Pin the non-empty identity here.
+	for _, s := range edgeStrings {
+		if s == "" {
+			continue
+		}
+		if Jaro(s, s) != 1 || JaroWinkler(s, s) != 1 {
+			t.Fatalf("Jaro/JaroWinkler(%q,%q) != 1", s, s)
+		}
+	}
+}
+
+// TestSimilarityPropertyRandom is the randomized property test: every
+// measure stays in [0,1] and is symmetric on random unicode-bearing
+// strings.
+func TestSimilarityPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []rune("ab 日本é́語x")
+	randStr := func() string {
+		n := rng.Intn(10)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(rs)
+	}
+	measures := map[string]func(a, b string) float64{
+		"LevenshteinSimilarity": LevenshteinSimilarity,
+		"Jaro":                  Jaro,
+		"JaroWinkler":           JaroWinkler,
+		"TokenJaccard":          TokenJaccard,
+		"JaccardNGram3":         func(a, b string) float64 { return JaccardNGram(a, b, 3) },
+		"CosineTokens":          CosineTokens,
+	}
+	for trial := 0; trial < 400; trial++ {
+		a, b := randStr(), randStr()
+		for name, sim := range measures {
+			got := sim(a, b)
+			if got < 0 || got > 1 {
+				t.Fatalf("%s(%q,%q) = %v out of [0,1]", name, a, b, got)
+			}
+			if rev := sim(b, a); rev != got {
+				t.Fatalf("%s not symmetric on (%q,%q): %v vs %v", name, a, b, got, rev)
+			}
+		}
+	}
+}

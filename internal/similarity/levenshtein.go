@@ -2,13 +2,51 @@
 // the matcher in the reduce phase: Levenshtein edit distance (the paper's
 // measure, with a 0.8 similarity threshold), Jaro-Winkler, and n-gram
 // Jaccard. All functions operate on runes, not bytes.
+//
+// Every measure exists in two forms: a convenience form on raw strings,
+// and a kernel form on Prepared values (see prepared.go) that skips the
+// per-call rune conversion and tokenization — the form the prepare-once
+// comparison kernel of internal/core uses.
 package similarity
+
+import "sync"
+
+// levRowPool recycles the single DP row the Levenshtein kernels need, so
+// steady-state comparisons allocate nothing. Rows beyond maxPooledRow
+// ints are not returned to the pool to avoid pinning memory after one
+// pathological input.
+var levRowPool = sync.Pool{
+	New: func() any {
+		row := make([]int, 0, 128)
+		return &row
+	},
+}
+
+const maxPooledRow = 1 << 16
+
+func getLevRow(n int) *[]int {
+	rp := levRowPool.Get().(*[]int)
+	if cap(*rp) < n {
+		*rp = make([]int, n)
+	}
+	*rp = (*rp)[:n]
+	return rp
+}
+
+func putLevRow(rp *[]int) {
+	if cap(*rp) <= maxPooledRow {
+		levRowPool.Put(rp)
+	}
+}
 
 // Levenshtein returns the edit distance between a and b: the minimum
 // number of single-rune insertions, deletions, and substitutions that
 // transform a into b. It runs in O(len(a)*len(b)) time and O(min) space.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	return levenshteinRunes([]rune(a), []rune(b))
+}
+
+func levenshteinRunes(ra, rb []rune) int {
 	if len(ra) > len(rb) {
 		ra, rb = rb, ra
 	}
@@ -17,7 +55,8 @@ func Levenshtein(a, b string) int {
 	if n == 0 {
 		return len(rb)
 	}
-	row := make([]int, n+1)
+	rp := getLevRow(n + 1)
+	row := *rp
 	for i := range row {
 		row[i] = i
 	}
@@ -34,7 +73,9 @@ func Levenshtein(a, b string) int {
 			prev = cur
 		}
 	}
-	return row[n]
+	d := row[n]
+	putLevRow(rp)
+	return d
 }
 
 // LevenshteinBounded returns the edit distance between a and b if it is
@@ -42,10 +83,13 @@ func Levenshtein(a, b string) int {
 // program runs in O(maxDist * max(len)) time, which is what makes a 0.8
 // similarity threshold cheap on long titles.
 func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
+	return levenshteinBoundedRunes([]rune(a), []rune(b), maxDist)
+}
+
+func levenshteinBoundedRunes(ra, rb []rune, maxDist int) (int, bool) {
 	if maxDist < 0 {
 		return maxDist + 1, false
 	}
-	ra, rb := []rune(a), []rune(b)
 	if len(ra) > len(rb) {
 		ra, rb = rb, ra
 	}
@@ -57,7 +101,8 @@ func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
 		return m, m <= maxDist
 	}
 	const inf = int(^uint(0) >> 2)
-	row := make([]int, n+1)
+	rp := getLevRow(n + 1)
+	row := *rp
 	for i := range row {
 		if i <= maxDist {
 			row[i] = i
@@ -111,13 +156,16 @@ func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
 			row[hi+1] = inf
 		}
 		if rowMin > maxDist {
+			putLevRow(rp)
 			return maxDist + 1, false
 		}
 	}
-	if row[n] > maxDist {
+	d := row[n]
+	putLevRow(rp)
+	if d > maxDist {
 		return maxDist + 1, false
 	}
-	return row[n], true
+	return d, true
 }
 
 // LevenshteinSimilarity normalizes the edit distance into [0,1]:
@@ -137,7 +185,8 @@ func LevenshteinSimilarity(a, b string) float64 {
 
 // LevenshteinAtLeast reports whether the normalized Levenshtein
 // similarity of a and b is >= threshold, using the banded distance to
-// bail out early on clearly dissimilar pairs.
+// bail out early on clearly dissimilar pairs. It agrees exactly with
+// LevenshteinSimilarity(a, b) >= threshold for every threshold.
 func LevenshteinAtLeast(a, b string, threshold float64) bool {
 	if threshold <= 0 {
 		return true
@@ -148,12 +197,38 @@ func LevenshteinAtLeast(a, b string, threshold float64) bool {
 		longest = lb
 	}
 	if longest == 0 {
-		return true
+		return threshold <= 1 // both empty: similarity is exactly 1
 	}
-	// sim >= t  <=>  dist <= (1-t)*longest
-	maxDist := int(float64(longest) * (1 - threshold))
-	_, ok := LevenshteinBounded(a, b, maxDist)
+	_, ok := LevenshteinBounded(a, b, levenshteinMaxDist(longest, threshold))
 	return ok
+}
+
+// levenshteinMaxDist returns the largest distance d with
+// 1 - d/longest >= threshold (−1 when even d = 0 misses the threshold),
+// evaluated with the exact float arithmetic of LevenshteinSimilarity.
+// Computing the bound as int(float64(longest)*(1-threshold)) is wrong:
+// 1-0.8 rounds to 0.19999…, so longest=5, threshold=0.8 yields 0 instead
+// of 1 and pairs sitting exactly on the threshold are rejected. The
+// float estimate is therefore only a seed, corrected by at most a couple
+// of steps against the real predicate.
+func levenshteinMaxDist(longest int, threshold float64) int {
+	if threshold <= 0 {
+		return longest // every distance qualifies (dist <= longest always)
+	}
+	d := int(float64(longest) * (1 - threshold))
+	if d < 0 {
+		d = 0
+	}
+	if d > longest {
+		d = longest
+	}
+	for d < longest && 1-float64(d+1)/float64(longest) >= threshold {
+		d++
+	}
+	for d >= 0 && 1-float64(d)/float64(longest) < threshold {
+		d--
+	}
+	return d
 }
 
 func min3(a, b, c int) int {

@@ -1,0 +1,231 @@
+package similarity
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randTitle builds a random string over a small alphabet (with spaces,
+// so tokenization is exercised) to force collisions and near-misses.
+func randTitle(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if rng.Intn(6) == 0 {
+			b.WriteByte(' ')
+		} else {
+			b.WriteByte(byte('a' + rng.Intn(5)))
+		}
+	}
+	return b.String()
+}
+
+// TestLevenshteinAtLeastMatchesSimilarity is the threshold-boundary
+// differential: the banded predicate must agree exactly with the
+// unbounded similarity for every (pair, threshold), including pairs
+// sitting exactly on the threshold — the case the former
+// int(float64(longest)*(1-threshold)) bound got wrong (longest=5,
+// t=0.8 yielded maxDist 0 instead of 1).
+func TestLevenshteinAtLeastMatchesSimilarity(t *testing.T) {
+	// The historical failure first: distance 1 at length 5 is exactly
+	// similarity 0.8.
+	if !LevenshteinAtLeast("abcde", "abcdX", 0.8) {
+		t.Fatal("LevenshteinAtLeast rejects a pair exactly on the threshold")
+	}
+	rng := rand.New(rand.NewSource(42))
+	thresholds := []float64{0, 0.1, 0.25, 1.0 / 3, 0.5, 0.6, 2.0 / 3, 0.75, 0.8, 0.9, 0.95, 1}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randTitle(rng, 12), randTitle(rng, 12)
+		th := thresholds[rng.Intn(len(thresholds))]
+		want := LevenshteinSimilarity(a, b) >= th
+		if got := LevenshteinAtLeast(a, b, th); got != want {
+			t.Fatalf("LevenshteinAtLeast(%q,%q,%v) = %v, want %v (sim=%v)",
+				a, b, th, got, want, LevenshteinSimilarity(a, b))
+		}
+		// Exact-boundary thresholds: set t to the pair's own similarity.
+		sim := LevenshteinSimilarity(a, b)
+		if sim > 0 && !LevenshteinAtLeast(a, b, sim) {
+			t.Fatalf("LevenshteinAtLeast(%q,%q,sim=%v) = false on its own similarity", a, b, sim)
+		}
+	}
+}
+
+// TestPreparedKernelsEquivalence checks every prepared kernel against
+// its plain-string counterpart on random inputs.
+func TestPreparedKernelsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1500; trial++ {
+		sa, sb := randTitle(rng, 16), randTitle(rng, 16)
+		pa, pb := Prepare(sa), Prepare(sb)
+
+		if got, want := LevenshteinPrepared(pa, pb), Levenshtein(sa, sb); got != want {
+			t.Fatalf("LevenshteinPrepared(%q,%q) = %d, want %d", sa, sb, got, want)
+		}
+		if got, want := LevenshteinSimilarityPrepared(pa, pb), LevenshteinSimilarity(sa, sb); got != want {
+			t.Fatalf("LevenshteinSimilarityPrepared(%q,%q) = %v, want %v", sa, sb, got, want)
+		}
+		maxDist := rng.Intn(6)
+		gd, gok := LevenshteinBoundedPrepared(pa, pb, maxDist)
+		wd, wok := LevenshteinBounded(sa, sb, maxDist)
+		if gd != wd || gok != wok {
+			t.Fatalf("LevenshteinBoundedPrepared(%q,%q,%d) = (%d,%v), want (%d,%v)",
+				sa, sb, maxDist, gd, gok, wd, wok)
+		}
+		th := float64(rng.Intn(11)) / 10
+		if got, want := LevenshteinAtLeastPrepared(pa, pb, th), LevenshteinAtLeast(sa, sb, th); got != want {
+			t.Fatalf("LevenshteinAtLeastPrepared(%q,%q,%v) = %v, want %v", sa, sb, th, got, want)
+		}
+		sim, ok := LevenshteinMatchPrepared(pa, pb, th)
+		if ok != (LevenshteinSimilarity(sa, sb) >= th) {
+			t.Fatalf("LevenshteinMatchPrepared(%q,%q,%v) ok=%v disagrees with similarity", sa, sb, th, ok)
+		}
+		if ok && sim != LevenshteinSimilarity(sa, sb) {
+			t.Fatalf("LevenshteinMatchPrepared(%q,%q,%v) sim=%v, want %v",
+				sa, sb, th, sim, LevenshteinSimilarity(sa, sb))
+		}
+		tsim, tok := NewThresholder(th).Match(pa, pb)
+		if tsim != sim || tok != ok {
+			t.Fatalf("Thresholder(%v).Match(%q,%q) = (%v,%v), want (%v,%v)",
+				th, sa, sb, tsim, tok, sim, ok)
+		}
+		if got, want := TokenJaccardPrepared(pa, pb), TokenJaccard(sa, sb); got != want {
+			t.Fatalf("TokenJaccardPrepared(%q,%q) = %v, want %v", sa, sb, got, want)
+		}
+		n := 1 + rng.Intn(3)
+		if got, want := JaccardNGramPrepared(pa, pb, n), JaccardNGram(sa, sb, n); got != want {
+			t.Fatalf("JaccardNGramPrepared(%q,%q,%d) = %v, want %v", sa, sb, n, got, want)
+		}
+	}
+}
+
+// TestMyersMatchesDP drives the bit-parallel ASCII kernel against the
+// reference DP across the word-size boundary (len 1..80, including
+// exactly 64), plus mixed ASCII/unicode pairs that must take the rune
+// path, at every dispatch point (full, bounded, match).
+func TestMyersMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	randASCII := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(6))
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		la, lb := rng.Intn(81), rng.Intn(81)
+		if trial%7 == 0 {
+			la = 63 + rng.Intn(3) // hammer the 64-rune boundary
+		}
+		sa, sb := randASCII(la), randASCII(lb)
+		if trial%5 == 0 {
+			sa += "日" // force the mixed-pair rune path
+		}
+		pa, pb := Prepare(sa), Prepare(sb)
+		want := Levenshtein(sa, sb)
+		if got := LevenshteinPrepared(pa, pb); got != want {
+			t.Fatalf("LevenshteinPrepared(len %d, len %d) = %d, want %d", la, lb, got, want)
+		}
+		maxDist := rng.Intn(12)
+		gd, gok := LevenshteinBoundedPrepared(pa, pb, maxDist)
+		wd, wok := LevenshteinBounded(sa, sb, maxDist)
+		if gd != wd || gok != wok {
+			t.Fatalf("LevenshteinBoundedPrepared(len %d, len %d, %d) = (%d,%v), want (%d,%v)",
+				la, lb, maxDist, gd, gok, wd, wok)
+		}
+		th := float64(rng.Intn(21)) / 20
+		sim, ok := LevenshteinMatchPrepared(pa, pb, th)
+		if ok != (LevenshteinSimilarity(sa, sb) >= th) {
+			t.Fatalf("LevenshteinMatchPrepared(len %d, len %d, %v) ok=%v disagrees", la, lb, th, ok)
+		}
+		if ok && sim != LevenshteinSimilarity(sa, sb) {
+			t.Fatalf("LevenshteinMatchPrepared sim=%v, want %v", sim, LevenshteinSimilarity(sa, sb))
+		}
+	}
+}
+
+// TestBagBoundLowerBound pins the pre-filter soundness argument: the
+// histogram bag bound never exceeds the edit distance, so rejecting on
+// BagBound > maxDist can only reject pairs the DP would reject. Random
+// unicode runes are included to exercise histogram-bucket collisions.
+func TestBagBoundLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	alphabet := []rune("abcd 日本語é中文x")
+	randUni := func() string {
+		rs := make([]rune, rng.Intn(14))
+		for i := range rs {
+			rs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(rs)
+	}
+	for trial := 0; trial < 4000; trial++ {
+		var sa, sb string
+		if trial%2 == 0 {
+			sa, sb = randTitle(rng, 14), randTitle(rng, 14)
+		} else {
+			sa, sb = randUni(), randUni()
+		}
+		pa, pb := Prepare(sa), Prepare(sb)
+		bag, lev := BagBound(pa, pb), Levenshtein(sa, sb)
+		if bag > lev {
+			t.Fatalf("BagBound(%q,%q) = %d > Levenshtein = %d: filter unsound", sa, sb, bag, lev)
+		}
+	}
+	// Symmetry and identity.
+	pa, pb := Prepare("abca"), Prepare("cab x")
+	if BagBound(pa, pb) != BagBound(pb, pa) {
+		t.Fatal("BagBound not symmetric")
+	}
+	if BagBound(pa, pa) != 0 {
+		t.Fatal("BagBound(p,p) != 0")
+	}
+}
+
+// TestPreparedKernelAllocs asserts the hot path's allocation contract:
+// once both sides are prepared, a comparison allocates nothing.
+func TestPreparedKernelAllocs(t *testing.T) {
+	pa := Prepare("canon eos 5d mark iii digital slr camera body")
+	pb := Prepare("canon eos 5d mark iv digital slr camera body only")
+	pc := Prepare("nikon d850 45mp full frame dslr with battery grip")
+	for _, p := range []*Prepared{pa, pb, pc} {
+		p.NGramProfile(3)
+		p.Tokens() // materialize the lazy forms outside the measured loop
+	}
+	kernels := map[string]func(){
+		"LevenshteinMatchPrepared/hit":  func() { LevenshteinMatchPrepared(pa, pb, 0.8) },
+		"LevenshteinMatchPrepared/miss": func() { LevenshteinMatchPrepared(pa, pc, 0.8) },
+		"LevenshteinPrepared":           func() { LevenshteinPrepared(pa, pb) },
+		"TokenJaccardPrepared":          func() { TokenJaccardPrepared(pa, pb) },
+		"JaccardNGramPrepared":          func() { JaccardNGramPrepared(pa, pb, 3) },
+		"BagBound":                      func() { BagBound(pa, pb) },
+	}
+	for name, fn := range kernels {
+		fn() // warm the DP row pool
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestPreparedAccessors covers the small cached-form accessors.
+func TestPreparedAccessors(t *testing.T) {
+	p := Prepare("Beta alpha beta")
+	if p.Raw != "Beta alpha beta" {
+		t.Fatalf("Raw = %q", p.Raw)
+	}
+	if p.RuneLen() != 15 {
+		t.Fatalf("RuneLen = %d, want 15", p.RuneLen())
+	}
+	toks := p.Tokens()
+	if len(toks) != 2 || toks[0] != "alpha" || toks[1] != "beta" {
+		t.Fatalf("Tokens = %v, want [alpha beta]", toks)
+	}
+	// Profile caching: same n returns the cached slice, new n replaces it.
+	g2 := p.NGramProfile(2)
+	if &g2[0] != &p.NGramProfile(2)[0] {
+		t.Fatal("NGramProfile(2) not cached")
+	}
+	if len(p.NGramProfile(20)) != 1 {
+		t.Fatal("NGramProfile(20) of a 15-rune string should be the whole string")
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Runs the regression benchmarks (shuffle engine + comparison kernel)
+# with -benchmem and writes a BENCH_<date>.json snapshot in the repo
+# root, seeding the perf trajectory. Usage: scripts/bench.sh [benchtime]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-20x}"
+date="$(date +%Y-%m-%d)"
+out="BENCH_${date}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+benches='BenchmarkShuffleMerge|BenchmarkEngineAllocs|BenchmarkSimilarityKernels|BenchmarkMatcherEndToEnd'
+go test -run '^$' -bench "$benches" -benchtime="$benchtime" -benchmem . | tee "$tmp"
+
+awk -v date="$date" -v goversion="$(go env GOVERSION)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, goversion
+    n = 0
+}
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, bytes, allocs
+}
+END { print "\n  ]\n}" }
+' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -14,7 +14,7 @@ go build ./...
 echo "==> go test"
 go test ./...
 
-echo "==> benchmark smoke"
-go test -run '^$' -bench 'BenchmarkShuffleMerge|BenchmarkEngineAllocs' -benchtime=1x -benchmem .
+echo "==> benchmark smoke (build + run every benchmark once)"
+go test -run '^$' -bench . -benchtime=1x -benchmem ./...
 
 echo "OK"
