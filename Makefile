@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench bench-all clean
+.PHONY: check vet build test test-race bench-smoke bench bench-all clean
 
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
@@ -13,6 +13,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# test-race runs the full suite under the race detector — the CI job
+# that guards the typed engine's worker-goroutine and pooled-scratch
+# concurrency.
+test-race:
+	$(GO) test -race ./...
 
 # bench-smoke builds and runs every benchmark in the repo exactly once,
 # so bench files cannot silently rot, without paying for a full

@@ -361,82 +361,102 @@ func BenchmarkEndToEndStrategies(b *testing.B) {
 	}
 }
 
-// shuffleBenchJob builds a shuffle-heavy identity job: composite integer
-// keys with a skewed distribution (a few giant groups plus a long tail),
-// the shape the paper's reduce phase sees. The mapper re-emits its
-// input; the reducer folds each group to one record, so the benchmark
-// time is dominated by spill sort + reduce-side merge.
-func shuffleBenchJob(r int) *mapreduce.Job {
-	type sk struct{ block, sub int }
-	return &mapreduce.Job{
-		Name:           "shuffle-bench",
-		NumReduceTasks: r,
-		NewMapper: func() mapreduce.Mapper {
-			return &mapreduce.FuncMapper{
-				OnMap: func(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-					v := kv.Value.(int)
-					block := v % 37
-					if v%5 == 0 {
-						block = v % 3 // skew: 20% of records in 3 blocks
-					}
-					ctx.Emit(sk{block: block, sub: v % 11}, v)
-				},
-			}
-		},
-		NewReducer: func() mapreduce.Reducer {
-			return &mapreduce.FuncReducer{
-				OnReduce: func(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
-					sum := 0
-					for _, v := range values {
-						sum += v.Value.(int)
-					}
-					ctx.Emit(key, sum)
-				},
-			}
-		},
-		Partition: func(key any, r int) int { return key.(sk).block % r },
-		Compare: func(a, b any) int {
-			ka, kb := a.(sk), b.(sk)
-			if c := mapreduce.CompareInts(ka.block, kb.block); c != 0 {
-				return c
-			}
-			return mapreduce.CompareInts(ka.sub, kb.sub)
-		},
+// shuffleKey is the composite integer key of the shuffle benchmarks.
+type shuffleKey struct{ block, sub int }
+
+func compareShuffleKeys(a, b shuffleKey) int {
+	if c := mapreduce.CompareInts(a.block, b.block); c != 0 {
+		return c
 	}
+	return mapreduce.CompareInts(a.sub, b.sub)
 }
 
-func shuffleBenchInput(m, perTask int) [][]mapreduce.KeyValue {
-	input := make([][]mapreduce.KeyValue, m)
+func shuffleBlockOf(v int) shuffleKey {
+	block := v % 37
+	if v%5 == 0 {
+		block = v % 3 // skew: 20% of records in 3 blocks
+	}
+	return shuffleKey{block: block, sub: v % 11}
+}
+
+// shuffleBenchJob builds a shuffle-heavy identity job on the typed
+// engine: composite integer keys with a skewed distribution (a few
+// giant groups plus a long tail), the shape the paper's reduce phase
+// sees. The mapper re-emits its input; the reducer folds each group to
+// one record, so the benchmark time is dominated by spill sort +
+// reduce-side merge. coded toggles the binary key code fast path.
+func shuffleBenchJob(r int, coded bool) *mapreduce.Job[int, shuffleKey, int, int] {
+	job := &mapreduce.Job[int, shuffleKey, int, int]{
+		Name:           "shuffle-bench",
+		NumReduceTasks: r,
+		NewMapper: func() mapreduce.Mapper[int, shuffleKey, int] {
+			return &mapreduce.MapperFunc[int, shuffleKey, int]{
+				OnMap: func(ctx *mapreduce.MapContext[int, shuffleKey, int], v int) {
+					ctx.Emit(shuffleBlockOf(v), v)
+				},
+			}
+		},
+		NewReducer: func() mapreduce.Reducer[shuffleKey, int, int] {
+			return &mapreduce.ReducerFunc[shuffleKey, int, int]{
+				OnReduce: func(ctx *mapreduce.ReduceContext[int], _ shuffleKey, values []mapreduce.Rec[shuffleKey, int]) {
+					sum := 0
+					for _, v := range values {
+						sum += v.Value
+					}
+					ctx.Emit(sum)
+				},
+			}
+		},
+		Partition: func(key shuffleKey, r int) int { return key.block % r },
+		Compare:   compareShuffleKeys,
+	}
+	if coded {
+		job.Coding = mapreduce.KeyCoding[shuffleKey]{
+			Encode: func(k shuffleKey) mapreduce.Code {
+				return mapreduce.Code{Hi: uint64(k.block), Lo: uint64(k.sub)}
+			},
+			Exact:     true,
+			GroupBits: 128,
+		}
+	}
+	return job
+}
+
+func shuffleBenchInput(m, perTask int) [][]int {
+	input := make([][]int, m)
 	for i := range input {
-		input[i] = make([]mapreduce.KeyValue, perTask)
+		input[i] = make([]int, perTask)
 		for j := range input[i] {
-			input[i][j] = mapreduce.KeyValue{Value: i*perTask + j*7}
+			input[i][j] = i*perTask + j*7
 		}
 	}
 	return input
 }
 
-// BenchmarkShuffleMerge pits the engine's streaming k-way merge shuffle
-// against the reference concat+stable-sort path on a shuffle-dominated
-// job (16 map tasks × 4000 records, 8 reduce tasks). The kway/concat
-// pair makes regressions of the merge path visible directly in -bench
-// output.
+// BenchmarkShuffleMerge pits the engine variants against each other on
+// a shuffle-dominated job (16 map tasks × 4000 records, 8 reduce
+// tasks): the typed engine with and without binary key codes, and the
+// boxed oracle's k-way merge and concat+stable-sort paths. The group
+// makes regressions of any path visible directly in -bench output.
 func BenchmarkShuffleMerge(b *testing.B) {
-	job := shuffleBenchJob(8)
 	input := shuffleBenchInput(16, 4000)
 	for _, mode := range []struct {
-		name    string
-		shuffle mapreduce.ShuffleMode
+		name  string
+		coded bool
+		eng   mapreduce.Engine
 	}{
-		{"kway", mapreduce.ShuffleKWayMerge},
-		{"concat-sort", mapreduce.ShuffleConcatSort},
+		{name: "typed-coded", coded: true, eng: mapreduce.Engine{Parallelism: 4}},
+		{name: "typed", eng: mapreduce.Engine{Parallelism: 4}},
+		{name: "kway", eng: mapreduce.Engine{Parallelism: 4, Dataflow: mapreduce.DataflowBoxed}},
+		{name: "concat-sort", eng: mapreduce.Engine{Parallelism: 4, Dataflow: mapreduce.DataflowBoxed, Shuffle: mapreduce.ShuffleConcatSort}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			eng := &mapreduce.Engine{Parallelism: 4, Shuffle: mode.shuffle}
+			job := shuffleBenchJob(8, mode.coded)
+			eng := mode.eng
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Run(job, input); err != nil {
+				if _, err := job.Run(&eng, input); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -444,19 +464,31 @@ func BenchmarkShuffleMerge(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineAllocs tracks the engine's per-job allocation footprint
-// on a small fixed job so that allocs/op regressions in the task hot
-// paths (bucketing, spill sort, group streaming) are caught.
+// BenchmarkEngineAllocs tracks the engines' per-job allocation
+// footprint on a small fixed job so that allocs/op regressions in the
+// task hot paths (bucketing, spill sort, group streaming) are caught.
+// The typed/boxed pair documents the per-record boxing cost the typed
+// dataflow removes.
 func BenchmarkEngineAllocs(b *testing.B) {
-	job := shuffleBenchJob(4)
 	input := shuffleBenchInput(4, 500)
-	eng := &mapreduce.Engine{}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(job, input); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name string
+		eng  mapreduce.Engine
+	}{
+		{name: "typed", eng: mapreduce.Engine{}},
+		{name: "boxed", eng: mapreduce.Engine{Dataflow: mapreduce.DataflowBoxed}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			job := shuffleBenchJob(4, true)
+			eng := mode.eng
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := job.Run(&eng, input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

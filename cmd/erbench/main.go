@@ -22,22 +22,24 @@ type reportTable = report.Table
 
 func main() {
 	var (
-		figure    = flag.Int("figure", 0, "figure to reproduce (8-14)")
-		all       = flag.Bool("all", false, "reproduce all figures")
-		appendix  = flag.Bool("appendix", false, "run the Appendix I two-source experiment")
-		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
-		balance   = flag.Bool("balance", false, "report per-strategy reduce-task balance statistics")
-		quality   = flag.Bool("quality", false, "sweep the match threshold and report precision/recall")
-		snrobust  = flag.Bool("sn", false, "sorted-neighborhood skew-robustness extension table")
-		scale     = flag.Float64("scale", 0.05, "dataset scale factor in (0,1]; 1 = paper-sized datasets")
-		executed  = flag.Bool("exec", false, "figures 9/10: execute the real MapReduce jobs instead of the analytic planner (identical tables, slower)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		figure      = flag.Int("figure", 0, "figure to reproduce (8-14)")
+		all         = flag.Bool("all", false, "reproduce all figures")
+		appendix    = flag.Bool("appendix", false, "run the Appendix I two-source experiment")
+		ablations   = flag.Bool("ablations", false, "run the design-choice ablations")
+		balance     = flag.Bool("balance", false, "report per-strategy reduce-task balance statistics")
+		quality     = flag.Bool("quality", false, "sweep the match threshold and report precision/recall")
+		snrobust    = flag.Bool("sn", false, "sorted-neighborhood skew-robustness extension table")
+		scale       = flag.Float64("scale", 0.05, "dataset scale factor in (0,1]; 1 = paper-sized datasets")
+		executed    = flag.Bool("exec", false, "figures 9/10: execute the real MapReduce jobs instead of the analytic planner (identical tables, slower)")
+		parallelism = flag.Int("parallelism", 0, "engine worker bound for executed runs (0 = default)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
 	opts.Executed = *executed
+	opts.Parallelism = *parallelism
 
 	type namedTable func(experiments.Options) (*reportTable, error)
 	var runs []namedTable

@@ -38,6 +38,7 @@ func main() {
 		prefix       = flag.Int("prefix", 3, "blocking key length (title prefix)")
 		threshold    = flag.Float64("threshold", 0.8, "minimum normalized edit-distance similarity")
 		window       = flag.Int("window", 10, "sorted-neighborhood window size (strategy sn)")
+		parallelism  = flag.Int("parallelism", runtime.NumCPU(), "engine worker bound: concurrently executing tasks per phase (0 = one goroutine per task)")
 		showPairs    = flag.Bool("pairs", false, "print every match pair")
 		showClusters = flag.Bool("clusters", false, "print duplicate clusters (transitive closure)")
 		simulate     = flag.Bool("simulate", false, "also report simulated cluster time (10 nodes)")
@@ -60,11 +61,10 @@ func main() {
 
 	matchAttr := *attr
 	// The prepared matcher caches each entity's comparison form once per
-	// reduce group; sorted neighborhood only accepts the plain form, so
-	// it gets the transparent per-pair adapter.
+	// reduce group; every strategy — including sorted neighborhood's
+	// window reducer — now runs the prepare-once kernel.
 	prepared := match.EditDistance(matchAttr, *threshold)
-	matcher := core.PlainMatcher(prepared)
-	engine := &mapreduce.Engine{Parallelism: runtime.NumCPU()}
+	engine := &mapreduce.Engine{Parallelism: *parallelism}
 	parts := entity.SplitRoundRobin(entities, *m)
 
 	var (
@@ -74,12 +74,12 @@ func main() {
 	start := time.Now()
 	if *strategy == "sn" {
 		res, err := sn.Run(parts, sn.Config{
-			Attr:    matchAttr,
-			Key:     func(v string) string { return v },
-			Window:  *window,
-			R:       *r,
-			Matcher: matcher,
-			Engine:  engine,
+			Attr:            matchAttr,
+			Key:             func(v string) string { return v },
+			Window:          *window,
+			R:               *r,
+			PreparedMatcher: prepared,
+			Engine:          engine,
 		})
 		if err != nil {
 			fail(err)

@@ -64,7 +64,7 @@ func main() {
 
 		// Reduce-phase timeline: the straggler slot of Basic versus the
 		// solid bars of the balanced strategies.
-		jr, err := cluster.SimulateJob(cfg, cm, cluster.WorkloadFromResult(res.MatchResult))
+		jr, err := cluster.SimulateJob(cfg, cm, cluster.WorkloadFromResult(&res.MatchResult.Metrics))
 		if err != nil {
 			log.Fatal(err)
 		}

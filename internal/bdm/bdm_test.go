@@ -146,7 +146,7 @@ func TestMRJobAgreesWithDirectBuilder(t *testing.T) {
 					t.Fatalf("side output partition %d has %d records, want %d", p, len(side[p]), len(parts[p]))
 				}
 				for j, kv := range side[p] {
-					if kv.Key.(string) != parts[p][j].Attr("k") {
+					if kv.Key != parts[p][j].Attr("k") {
 						t.Fatalf("side output key mismatch at %d/%d", p, j)
 					}
 				}

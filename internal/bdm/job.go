@@ -18,13 +18,32 @@ type Key struct {
 func (k Key) String() string { return fmt.Sprintf("%s.%d", k.BlockKey, k.Partition) }
 
 // compareKeys sorts by blocking key, then partition index.
-func compareKeys(a, b any) int {
-	ka, kb := a.(Key), b.(Key)
-	if c := mapreduce.CompareStrings(ka.BlockKey, kb.BlockKey); c != 0 {
+func compareKeys(a, b Key) int {
+	if c := mapreduce.CompareStrings(a.BlockKey, b.BlockKey); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInts(ka.Partition, kb.Partition)
+	return mapreduce.CompareInts(a.Partition, b.Partition)
 }
+
+// keyCoding is the BDM key's binary code: a 16-byte prefix of the
+// blocking key. Unequal prefixes decide the order; equal prefixes fall
+// back to the full (BlockKey, Partition) comparator, so the coding is
+// neither exact nor group-deciding.
+var keyCoding = mapreduce.KeyCoding[Key]{
+	Encode: func(k Key) mapreduce.Code { return mapreduce.StringPrefixCode(k.BlockKey) },
+}
+
+// Annotated is a blocking-key-annotated entity: the record format of
+// the BDM job's side output ("additionalOutput" of Algorithm 3) and of
+// the matching job's input.
+type Annotated = mapreduce.Pair[string, entity.Entity]
+
+// CountRecord is one reduce output of the BDM job: a (block, partition)
+// key with its entity count — a matrix cell in record form.
+type CountRecord = mapreduce.Pair[Key, int]
+
+// JobResult is the result type of an executed BDM job.
+type JobResult = mapreduce.Result[Annotated, CountRecord]
 
 // JobOptions configures the BDM computation job.
 type JobOptions struct {
@@ -41,35 +60,37 @@ type JobOptions struct {
 
 // Job returns the MapReduce job of Algorithm 3. The map function
 // computes each entity's blocking key, side-writes the annotated entity
-// (key=blocking key, value=entity) for Job 2, and emits
-// (blockingKey.partitionIndex, 1). Partitioning is by blocking key only
-// so all cells of one block are produced by the same reduce task; sort
-// and group use the entire composite key.
-func Job(opts JobOptions) *mapreduce.Job {
+// for Job 2, and emits (blockingKey.partitionIndex, 1). Input records
+// are annotated entities whose key is ignored (pass "" when running the
+// job standalone). Partitioning is by blocking key only so all cells of
+// one block are produced by the same reduce task; sort and group use
+// the entire composite key.
+func Job(opts JobOptions) *mapreduce.Job[Annotated, Key, int, CountRecord] {
 	if opts.KeyFunc == nil {
 		panic("bdm: JobOptions.KeyFunc is required")
 	}
 	if opts.NumReduceTasks <= 0 {
 		panic("bdm: JobOptions.NumReduceTasks must be > 0")
 	}
-	job := &mapreduce.Job{
+	job := &mapreduce.Job[Annotated, Key, int, CountRecord]{
 		Name:           "bdm",
 		NumReduceTasks: opts.NumReduceTasks,
-		NewMapper: func() mapreduce.Mapper {
+		NewMapper: func() mapreduce.Mapper[Annotated, Key, int] {
 			return &bdmMapper{attr: opts.Attr, keyFunc: opts.KeyFunc}
 		},
-		NewReducer: func() mapreduce.Reducer {
+		NewReducer: func() mapreduce.Reducer[Key, int, CountRecord] {
 			return &countReducer{}
 		},
-		Partition: func(key any, r int) int {
-			return mapreduce.HashPartition(key.(Key).BlockKey, r)
+		Partition: func(key Key, r int) int {
+			return mapreduce.HashPartition(key.BlockKey, r)
 		},
 		Compare: compareKeys,
 		// Group on the entire key: one reduce call per (block, partition).
-		Group: compareKeys,
+		Group:  compareKeys,
+		Coding: keyCoding,
 	}
 	if opts.UseCombiner {
-		job.NewCombiner = func() mapreduce.Reducer { return &countReducer{} }
+		job.NewCombiner = func() mapreduce.Combiner[Annotated, Key, int] { return &countCombiner{} }
 	}
 	return job
 }
@@ -82,50 +103,60 @@ type bdmMapper struct {
 
 func (m *bdmMapper) Configure(_, _, partitionIndex int) { m.partition = partitionIndex }
 
-func (m *bdmMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-	e := kv.Value.(entity.Entity)
+func (m *bdmMapper) Map(ctx *mapreduce.MapContext[Annotated, Key, int], rec Annotated) {
+	e := rec.Value
 	blockKey := m.keyFunc(e.Attr(m.attr))
 	// additionalOutput: the annotated entity for the second MR job.
-	ctx.SideEmit(blockKey, e)
+	ctx.SideEmit(Annotated{Key: blockKey, Value: e})
 	ctx.Emit(Key{BlockKey: blockKey, Partition: m.partition}, 1)
 }
 
 // countReducer sums the 1s (or partial sums from a combiner) for one
-// (block, partition) group and emits a Cell. It serves as both combiner
-// and reducer: as a combiner it re-emits the composite key with the
-// partial count.
+// (block, partition) group and emits a cell record.
 type countReducer struct{}
 
 func (c *countReducer) Configure(_, _, _ int) {}
 
-func (c *countReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
-	k := key.(Key)
+func (c *countReducer) Reduce(ctx *mapreduce.ReduceContext[CountRecord], key Key, values []mapreduce.Rec[Key, int]) {
 	sum := 0
 	for _, v := range values {
-		sum += v.Value.(int)
+		sum += v.Value
 	}
-	ctx.Emit(k, sum)
+	ctx.Emit(CountRecord{Key: key, Value: sum})
+}
+
+// countCombiner is the combiner form of countReducer: it re-emits the
+// composite key with the partial count.
+type countCombiner struct{}
+
+func (c *countCombiner) Configure(_, _, _ int) {}
+
+func (c *countCombiner) Combine(ctx *mapreduce.MapContext[Annotated, Key, int], key Key, values []mapreduce.Rec[Key, int]) {
+	sum := 0
+	for _, v := range values {
+		sum += v.Value
+	}
+	ctx.Emit(key, sum)
 }
 
 // Compute runs Algorithm 3 over the partitioned input and returns the
 // assembled Matrix plus the per-partition side output (entities annotated
 // with their blocking key) that forms the input of the second MR job.
-func Compute(eng *mapreduce.Engine, parts entity.Partitions, opts JobOptions) (*Matrix, [][]mapreduce.KeyValue, *mapreduce.Result, error) {
-	input := make([][]mapreduce.KeyValue, len(parts))
+func Compute(eng *mapreduce.Engine, parts entity.Partitions, opts JobOptions) (*Matrix, [][]Annotated, *JobResult, error) {
+	input := make([][]Annotated, len(parts))
 	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
+		input[i] = make([]Annotated, len(p))
 		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Key: nil, Value: e}
+			input[i][j] = Annotated{Value: e}
 		}
 	}
-	res, err := eng.Run(Job(opts), input)
+	res, err := Job(opts).Run(eng, input)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("bdm: compute: %w", err)
 	}
 	cells := make([]Cell, 0, len(res.Output))
-	for _, kv := range res.Output {
-		k := kv.Key.(Key)
-		cells = append(cells, Cell{BlockKey: k.BlockKey, Partition: k.Partition, Count: kv.Value.(int)})
+	for _, rec := range res.Output {
+		cells = append(cells, Cell{BlockKey: rec.Key.BlockKey, Partition: rec.Key.Partition, Count: rec.Value})
 	}
 	matrix, err := FromCells(cells, len(parts))
 	if err != nil {

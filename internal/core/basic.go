@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bdm"
 	"repro/internal/entity"
@@ -23,40 +24,41 @@ func (Basic) Name() string { return "Basic" }
 func (Basic) NeedsBDM() bool { return false }
 
 // Job implements Strategy. The BDM is ignored and may be nil.
-func (Basic) Job(_ *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
+func (Basic) Job(_ *bdm.Matrix, r int, match Matcher) (MatchJob, error) {
 	return basicJob(r, matchKernel{match: match})
 }
 
 // JobPrepared implements PreparedStrategy.
-func (Basic) JobPrepared(_ *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
-	return basicJob(r, matchKernel{pm: pm})
+func (Basic) JobPrepared(_ *bdm.Matrix, r int, pm PreparedMatcher) (MatchJob, error) {
+	return basicJob(r, preparedKernel(pm))
 }
 
-func basicJob(r int, kern matchKernel) (*mapreduce.Job, error) {
+func basicJob(r int, kern matchKernel) (MatchJob, error) {
 	if err := validateJobParams("Basic", r); err != nil {
 		return nil, err
 	}
-	return &mapreduce.Job{
+	return &mapreduce.Job[AnnotatedEntity, string, entity.Entity, MatchOutput]{
 		Name:           "basic",
 		NumReduceTasks: r,
-		NewMapper: func() mapreduce.Mapper {
-			return &mapreduce.FuncMapper{
-				OnMap: func(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
+		NewMapper: func() mapreduce.Mapper[AnnotatedEntity, string, entity.Entity] {
+			return &mapreduce.MapperFunc[AnnotatedEntity, string, entity.Entity]{
+				OnMap: func(ctx *mapreduce.MapContext[AnnotatedEntity, string, entity.Entity], rec AnnotatedEntity) {
 					// Input records are the BDM job's side output
 					// (blocking key, entity); Basic forwards them
 					// unchanged. (Run standalone, the blocking key would
 					// be computed here — the dataflow is identical.)
-					ctx.Emit(kv.Key.(string), kv.Value.(entity.Entity))
+					ctx.Emit(rec.Key, rec.Value)
 				},
 			}
 		},
-		NewReducer: func() mapreduce.Reducer {
+		NewReducer: func() mapreduce.Reducer[string, entity.Entity, MatchOutput] {
 			return &basicReducer{kern: kern}
 		},
-		Partition: func(key any, r int) int {
-			return mapreduce.HashPartition(key.(string), r)
-		},
-		Compare: mapreduce.CompareStrings,
+		Partition: mapreduce.HashPartition,
+		Compare:   strings.Compare,
+		// The blocking key is an arbitrary string: a 16-byte prefix code
+		// decides most comparisons, ties fall back to the full compare.
+		Coding: mapreduce.KeyCoding[string]{Encode: mapreduce.StringPrefixCode},
 	}, nil
 }
 
@@ -71,13 +73,13 @@ type basicReducer struct {
 // block in memory — the paper's memory-bottleneck argument against Basic.
 func (b *basicReducer) Configure(_, _, _ int) {}
 
-func (b *basicReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+func (b *basicReducer) Reduce(ctx *matchCtx, _ string, values []mapreduce.Rec[string, entity.Entity]) {
 	if pm := b.kern.pm; pm != nil {
 		// Prepared path: derive each entity's comparison form once per
 		// group, compare cached forms pairwise.
 		b.buffer, b.prep = b.buffer[:0], b.prep[:0]
 		for _, v := range values {
-			e2 := v.Value.(entity.Entity)
+			e2 := v.Value
 			p2 := pm.Prepare(e2)
 			for i, e1 := range b.buffer {
 				matchAndEmitPrepared(ctx, pm, e1, e2, b.prep[i], p2)
@@ -85,11 +87,12 @@ func (b *basicReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.
 			b.buffer = append(b.buffer, e2)
 			b.prep = append(b.prep, p2)
 		}
+		b.kern.releaseAll(b.prep)
 		return
 	}
 	b.buffer = b.buffer[:0]
 	for _, v := range values {
-		e2 := v.Value.(entity.Entity)
+		e2 := v.Value
 		for _, e1 := range b.buffer {
 			matchAndEmit(ctx, b.kern.match, e1, e2)
 		}

@@ -236,34 +236,55 @@ func (h *loadHeap) Pop() any {
 	return x
 }
 
-func compareBSKeys(a, b any) int {
-	ka, kb := a.(BSKey), b.(BSKey)
-	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+func compareBSKeys(a, b BSKey) int {
+	if c := mapreduce.CompareInts(a.Block, b.Block); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareInts(ka.I, kb.I); c != 0 {
+	if c := mapreduce.CompareInts(a.I, b.I); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInts(ka.J, kb.J)
+	return mapreduce.CompareInts(a.J, b.J)
+}
+
+// bsKeyCoding packs a BSKey into an exact order-preserving code:
+// block ‖ i+1 ‖ j+1 (the +1 maps the unsplit sentinel −1 to 0, keeping
+// all components non-negative). Group ≡ Compare, so grouping is full
+// code equality. The bounds are far beyond any realistic BDM; if they
+// are ever exceeded the coding is disabled and the engine falls back to
+// the struct comparator.
+func bsKeyCoding(x *bdm.Matrix) mapreduce.KeyCoding[BSKey] {
+	if x.NumBlocks() > 1<<32 || x.NumPartitions() >= 1<<31 {
+		return mapreduce.KeyCoding[BSKey]{}
+	}
+	return mapreduce.KeyCoding[BSKey]{
+		Encode: func(k BSKey) mapreduce.Code {
+			return mapreduce.Code{
+				Hi: uint64(uint32(k.Block))<<32 | uint64(uint32(k.I+1)),
+				Lo: uint64(uint32(k.J + 1)),
+			}
+		},
+		Exact:     true,
+		GroupBits: 128,
+	}
 }
 
 // Job implements Strategy (Algorithm 1). Input records must be the BDM
-// job's side output (key = blocking key, value = entity).
-func (bs BlockSplit) Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
+// job's side output (blocking-key-annotated entities).
+func (bs BlockSplit) Job(x *bdm.Matrix, r int, match Matcher) (MatchJob, error) {
 	return blockSplitJob(x, r, matchKernel{match: match}, nil, bs.MaxEntitiesPerTask)
 }
 
 // JobPrepared implements PreparedStrategy.
-func (bs BlockSplit) JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
-	return blockSplitJob(x, r, matchKernel{pm: pm}, nil, bs.MaxEntitiesPerTask)
+func (bs BlockSplit) JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (MatchJob, error) {
+	return blockSplitJob(x, r, preparedKernel(pm), nil, bs.MaxEntitiesPerTask)
 }
 
 // JobWithAssign is Job with a custom assignment policy (for ablations).
-func (bs BlockSplit) JobWithAssign(x *bdm.Matrix, r int, match Matcher, assign AssignFunc) (*mapreduce.Job, error) {
+func (bs BlockSplit) JobWithAssign(x *bdm.Matrix, r int, match Matcher, assign AssignFunc) (MatchJob, error) {
 	return blockSplitJob(x, r, matchKernel{match: match}, assign, bs.MaxEntitiesPerTask)
 }
 
-func blockSplitJob(x *bdm.Matrix, r int, kern matchKernel, assign AssignFunc, maxEntities int) (*mapreduce.Job, error) {
+func blockSplitJob(x *bdm.Matrix, r int, kern matchKernel, assign AssignFunc, maxEntities int) (MatchJob, error) {
 	if err := validateJobParams("BlockSplit", r); err != nil {
 		return nil, err
 	}
@@ -274,18 +295,19 @@ func blockSplitJob(x *bdm.Matrix, r int, kern matchKernel, assign AssignFunc, ma
 	// compute it once and share it read-only (each Hadoop map task would
 	// recompute it from the distributed BDM file).
 	asg := buildAssignment(x, r, assign, maxEntities)
-	return &mapreduce.Job{
+	return &mapreduce.Job[AnnotatedEntity, BSKey, bsValue, MatchOutput]{
 		Name:           "blocksplit",
 		NumReduceTasks: r,
-		NewMapper: func() mapreduce.Mapper {
+		NewMapper: func() mapreduce.Mapper[AnnotatedEntity, BSKey, bsValue] {
 			return &bsMapper{x: x, asg: asg}
 		},
-		NewReducer: func() mapreduce.Reducer {
+		NewReducer: func() mapreduce.Reducer[BSKey, bsValue, MatchOutput] {
 			return &bsReducer{kern: kern}
 		},
-		Partition: func(key any, r int) int { return key.(BSKey).Reduce % r },
+		Partition: func(key BSKey, r int) int { return key.Reduce % r },
 		Compare:   compareBSKeys,
 		Group:     compareBSKeys,
+		Coding:    bsKeyCoding(x),
 	}, nil
 }
 
@@ -307,9 +329,9 @@ func (mp *bsMapper) Configure(m, _, partitionIndex int) {
 // Map implements Algorithm 1 lines 29-44: one output per unsplit block
 // entity, m outputs (own sub-block + m−1 combinations) per split-block
 // entity.
-func (mp *bsMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-	blockKey := kv.Key.(string)
-	e := kv.Value.(entity.Entity)
+func (mp *bsMapper) Map(ctx *mapreduce.MapContext[AnnotatedEntity, BSKey, bsValue], rec AnnotatedEntity) {
+	blockKey := rec.Key
+	e := rec.Value
 	k, ok := mp.x.BlockIndex(blockKey)
 	if !ok {
 		panic(fmt.Sprintf("core: BlockSplit: blocking key %q not present in BDM", blockKey))
@@ -353,8 +375,7 @@ func (rd *bsReducer) Configure(_, _, _ int) {}
 // prepared matcher, every buffered entity is prepared exactly once; in a
 // cross-product task the non-buffered side's entity is prepared once and
 // compared against the whole buffer.
-func (rd *bsReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
-	k := key.(BSKey)
+func (rd *bsReducer) Reduce(ctx *matchCtx, k BSKey, values []mapreduce.Rec[BSKey, bsValue]) {
 	if rd.kern.pm != nil {
 		rd.reducePrepared(ctx, k, values)
 		return
@@ -362,7 +383,7 @@ func (rd *bsReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.
 	rd.buffer = rd.buffer[:0]
 	if k.I == k.J {
 		for _, v := range values {
-			e2 := v.Value.(bsValue).E
+			e2 := v.Value.E
 			for _, e1 := range rd.buffer {
 				matchAndEmit(ctx, rd.kern.match, e1, e2)
 			}
@@ -370,9 +391,9 @@ func (rd *bsReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.
 		}
 		return
 	}
-	firstPartition := values[0].Value.(bsValue).Partition
+	firstPartition := values[0].Value.Partition
 	for _, v := range values {
-		bv := v.Value.(bsValue)
+		bv := v.Value
 		if bv.Partition == firstPartition {
 			rd.buffer = append(rd.buffer, bv.E)
 			continue
@@ -383,12 +404,12 @@ func (rd *bsReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.
 	}
 }
 
-func (rd *bsReducer) reducePrepared(ctx *mapreduce.Context, k BSKey, values []mapreduce.KeyValue) {
+func (rd *bsReducer) reducePrepared(ctx *matchCtx, k BSKey, values []mapreduce.Rec[BSKey, bsValue]) {
 	pm := rd.kern.pm
 	rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
 	if k.I == k.J {
 		for _, v := range values {
-			e2 := v.Value.(bsValue).E
+			e2 := v.Value.E
 			p2 := pm.Prepare(e2)
 			for i, e1 := range rd.buffer {
 				matchAndEmitPrepared(ctx, pm, e1, e2, rd.prep[i], p2)
@@ -396,11 +417,12 @@ func (rd *bsReducer) reducePrepared(ctx *mapreduce.Context, k BSKey, values []ma
 			rd.buffer = append(rd.buffer, e2)
 			rd.prep = append(rd.prep, p2)
 		}
+		rd.kern.releaseAll(rd.prep)
 		return
 	}
-	firstPartition := values[0].Value.(bsValue).Partition
+	firstPartition := values[0].Value.Partition
 	for _, v := range values {
-		bv := v.Value.(bsValue)
+		bv := v.Value
 		if bv.Partition == firstPartition {
 			rd.buffer = append(rd.buffer, bv.E)
 			rd.prep = append(rd.prep, pm.Prepare(bv.E))
@@ -410,7 +432,9 @@ func (rd *bsReducer) reducePrepared(ctx *mapreduce.Context, k BSKey, values []ma
 		for i, e1 := range rd.buffer {
 			matchAndEmitPrepared(ctx, pm, e1, bv.E, rd.prep[i], p2)
 		}
+		rd.kern.release(p2)
 	}
+	rd.kern.releaseAll(rd.prep)
 }
 
 // Plan implements Strategy: it reuses the exact match-task creation and

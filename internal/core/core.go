@@ -63,23 +63,69 @@ type PreparedMatcher interface {
 	MatchPrepared(a, b PreparedEntity) (float64, bool)
 }
 
+// PreparedReleaser is an optional extension of PreparedMatcher: a
+// matcher whose prepared forms come from a free list implements it, and
+// the strategy reducers hand every PreparedEntity back via
+// ReleasePrepared as soon as its reduce group is finished. A released
+// entity must never be used again. Matchers without the interface are
+// simply never released (the GC reclaims their prepared forms).
+type PreparedReleaser interface {
+	ReleasePrepared(PreparedEntity)
+}
+
 // PlainMatcher adapts a PreparedMatcher to the plain Matcher form by
 // preparing both entities on every call. It is the transparent fallback
 // for execution paths that only accept a Matcher (custom strategies,
 // sorted neighborhood, serial references); results are identical, only
 // the per-pair preparation cost returns.
 func PlainMatcher(pm PreparedMatcher) Matcher {
+	rel, _ := pm.(PreparedReleaser)
 	return func(a, b entity.Entity) (float64, bool) {
-		return pm.MatchPrepared(pm.Prepare(a), pm.Prepare(b))
+		pa, pb := pm.Prepare(a), pm.Prepare(b)
+		sim, ok := pm.MatchPrepared(pa, pb)
+		if rel != nil {
+			rel.ReleasePrepared(pa)
+			rel.ReleasePrepared(pb)
+		}
+		return sim, ok
 	}
 }
 
 // matchKernel carries whichever matcher form a job was built with. At
-// most one of the fields is set; both nil means "count comparisons
-// without comparing" (the nil-Matcher contract).
+// most one of match/pm is set; both nil means "count comparisons
+// without comparing" (the nil-Matcher contract). rel is pm's optional
+// release hook.
 type matchKernel struct {
 	match Matcher
 	pm    PreparedMatcher
+	rel   PreparedReleaser
+}
+
+// preparedKernel builds the kernel for a prepared matcher, wiring the
+// release hook when the matcher provides one.
+func preparedKernel(pm PreparedMatcher) matchKernel {
+	k := matchKernel{pm: pm}
+	if r, ok := pm.(PreparedReleaser); ok {
+		k.rel = r
+	}
+	return k
+}
+
+// release hands one prepared entity back to the matcher's free list.
+func (k *matchKernel) release(p PreparedEntity) {
+	if k.rel != nil {
+		k.rel.ReleasePrepared(p)
+	}
+}
+
+// releaseAll hands a whole group buffer back.
+func (k *matchKernel) releaseAll(ps []PreparedEntity) {
+	if k.rel == nil {
+		return
+	}
+	for _, p := range ps {
+		k.rel.ReleasePrepared(p)
+	}
 }
 
 // MatchPair is one entry of the match result: the IDs of two entities
@@ -102,8 +148,30 @@ func (p MatchPair) String() string { return p.A + "|" + p.B }
 // strategy's reduce function records the number of pair comparisons it
 // performed. The cluster simulator keys its cost model off it. It
 // aliases the engine's constant, which gives it an allocation-free fast
-// path in Context.Inc.
+// path in the contexts' Inc.
 const ComparisonsCounter = mapreduce.ComparisonsCounter
+
+// AnnotatedEntity is one input record of a matching job: an entity
+// annotated with its blocking key — the format of the BDM job's side
+// output (Algorithm 3's "additionalOutput").
+type AnnotatedEntity = mapreduce.Pair[string, entity.Entity]
+
+// MatchOutput is one emitted match: the canonical pair and its
+// similarity.
+type MatchOutput = mapreduce.Pair[MatchPair, float64]
+
+// MatchJob is a runnable matching job (Job 2 of the paper's workflow)
+// with the strategy's intermediate key/value types erased: all
+// strategies consume blocking-key-annotated entities and emit match
+// pairs, but each redistributes through its own composite key type.
+type MatchJob = mapreduce.JobRunner[AnnotatedEntity, MatchOutput]
+
+// MatchJobResult is the result of executing a MatchJob.
+type MatchJobResult = mapreduce.Result[AnnotatedEntity, MatchOutput]
+
+// matchCtx is the reduce-side context type shared by all strategy
+// reducers.
+type matchCtx = mapreduce.ReduceContext[MatchOutput]
 
 // Strategy is a one-source redistribution strategy. Implementations:
 // Basic, BlockSplit, PairRange.
@@ -115,9 +183,9 @@ type Strategy interface {
 	// as a single job without the preprocessing step).
 	NeedsBDM() bool
 	// Job builds the executable MR Job 2. Input records must be the BDM
-	// job's side output: key = blocking key (string), value =
-	// entity.Entity. x may be nil iff !NeedsBDM().
-	Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error)
+	// job's side output (blocking-key-annotated entities). x may be nil
+	// iff !NeedsBDM().
+	Job(x *bdm.Matrix, r int, match Matcher) (MatchJob, error)
 	// Plan computes the exact per-task workloads Job would produce for m
 	// input partitions and r reduce tasks, without executing anything.
 	Plan(x *bdm.Matrix, m, r int) (*Plan, error)
@@ -131,14 +199,14 @@ type PreparedStrategy interface {
 	Strategy
 	// JobPrepared is Job with a prepared matcher driving the reduce
 	// phase. pm may be nil (count comparisons only).
-	JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error)
+	JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (MatchJob, error)
 }
 
 // DualStrategy is a two-source (R×S) redistribution strategy from
 // Appendix I. Implementations: BlockSplitDual, PairRangeDual.
 type DualStrategy interface {
 	Name() string
-	Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error)
+	Job(x *bdm.DualMatrix, r int, match Matcher) (MatchJob, error)
 	Plan(x *bdm.DualMatrix, r int) (*Plan, error)
 }
 
@@ -146,7 +214,7 @@ type DualStrategy interface {
 // (implemented by BlockSplitDual and PairRangeDual).
 type PreparedDualStrategy interface {
 	DualStrategy
-	JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (*mapreduce.Job, error)
+	JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (MatchJob, error)
 }
 
 // Plan holds the exact per-task workloads a strategy's Job 2 produces.
@@ -222,21 +290,21 @@ func newPlan(strategy string, m, r int) *Plan {
 
 // matchAndEmit performs one comparison via the matcher and emits the
 // canonical pair on success. A nil matcher counts only.
-func matchAndEmit(ctx *mapreduce.Context, match Matcher, a, b entity.Entity) {
+func matchAndEmit(ctx *matchCtx, match Matcher, a, b entity.Entity) {
 	ctx.Inc(ComparisonsCounter, 1)
 	if match == nil {
 		return
 	}
 	if sim, ok := match(a, b); ok {
-		ctx.Emit(NewMatchPair(a.ID, b.ID), sim)
+		ctx.Emit(MatchOutput{Key: NewMatchPair(a.ID, b.ID), Value: sim})
 	}
 }
 
 // matchAndEmitPrepared is matchAndEmit on already-prepared forms.
-func matchAndEmitPrepared(ctx *mapreduce.Context, pm PreparedMatcher, a, b entity.Entity, pa, pb PreparedEntity) {
+func matchAndEmitPrepared(ctx *matchCtx, pm PreparedMatcher, a, b entity.Entity, pa, pb PreparedEntity) {
 	ctx.Inc(ComparisonsCounter, 1)
 	if sim, ok := pm.MatchPrepared(pa, pb); ok {
-		ctx.Emit(NewMatchPair(a.ID, b.ID), sim)
+		ctx.Emit(MatchOutput{Key: NewMatchPair(a.ID, b.ID), Value: sim})
 	}
 }
 

@@ -41,11 +41,6 @@ func (k BSDKey) String() string {
 	return fmt.Sprintf("%d.%d.%dx%d.%s", k.Reduce, k.Block, k.RPart, k.SPart, k.Source)
 }
 
-type bsdValue struct {
-	E      entity.Entity
-	Source bdm.Source
-}
-
 type dualTaskID struct {
 	block        int
 	rPart, sPart int // −1,−1 = unsplit
@@ -143,44 +138,61 @@ func assignDualGreedy(tasks []*dualMatchTask, r int) []int64 {
 	return loads
 }
 
-func compareBSDKeys(a, b any) int {
-	ka, kb := a.(BSDKey), b.(BSDKey)
-	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+func compareBSDKeys(a, b BSDKey) int {
+	if c := mapreduce.CompareInts(a.Block, b.Block); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareInts(ka.RPart, kb.RPart); c != 0 {
+	if c := mapreduce.CompareInts(a.RPart, b.RPart); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareInts(ka.SPart, kb.SPart); c != 0 {
+	if c := mapreduce.CompareInts(a.SPart, b.SPart); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInts(int(ka.Source), int(kb.Source))
+	return mapreduce.CompareInts(int(a.Source), int(b.Source))
 }
 
-func groupBSDKeys(a, b any) int {
-	ka, kb := a.(BSDKey), b.(BSDKey)
-	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+func groupBSDKeys(a, b BSDKey) int {
+	if c := mapreduce.CompareInts(a.Block, b.Block); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareInts(ka.RPart, kb.RPart); c != 0 {
+	if c := mapreduce.CompareInts(a.RPart, b.RPart); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInts(ka.SPart, kb.SPart)
+	return mapreduce.CompareInts(a.SPart, b.SPart)
 }
 
-// Job implements DualStrategy. Input records must carry key = blocking
-// key (string) and value = entity; each input partition holds entities
-// of exactly one source as recorded in the DualMatrix.
-func (BlockSplitDual) Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error) {
+// bsdKeyCoding packs a BSDKey exactly: block ‖ rPart+1 ‖ sPart+1 in the
+// high word (the grouping key, hence GroupBits 64), the source bit in
+// the low word.
+func bsdKeyCoding(x *bdm.DualMatrix) mapreduce.KeyCoding[BSDKey] {
+	if x.NumBlocks() > 1<<32 || x.NumPartitions() >= (1<<16)-1 {
+		return mapreduce.KeyCoding[BSDKey]{}
+	}
+	return mapreduce.KeyCoding[BSDKey]{
+		Encode: func(k BSDKey) mapreduce.Code {
+			return mapreduce.Code{
+				Hi: uint64(uint32(k.Block))<<32 | uint64(uint16(k.RPart+1))<<16 | uint64(uint16(k.SPart+1)),
+				Lo: uint64(k.Source),
+			}
+		},
+		Exact:     true,
+		GroupBits: 64,
+	}
+}
+
+// Job implements DualStrategy. Input records must be blocking-key-
+// annotated entities; each input partition holds entities of exactly
+// one source as recorded in the DualMatrix.
+func (BlockSplitDual) Job(x *bdm.DualMatrix, r int, match Matcher) (MatchJob, error) {
 	return blockSplitDualJob(x, r, matchKernel{match: match})
 }
 
 // JobPrepared implements PreparedDualStrategy.
-func (BlockSplitDual) JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
-	return blockSplitDualJob(x, r, matchKernel{pm: pm})
+func (BlockSplitDual) JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (MatchJob, error) {
+	return blockSplitDualJob(x, r, preparedKernel(pm))
 }
 
-func blockSplitDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (*mapreduce.Job, error) {
+func blockSplitDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (MatchJob, error) {
 	if err := validateJobParams("BlockSplitDual", r); err != nil {
 		return nil, err
 	}
@@ -188,18 +200,19 @@ func blockSplitDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (*mapreduce.J
 		return nil, fmt.Errorf("core: BlockSplitDual requires a dual BDM")
 	}
 	asg := buildDualAssignment(x, r)
-	return &mapreduce.Job{
+	return &mapreduce.Job[AnnotatedEntity, BSDKey, entity.Entity, MatchOutput]{
 		Name:           "blocksplit-dual",
 		NumReduceTasks: r,
-		NewMapper: func() mapreduce.Mapper {
+		NewMapper: func() mapreduce.Mapper[AnnotatedEntity, BSDKey, entity.Entity] {
 			return &bsdMapper{x: x, asg: asg}
 		},
-		NewReducer: func() mapreduce.Reducer {
+		NewReducer: func() mapreduce.Reducer[BSDKey, entity.Entity, MatchOutput] {
 			return &bsdReducer{kern: kern}
 		},
-		Partition: func(key any, r int) int { return key.(BSDKey).Reduce % r },
+		Partition: func(key BSDKey, r int) int { return key.Reduce % r },
 		Compare:   compareBSDKeys,
 		Group:     groupBSDKeys,
+		Coding:    bsdKeyCoding(x),
 	}, nil
 }
 
@@ -218,9 +231,9 @@ func (mp *bsdMapper) Configure(m, _, partitionIndex int) {
 	mp.source = mp.x.PartitionSource(partitionIndex)
 }
 
-func (mp *bsdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-	blockKey := kv.Key.(string)
-	e := kv.Value.(entity.Entity)
+func (mp *bsdMapper) Map(ctx *mapreduce.MapContext[AnnotatedEntity, BSDKey, entity.Entity], rec AnnotatedEntity) {
+	blockKey := rec.Key
+	e := rec.Value
 	k, ok := mp.x.BlockIndex(blockKey)
 	if !ok {
 		panic(fmt.Sprintf("core: BlockSplitDual: blocking key %q not present in dual BDM", blockKey))
@@ -231,8 +244,7 @@ func (mp *bsdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 	}
 	if comps <= mp.asg.avg {
 		t := mp.asg.tasks[dualTaskID{block: k, rPart: -1, sPart: -1}]
-		ctx.Emit(BSDKey{Reduce: t.reduce, Block: k, RPart: -1, SPart: -1, Source: mp.source},
-			bsdValue{E: e, Source: mp.source})
+		ctx.Emit(BSDKey{Reduce: t.reduce, Block: k, RPart: -1, SPart: -1, Source: mp.source}, e)
 		return
 	}
 	// Split block: emit one copy per match task pairing this entity's
@@ -249,8 +261,7 @@ func (mp *bsdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 		if t == nil {
 			continue
 		}
-		ctx.Emit(BSDKey{Reduce: t.reduce, Block: k, RPart: id.rPart, SPart: id.sPart, Source: mp.source},
-			bsdValue{E: e, Source: mp.source})
+		ctx.Emit(BSDKey{Reduce: t.reduce, Block: k, RPart: id.rPart, SPart: id.sPart, Source: mp.source}, e)
 	}
 }
 
@@ -267,32 +278,34 @@ func (rd *bsdReducer) Configure(_, _, _ int) {}
 // cross-source pairs are evaluated. With a prepared matcher, each R
 // entity is prepared once while buffering and each S entity once before
 // its scan of the buffer.
-func (rd *bsdReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+func (rd *bsdReducer) Reduce(ctx *matchCtx, _ BSDKey, values []mapreduce.Rec[BSDKey, entity.Entity]) {
 	if pm := rd.kern.pm; pm != nil {
 		rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
 		for _, v := range values {
-			bv := v.Value.(bsdValue)
-			if bv.Source == bdm.SourceR {
-				rd.buffer = append(rd.buffer, bv.E)
-				rd.prep = append(rd.prep, pm.Prepare(bv.E))
+			e := v.Value
+			if v.Key.Source == bdm.SourceR {
+				rd.buffer = append(rd.buffer, e)
+				rd.prep = append(rd.prep, pm.Prepare(e))
 				continue
 			}
-			p2 := pm.Prepare(bv.E)
+			p2 := pm.Prepare(e)
 			for i, e1 := range rd.buffer {
-				matchAndEmitPrepared(ctx, pm, e1, bv.E, rd.prep[i], p2)
+				matchAndEmitPrepared(ctx, pm, e1, e, rd.prep[i], p2)
 			}
+			rd.kern.release(p2)
 		}
+		rd.kern.releaseAll(rd.prep)
 		return
 	}
 	rd.buffer = rd.buffer[:0]
 	for _, v := range values {
-		bv := v.Value.(bsdValue)
-		if bv.Source == bdm.SourceR {
-			rd.buffer = append(rd.buffer, bv.E)
+		e := v.Value
+		if v.Key.Source == bdm.SourceR {
+			rd.buffer = append(rd.buffer, e)
 			continue
 		}
 		for _, e1 := range rd.buffer {
-			matchAndEmit(ctx, rd.kern.match, e1, bv.E)
+			matchAndEmit(ctx, rd.kern.match, e1, e)
 		}
 	}
 }

@@ -36,32 +36,51 @@ func (k PRDKey) String() string {
 	return fmt.Sprintf("%d.%d.%s.%d", k.Range, k.Block, k.Source, k.Index)
 }
 
+// prdValue is the reduce-side buffer entry for R entities; source and
+// index travel in the record's PRDKey, so the shuffle carries the bare
+// entity.
 type prdValue struct {
-	E      entity.Entity
-	Source bdm.Source
-	Index  int64
+	E     entity.Entity
+	Index int64
 }
 
-func comparePRDKeys(a, b any) int {
-	ka, kb := a.(PRDKey), b.(PRDKey)
-	if c := mapreduce.CompareInts(ka.Range, kb.Range); c != 0 {
+func comparePRDKeys(a, b PRDKey) int {
+	if c := mapreduce.CompareInts(a.Range, b.Range); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+	if c := mapreduce.CompareInts(a.Block, b.Block); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareInts(int(ka.Source), int(kb.Source)); c != 0 {
+	if c := mapreduce.CompareInts(int(a.Source), int(b.Source)); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInt64s(ka.Index, kb.Index)
+	return mapreduce.CompareInt64s(a.Index, b.Index)
 }
 
-func groupPRDKeys(a, b any) int {
-	ka, kb := a.(PRDKey), b.(PRDKey)
-	if c := mapreduce.CompareInts(ka.Range, kb.Range); c != 0 {
+func groupPRDKeys(a, b PRDKey) int {
+	if c := mapreduce.CompareInts(a.Range, b.Range); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInts(ka.Block, kb.Block)
+	return mapreduce.CompareInts(a.Block, b.Block)
+}
+
+// prdKeyCoding packs a PRDKey exactly: range ‖ block in the high word
+// (the grouping key, hence GroupBits 64), the source bit above the
+// 63-bit entity index in the low word.
+func prdKeyCoding(x *bdm.DualMatrix, r int) mapreduce.KeyCoding[PRDKey] {
+	if x.NumBlocks() > 1<<32 || r > 1<<31 {
+		return mapreduce.KeyCoding[PRDKey]{}
+	}
+	return mapreduce.KeyCoding[PRDKey]{
+		Encode: func(k PRDKey) mapreduce.Code {
+			return mapreduce.Code{
+				Hi: uint64(uint32(k.Range))<<32 | uint64(uint32(k.Block)),
+				Lo: uint64(k.Source)<<63 | uint64(k.Index),
+			}
+		},
+		Exact:     true,
+		GroupBits: 64,
+	}
 }
 
 // dualRelevantRanges computes the ranges containing at least one pair of
@@ -98,18 +117,18 @@ func dualRelevantRanges(x *bdm.DualMatrix, ranges Ranges, k int, src bdm.Source,
 	return out
 }
 
-// Job implements DualStrategy. Input records must carry key = blocking
-// key and value = entity, one source per input partition.
-func (PairRangeDual) Job(x *bdm.DualMatrix, r int, match Matcher) (*mapreduce.Job, error) {
+// Job implements DualStrategy. Input records must be blocking-key-
+// annotated entities, one source per input partition.
+func (PairRangeDual) Job(x *bdm.DualMatrix, r int, match Matcher) (MatchJob, error) {
 	return pairRangeDualJob(x, r, matchKernel{match: match})
 }
 
 // JobPrepared implements PreparedDualStrategy.
-func (PairRangeDual) JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
-	return pairRangeDualJob(x, r, matchKernel{pm: pm})
+func (PairRangeDual) JobPrepared(x *bdm.DualMatrix, r int, pm PreparedMatcher) (MatchJob, error) {
+	return pairRangeDualJob(x, r, preparedKernel(pm))
 }
 
-func pairRangeDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (*mapreduce.Job, error) {
+func pairRangeDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (MatchJob, error) {
 	if err := validateJobParams("PairRangeDual", r); err != nil {
 		return nil, err
 	}
@@ -117,18 +136,19 @@ func pairRangeDualJob(x *bdm.DualMatrix, r int, kern matchKernel) (*mapreduce.Jo
 		return nil, fmt.Errorf("core: PairRangeDual requires a dual BDM")
 	}
 	ranges := NewRanges(x.Pairs(), r)
-	return &mapreduce.Job{
+	return &mapreduce.Job[AnnotatedEntity, PRDKey, entity.Entity, MatchOutput]{
 		Name:           "pairrange-dual",
 		NumReduceTasks: r,
-		NewMapper: func() mapreduce.Mapper {
+		NewMapper: func() mapreduce.Mapper[AnnotatedEntity, PRDKey, entity.Entity] {
 			return &prdMapper{x: x, ranges: ranges}
 		},
-		NewReducer: func() mapreduce.Reducer {
+		NewReducer: func() mapreduce.Reducer[PRDKey, entity.Entity, MatchOutput] {
 			return &prdReducer{x: x, ranges: ranges, kern: kern}
 		},
-		Partition: func(key any, r int) int { return key.(PRDKey).Range % r },
+		Partition: func(key PRDKey, r int) int { return key.Range % r },
 		Compare:   comparePRDKeys,
 		Group:     groupPRDKeys,
+		Coding:    prdKeyCoding(x, r),
 	}, nil
 }
 
@@ -151,9 +171,9 @@ func (mp *prdMapper) Configure(m, _, partitionIndex int) {
 	}
 }
 
-func (mp *prdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-	blockKey := kv.Key.(string)
-	e := kv.Value.(entity.Entity)
+func (mp *prdMapper) Map(ctx *mapreduce.MapContext[AnnotatedEntity, PRDKey, entity.Entity], rec AnnotatedEntity) {
+	blockKey := rec.Key
+	e := rec.Value
 	k, ok := mp.x.BlockIndex(blockKey)
 	if !ok {
 		panic(fmt.Sprintf("core: PairRangeDual: blocking key %q not present in dual BDM", blockKey))
@@ -162,8 +182,7 @@ func (mp *prdMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 	mp.entityIndex[k]++
 	mp.scratch = dualRelevantRanges(mp.x, mp.ranges, k, mp.source, idx, mp.scratch)
 	for _, rg := range mp.scratch {
-		ctx.Emit(PRDKey{Range: rg, Block: k, Source: mp.source, Index: idx},
-			prdValue{E: e, Source: mp.source, Index: idx})
+		ctx.Emit(PRDKey{Range: rg, Block: k, Source: mp.source, Index: idx}, e)
 	}
 }
 
@@ -183,8 +202,7 @@ func (rd *prdReducer) Configure(_, _, taskIndex int) { rd.task = taskIndex }
 // entity it scans the R buffer; pair indexes grow with the R index, so
 // the scan stops once the range is exceeded. With a prepared matcher,
 // every entity is prepared exactly once per group.
-func (rd *prdReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
-	k := key.(PRDKey)
+func (rd *prdReducer) Reduce(ctx *matchCtx, k PRDKey, values []mapreduce.Rec[PRDKey, entity.Entity]) {
 	ns := int64(rd.x.SourceSize(k.Block, bdm.SourceS))
 	off := rd.x.PairOffset(k.Block)
 	// Direct bound comparisons replace the per-pair Ranges.Index
@@ -193,8 +211,8 @@ func (rd *prdReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce
 	if pm := rd.kern.pm; pm != nil {
 		rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
 		for _, v := range values {
-			pv := v.Value.(prdValue)
-			if pv.Source == bdm.SourceR {
+			pv := prdValue{E: v.Value, Index: v.Key.Index}
+			if v.Key.Source == bdm.SourceR {
 				rd.buffer = append(rd.buffer, pv)
 				rd.prep = append(rd.prep, pm.Prepare(pv.E))
 				continue
@@ -209,13 +227,15 @@ func (rd *prdReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce
 					matchAndEmitPrepared(ctx, pm, b.E, pv.E, rd.prep[i], p2)
 				}
 			}
+			rd.kern.release(p2)
 		}
+		rd.kern.releaseAll(rd.prep)
 		return
 	}
 	rd.buffer = rd.buffer[:0]
 	for _, v := range values {
-		pv := v.Value.(prdValue)
-		if pv.Source == bdm.SourceR {
+		pv := prdValue{E: v.Value, Index: v.Key.Index}
+		if v.Key.Source == bdm.SourceR {
 			rd.buffer = append(rd.buffer, pv)
 			continue
 		}

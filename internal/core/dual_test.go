@@ -94,20 +94,13 @@ func expectedDualPairs(parts entity.Partitions, sources []bdm.Source) map[MatchP
 	return want
 }
 
-func runDualStrategy(t *testing.T, strat DualStrategy, x *bdm.DualMatrix, parts entity.Partitions, r int, match Matcher) *mapreduce.Result {
+func runDualStrategy(t *testing.T, strat DualStrategy, x *bdm.DualMatrix, parts entity.Partitions, r int, match Matcher) *MatchJobResult {
 	t.Helper()
 	job, err := strat.Job(x, r, match)
 	if err != nil {
 		t.Fatalf("%s.Job: %v", strat.Name(), err)
 	}
-	input := make([][]mapreduce.KeyValue, len(parts))
-	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
-		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Key: e.Attr(exAttr), Value: e}
-		}
-	}
-	res, err := (&mapreduce.Engine{}).Run(job, input)
+	res, err := job.Run(&mapreduce.Engine{}, annotatedInput(parts, exAttr))
 	if err != nil {
 		t.Fatalf("%s: Run: %v", strat.Name(), err)
 	}

@@ -90,7 +90,7 @@ func TestPaperExampleBDMViaMapReduce(t *testing.T) {
 		if len(side) != 2 || len(side[0]) != 7 || len(side[1]) != 7 {
 			t.Fatalf("combiner=%v: side output shape wrong: %d/%d", combiner, len(side[0]), len(side[1]))
 		}
-		if got := side[1][4].Key.(string); got != "z" {
+		if got := side[1][4].Key; got != "z" {
 			t.Errorf("M's side-output key = %q, want z", got)
 		}
 		// Combiner compresses the map output: one pair per non-zero
@@ -150,7 +150,7 @@ func TestPaperExampleBlockSplitExecution(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Job: %v", err)
 	}
-	res, err := (&mapreduce.Engine{}).Run(job, annotated(exampleParts()))
+	res, err := job.Run(&mapreduce.Engine{}, annotated(exampleParts()))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -208,7 +208,7 @@ func TestPaperExamplePairRangeExecution(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Job: %v", err)
 	}
-	res, err := (&mapreduce.Engine{}).Run(job, annotated(exampleParts()))
+	res, err := job.Run(&mapreduce.Engine{}, annotated(exampleParts()))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -237,18 +237,11 @@ func TestPaperExamplePlansMatchExecution(t *testing.T) {
 // annotated converts partitions into the (blocking key, entity) records
 // Job 2 consumes. The example's blocking key is the entity's block
 // attribute itself.
-func annotated(parts entity.Partitions) [][]mapreduce.KeyValue {
-	input := make([][]mapreduce.KeyValue, len(parts))
-	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
-		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Key: e.Attr(exAttr), Value: e}
-		}
-	}
-	return input
+func annotated(parts entity.Partitions) [][]AnnotatedEntity {
+	return annotatedInput(parts, exAttr)
 }
 
-func assertComparisonLoads(t *testing.T, res *mapreduce.Result, wantSortedDesc []int64) {
+func assertComparisonLoads(t *testing.T, res *MatchJobResult, wantSortedDesc []int64) {
 	t.Helper()
 	loads := make([]int64, len(res.ReduceMetrics))
 	for i := range res.ReduceMetrics {

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdm"
+	"repro/internal/blocking"
+)
+
+// mustTestBDM builds the running-example BDM (the codings only consult
+// it for their size guards; the Encode closures are domain-independent).
+func mustTestBDM(tb testing.TB) *bdm.Matrix {
+	tb.Helper()
+	x, err := bdm.FromPartitions(exampleParts(), exAttr, blocking.Identity())
+	if err != nil {
+		tb.Fatalf("FromPartitions: %v", err)
+	}
+	return x
+}
+
+func mustTestDualBDM(tb testing.TB) *bdm.DualMatrix {
+	tb.Helper()
+	parts, sources := dualExample()
+	x, err := bdm.FromDualPartitions(parts, sources, exAttr, blocking.Identity())
+	if err != nil {
+		tb.Fatalf("FromDualPartitions: %v", err)
+	}
+	return x
+}
+
+func sourceOf(s bool) bdm.Source {
+	if s {
+		return bdm.SourceS
+	}
+	return bdm.SourceR
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		if v == -v { // math.MinInt64
+			return 0
+		}
+		return -v
+	}
+	return v
+}
+
+// Fuzz + property tests proving each strategy's binary key coding obeys
+// the contract in mapreduce/keycode.go: unequal codes decide Compare,
+// equal comparison keys get equal codes, Exact codings never collide,
+// and the declared group-bit prefix agrees exactly with Group. The raw
+// fuzz inputs are mapped into each key type's documented domain (block
+// and partition indexes are non-negative and bounded by the coding
+// guards; the BlockSplit split components use −1 as the unsplit
+// sentinel).
+
+// clampIndex maps a raw fuzz value into [-1, 1<<30).
+func clampIndex(v int64) int {
+	if v < 0 {
+		v = -v
+	}
+	return int(v%(1<<30)) - 1
+}
+
+// clampNonNeg maps a raw fuzz value into [0, bound).
+func clampNonNeg(v int64, bound int64) int {
+	if v < 0 {
+		v = -v
+	}
+	return int(v % bound)
+}
+
+func FuzzBSKeyCoding(f *testing.F) {
+	f.Add(int64(0), int64(-1), int64(-1), int64(0), int64(-1), int64(-1))
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(1), int64(0))
+	f.Add(int64(1<<31), int64(1<<20), int64(0), int64(1<<31), int64(1<<20), int64(0))
+	coding := bsKeyCoding(mustTestBDM(f))
+	f.Fuzz(func(t *testing.T, blockA, iA, jA, blockB, iB, jB int64) {
+		a := BSKey{Block: clampNonNeg(blockA, 1<<32), I: clampIndex(iA), J: clampIndex(jA)}
+		b := BSKey{Block: clampNonNeg(blockB, 1<<32), I: clampIndex(iB), J: clampIndex(jB)}
+		if err := coding.Verify(compareBSKeys, compareBSKeys, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzPRKeyCoding(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(0), int64(1))
+	f.Add(int64(1<<31), int64(1<<32-1), int64(1<<62), int64(1<<31), int64(1<<32-1), int64(1<<62))
+	coding := prKeyCoding(mustTestBDM(f), 8)
+	f.Fuzz(func(t *testing.T, rangeA, blockA, idxA, rangeB, blockB, idxB int64) {
+		a := PRKey{Range: clampNonNeg(rangeA, 1<<31), Block: clampNonNeg(blockA, 1<<32), Index: absInt64(idxA)}
+		b := PRKey{Range: clampNonNeg(rangeB, 1<<31), Block: clampNonNeg(blockB, 1<<32), Index: absInt64(idxB)}
+		if err := coding.Verify(comparePRKeys, groupPRKeys, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzBSDKeyCoding(f *testing.F) {
+	f.Add(int64(0), int64(-1), int64(-1), true, int64(0), int64(-1), int64(0), false)
+	f.Add(int64(7), int64(3), int64(2), false, int64(7), int64(3), int64(2), true)
+	coding := bsdKeyCoding(mustTestDualBDM(f))
+	f.Fuzz(func(t *testing.T, blockA, rA, sA int64, srcA bool, blockB, rB, sB int64, srcB bool) {
+		clampPart := func(v int64) int {
+			if v < 0 {
+				v = -v
+			}
+			return int(v%((1<<16)-2)) - 1 // [-1, 1<<16-3]: +1 fits uint16
+		}
+		a := BSDKey{Block: clampNonNeg(blockA, 1<<32), RPart: clampPart(rA), SPart: clampPart(sA), Source: sourceOf(srcA)}
+		b := BSDKey{Block: clampNonNeg(blockB, 1<<32), RPart: clampPart(rB), SPart: clampPart(sB), Source: sourceOf(srcB)}
+		if err := coding.Verify(compareBSDKeys, groupBSDKeys, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzPRDKeyCoding(f *testing.F) {
+	f.Add(int64(0), int64(0), true, int64(0), int64(0), int64(0), false, int64(0))
+	f.Add(int64(1<<30), int64(1<<32-1), false, int64(1<<62), int64(1<<30), int64(1<<32-1), true, int64(1<<62))
+	coding := prdKeyCoding(mustTestDualBDM(f), 8)
+	f.Fuzz(func(t *testing.T, rangeA, blockA int64, srcA bool, idxA, rangeB, blockB int64, srcB bool, idxB int64) {
+		a := PRDKey{Range: clampNonNeg(rangeA, 1<<31), Block: clampNonNeg(blockA, 1<<32), Source: sourceOf(srcA), Index: absInt64(idxA) % (1 << 62)}
+		b := PRDKey{Range: clampNonNeg(rangeB, 1<<31), Block: clampNonNeg(blockB, 1<<32), Source: sourceOf(srcB), Index: absInt64(idxB) % (1 << 62)}
+		if err := coding.Verify(comparePRDKeys, groupPRDKeys, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestKeyCodingsRandomMatrix hammers all four codings with dense random
+// keys drawn from a small domain, so equal comparison keys, equal
+// groups, and adjacent codes all occur constantly — the regime where an
+// off-by-one in the packing would collide or reorder.
+func TestKeyCodingsRandomMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := mustTestBDM(t)
+	dx := mustTestDualBDM(t)
+	bs := bsKeyCoding(x)
+	pr := prKeyCoding(x, 8)
+	bsd := bsdKeyCoding(dx)
+	prd := prdKeyCoding(dx, 8)
+	small := func(n int) int { return rng.Intn(n) }
+	for trial := 0; trial < 50000; trial++ {
+		{
+			a := BSKey{Block: small(4), I: small(4) - 1, J: small(4) - 1}
+			b := BSKey{Block: small(4), I: small(4) - 1, J: small(4) - 1}
+			if err := bs.Verify(compareBSKeys, compareBSKeys, a, b); err != nil {
+				t.Fatal("BSKey:", err)
+			}
+		}
+		{
+			a := PRKey{Range: small(3), Block: small(3), Index: int64(small(4))}
+			b := PRKey{Range: small(3), Block: small(3), Index: int64(small(4))}
+			if err := pr.Verify(comparePRKeys, groupPRKeys, a, b); err != nil {
+				t.Fatal("PRKey:", err)
+			}
+		}
+		{
+			a := BSDKey{Block: small(3), RPart: small(3) - 1, SPart: small(3) - 1, Source: sourceOf(small(2) == 0)}
+			b := BSDKey{Block: small(3), RPart: small(3) - 1, SPart: small(3) - 1, Source: sourceOf(small(2) == 0)}
+			if err := bsd.Verify(compareBSDKeys, groupBSDKeys, a, b); err != nil {
+				t.Fatal("BSDKey:", err)
+			}
+		}
+		{
+			a := PRDKey{Range: small(3), Block: small(3), Source: sourceOf(small(2) == 0), Index: int64(small(4))}
+			b := PRDKey{Range: small(3), Block: small(3), Source: sourceOf(small(2) == 0), Index: int64(small(4))}
+			if err := prd.Verify(comparePRDKeys, groupPRDKeys, a, b); err != nil {
+				t.Fatal("PRDKey:", err)
+			}
+		}
+	}
+}
+
+// TestKeyCodingGuardsDisableOutOfRange pins the guard behaviour: a BDM
+// too large for the packing must disable the coding (nil Encode), never
+// produce a lossy one. Simulated via the r bound, the only guard a test
+// can trip without building a 2^32-block matrix.
+func TestKeyCodingGuardsDisableOutOfRange(t *testing.T) {
+	x := mustTestBDM(t)
+	if c := prKeyCoding(x, 1<<31+1); c.Encode != nil {
+		t.Error("prKeyCoding: expected disabled coding for r > 1<<31")
+	}
+	if c := prKeyCoding(x, 8); c.Encode == nil {
+		t.Error("prKeyCoding: expected enabled coding for small r")
+	}
+}

@@ -5,12 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/entity"
-	"repro/internal/mapreduce"
 )
 
 // maxGroup returns the largest reduce-call value list observed across
 // all reduce tasks — the in-memory buffering lower bound.
-func maxGroup(res *mapreduce.Result) int64 {
+func maxGroup(res *MatchJobResult) int64 {
 	var mx int64
 	for _, m := range res.ReduceMetrics {
 		if m.MaxGroupRecords > mx {

@@ -36,44 +36,64 @@ type PRKey struct {
 
 func (k PRKey) String() string { return fmt.Sprintf("%d.%d.%d", k.Range, k.Block, k.Index) }
 
-// prValue annotates the entity with its entity index (the map phase
-// already computed it; the reduce phase needs it for pair indexes).
+// prValue is the reduce-side buffer entry: the entity plus its
+// block-wise index. The shuffle carries the bare entity — the index
+// already travels in the record's PRKey, so the reduce function
+// reconstructs prValue from (key, value) instead of shipping the index
+// twice per record.
 type prValue struct {
 	E     entity.Entity
 	Index int64
 }
 
-func comparePRKeys(a, b any) int {
-	ka, kb := a.(PRKey), b.(PRKey)
-	if c := mapreduce.CompareInts(ka.Range, kb.Range); c != 0 {
+func comparePRKeys(a, b PRKey) int {
+	if c := mapreduce.CompareInts(a.Range, b.Range); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareInts(ka.Block, kb.Block); c != 0 {
+	if c := mapreduce.CompareInts(a.Block, b.Block); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInt64s(ka.Index, kb.Index)
+	return mapreduce.CompareInt64s(a.Index, b.Index)
 }
 
-func groupPRKeys(a, b any) int {
-	ka, kb := a.(PRKey), b.(PRKey)
-	if c := mapreduce.CompareInts(ka.Range, kb.Range); c != 0 {
+func groupPRKeys(a, b PRKey) int {
+	if c := mapreduce.CompareInts(a.Range, b.Range); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInts(ka.Block, kb.Block)
+	return mapreduce.CompareInts(a.Block, b.Block)
+}
+
+// prKeyCoding packs a PRKey into an exact order-preserving code:
+// range ‖ block in the high word, the entity index in the low word.
+// Grouping is on (range, block), i.e. exactly the high 64 bits.
+func prKeyCoding(x *bdm.Matrix, r int) mapreduce.KeyCoding[PRKey] {
+	if x.NumBlocks() > 1<<32 || r > 1<<31 {
+		return mapreduce.KeyCoding[PRKey]{}
+	}
+	return mapreduce.KeyCoding[PRKey]{
+		Encode: func(k PRKey) mapreduce.Code {
+			return mapreduce.Code{
+				Hi: uint64(uint32(k.Range))<<32 | uint64(uint32(k.Block)),
+				Lo: uint64(k.Index),
+			}
+		},
+		Exact:     true,
+		GroupBits: 64,
+	}
 }
 
 // Job implements Strategy (Algorithm 2). Input records must be the BDM
-// job's side output (key = blocking key, value = entity).
-func (PairRange) Job(x *bdm.Matrix, r int, match Matcher) (*mapreduce.Job, error) {
+// job's side output (blocking-key-annotated entities).
+func (PairRange) Job(x *bdm.Matrix, r int, match Matcher) (MatchJob, error) {
 	return pairRangeJob(x, r, matchKernel{match: match})
 }
 
 // JobPrepared implements PreparedStrategy.
-func (PairRange) JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (*mapreduce.Job, error) {
-	return pairRangeJob(x, r, matchKernel{pm: pm})
+func (PairRange) JobPrepared(x *bdm.Matrix, r int, pm PreparedMatcher) (MatchJob, error) {
+	return pairRangeJob(x, r, preparedKernel(pm))
 }
 
-func pairRangeJob(x *bdm.Matrix, r int, kern matchKernel) (*mapreduce.Job, error) {
+func pairRangeJob(x *bdm.Matrix, r int, kern matchKernel) (MatchJob, error) {
 	if err := validateJobParams("PairRange", r); err != nil {
 		return nil, err
 	}
@@ -81,18 +101,19 @@ func pairRangeJob(x *bdm.Matrix, r int, kern matchKernel) (*mapreduce.Job, error
 		return nil, fmt.Errorf("core: PairRange requires a BDM")
 	}
 	ranges := NewRanges(x.Pairs(), r)
-	return &mapreduce.Job{
+	return &mapreduce.Job[AnnotatedEntity, PRKey, entity.Entity, MatchOutput]{
 		Name:           "pairrange",
 		NumReduceTasks: r,
-		NewMapper: func() mapreduce.Mapper {
+		NewMapper: func() mapreduce.Mapper[AnnotatedEntity, PRKey, entity.Entity] {
 			return &prMapper{x: x, ranges: ranges}
 		},
-		NewReducer: func() mapreduce.Reducer {
+		NewReducer: func() mapreduce.Reducer[PRKey, entity.Entity, MatchOutput] {
 			return &prReducer{x: x, ranges: ranges, kern: kern}
 		},
-		Partition: func(key any, r int) int { return key.(PRKey).Range % r },
+		Partition: func(key PRKey, r int) int { return key.Range % r },
 		Compare:   comparePRKeys,
 		Group:     groupPRKeys,
+		Coding:    prKeyCoding(x, r),
 	}, nil
 }
 
@@ -120,9 +141,9 @@ func (mp *prMapper) Configure(m, _, partitionIndex int) {
 // Map implements Algorithm 2 lines 10-26: compute the entity's global
 // block-wise index, find all ranges containing one of its pairs, and
 // emit one annotated copy per relevant range.
-func (mp *prMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-	blockKey := kv.Key.(string)
-	e := kv.Value.(entity.Entity)
+func (mp *prMapper) Map(ctx *mapreduce.MapContext[AnnotatedEntity, PRKey, entity.Entity], rec AnnotatedEntity) {
+	blockKey := rec.Key
+	e := rec.Value
 	k, ok := mp.x.BlockIndex(blockKey)
 	if !ok {
 		panic(fmt.Sprintf("core: PairRange: blocking key %q not present in BDM", blockKey))
@@ -132,7 +153,7 @@ func (mp *prMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
 	n := int64(mp.x.Size(k))
 	mp.scratch = mp.ranges.relevantRanges(x, n, mp.x.PairOffset(k), mp.scratch)
 	for _, rg := range mp.scratch {
-		ctx.Emit(PRKey{Range: rg, Block: k, Index: x}, prValue{E: e, Index: x})
+		ctx.Emit(PRKey{Range: rg, Block: k, Index: x}, e)
 	}
 }
 
@@ -159,8 +180,7 @@ func (rd *prReducer) Configure(_, _, taskIndex int) { rd.task = taskIndex }
 // with both components, so only the *rest of the inner loop* is safely
 // skippable). We break the inner loop instead; completeness is covered
 // by property tests against serial matching.
-func (rd *prReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.KeyValue) {
-	k := key.(PRKey)
+func (rd *prReducer) Reduce(ctx *matchCtx, k PRKey, values []mapreduce.Rec[PRKey, entity.Entity]) {
 	n := int64(rd.x.Size(k.Block))
 	off := rd.x.PairOffset(k.Block)
 	// Comparing pair indexes against the task's [lo, hi) interval avoids
@@ -171,7 +191,7 @@ func (rd *prReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.
 	if pm := rd.kern.pm; pm != nil {
 		rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
 		for _, v := range values {
-			pv := v.Value.(prValue)
+			pv := prValue{E: v.Value, Index: v.Key.Index}
 			p2 := pm.Prepare(pv.E)
 			for i, b := range rd.buffer {
 				p := CellIndex(b.Index, pv.Index, n) + off
@@ -185,11 +205,12 @@ func (rd *prReducer) Reduce(ctx *mapreduce.Context, key any, values []mapreduce.
 			rd.buffer = append(rd.buffer, pv)
 			rd.prep = append(rd.prep, p2)
 		}
+		rd.kern.releaseAll(rd.prep)
 		return
 	}
 	rd.buffer = rd.buffer[:0]
 	for _, v := range values {
-		pv := v.Value.(prValue)
+		pv := prValue{E: v.Value, Index: v.Key.Index}
 		for _, b := range rd.buffer {
 			p := CellIndex(b.Index, pv.Index, n) + off
 			if p >= hi {

@@ -25,14 +25,7 @@ func assertPlanMatchesExecution(t *testing.T, strat Strategy, x *bdm.Matrix, par
 	if err != nil {
 		t.Fatalf("%s.Job: %v", strat.Name(), err)
 	}
-	input := make([][]mapreduce.KeyValue, len(parts))
-	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
-		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Key: e.Attr(attr), Value: e}
-		}
-	}
-	res, err := (&mapreduce.Engine{}).Run(job, input)
+	res, err := job.Run(&mapreduce.Engine{}, annotatedInput(parts, attr))
 	if err != nil {
 		t.Fatalf("%s: Run: %v", strat.Name(), err)
 	}
@@ -87,22 +80,28 @@ func mustBDM(t *testing.T, parts entity.Partitions) *bdm.Matrix {
 	return x
 }
 
+// annotatedInput builds the typed job input: each entity annotated with
+// its blocking key read from the given attribute.
+func annotatedInput(parts entity.Partitions, attr string) [][]AnnotatedEntity {
+	input := make([][]AnnotatedEntity, len(parts))
+	for i, p := range parts {
+		input[i] = make([]AnnotatedEntity, len(p))
+		for j, e := range p {
+			input[i][j] = AnnotatedEntity{Key: e.Attr(attr), Value: e}
+		}
+	}
+	return input
+}
+
 // runStrategy executes a strategy end to end with the given matcher and
 // returns the result.
-func runStrategy(t *testing.T, strat Strategy, x *bdm.Matrix, parts entity.Partitions, r int, match Matcher) *mapreduce.Result {
+func runStrategy(t *testing.T, strat Strategy, x *bdm.Matrix, parts entity.Partitions, r int, match Matcher) *MatchJobResult {
 	t.Helper()
 	job, err := strat.Job(x, r, match)
 	if err != nil {
 		t.Fatalf("%s.Job: %v", strat.Name(), err)
 	}
-	input := make([][]mapreduce.KeyValue, len(parts))
-	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
-		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Key: e.Attr("k"), Value: e}
-		}
-	}
-	res, err := (&mapreduce.Engine{}).Run(job, input)
+	res, err := job.Run(&mapreduce.Engine{}, annotatedInput(parts, "k"))
 	if err != nil {
 		t.Fatalf("%s: Run: %v", strat.Name(), err)
 	}

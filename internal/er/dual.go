@@ -21,6 +21,9 @@ type DualConfig struct {
 	PreparedMatcher core.PreparedMatcher
 	R               int
 	Engine          *mapreduce.Engine
+	// Parallelism bounds concurrently executing tasks per phase when
+	// Engine is nil; see Config.Parallelism.
+	Parallelism int
 }
 
 func (c *DualConfig) validate() error {
@@ -40,7 +43,7 @@ type DualResult struct {
 	Matches     []core.MatchPair
 	Comparisons int64
 	BDM         *bdm.DualMatrix
-	MatchResult *mapreduce.Result
+	MatchResult *core.MatchJobResult
 }
 
 // RunDual matches two sources. partsR and partsS are each source's input
@@ -52,7 +55,7 @@ func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, err
 	}
 	eng := cfg.Engine
 	if eng == nil {
-		eng = &mapreduce.Engine{}
+		eng = &mapreduce.Engine{Parallelism: cfg.Parallelism}
 	}
 	parts := append(append(entity.Partitions{}, partsR...), partsS...)
 	sources := make([]bdm.Source, len(parts))
@@ -67,7 +70,7 @@ func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, err
 	if err != nil {
 		return nil, err
 	}
-	var job *mapreduce.Job
+	var job core.MatchJob
 	switch {
 	case cfg.PreparedMatcher != nil:
 		if ps, ok := cfg.Strategy.(core.PreparedDualStrategy); ok {
@@ -81,7 +84,7 @@ func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, err
 	if err != nil {
 		return nil, err
 	}
-	matchRes, err := eng.Run(job, AnnotateInput(parts, cfg.Attr, cfg.BlockKey))
+	matchRes, err := job.Run(eng, AnnotateInput(parts, cfg.Attr, cfg.BlockKey))
 	if err != nil {
 		return nil, err
 	}

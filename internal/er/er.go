@@ -38,8 +38,14 @@ type Config struct {
 	// R is the number of reduce tasks of the matching job (and of the
 	// BDM job).
 	R int
-	// Engine executes the jobs; the zero value runs tasks sequentially.
+	// Engine executes the jobs; nil means a default engine whose worker
+	// bound is Parallelism.
 	Engine *mapreduce.Engine
+	// Parallelism bounds the number of concurrently executing tasks per
+	// phase when Engine is nil (0 = one goroutine per task, the engine
+	// default). Ignored when Engine is set — configure the engine
+	// directly instead.
+	Parallelism int
 	// UseCombiner enables the combiner in the BDM job.
 	UseCombiner bool
 }
@@ -65,10 +71,10 @@ type Result struct {
 	Comparisons int64
 	// BDM is the block distribution matrix (nil for Basic).
 	BDM *bdm.Matrix
-	// BDMResult / MatchResult expose the raw per-task metrics of the
-	// two jobs (BDMResult is nil for Basic).
-	BDMResult   *mapreduce.Result
-	MatchResult *mapreduce.Result
+	// BDMResult / MatchResult expose the raw outputs and per-task
+	// metrics of the two jobs (BDMResult is nil for Basic).
+	BDMResult   *bdm.JobResult
+	MatchResult *core.MatchJobResult
 }
 
 // Workloads converts the run's metrics into cluster-simulator workloads,
@@ -76,9 +82,9 @@ type Result struct {
 func (r *Result) Workloads() []cluster.JobWorkload {
 	var ws []cluster.JobWorkload
 	if r.BDMResult != nil {
-		ws = append(ws, cluster.WorkloadFromResult(r.BDMResult))
+		ws = append(ws, cluster.WorkloadFromResult(&r.BDMResult.Metrics))
 	}
-	ws = append(ws, cluster.WorkloadFromResult(r.MatchResult))
+	ws = append(ws, cluster.WorkloadFromResult(&r.MatchResult.Metrics))
 	return ws
 }
 
@@ -108,11 +114,11 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 	}
 	eng := cfg.Engine
 	if eng == nil {
-		eng = &mapreduce.Engine{}
+		eng = &mapreduce.Engine{Parallelism: cfg.Parallelism}
 	}
 	res := &Result{}
 
-	var job2Input [][]mapreduce.KeyValue
+	var job2Input [][]core.AnnotatedEntity
 	if cfg.Strategy.NeedsBDM() {
 		matrix, side, bdmRes, err := bdm.Compute(eng, parts, bdm.JobOptions{
 			Attr:           cfg.Attr,
@@ -134,7 +140,7 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	matchRes, err := eng.Run(job, job2Input)
+	matchRes, err := job.Run(eng, job2Input)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +154,7 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 // kernel when the config carries a PreparedMatcher and the strategy
 // supports it, the plain-Matcher adapter when it does not, and the plain
 // path otherwise.
-func buildMatchJob(cfg Config, x *bdm.Matrix) (*mapreduce.Job, error) {
+func buildMatchJob(cfg Config, x *bdm.Matrix) (core.MatchJob, error) {
 	if cfg.PreparedMatcher != nil {
 		if ps, ok := cfg.Strategy.(core.PreparedStrategy); ok {
 			return ps.JobPrepared(x, cfg.R, cfg.PreparedMatcher)
@@ -158,14 +164,14 @@ func buildMatchJob(cfg Config, x *bdm.Matrix) (*mapreduce.Job, error) {
 	return cfg.Strategy.Job(x, cfg.R, cfg.Matcher)
 }
 
-// AnnotateInput converts raw partitions into the (blocking key, entity)
+// AnnotateInput converts raw partitions into the blocking-key-annotated
 // records Job 2 consumes, exactly as the BDM job's side output would.
-func AnnotateInput(parts entity.Partitions, attr string, key blocking.KeyFunc) [][]mapreduce.KeyValue {
-	input := make([][]mapreduce.KeyValue, len(parts))
+func AnnotateInput(parts entity.Partitions, attr string, key blocking.KeyFunc) [][]core.AnnotatedEntity {
+	input := make([][]core.AnnotatedEntity, len(parts))
 	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
+		input[i] = make([]core.AnnotatedEntity, len(p))
 		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Key: key(e.Attr(attr)), Value: e}
+			input[i][j] = core.AnnotatedEntity{Key: key(e.Attr(attr)), Value: e}
 		}
 	}
 	return input
@@ -176,14 +182,13 @@ func AnnotateInput(parts entity.Partitions, attr string, key blocking.KeyFunc) [
 // blocks, but every pair is still compared exactly once, so duplicates
 // can only arise from user matchers emitting on reflexive inputs;
 // deduplication keeps the result canonical regardless.)
-func CollectMatches(res *mapreduce.Result) []core.MatchPair {
+func CollectMatches(res *core.MatchJobResult) []core.MatchPair {
 	seen := make(map[core.MatchPair]bool, len(res.Output))
 	out := make([]core.MatchPair, 0, len(res.Output))
-	for _, kv := range res.Output {
-		p := kv.Key.(core.MatchPair)
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
+	for _, rec := range res.Output {
+		if !seen[rec.Key] {
+			seen[rec.Key] = true
+			out = append(out, rec.Key)
 		}
 	}
 	SortMatches(out)

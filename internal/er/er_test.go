@@ -158,7 +158,7 @@ func TestSimulatedTime(t *testing.T) {
 }
 
 func TestCollectMatchesDeduplicates(t *testing.T) {
-	res := &mapreduce.Result{Output: []mapreduce.KeyValue{
+	res := &core.MatchJobResult{Output: []core.MatchOutput{
 		{Key: core.NewMatchPair("b", "a")},
 		{Key: core.NewMatchPair("a", "b")},
 		{Key: core.NewMatchPair("c", "d")},
@@ -264,7 +264,7 @@ func TestAnnotateInput(t *testing.T) {
 	}
 	for i, p := range parts {
 		for j, e := range p {
-			if input[i][j].Key.(string) != blocking.Prefix(3)(e.Attr("title")) {
+			if input[i][j].Key != blocking.Prefix(3)(e.Attr("title")) {
 				t.Fatalf("key mismatch at %d/%d", i, j)
 			}
 		}

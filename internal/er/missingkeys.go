@@ -104,6 +104,7 @@ func RunWithMissingKeys(parts entity.Partitions, cfg Config) (*MissingKeyResult,
 			PreparedMatcher: cfg.PreparedMatcher,
 			R:               cfg.R,
 			Engine:          cfg.Engine,
+			Parallelism:     cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("er: missing-keys decomposition, cross part: %w", err)

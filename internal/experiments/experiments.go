@@ -38,6 +38,10 @@ type Options struct {
 	// tables (a property the tests assert); executed mode exists to
 	// demonstrate that, and is limited by real O(P) work.
 	Executed bool
+	// Parallelism bounds the engine's concurrently executing tasks per
+	// phase in executed mode (0 = the default of 8). The cmd/erbench
+	// -parallelism flag sets it.
+	Parallelism int
 }
 
 // DefaultOptions uses a 5% scale — large enough for stable shapes,
@@ -51,6 +55,13 @@ func (o Options) scale() float64 {
 		return 0.05
 	}
 	return o.Scale
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return 8
+	}
+	return o.Parallelism
 }
 
 // strategies in the order the paper plots them.
@@ -88,7 +99,7 @@ func strategyTime(o Options, parts entity.Partitions, x *bdm.Matrix, strat core.
 		BlockKey:    key,
 		Matcher:     nil, // count comparisons only
 		R:           r,
-		Engine:      &mapreduce.Engine{Parallelism: 8},
+		Engine:      &mapreduce.Engine{Parallelism: o.parallelism()},
 		UseCombiner: true,
 	})
 	if err != nil {

@@ -80,7 +80,7 @@ func Ablations(o Options) (*report.Table, error) {
 		"round-robin max reduce load / greedy")
 
 	// 2. BDM combiner.
-	eng := &mapreduce.Engine{Parallelism: 4}
+	eng := &mapreduce.Engine{Parallelism: o.parallelism()}
 	_, _, plain, err := bdm.Compute(eng, parts, bdm.JobOptions{
 		Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20,
 	})
@@ -178,7 +178,7 @@ func QualityTable(o Options) (*report.Table, error) {
 			BlockKey:        datagen.BlockKey(),
 			PreparedMatcher: match.EditDistance(datagen.AttrTitle, th),
 			R:               32,
-			Engine:          &mapreduce.Engine{Parallelism: 8},
+			Engine:          &mapreduce.Engine{Parallelism: o.parallelism()},
 			UseCombiner:     true,
 		})
 		if err != nil {

@@ -51,7 +51,7 @@ func SNRobustness(o Options) (*report.Table, error) {
 			Key:    func(v string) string { return v },
 			Window: window,
 			R:      r,
-			Engine: &mapreduce.Engine{Parallelism: 8},
+			Engine: &mapreduce.Engine{Parallelism: o.parallelism()},
 		}
 		keyed, err := sn.Run(parts, cfg)
 		if err != nil {

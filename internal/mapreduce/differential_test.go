@@ -23,13 +23,13 @@ type refRecord struct {
 }
 
 // referenceRun is the naive model implementation.
-func referenceRun(job *Job, input [][]KeyValue) []KeyValue {
+func referenceRun(job *BoxedJob, input [][]KeyValue) []KeyValue {
 	r := job.NumReduceTasks
 	buckets := make([][]refRecord, r)
 	for mi, part := range input {
 		mapper := job.NewMapper()
 		mapper.Configure(len(input), r, mi)
-		ctx := &Context{metrics: &TaskMetrics{}}
+		ctx := &BoxedContext{metrics: &TaskMetrics{}}
 		for _, kv := range part {
 			mapper.Map(ctx, kv)
 		}
@@ -52,7 +52,7 @@ func referenceRun(job *Job, input [][]KeyValue) []KeyValue {
 		})
 		reducer := job.NewReducer()
 		reducer.Configure(len(input), r, ri)
-		ctx := &Context{metrics: &TaskMetrics{}}
+		ctx := &BoxedContext{metrics: &TaskMetrics{}}
 		group := func(a, b any) int {
 			if job.Group != nil {
 				return job.Group(a, b)
@@ -78,14 +78,14 @@ func referenceRun(job *Job, input [][]KeyValue) []KeyValue {
 
 // randomJob builds a job with composite integer keys whose partition,
 // sort, and group functions exercise different key components.
-func randomJob(rng *rand.Rand, r int) *Job {
+func randomJob(rng *rand.Rand, r int) *BoxedJob {
 	type ck struct{ a, b, c int }
-	return &Job{
+	return &BoxedJob{
 		Name:           "differential",
 		NumReduceTasks: r,
-		NewMapper: func() Mapper {
+		NewMapper: func() BoxedMapper {
 			return &FuncMapper{
-				OnMap: func(ctx *Context, kv KeyValue) {
+				OnMap: func(ctx *BoxedContext, kv KeyValue) {
 					v := kv.Value.(int)
 					// Deterministic fan-out of 1-3 records per input.
 					n := v%3 + 1
@@ -95,9 +95,9 @@ func randomJob(rng *rand.Rand, r int) *Job {
 				},
 			}
 		},
-		NewReducer: func() Reducer {
+		NewReducer: func() BoxedReducer {
 			return &FuncReducer{
-				OnReduce: func(ctx *Context, key any, values []KeyValue) {
+				OnReduce: func(ctx *BoxedContext, key any, values []KeyValue) {
 					sum := 0
 					for _, v := range values {
 						sum += v.Value.(int)
@@ -152,7 +152,7 @@ func TestEngineAgainstReferenceModel(t *testing.T) {
 				t.Fatalf("trial %d (m=%d r=%d par=%d): engine output diverges from the reference model\nengine:    %v\nreference: %v",
 					trial, m, r, par, got.Output, want)
 			}
-			// The streaming k-way merge must produce a Result that is
+			// The streaming k-way merge must produce a BoxedResult that is
 			// byte-identical — output, side output, and every TaskMetrics
 			// field — to the concat+stable-sort oracle path.
 			oracle, err := (&Engine{Parallelism: par, Shuffle: ShuffleConcatSort}).Run(job, input)
@@ -160,7 +160,7 @@ func TestEngineAgainstReferenceModel(t *testing.T) {
 				t.Fatalf("trial %d (par=%d, oracle): %v", trial, par, err)
 			}
 			if !reflect.DeepEqual(got, oracle) {
-				t.Fatalf("trial %d (m=%d r=%d par=%d): k-way merge Result diverges from concat+sort oracle\nmerge:  %+v\noracle: %+v",
+				t.Fatalf("trial %d (m=%d r=%d par=%d): k-way merge BoxedResult diverges from concat+sort oracle\nmerge:  %+v\noracle: %+v",
 					trial, m, r, par, got, oracle)
 			}
 		}
@@ -183,9 +183,9 @@ func TestShuffleModesAgreeOnCombinerJobs(t *testing.T) {
 			}
 		}
 		job := randomJob(rng, r)
-		job.NewCombiner = func() Reducer {
+		job.NewCombiner = func() BoxedReducer {
 			return &FuncReducer{
-				OnReduce: func(ctx *Context, key any, values []KeyValue) {
+				OnReduce: func(ctx *BoxedContext, key any, values []KeyValue) {
 					// Re-emit each value under its own key: a pass-through
 					// combiner that still exercises the grouping machinery.
 					for _, v := range values {
@@ -203,7 +203,7 @@ func TestShuffleModesAgreeOnCombinerJobs(t *testing.T) {
 			t.Fatalf("trial %d (oracle): %v", trial, err)
 		}
 		if !reflect.DeepEqual(merge, oracle) {
-			t.Fatalf("trial %d (m=%d r=%d): combiner job Result diverges between shuffle modes", trial, m, r)
+			t.Fatalf("trial %d (m=%d r=%d): combiner job BoxedResult diverges between shuffle modes", trial, m, r)
 		}
 	}
 }

@@ -2,37 +2,37 @@ package mapreduce
 
 import "hash/fnv"
 
-// FuncMapper adapts plain functions to the Mapper interface.
+// FuncMapper adapts plain functions to the BoxedMapper interface.
 type FuncMapper struct {
 	OnConfigure func(m, r, partitionIndex int)
-	OnMap       func(ctx *Context, kv KeyValue)
+	OnMap       func(ctx *BoxedContext, kv KeyValue)
 }
 
-// Configure implements Mapper.
+// Configure implements BoxedMapper.
 func (f *FuncMapper) Configure(m, r, partitionIndex int) {
 	if f.OnConfigure != nil {
 		f.OnConfigure(m, r, partitionIndex)
 	}
 }
 
-// Map implements Mapper.
-func (f *FuncMapper) Map(ctx *Context, kv KeyValue) { f.OnMap(ctx, kv) }
+// Map implements BoxedMapper.
+func (f *FuncMapper) Map(ctx *BoxedContext, kv KeyValue) { f.OnMap(ctx, kv) }
 
-// FuncReducer adapts plain functions to the Reducer interface.
+// FuncReducer adapts plain functions to the BoxedReducer interface.
 type FuncReducer struct {
 	OnConfigure func(m, r, taskIndex int)
-	OnReduce    func(ctx *Context, key any, values []KeyValue)
+	OnReduce    func(ctx *BoxedContext, key any, values []KeyValue)
 }
 
-// Configure implements Reducer.
+// Configure implements BoxedReducer.
 func (f *FuncReducer) Configure(m, r, taskIndex int) {
 	if f.OnConfigure != nil {
 		f.OnConfigure(m, r, taskIndex)
 	}
 }
 
-// Reduce implements Reducer.
-func (f *FuncReducer) Reduce(ctx *Context, key any, values []KeyValue) {
+// Reduce implements BoxedReducer.
+func (f *FuncReducer) Reduce(ctx *BoxedContext, key any, values []KeyValue) {
 	f.OnReduce(ctx, key, values)
 }
 

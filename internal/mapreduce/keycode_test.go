@@ -1,0 +1,127 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The tests in this file pin the primitive layer of the key-coding
+// contract: Code comparison, prefix equality, the string prefix code,
+// and the Verify checker itself. Each strategy package fuzzes its own
+// composite-key coding against its comparators on top of these.
+
+func TestCodeCmp(t *testing.T) {
+	cases := []struct {
+		a, b Code
+		want int
+	}{
+		{Code{0, 0}, Code{0, 0}, 0},
+		{Code{0, 1}, Code{0, 2}, -1},
+		{Code{1, 0}, Code{0, ^uint64(0)}, 1},
+		{Code{5, ^uint64(0)}, Code{6, 0}, -1},
+		{Code{^uint64(0), ^uint64(0)}, Code{^uint64(0), ^uint64(0)}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Cmp(c.a); got != -c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+// prefixEqualRef is the obvious mask-based reference implementation.
+func prefixEqualRef(a, b Code, bits int) bool {
+	if bits >= 128 {
+		return a == b
+	}
+	if bits <= 64 {
+		mask := ^uint64(0) << (64 - uint(bits))
+		return a.Hi&mask == b.Hi&mask
+	}
+	mask := ^uint64(0) << (128 - uint(bits))
+	return a.Hi == b.Hi && a.Lo&mask == b.Lo&mask
+}
+
+func TestCodePrefixEqualMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randCode := func() Code {
+		c := Code{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		// Half the time, zero most low bits so near-equal prefixes occur.
+		if rng.Intn(2) == 0 {
+			shift := uint(rng.Intn(128))
+			if shift >= 64 {
+				c.Lo = 0
+				c.Hi &= ^uint64(0) << (shift - 64)
+			} else {
+				c.Lo &= ^uint64(0) << shift
+			}
+		}
+		return c
+	}
+	for trial := 0; trial < 20000; trial++ {
+		a, b := randCode(), randCode()
+		if rng.Intn(3) == 0 {
+			b = a // force equality often
+		}
+		bits := 1 + rng.Intn(128)
+		if got, want := a.prefixEqual(b, bits), prefixEqualRef(a, b, bits); got != want {
+			t.Fatalf("prefixEqual(%v, %v, %d) = %v, want %v", a, b, bits, got, want)
+		}
+	}
+}
+
+func FuzzStringPrefixCode(f *testing.F) {
+	f.Add("", "")
+	f.Add("a", "b")
+	f.Add("canon eos", "canon eo")
+	f.Add("exactly16bytes!!", "exactly16bytes!!x")
+	f.Add("\x00", "\x00\x00")
+	f.Add("sixteen-byte-prefix-equal-A", "sixteen-byte-prefix-equal-B")
+	coding := KeyCoding[string]{Encode: StringPrefixCode}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if err := coding.Verify(strings.Compare, nil, a, b); err != nil {
+			t.Fatal(err)
+		}
+		// Differential against a byte-level reference: the code must
+		// compare exactly like the zero-padded 16-byte prefixes.
+		pad := func(s string) []byte {
+			p := make([]byte, 16)
+			copy(p, s)
+			return p
+		}
+		ca, cb := StringPrefixCode(a), StringPrefixCode(b)
+		if got, want := ca.Cmp(cb), sign(strings.Compare(string(pad(a)), string(pad(b)))); got != want {
+			t.Fatalf("StringPrefixCode(%q).Cmp(StringPrefixCode(%q)) = %d, want %d (padded-prefix reference)",
+				a, b, got, want)
+		}
+	})
+}
+
+// FuzzVerifyCatchesBrokenCoding turns Verify on a deliberately broken
+// coding (little-endian single byte: not order-preserving) and checks
+// it reports the violations the good codings must never produce.
+func FuzzVerifyCatchesBrokenCoding(f *testing.F) {
+	f.Add("ab", "ba")
+	f.Add("a", "b")
+	broken := KeyCoding[string]{
+		Encode: func(s string) Code {
+			var c Code
+			for i := 0; i < len(s) && i < 8; i++ {
+				c.Lo |= uint64(s[i]) << (8 * uint(i)) // little-endian: wrong
+			}
+			return c
+		},
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		err := broken.Verify(strings.Compare, nil, a, b)
+		// Whenever the byte-reversed order disagrees with the string
+		// order, Verify must flag it.
+		ca, cb := broken.Encode(a), broken.Encode(b)
+		if d := ca.Cmp(cb); d != 0 && d != sign(strings.Compare(a, b)) && err == nil {
+			t.Fatalf("Verify missed an order violation on (%q, %q)", a, b)
+		}
+	})
+}

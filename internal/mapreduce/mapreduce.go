@@ -2,7 +2,7 @@
 // to the execution model described in Section II of the paper (and to
 // Hadoop's semantics where the paper's algorithms depend on them).
 //
-// A Job consists of user map and reduce functions plus the three dataflow
+// A job consists of user map and reduce functions plus the three dataflow
 // functions the paper's strategies rely on:
 //
 //	part  – assigns a map-output key to one of r reduce tasks,
@@ -21,6 +21,19 @@
 // for BlockSplit: its reduce function assumes all values from input
 // partition i arrive before those of partition j>i within one key group.
 // See DESIGN.md for the full merge/stability model.
+//
+// The package provides two dataflow representations of that model:
+//
+//   - The typed engine (Job[I, K, V, O], the primary API): every record
+//     holds concrete key/value types end to end — map output, spill
+//     buckets, the map-side stable sort, the k-way merge heap, and the
+//     reduce group buffers are all free of interface boxing — and an
+//     optional order-preserving binary key code (KeyCoding) accelerates
+//     sort, merge, and grouping, Hadoop-RawComparator-style.
+//   - The boxed engine (BoxedJob, Engine.Run): the original any-keyed
+//     dataflow, kept as the differential oracle. Job.Run routes through
+//     it unchanged when Engine.Dataflow is DataflowBoxed, so every typed
+//     job can be re-executed on the oracle and compared byte-for-byte.
 package mapreduce
 
 import (
@@ -37,37 +50,37 @@ type KeyValue struct {
 	Value any
 }
 
-// Mapper is instantiated once per map task. Configure receives the task's
+// BoxedMapper is instantiated once per map task. Configure receives the task's
 // partition index before any Map call, mirroring Hadoop's
-// Mapper.configure — the paper's strategies use it to read the BDM and
+// BoxedMapper.configure — the paper's strategies use it to read the BDM and
 // precompute routing tables.
-type Mapper interface {
+type BoxedMapper interface {
 	Configure(m, r, partitionIndex int)
-	Map(ctx *Context, kv KeyValue)
+	Map(ctx *BoxedContext, kv KeyValue)
 }
 
-// Reducer is instantiated once per reduce task.
-type Reducer interface {
+// BoxedReducer is instantiated once per reduce task.
+type BoxedReducer interface {
 	Configure(m, r, taskIndex int)
 	// Reduce is called once per key group with the group's first key and
 	// all values in merged order. The values slice is only valid for the
 	// duration of the call: the engine streams groups out of the shuffle
 	// merge through a reused buffer. Implementations that need values
 	// beyond the call must copy them.
-	Reduce(ctx *Context, key any, values []KeyValue)
+	Reduce(ctx *BoxedContext, key any, values []KeyValue)
 }
 
-// Job describes one MapReduce job. NewMapper/NewReducer are factories so
+// BoxedJob describes one MapReduce job. NewMapper/NewReducer are factories so
 // that concurrently executing tasks never share mutable state.
-type Job struct {
+type BoxedJob struct {
 	Name string
 
 	// NumReduceTasks is r. The number of map tasks m always equals the
 	// number of input partitions passed to Engine.Run.
 	NumReduceTasks int
 
-	NewMapper  func() Mapper
-	NewReducer func() Reducer
+	NewMapper  func() BoxedMapper
+	NewReducer func() BoxedReducer
 
 	// Partition implements part: key -> reduce task in [0,r).
 	Partition func(key any, numReduceTasks int) int
@@ -82,10 +95,10 @@ type Job struct {
 	// before the shuffle (grouped with the same Group/Compare), the
 	// standard Hadoop combiner optimization the paper suggests for the
 	// BDM job.
-	NewCombiner func() Reducer
+	NewCombiner func() BoxedReducer
 }
 
-func (j *Job) validate(numPartitions int) error {
+func (j *BoxedJob) validate(numPartitions int) error {
 	switch {
 	case j.NumReduceTasks <= 0:
 		return fmt.Errorf("mapreduce: job %q: NumReduceTasks must be > 0, got %d", j.Name, j.NumReduceTasks)
@@ -103,7 +116,7 @@ func (j *Job) validate(numPartitions int) error {
 	return nil
 }
 
-func (j *Job) group(a, b any) int {
+func (j *BoxedJob) group(a, b any) int {
 	if j.Group != nil {
 		return j.Group(a, b)
 	}
@@ -112,14 +125,14 @@ func (j *Job) group(a, b any) int {
 
 // ComparisonsCounter is the user-counter name under which the strategies'
 // reduce functions record pair comparisons. It is by far the
-// highest-frequency counter (one Inc per candidate pair), so Context.Inc
+// highest-frequency counter (one Inc per candidate pair), so BoxedContext.Inc
 // routes it to a dedicated TaskMetrics field instead of the counter map.
 const ComparisonsCounter = "comparisons"
 
-// Context is passed to map and reduce calls for emitting output and
+// BoxedContext is passed to map and reduce calls for emitting output and
 // updating counters. It is owned by a single task; methods are not safe
 // for concurrent use by multiple goroutines.
-type Context struct {
+type BoxedContext struct {
 	taskKind TaskKind
 	taskIdx  int
 
@@ -131,7 +144,7 @@ type Context struct {
 // Emit appends a key-value pair to the task's primary output. For map
 // tasks the pair enters the shuffle; for reduce tasks it becomes job
 // output.
-func (c *Context) Emit(key, value any) {
+func (c *BoxedContext) Emit(key, value any) {
 	c.out = append(c.out, KeyValue{Key: key, Value: value})
 	c.metrics.OutputRecords++
 }
@@ -140,7 +153,7 @@ func (c *Context) Emit(key, value any) {
 // BDM job uses it for the "additionalOutput" of Algorithm 3: entities
 // annotated with their blocking key, written per map task so the second
 // job sees the identical input partitioning.
-func (c *Context) SideEmit(key, value any) {
+func (c *BoxedContext) SideEmit(key, value any) {
 	c.side = append(c.side, KeyValue{Key: key, Value: value})
 	c.metrics.SideOutputRecords++
 }
@@ -148,7 +161,7 @@ func (c *Context) SideEmit(key, value any) {
 // Inc adds delta to the named user counter for this task (e.g., the
 // number of pair comparisons performed by a reduce task).
 // ComparisonsCounter takes an allocation-free fast path.
-func (c *Context) Inc(name string, delta int64) {
+func (c *BoxedContext) Inc(name string, delta int64) {
 	if name == ComparisonsCounter {
 		c.metrics.Comparisons += delta
 		return
@@ -206,15 +219,11 @@ func (m *TaskMetrics) Counter(name string) int64 {
 	return m.Counters[name]
 }
 
-// Result is the outcome of a job execution.
-type Result struct {
+// Metrics is the execution-metrics part of a job result. It is shared
+// by the typed and boxed engines, so metric consumers (the cluster
+// simulator, the experiment harness) work with either dataflow.
+type Metrics struct {
 	JobName string
-	// Output contains the concatenated reduce outputs in reduce task
-	// order (within a task, in emission order).
-	Output []KeyValue
-	// SideOutput holds each map task's side output, indexed by map task
-	// (= input partition) index.
-	SideOutput [][]KeyValue
 	// MapMetrics and ReduceMetrics are indexed by task index.
 	MapMetrics    []TaskMetrics
 	ReduceMetrics []TaskMetrics
@@ -224,15 +233,26 @@ type Result struct {
 }
 
 // Counter sums the named user counter over all map and reduce tasks.
-func (r *Result) Counter(name string) int64 {
+func (m *Metrics) Counter(name string) int64 {
 	var total int64
-	for i := range r.MapMetrics {
-		total += r.MapMetrics[i].Counter(name)
+	for i := range m.MapMetrics {
+		total += m.MapMetrics[i].Counter(name)
 	}
-	for i := range r.ReduceMetrics {
-		total += r.ReduceMetrics[i].Counter(name)
+	for i := range m.ReduceMetrics {
+		total += m.ReduceMetrics[i].Counter(name)
 	}
 	return total
+}
+
+// BoxedResult is the outcome of a boxed-engine job execution.
+type BoxedResult struct {
+	Metrics
+	// Output contains the concatenated reduce outputs in reduce task
+	// order (within a task, in emission order).
+	Output []KeyValue
+	// SideOutput holds each map task's side output, indexed by map task
+	// (= input partition) index.
+	SideOutput [][]KeyValue
 }
 
 // ShuffleMode selects the reduce-side shuffle implementation.
@@ -250,6 +270,18 @@ const (
 	ShuffleConcatSort
 )
 
+// DataflowMode selects the record representation a typed Job runs on.
+type DataflowMode int
+
+const (
+	// DataflowTyped (the default) executes on the typed engine: concrete
+	// key/value types everywhere, optional binary key codes.
+	DataflowTyped DataflowMode = iota
+	// DataflowBoxed routes a typed Job through the boxed any-based
+	// engine via a thin boxing adapter — the differential oracle.
+	DataflowBoxed
+)
+
 // Engine executes jobs. Parallelism bounds the number of concurrently
 // executing tasks per phase; 0 means one goroutine per task.
 type Engine struct {
@@ -257,25 +289,30 @@ type Engine struct {
 	// Shuffle selects the reduce-side merge implementation. The zero
 	// value is the streaming k-way merge; ShuffleConcatSort is the
 	// reference concat+stable-sort path. Both produce byte-identical
-	// Results (the differential tests prove it).
+	// results (the differential tests prove it).
 	Shuffle ShuffleMode
+	// Dataflow selects the record representation for typed Jobs (see
+	// Job.Run). The boxed engine's Run ignores it.
+	Dataflow DataflowMode
 }
 
 // Run executes the job over the given input partitions and returns the
 // result. Execution is deterministic: map outputs are shuffled with a
 // stable, map-task-ordered merge and sorted with the job's Compare.
-func (e *Engine) Run(job *Job, input [][]KeyValue) (*Result, error) {
+func (e *Engine) Run(job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
 	m := len(input)
 	if err := job.validate(m); err != nil {
 		return nil, err
 	}
 	r := job.NumReduceTasks
 
-	res := &Result{
-		JobName:       job.Name,
-		SideOutput:    make([][]KeyValue, m),
-		MapMetrics:    make([]TaskMetrics, m),
-		ReduceMetrics: make([]TaskMetrics, r),
+	res := &BoxedResult{
+		Metrics: Metrics{
+			JobName:       job.Name,
+			MapMetrics:    make([]TaskMetrics, m),
+			ReduceMetrics: make([]TaskMetrics, r),
+		},
+		SideOutput: make([][]KeyValue, m),
 	}
 
 	// ---- Map phase ----
@@ -324,16 +361,16 @@ func (e *Engine) Run(job *Job, input [][]KeyValue) (*Result, error) {
 	return res, nil
 }
 
-// newTaskContext builds the per-task Context, initializing the counter
+// newTaskContext builds the per-task BoxedContext, initializing the counter
 // map once so Inc never has to on the hot path.
-func newTaskContext(kind TaskKind, idx int, metrics *TaskMetrics) *Context {
+func newTaskContext(kind TaskKind, idx int, metrics *TaskMetrics) *BoxedContext {
 	if metrics.Counters == nil {
 		metrics.Counters = make(map[string]int64)
 	}
-	return &Context{taskKind: kind, taskIdx: idx, metrics: metrics}
+	return &BoxedContext{taskKind: kind, taskIdx: idx, metrics: metrics}
 }
 
-func (e *Engine) runMapTask(job *Job, idx, m int, input []KeyValue, res *Result) (buckets [][]KeyValue, err error) {
+func (e *Engine) runMapTask(job *BoxedJob, idx, m int, input []KeyValue, res *BoxedResult) (buckets [][]KeyValue, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
@@ -412,11 +449,11 @@ func (e *Engine) runMapTask(job *Job, idx, m int, input []KeyValue, res *Result)
 
 // combine runs the job's combiner over one map task's output, grouped
 // exactly like the reduce side would group it.
-func (e *Engine) combine(job *Job, idx, m int, out []KeyValue, metrics *TaskMetrics) ([]KeyValue, error) {
+func (e *Engine) combine(job *BoxedJob, idx, m int, out []KeyValue, metrics *TaskMetrics) ([]KeyValue, error) {
 	sortKVsStable(out, job.Compare)
 	combiner := job.NewCombiner()
 	combiner.Configure(m, job.NumReduceTasks, idx)
-	cctx := &Context{taskKind: MapTask, taskIdx: idx, metrics: metrics}
+	cctx := &BoxedContext{taskKind: MapTask, taskIdx: idx, metrics: metrics}
 	cctx.out = getKVBuf()
 	for lo := 0; lo < len(out); {
 		hi := lo + 1
@@ -429,7 +466,7 @@ func (e *Engine) combine(job *Job, idx, m int, out []KeyValue, metrics *TaskMetr
 	return cctx.out, nil
 }
 
-func (e *Engine) runReduceTask(job *Job, idx, m int, mapOut [][][]KeyValue, res *Result) (out []KeyValue, err error) {
+func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue, res *BoxedResult) (out []KeyValue, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
@@ -500,7 +537,7 @@ func (e *Engine) runReduceTask(job *Job, idx, m int, mapOut [][][]KeyValue, res 
 
 // reduceSortedRun walks one fully sorted input run and invokes the
 // reducer once per key group, updating the group metrics.
-func reduceSortedRun(ctx *Context, job *Job, reducer Reducer, input []KeyValue) {
+func reduceSortedRun(ctx *BoxedContext, job *BoxedJob, reducer BoxedReducer, input []KeyValue) {
 	for lo := 0; lo < len(input); {
 		hi := lo + 1
 		for hi < len(input) && job.group(input[lo].Key, input[hi].Key) == 0 {
@@ -513,7 +550,7 @@ func reduceSortedRun(ctx *Context, job *Job, reducer Reducer, input []KeyValue) 
 
 // emitGroup invokes the reducer for one key group and maintains the
 // group metrics.
-func emitGroup(ctx *Context, reducer Reducer, group []KeyValue) {
+func emitGroup(ctx *BoxedContext, reducer BoxedReducer, group []KeyValue) {
 	ctx.metrics.InputGroups++
 	if g := int64(len(group)); g > ctx.metrics.MaxGroupRecords {
 		ctx.metrics.MaxGroupRecords = g

@@ -8,22 +8,22 @@ import (
 )
 
 // wordCountJob is the canonical MR smoke test.
-func wordCountJob(r int, combiner bool) *Job {
-	j := &Job{
+func wordCountJob(r int, combiner bool) *BoxedJob {
+	j := &BoxedJob{
 		Name:           "wordcount",
 		NumReduceTasks: r,
-		NewMapper: func() Mapper {
+		NewMapper: func() BoxedMapper {
 			return &FuncMapper{
-				OnMap: func(ctx *Context, kv KeyValue) {
+				OnMap: func(ctx *BoxedContext, kv KeyValue) {
 					for _, w := range strings.Fields(kv.Value.(string)) {
 						ctx.Emit(w, 1)
 					}
 				},
 			}
 		},
-		NewReducer: func() Reducer {
+		NewReducer: func() BoxedReducer {
 			return &FuncReducer{
-				OnReduce: func(ctx *Context, key any, values []KeyValue) {
+				OnReduce: func(ctx *BoxedContext, key any, values []KeyValue) {
 					sum := 0
 					for _, v := range values {
 						sum += v.Value.(int)
@@ -49,7 +49,7 @@ func lines(ls ...string) []KeyValue {
 	return kvs
 }
 
-func countsOf(res *Result) map[string]int {
+func countsOf(res *BoxedResult) map[string]int {
 	out := make(map[string]int)
 	for _, kv := range res.Output {
 		out[kv.Key.(string)] = kv.Value.(int)
@@ -100,19 +100,19 @@ func TestCombinerReducesMapOutput(t *testing.T) {
 // TestStableMergeOrder verifies the Hadoop-like property BlockSplit
 // depends on: within one key group, values arrive in map-task order.
 func TestStableMergeOrder(t *testing.T) {
-	job := &Job{
+	job := &BoxedJob{
 		Name:           "order",
 		NumReduceTasks: 1,
-		NewMapper: func() Mapper {
+		NewMapper: func() BoxedMapper {
 			return &FuncMapper{
-				OnMap: func(ctx *Context, kv KeyValue) {
+				OnMap: func(ctx *BoxedContext, kv KeyValue) {
 					ctx.Emit("k", kv.Value)
 				},
 			}
 		},
-		NewReducer: func() Reducer {
+		NewReducer: func() BoxedReducer {
 			return &FuncReducer{
-				OnReduce: func(ctx *Context, key any, values []KeyValue) {
+				OnReduce: func(ctx *BoxedContext, key any, values []KeyValue) {
 					for _, v := range values {
 						ctx.Emit(key, v.Value)
 					}
@@ -151,20 +151,20 @@ func TestCompositeKeyGrouping(t *testing.T) {
 		color string
 		shape string
 	}
-	job := &Job{
+	job := &BoxedJob{
 		Name:           "figure1",
 		NumReduceTasks: 3,
-		NewMapper: func() Mapper {
+		NewMapper: func() BoxedMapper {
 			return &FuncMapper{
-				OnMap: func(ctx *Context, kv KeyValue) {
+				OnMap: func(ctx *BoxedContext, kv KeyValue) {
 					k := kv.Key.(ck)
 					ctx.Emit(k, 1)
 				},
 			}
 		},
-		NewReducer: func() Reducer {
+		NewReducer: func() BoxedReducer {
 			return &FuncReducer{
-				OnReduce: func(ctx *Context, key any, values []KeyValue) {
+				OnReduce: func(ctx *BoxedContext, key any, values []KeyValue) {
 					ctx.Emit(key, len(values))
 				},
 			}
@@ -205,15 +205,15 @@ func TestCompositeKeyGrouping(t *testing.T) {
 func TestGroupCoarserThanSort(t *testing.T) {
 	// Sort by (a,b), group by a only: reduce sees values sorted by b.
 	type ck struct{ a, b int }
-	job := &Job{
+	job := &BoxedJob{
 		Name:           "secondary-sort",
 		NumReduceTasks: 2,
-		NewMapper: func() Mapper {
-			return &FuncMapper{OnMap: func(ctx *Context, kv KeyValue) { ctx.Emit(kv.Key, kv.Value) }}
+		NewMapper: func() BoxedMapper {
+			return &FuncMapper{OnMap: func(ctx *BoxedContext, kv KeyValue) { ctx.Emit(kv.Key, kv.Value) }}
 		},
-		NewReducer: func() Reducer {
+		NewReducer: func() BoxedReducer {
 			return &FuncReducer{
-				OnReduce: func(ctx *Context, key any, values []KeyValue) {
+				OnReduce: func(ctx *BoxedContext, key any, values []KeyValue) {
 					var bs []int
 					for _, v := range values {
 						bs = append(bs, v.Key.(ck).b)
@@ -249,9 +249,9 @@ func TestGroupCoarserThanSort(t *testing.T) {
 
 func TestSideOutputPerTask(t *testing.T) {
 	job := wordCountJob(2, false)
-	job.NewMapper = func() Mapper {
+	job.NewMapper = func() BoxedMapper {
 		return &FuncMapper{
-			OnMap: func(ctx *Context, kv KeyValue) {
+			OnMap: func(ctx *BoxedContext, kv KeyValue) {
 				ctx.SideEmit("side", kv.Value)
 				ctx.Emit(kv.Value.(string), 1)
 			},
@@ -305,15 +305,15 @@ func TestBadPartitionFunctionIsAnError(t *testing.T) {
 
 func TestPanicsInUserCodeBecomeErrors(t *testing.T) {
 	job := wordCountJob(1, false)
-	job.NewMapper = func() Mapper {
-		return &FuncMapper{OnMap: func(*Context, KeyValue) { panic("boom in map") }}
+	job.NewMapper = func() BoxedMapper {
+		return &FuncMapper{OnMap: func(*BoxedContext, KeyValue) { panic("boom in map") }}
 	}
 	if _, err := (&Engine{}).Run(job, [][]KeyValue{lines("a")}); err == nil || !strings.Contains(err.Error(), "boom in map") {
 		t.Errorf("map panic: err = %v", err)
 	}
 	job2 := wordCountJob(1, false)
-	job2.NewReducer = func() Reducer {
-		return &FuncReducer{OnReduce: func(*Context, any, []KeyValue) { panic("boom in reduce") }}
+	job2.NewReducer = func() BoxedReducer {
+		return &FuncReducer{OnReduce: func(*BoxedContext, any, []KeyValue) { panic("boom in reduce") }}
 	}
 	if _, err := (&Engine{}).Run(job2, [][]KeyValue{lines("a")}); err == nil || !strings.Contains(err.Error(), "boom in reduce") {
 		t.Errorf("reduce panic: err = %v", err)
@@ -352,9 +352,9 @@ func TestMetricsAccounting(t *testing.T) {
 
 func TestUserCounters(t *testing.T) {
 	job := wordCountJob(2, false)
-	job.NewReducer = func() Reducer {
+	job.NewReducer = func() BoxedReducer {
 		return &FuncReducer{
-			OnReduce: func(ctx *Context, key any, values []KeyValue) {
+			OnReduce: func(ctx *BoxedContext, key any, values []KeyValue) {
 				ctx.Inc("groups", 1)
 				ctx.Inc("values", int64(len(values)))
 			},
@@ -436,14 +436,14 @@ func TestCompareHelpers(t *testing.T) {
 // TestReduceOutputOrderedByTask: outputs concatenate in reduce-task
 // index order.
 func TestReduceOutputOrderedByTask(t *testing.T) {
-	job := &Job{
+	job := &BoxedJob{
 		Name:           "task-order",
 		NumReduceTasks: 4,
-		NewMapper: func() Mapper {
-			return &FuncMapper{OnMap: func(ctx *Context, kv KeyValue) { ctx.Emit(kv.Value.(int), nil) }}
+		NewMapper: func() BoxedMapper {
+			return &FuncMapper{OnMap: func(ctx *BoxedContext, kv KeyValue) { ctx.Emit(kv.Value.(int), nil) }}
 		},
-		NewReducer: func() Reducer {
-			return &FuncReducer{OnReduce: func(ctx *Context, key any, _ []KeyValue) { ctx.Emit(key, nil) }}
+		NewReducer: func() BoxedReducer {
+			return &FuncReducer{OnReduce: func(ctx *BoxedContext, key any, _ []KeyValue) { ctx.Emit(key, nil) }}
 		},
 		Partition: func(key any, r int) int { return key.(int) % r },
 		Compare:   func(a, b any) int { return CompareInts(a.(int), b.(int)) },

@@ -1,0 +1,130 @@
+package mapreduce
+
+// The boxing adapter: runs a typed Job[I, K, V, O] on the boxed
+// any-based engine (the original dataflow, untouched since it was
+// differentially validated) and converts the result back. This is the
+// oracle path behind Engine.Dataflow == DataflowBoxed — every typed job
+// can be re-executed with per-record interface boxing and compared
+// byte-for-byte against the typed engine, which is exactly what the
+// dataflow differential tests do.
+//
+// The adapter is deliberately thin: user mapper/reducer/combiner logic
+// runs unchanged; only record representation and the comparator/
+// partition/group functions are bridged. Binary key codes are not used
+// on this path (the boxed engine predates them), so the oracle also
+// cross-checks the codes' order/group behaviour against the plain
+// comparators.
+
+func (j *Job[I, K, V, O]) runBoxed(e *Engine, input [][]I) (*Result[I, O], error) {
+	bj := &BoxedJob{
+		Name:           j.Name,
+		NumReduceTasks: j.NumReduceTasks,
+		NewMapper: func() BoxedMapper {
+			return &oracleMapper[I, K, V]{inner: j.NewMapper()}
+		},
+		NewReducer: func() BoxedReducer {
+			return &oracleReducer[K, V, O]{inner: j.NewReducer()}
+		},
+		Partition: func(key any, r int) int { return j.Partition(key.(K), r) },
+		Compare:   func(a, b any) int { return j.Compare(a.(K), b.(K)) },
+	}
+	if j.Group != nil {
+		bj.Group = func(a, b any) int { return j.Group(a.(K), b.(K)) }
+	}
+	if j.NewCombiner != nil {
+		bj.NewCombiner = func() BoxedReducer {
+			return &oracleCombiner[I, K, V]{inner: j.NewCombiner()}
+		}
+	}
+
+	binput := make([][]KeyValue, len(input))
+	for i, part := range input {
+		binput[i] = make([]KeyValue, len(part))
+		for k, rec := range part {
+			binput[i][k] = KeyValue{Key: rec}
+		}
+	}
+	bres, err := e.Run(bj, binput)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result[I, O]{
+		Metrics:    bres.Metrics,
+		Output:     make([]O, 0, len(bres.Output)),
+		SideOutput: make([][]I, len(bres.SideOutput)),
+	}
+	for _, kv := range bres.Output {
+		res.Output = append(res.Output, kv.Key.(O))
+	}
+	for i, side := range bres.SideOutput {
+		if side == nil {
+			continue
+		}
+		s := make([]I, len(side))
+		for k, kv := range side {
+			s[k] = kv.Key.(I)
+		}
+		res.SideOutput[i] = s
+	}
+	return res, nil
+}
+
+// oracleMapper feeds unboxed input records to the typed mapper while
+// routing its emissions through the boxed context.
+type oracleMapper[I, K, V any] struct {
+	inner Mapper[I, K, V]
+	ctx   MapContext[I, K, V]
+}
+
+func (o *oracleMapper[I, K, V]) Configure(m, r, partitionIndex int) {
+	o.inner.Configure(m, r, partitionIndex)
+}
+
+func (o *oracleMapper[I, K, V]) Map(bctx *BoxedContext, kv KeyValue) {
+	o.ctx.boxed = bctx
+	o.inner.Map(&o.ctx, kv.Key.(I))
+}
+
+// oracleReducer unboxes each group into a reused []Rec and hands it to
+// the typed reducer, emissions flowing through the boxed context.
+type oracleReducer[K, V, O any] struct {
+	inner Reducer[K, V, O]
+	ctx   ReduceContext[O]
+	vals  []Rec[K, V]
+}
+
+func (o *oracleReducer[K, V, O]) Configure(m, r, taskIndex int) {
+	o.inner.Configure(m, r, taskIndex)
+}
+
+func (o *oracleReducer[K, V, O]) Reduce(bctx *BoxedContext, key any, values []KeyValue) {
+	o.ctx.boxed = bctx
+	o.vals = o.vals[:0]
+	for _, kv := range values {
+		o.vals = append(o.vals, Rec[K, V]{Key: kv.Key.(K), Value: kv.Value.(V)})
+	}
+	o.inner.Reduce(&o.ctx, key.(K), o.vals)
+}
+
+// oracleCombiner is the combiner analogue of oracleReducer: the typed
+// combiner re-emits intermediate pairs through a boxed-backed
+// MapContext.
+type oracleCombiner[I, K, V any] struct {
+	inner Combiner[I, K, V]
+	ctx   MapContext[I, K, V]
+	vals  []Rec[K, V]
+}
+
+func (o *oracleCombiner[I, K, V]) Configure(m, r, taskIndex int) {
+	o.inner.Configure(m, r, taskIndex)
+}
+
+func (o *oracleCombiner[I, K, V]) Reduce(bctx *BoxedContext, key any, values []KeyValue) {
+	o.ctx.boxed = bctx
+	o.vals = o.vals[:0]
+	for _, kv := range values {
+		o.vals = append(o.vals, Rec[K, V]{Key: kv.Key.(K), Value: kv.Value.(V)})
+	}
+	o.inner.Combine(&o.ctx, key.(K), o.vals)
+}

@@ -1,0 +1,611 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the typed engine: the generic, boxing-free realization of
+// the execution model described in the package comment. A Job[I, K, V, O]
+// fixes four concrete types —
+//
+//	I – one map-input record (and, by convention, one side-output
+//	    record: SideEmit writes records of the input type so a
+//	    pipeline's next job can consume SideOutput as its input),
+//	K – the intermediate (shuffle) key,
+//	V – the intermediate value,
+//	O – one reduce-output record —
+//
+// so map output, spill buckets, the map-side stable sort, the k-way
+// merge heap, and reduce group buffers all hold concrete types with zero
+// per-record interface boxing. An optional KeyCoding[K] additionally
+// turns most sort/merge/group comparisons into one or two uint64
+// compares (see keycode.go).
+
+// Pair is a plain typed key-value record. It is the input/output record
+// shape used throughout the pipeline (e.g. blocking-key-annotated
+// entities, emitted match pairs).
+type Pair[K, V any] struct {
+	Key   K
+	Value V
+}
+
+// Rec is one intermediate record in flight between a map task and a
+// reduce task: the key/value pair plus the engine-internal binary key
+// code (zero when the job has no KeyCoding). Reducers receive group
+// value lists as []Rec and should read Key/Value only.
+type Rec[K, V any] struct {
+	code  Code
+	Key   K
+	Value V
+}
+
+// Mapper is the typed counterpart of BoxedMapper, instantiated once per
+// map task. Configure receives the task's partition index before any Map
+// call, mirroring Hadoop's Mapper.configure.
+type Mapper[I, K, V any] interface {
+	Configure(m, r, partitionIndex int)
+	Map(ctx *MapContext[I, K, V], rec I)
+}
+
+// Reducer is the typed counterpart of BoxedReducer, instantiated once
+// per reduce task. Reduce is called once per key group with the group's
+// first key and all values in merged order. The values slice is only
+// valid for the duration of the call: the engine streams groups out of
+// the shuffle merge through a reused buffer. Implementations that need
+// values beyond the call must copy them.
+type Reducer[K, V, O any] interface {
+	Configure(m, r, taskIndex int)
+	Reduce(ctx *ReduceContext[O], key K, values []Rec[K, V])
+}
+
+// Combiner runs over each map task's output before the shuffle, grouped
+// with the same Group/Compare as the reduce side, re-emitting
+// intermediate (K, V) pairs — the standard Hadoop combiner optimization.
+type Combiner[I, K, V any] interface {
+	Configure(m, r, taskIndex int)
+	Combine(ctx *MapContext[I, K, V], key K, values []Rec[K, V])
+}
+
+// Job describes one typed MapReduce job. NewMapper/NewReducer are
+// factories so that concurrently executing tasks never share mutable
+// state.
+type Job[I, K, V, O any] struct {
+	Name string
+
+	// NumReduceTasks is r. The number of map tasks m always equals the
+	// number of input partitions passed to Run.
+	NumReduceTasks int
+
+	NewMapper  func() Mapper[I, K, V]
+	NewReducer func() Reducer[K, V, O]
+
+	// Partition implements part: key -> reduce task in [0,r).
+	Partition func(key K, numReduceTasks int) int
+	// Compare implements comp: total order on keys (-1, 0, +1).
+	Compare func(a, b K) int
+	// Group implements group: keys a and b belong to the same reduce
+	// call iff Group(a,b) == 0. It must be compatible with Compare
+	// (groups are runs of the sorted order). When nil, Compare is used.
+	Group func(a, b K) int
+
+	// NewCombiner, when non-nil, enables the map-side combiner.
+	NewCombiner func() Combiner[I, K, V]
+
+	// Coding is the optional order-preserving binary key code (see
+	// keycode.go). The zero value disables the fast path.
+	Coding KeyCoding[K]
+}
+
+// JobName returns the job's name (JobRunner).
+func (j *Job[I, K, V, O]) JobName() string { return j.Name }
+
+// JobRunner is the type-erased face of a Job: it hides the intermediate
+// K and V types so heterogeneous jobs that share input and output record
+// types (e.g. the five redistribution strategies) can stand behind one
+// interface.
+type JobRunner[I, O any] interface {
+	Run(e *Engine, input [][]I) (*Result[I, O], error)
+	JobName() string
+}
+
+// Result is the outcome of a typed job execution.
+type Result[I, O any] struct {
+	Metrics
+	// Output contains the concatenated reduce outputs in reduce task
+	// order (within a task, in emission order).
+	Output []O
+	// SideOutput holds each map task's side output, indexed by map task
+	// (= input partition) index. Side records have the input type I so a
+	// follow-up job can consume them as its partitioned input.
+	SideOutput [][]I
+}
+
+// MapContext is passed to map (and combine) calls for emitting
+// intermediate output and updating counters. It is owned by a single
+// task; methods are not safe for concurrent use by multiple goroutines.
+type MapContext[I, K, V any] struct {
+	metrics *TaskMetrics
+	out     []Rec[K, V]
+	side    []I
+	// sideCap sizes the side-output buffer on first use: side emitters
+	// (the BDM job) write at most one record per input record, so the
+	// task's input size is an exact upper bound and the buffer never
+	// regrows.
+	sideCap int
+	encode  func(K) Code
+	// boxed, when non-nil, redirects all emissions and counters through
+	// the boxed oracle context (see oracle.go).
+	boxed *BoxedContext
+}
+
+// Emit appends an intermediate key-value pair to the task's output,
+// computing the key's binary code once if the job has a KeyCoding.
+func (c *MapContext[I, K, V]) Emit(key K, value V) {
+	if c.boxed != nil {
+		c.boxed.Emit(key, value)
+		return
+	}
+	var code Code
+	if c.encode != nil {
+		code = c.encode(key)
+	}
+	c.out = append(c.out, Rec[K, V]{code: code, Key: key, Value: value})
+	c.metrics.OutputRecords++
+}
+
+// SideEmit writes a record of the input type to the task's side output,
+// bypassing the shuffle. The BDM job uses it for the "additionalOutput"
+// of Algorithm 3: blocking-key-annotated entities, written per map task
+// so the second job sees the identical input partitioning.
+func (c *MapContext[I, K, V]) SideEmit(rec I) {
+	if c.boxed != nil {
+		c.boxed.SideEmit(rec, nil)
+		return
+	}
+	if c.side == nil && c.sideCap > 0 {
+		c.side = make([]I, 0, c.sideCap)
+	}
+	c.side = append(c.side, rec)
+	c.metrics.SideOutputRecords++
+}
+
+// Inc adds delta to the named user counter for this task.
+// ComparisonsCounter takes an allocation-free fast path.
+func (c *MapContext[I, K, V]) Inc(name string, delta int64) {
+	if c.boxed != nil {
+		c.boxed.Inc(name, delta)
+		return
+	}
+	incCounter(c.metrics, name, delta)
+}
+
+// ReduceContext is passed to reduce calls for emitting output records
+// and updating counters.
+type ReduceContext[O any] struct {
+	metrics *TaskMetrics
+	out     []O
+	boxed   *BoxedContext
+}
+
+// Emit appends one record to the job output.
+func (c *ReduceContext[O]) Emit(rec O) {
+	if c.boxed != nil {
+		c.boxed.Emit(rec, nil)
+		return
+	}
+	c.out = append(c.out, rec)
+	c.metrics.OutputRecords++
+}
+
+// Inc adds delta to the named user counter for this task.
+func (c *ReduceContext[O]) Inc(name string, delta int64) {
+	if c.boxed != nil {
+		c.boxed.Inc(name, delta)
+		return
+	}
+	incCounter(c.metrics, name, delta)
+}
+
+// incCounter is the shared counter-update path (mirrors BoxedContext.Inc).
+func incCounter(metrics *TaskMetrics, name string, delta int64) {
+	if name == ComparisonsCounter {
+		metrics.Comparisons += delta
+		return
+	}
+	m := metrics.Counters
+	if m == nil {
+		// Engine-created contexts initialize the map once per task; this
+		// guard only fires for contexts constructed directly in tests.
+		m = make(map[string]int64)
+		metrics.Counters = m
+	}
+	m[name] += delta
+}
+
+// MapperFunc adapts plain functions to the Mapper interface.
+type MapperFunc[I, K, V any] struct {
+	OnConfigure func(m, r, partitionIndex int)
+	OnMap       func(ctx *MapContext[I, K, V], rec I)
+}
+
+// Configure implements Mapper.
+func (f *MapperFunc[I, K, V]) Configure(m, r, partitionIndex int) {
+	if f.OnConfigure != nil {
+		f.OnConfigure(m, r, partitionIndex)
+	}
+}
+
+// Map implements Mapper.
+func (f *MapperFunc[I, K, V]) Map(ctx *MapContext[I, K, V], rec I) { f.OnMap(ctx, rec) }
+
+// ReducerFunc adapts plain functions to the Reducer interface.
+type ReducerFunc[K, V, O any] struct {
+	OnConfigure func(m, r, taskIndex int)
+	OnReduce    func(ctx *ReduceContext[O], key K, values []Rec[K, V])
+}
+
+// Configure implements Reducer.
+func (f *ReducerFunc[K, V, O]) Configure(m, r, taskIndex int) {
+	if f.OnConfigure != nil {
+		f.OnConfigure(m, r, taskIndex)
+	}
+}
+
+// Reduce implements Reducer.
+func (f *ReducerFunc[K, V, O]) Reduce(ctx *ReduceContext[O], key K, values []Rec[K, V]) {
+	f.OnReduce(ctx, key, values)
+}
+
+func (j *Job[I, K, V, O]) validate(numPartitions int) error {
+	switch {
+	case j.NumReduceTasks <= 0:
+		return fmt.Errorf("mapreduce: job %q: NumReduceTasks must be > 0, got %d", j.Name, j.NumReduceTasks)
+	case numPartitions <= 0:
+		return fmt.Errorf("mapreduce: job %q: need at least one input partition", j.Name)
+	case j.NewMapper == nil:
+		return fmt.Errorf("mapreduce: job %q: NewMapper is required", j.Name)
+	case j.NewReducer == nil:
+		return fmt.Errorf("mapreduce: job %q: NewReducer is required", j.Name)
+	case j.Partition == nil:
+		return fmt.Errorf("mapreduce: job %q: Partition function is required", j.Name)
+	case j.Compare == nil:
+		return fmt.Errorf("mapreduce: job %q: Compare function is required", j.Name)
+	case j.Coding.Encode == nil && (j.Coding.Exact || j.Coding.GroupBits != 0):
+		return fmt.Errorf("mapreduce: job %q: KeyCoding.Exact/GroupBits require an Encode function", j.Name)
+	case j.Coding.GroupBits < 0 || j.Coding.GroupBits > 128:
+		return fmt.Errorf("mapreduce: job %q: KeyCoding.GroupBits must be in [0,128], got %d", j.Name, j.Coding.GroupBits)
+	}
+	return nil
+}
+
+// Run executes the job over the given input partitions and returns the
+// result. Execution is deterministic and byte-identical across the
+// typed/boxed × k-way/concat-sort engine variants: map outputs are
+// shuffled with a stable, map-task-ordered merge and sorted with the
+// job's Compare (accelerated by the key code when present). When
+// e.Dataflow is DataflowBoxed, the job runs on the boxed oracle engine
+// through the boxing adapter in oracle.go instead.
+func (j *Job[I, K, V, O]) Run(e *Engine, input [][]I) (*Result[I, O], error) {
+	m := len(input)
+	if err := j.validate(m); err != nil {
+		return nil, err
+	}
+	if e.Dataflow == DataflowBoxed {
+		return j.runBoxed(e, input)
+	}
+	r := j.NumReduceTasks
+
+	res := &Result[I, O]{
+		Metrics: Metrics{
+			JobName:       j.Name,
+			MapMetrics:    make([]TaskMetrics, m),
+			ReduceMetrics: make([]TaskMetrics, r),
+		},
+		SideOutput: make([][]I, m),
+	}
+	st := newRunState(j)
+
+	// ---- Map phase ----
+	// mapOut[mapTask][reduceTask] holds the bucketed map output; the
+	// buckets of one task are carved out of the single backing array in
+	// mapFlat[mapTask], which is recycled once the reduce phase is done.
+	mapOut := make([][][]Rec[K, V], m)
+	mapFlat := make([][]Rec[K, V], m)
+	mapErr := make([]error, m)
+	e.forEachTask(m, func(i int) {
+		mapOut[i], mapFlat[i], mapErr[i] = st.runMapTask(i, m, input[i], res)
+	})
+	for i, err := range mapErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", j.Name, i, err)
+		}
+	}
+	for i := range res.MapMetrics {
+		res.MapMetrics[i].Kind = MapTask
+		res.MapMetrics[i].Index = i
+		res.MapOutputRecords += res.MapMetrics[i].OutputRecords
+	}
+
+	// ---- Shuffle + merge + reduce phase ----
+	reduceOut := make([][]O, r)
+	reduceErr := make([]error, r)
+	e.forEachTask(r, func(jj int) {
+		reduceOut[jj], reduceErr[jj] = st.runReduceTask(e, jj, m, mapOut, res)
+	})
+	for jj, err := range reduceErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", j.Name, jj, err)
+		}
+	}
+	var total int
+	for jj := range reduceOut {
+		total += len(reduceOut[jj])
+	}
+	res.Output = make([]O, 0, total)
+	for jj := range res.ReduceMetrics {
+		res.ReduceMetrics[jj].Kind = ReduceTask
+		res.ReduceMetrics[jj].Index = jj
+		res.Output = append(res.Output, reduceOut[jj]...)
+		putOutBuf(st.outPool, reduceOut[jj])
+	}
+	// The spill buckets are dead now that every reduce task has drained
+	// them; recycle their backing arrays (putRecBuf clears the records,
+	// so pooled buffers never pin keys or values).
+	for _, flat := range mapFlat {
+		st.pools.putRecBuf(flat)
+	}
+	return res, nil
+}
+
+// runState carries the per-run comparator/group fast paths and the
+// process-wide pooled scratch buffers of the job's (K, V) types.
+type runState[I, K, V, O any] struct {
+	job    *Job[I, K, V, O]
+	encode func(K) Code
+	exact  bool
+	gbits  int
+	group  func(a, b K) int
+
+	pools   *recPools[K, V]
+	outPool *sync.Pool // pooled []O reduce-output buffers
+}
+
+func newRunState[I, K, V, O any](j *Job[I, K, V, O]) *runState[I, K, V, O] {
+	st := &runState[I, K, V, O]{
+		job:     j,
+		encode:  j.Coding.Encode,
+		exact:   j.Coding.Exact,
+		gbits:   j.Coding.GroupBits,
+		group:   j.Group,
+		pools:   poolFor[K, V](),
+		outPool: outPoolFor[O](),
+	}
+	if st.group == nil {
+		st.group = j.Compare
+	}
+	return st
+}
+
+// cmpRec is the record comparator of the spill sort and the merge heap:
+// binary codes first, the struct comparator only on code ties (never,
+// for exact codings).
+func (st *runState[I, K, V, O]) cmpRec(a, b *Rec[K, V]) int {
+	if st.encode != nil {
+		if c := a.code.Cmp(b.code); c != 0 {
+			return c
+		}
+		if st.exact {
+			return 0
+		}
+	}
+	return st.job.Compare(a.Key, b.Key)
+}
+
+// sameGroup decides whether two (sort-adjacent) records belong to the
+// same reduce call: by code prefix when the coding declares group bits,
+// by the Group function otherwise.
+func (st *runState[I, K, V, O]) sameGroup(a, b *Rec[K, V]) bool {
+	if st.gbits > 0 {
+		return a.code.prefixEqual(b.code, st.gbits)
+	}
+	return st.group(a.Key, b.Key) == 0
+}
+
+func (st *runState[I, K, V, O]) runMapTask(idx, m int, input []I, res *Result[I, O]) (buckets [][]Rec[K, V], flat []Rec[K, V], err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	j := st.job
+	r := j.NumReduceTasks
+	metrics := &res.MapMetrics[idx]
+	if metrics.Counters == nil {
+		metrics.Counters = make(map[string]int64)
+	}
+	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, out: st.pools.getRecBuf(), sideCap: len(input)}
+	mapper := j.NewMapper()
+	mapper.Configure(m, r, idx)
+	for i := range input {
+		metrics.InputRecords++
+		mapper.Map(ctx, input[i])
+	}
+	out := ctx.out
+	if j.NewCombiner != nil {
+		combined, cerr := st.combine(idx, m, out, metrics)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		st.pools.putRecBuf(out)
+		out = combined
+		// The combiner rewrote the task's output; fix the metric.
+		metrics.OutputRecords = int64(len(out))
+	}
+	res.SideOutput[idx] = ctx.side
+
+	// Bucket by partition: count first, then carve exact-size buckets
+	// out of one flat allocation instead of growing r slices.
+	parts := getInt32Buf(len(out))
+	counts := getInt32Buf(r)
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range out {
+		p := j.Partition(out[i].Key, r)
+		if p < 0 || p >= r {
+			putInt32Buf(parts)
+			putInt32Buf(counts)
+			return nil, nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, r)
+		}
+		parts[i] = int32(p)
+		counts[p]++
+	}
+	// The buckets' shared backing array comes from the record pool (a
+	// previous run's spill array, recycled at the end of Run).
+	flat = st.pools.getRecBuf()
+	if cap(flat) < len(out) {
+		flat = make([]Rec[K, V], len(out))
+	}
+	flat = flat[:len(out)]
+	// Turn counts into running write offsets (counts[p] ends up holding
+	// the bucket's end offset).
+	next := int32(0)
+	for p := 0; p < r; p++ {
+		c := counts[p]
+		counts[p] = next
+		next += c
+	}
+	for i := range out {
+		p := parts[i]
+		flat[counts[p]] = out[i]
+		counts[p]++
+	}
+	buckets = make([][]Rec[K, V], r)
+	start := int32(0)
+	for p := 0; p < r; p++ {
+		end := counts[p]
+		buckets[p] = flat[start:end:end]
+		start = end
+	}
+	putInt32Buf(parts)
+	putInt32Buf(counts)
+	st.pools.putRecBuf(out)
+	// Sort each bucket now (stable) so the reduce-side k-way merge only
+	// has to interleave pre-sorted runs — the Hadoop spill-file model.
+	for _, b := range buckets {
+		st.sortRecsStable(b)
+	}
+	return buckets, flat, nil
+}
+
+// combine runs the job's combiner over one map task's output, grouped
+// exactly like the reduce side would group it.
+func (st *runState[I, K, V, O]) combine(idx, m int, out []Rec[K, V], metrics *TaskMetrics) ([]Rec[K, V], error) {
+	st.sortRecsStable(out)
+	combiner := st.job.NewCombiner()
+	combiner.Configure(m, st.job.NumReduceTasks, idx)
+	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, out: st.pools.getRecBuf()}
+	for lo := 0; lo < len(out); {
+		hi := lo + 1
+		for hi < len(out) && st.sameGroup(&out[lo], &out[hi]) {
+			hi++
+		}
+		combiner.Combine(cctx, out[lo].Key, out[lo:hi])
+		lo = hi
+	}
+	return cctx.out, nil
+}
+
+func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][][]Rec[K, V], res *Result[I, O]) (out []O, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	j := st.job
+	metrics := &res.ReduceMetrics[idx]
+	if metrics.Counters == nil {
+		metrics.Counters = make(map[string]int64)
+	}
+	ctx := &ReduceContext[O]{metrics: metrics, out: getOutBuf[O](st.outPool)}
+	reducer := j.NewReducer()
+	reducer.Configure(m, j.NumReduceTasks, idx)
+
+	if e.Shuffle == ShuffleConcatSort {
+		// Reference path: concatenate the buckets in map-task order and
+		// stable-sort the whole input (the pre-sorted buckets make this
+		// redundant work — that is the point of the oracle).
+		var input []Rec[K, V]
+		for mi := 0; mi < m; mi++ {
+			input = append(input, mapOut[mi][idx]...)
+		}
+		st.sortRecsStable(input)
+		metrics.InputRecords = int64(len(input))
+		st.reduceSortedRun(ctx, reducer, input)
+		return ctx.out, nil
+	}
+
+	// Streaming k-way merge of the pre-sorted spill buckets. Equal keys
+	// are popped in map-task order (heap ties break on bucket index),
+	// reproducing the concat+stable-sort order exactly.
+	runs := st.pools.getRunsBuf(m)
+	total := 0
+	for mi := 0; mi < m; mi++ {
+		if b := mapOut[mi][idx]; len(b) > 0 {
+			runs = append(runs, b)
+			total += len(b)
+		}
+	}
+	metrics.InputRecords = int64(total)
+	switch len(runs) {
+	case 0:
+	case 1:
+		// Single non-empty bucket: it is the task's sorted input; pass
+		// group subslices straight through, no copying at all.
+		st.reduceSortedRun(ctx, reducer, runs[0])
+	default:
+		mg := newRecMerger(st, runs)
+		group := st.pools.getRecBuf()
+		rec, _ := mg.next()
+		group = append(group, rec)
+		for {
+			rec, ok := mg.next()
+			if !ok {
+				break
+			}
+			if !st.sameGroup(&group[0], &rec) {
+				st.emitGroup(ctx, reducer, group)
+				group = group[:0]
+			}
+			group = append(group, rec)
+		}
+		st.emitGroup(ctx, reducer, group)
+		st.pools.putRecBuf(group)
+	}
+	st.pools.putRunsBuf(runs)
+	return ctx.out, nil
+}
+
+// reduceSortedRun walks one fully sorted input run and invokes the
+// reducer once per key group, updating the group metrics.
+func (st *runState[I, K, V, O]) reduceSortedRun(ctx *ReduceContext[O], reducer Reducer[K, V, O], input []Rec[K, V]) {
+	for lo := 0; lo < len(input); {
+		hi := lo + 1
+		for hi < len(input) && st.sameGroup(&input[lo], &input[hi]) {
+			hi++
+		}
+		st.emitGroup(ctx, reducer, input[lo:hi])
+		lo = hi
+	}
+}
+
+// emitGroup invokes the reducer for one key group and maintains the
+// group metrics.
+func (st *runState[I, K, V, O]) emitGroup(ctx *ReduceContext[O], reducer Reducer[K, V, O], group []Rec[K, V]) {
+	ctx.metrics.InputGroups++
+	if g := int64(len(group)); g > ctx.metrics.MaxGroupRecords {
+		ctx.metrics.MaxGroupRecords = g
+	}
+	reducer.Reduce(ctx, group[0].Key, group)
+}

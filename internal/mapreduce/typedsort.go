@@ -1,0 +1,180 @@
+package mapreduce
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Typed counterpart of sort.go: a dedicated stable merge sort over
+// []Rec[K, V] that calls the run's record comparator directly (binary
+// key codes first, the job comparator only on code ties), plus the
+// sync.Pool-backed scratch buffers the typed task hot paths reuse.
+// Generic pools cannot be package-level globals, so each run owns a
+// recPools instance shared by its tasks (see runState).
+
+// sortRecsStable sorts recs with cmpRec, preserving the relative order
+// of equal keys (the emission order within one map task, which the
+// shuffle's stability guarantee is built on).
+func (st *runState[I, K, V, O]) sortRecsStable(recs []Rec[K, V]) {
+	n := len(recs)
+	if n < 2 {
+		return
+	}
+	if n <= insertionRun {
+		st.insertionSortRecs(recs)
+		return
+	}
+	for lo := 0; lo < n; lo += insertionRun {
+		hi := lo + insertionRun
+		if hi > n {
+			hi = n
+		}
+		st.insertionSortRecs(recs[lo:hi])
+	}
+	scratch := st.pools.getRecBuf()
+	if cap(scratch) < n {
+		scratch = make([]Rec[K, V], n)
+	}
+	scratch = scratch[:n]
+	for width := insertionRun; width < n; width *= 2 {
+		for lo := 0; lo+width < n; lo += 2 * width {
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			st.mergeRecRuns(recs[lo:hi], width, scratch)
+		}
+	}
+	st.pools.putRecBuf(scratch)
+}
+
+// insertionSortRecs is a stable insertion sort (equal keys never swap).
+func (st *runState[I, K, V, O]) insertionSortRecs(a []Rec[K, V]) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && st.cmpRec(&a[j], &a[j-1]) < 0; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// mergeRecRuns merges the two adjacent sorted runs a[:mid] and a[mid:]
+// in place, taking from the left run on ties (stability). The left run
+// is staged in scratch; the merged output is written from the front of
+// a, which can never overtake the unread part of the right run.
+func (st *runState[I, K, V, O]) mergeRecRuns(a []Rec[K, V], mid int, scratch []Rec[K, V]) {
+	if st.cmpRec(&a[mid-1], &a[mid]) <= 0 {
+		return // already in order
+	}
+	left := scratch[:mid]
+	copy(left, a[:mid])
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(a) {
+		if st.cmpRec(&a[j], &left[i]) < 0 {
+			a[k] = a[j]
+			j++
+		} else {
+			a[k] = left[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		a[k] = left[i]
+		i++
+		k++
+	}
+}
+
+// ---- pooled typed scratch buffers ----
+
+// recPools holds the reusable record and run-list buffers of one
+// (K, V) instantiation. The capacity bound and clearing discipline
+// mirror the boxed pools in sort.go.
+type recPools[K, V any] struct {
+	recBuf  sync.Pool
+	runsBuf sync.Pool
+}
+
+// recPoolRegistry maps a Rec[K, V] type to its process-wide *recPools:
+// generic package-level variables do not exist in Go, so this registry
+// is how typed scratch buffers survive across runs and jobs the way the
+// boxed engine's global pools do. Looked up once per Run, never on a
+// per-record path.
+var recPoolRegistry sync.Map // reflect.Type -> *recPools[K, V]
+
+func poolFor[K, V any]() *recPools[K, V] {
+	key := reflect.TypeOf((*Rec[K, V])(nil))
+	if p, ok := recPoolRegistry.Load(key); ok {
+		return p.(*recPools[K, V])
+	}
+	p, _ := recPoolRegistry.LoadOrStore(key, &recPools[K, V]{})
+	return p.(*recPools[K, V])
+}
+
+// outPoolRegistry pools reduce-output buffers per output type O. A
+// reduce task's emissions are copied into Result.Output at the end of
+// Run, so the per-task buffers themselves are recyclable.
+var outPoolRegistry sync.Map // reflect.Type -> *sync.Pool
+
+func outPoolFor[O any]() *sync.Pool {
+	key := reflect.TypeOf((*[]O)(nil))
+	if p, ok := outPoolRegistry.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := outPoolRegistry.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+func getOutBuf[O any](pool *sync.Pool) []O {
+	if b, ok := pool.Get().(*[]O); ok {
+		return (*b)[:0]
+	}
+	return nil
+}
+
+func putOutBuf[O any](pool *sync.Pool, b []O) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	clear(b[:cap(b)])
+	b = b[:0]
+	pool.Put(&b)
+}
+
+// getRecBuf returns an empty []Rec with whatever capacity a previous
+// task of this run left behind.
+func (p *recPools[K, V]) getRecBuf() []Rec[K, V] {
+	if b, ok := p.recBuf.Get().(*[]Rec[K, V]); ok {
+		return (*b)[:0]
+	}
+	return nil
+}
+
+// putRecBuf recycles a buffer. Oversized or empty backing arrays are
+// dropped on the floor for the GC; recycled ones are cleared so the
+// pool does not pin the previous task's keys and values.
+func (p *recPools[K, V]) putRecBuf(b []Rec[K, V]) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	clear(b[:cap(b)])
+	b = b[:0]
+	p.recBuf.Put(&b)
+}
+
+// getRunsBuf returns an empty [][]Rec with capacity for at least n runs.
+func (p *recPools[K, V]) getRunsBuf(n int) [][]Rec[K, V] {
+	if b, ok := p.runsBuf.Get().(*[][]Rec[K, V]); ok && cap(*b) >= n {
+		return (*b)[:0]
+	}
+	return make([][]Rec[K, V], 0, n)
+}
+
+func (p *recPools[K, V]) putRunsBuf(b [][]Rec[K, V]) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	clear(b[:cap(b)]) // drop bucket references
+	b = b[:0]
+	p.runsBuf.Put(&b)
+}

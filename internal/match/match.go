@@ -6,9 +6,14 @@
 // steady state.
 //
 // Every constructor returns a core.PreparedMatcher; paths that only
-// accept a plain core.Matcher (sorted neighborhood, serial references,
-// custom strategies) can wrap it with core.PlainMatcher for identical
-// decisions at the per-pair preparation cost.
+// accept a plain core.Matcher (serial references, custom strategies)
+// can wrap it with core.PlainMatcher for identical decisions at the
+// per-pair preparation cost.
+//
+// All matchers draw their prepared forms from similarity's free list
+// and implement core.PreparedReleaser, so the strategy reducers recycle
+// every prepared entity once its reduce group is finished — the
+// steady-state matching pipeline allocates no prepared forms at all.
 package match
 
 import (
@@ -31,8 +36,11 @@ type editDistance struct {
 }
 
 func (m editDistance) Prepare(e entity.Entity) core.PreparedEntity {
-	return similarity.Prepare(e.Attr(m.attr))
+	return similarity.PreparePooled(e.Attr(m.attr))
 }
+
+// ReleasePrepared implements core.PreparedReleaser.
+func (editDistance) ReleasePrepared(p core.PreparedEntity) { releasePrepared(p) }
 
 func (m editDistance) MatchPrepared(a, b core.PreparedEntity) (float64, bool) {
 	return m.th.Match(a.(*similarity.Prepared), b.(*similarity.Prepared))
@@ -51,10 +59,13 @@ type tokenJaccard struct {
 }
 
 func (m tokenJaccard) Prepare(e entity.Entity) core.PreparedEntity {
-	p := similarity.Prepare(e.Attr(m.attr))
+	p := similarity.PreparePooled(e.Attr(m.attr))
 	p.Tokens() // materialize now: comparisons stay read-only
 	return p
 }
+
+// ReleasePrepared implements core.PreparedReleaser.
+func (tokenJaccard) ReleasePrepared(p core.PreparedEntity) { releasePrepared(p) }
 
 func (m tokenJaccard) MatchPrepared(a, b core.PreparedEntity) (float64, bool) {
 	sim := similarity.TokenJaccardPrepared(a.(*similarity.Prepared), b.(*similarity.Prepared))
@@ -78,12 +89,22 @@ type ngramJaccard struct {
 }
 
 func (m ngramJaccard) Prepare(e entity.Entity) core.PreparedEntity {
-	p := similarity.Prepare(e.Attr(m.attr))
+	p := similarity.PreparePooled(e.Attr(m.attr))
 	p.NGramProfile(m.n) // materialize now: comparisons stay read-only
 	return p
 }
 
+// ReleasePrepared implements core.PreparedReleaser.
+func (ngramJaccard) ReleasePrepared(p core.PreparedEntity) { releasePrepared(p) }
+
 func (m ngramJaccard) MatchPrepared(a, b core.PreparedEntity) (float64, bool) {
 	sim := similarity.JaccardNGramPrepared(a.(*similarity.Prepared), b.(*similarity.Prepared), m.n)
 	return sim, sim >= m.threshold
+}
+
+// releasePrepared returns a prepared form to similarity's free list.
+func releasePrepared(p core.PreparedEntity) {
+	if sp, ok := p.(*similarity.Prepared); ok {
+		sp.Release()
+	}
 }

@@ -132,12 +132,59 @@ func WrapMatcher(inner core.Matcher) core.Matcher {
 	}
 }
 
+// WrapPreparedMatcher is the prepare-once form of WrapMatcher: the
+// replica's block key and key set are captured at preparation time
+// (once per reduce group), so the least-common-key filter costs no
+// attribute lookups on the per-pair path, and the inner matcher's
+// prepared forms are reused across all of the replica's comparisons.
+func WrapPreparedMatcher(inner core.PreparedMatcher) core.PreparedMatcher {
+	return &lckPrepared{inner: inner}
+}
+
+type lckPrepared struct {
+	inner core.PreparedMatcher
+}
+
+type lckPreparedEntity struct {
+	block   string
+	allKeys string
+	inner   core.PreparedEntity
+}
+
+func (w *lckPrepared) Prepare(e entity.Entity) core.PreparedEntity {
+	return lckPreparedEntity{
+		block:   e.Attr(AttrKey),
+		allKeys: e.Attr(AttrAllKeys),
+		inner:   w.inner.Prepare(e),
+	}
+}
+
+func (w *lckPrepared) MatchPrepared(a, b core.PreparedEntity) (float64, bool) {
+	pa, pb := a.(lckPreparedEntity), b.(lckPreparedEntity)
+	if lck := LeastCommonKey(pa.allKeys, pb.allKeys); lck != pa.block {
+		return 0, false
+	}
+	return w.inner.MatchPrepared(pa.inner, pb.inner)
+}
+
+// ReleasePrepared implements core.PreparedReleaser by forwarding to the
+// inner matcher's free list when it has one.
+func (w *lckPrepared) ReleasePrepared(p core.PreparedEntity) {
+	if rel, ok := w.inner.(core.PreparedReleaser); ok {
+		rel.ReleasePrepared(p.(lckPreparedEntity).inner)
+	}
+}
+
 // Config configures a multi-pass run.
 type Config struct {
 	Passes   []Pass
 	Strategy core.Strategy
 	Matcher  core.Matcher
-	R        int
+	// PreparedMatcher, when non-nil, takes precedence over Matcher: the
+	// pipeline runs the prepare-once kernel with the least-common-key
+	// rule applied on prepared forms (WrapPreparedMatcher).
+	PreparedMatcher core.PreparedMatcher
+	R               int
 	// Engine and UseCombiner are forwarded to the underlying pipeline.
 	ErConfig er.Config
 }
@@ -158,7 +205,13 @@ func Run(parts entity.Partitions, cfg Config) (*er.Result, error) {
 	ec.Strategy = cfg.Strategy
 	ec.Attr = AttrKey
 	ec.BlockKey = blocking.Identity()
-	ec.Matcher = WrapMatcher(cfg.Matcher)
+	if cfg.PreparedMatcher != nil {
+		ec.Matcher = nil
+		ec.PreparedMatcher = WrapPreparedMatcher(cfg.PreparedMatcher)
+	} else {
+		ec.Matcher = WrapMatcher(cfg.Matcher)
+		ec.PreparedMatcher = nil
+	}
 	ec.R = cfg.R
 	return er.Run(expanded, ec)
 }

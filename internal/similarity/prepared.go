@@ -3,6 +3,7 @@ package similarity
 import (
 	"slices"
 	"strings"
+	"sync"
 )
 
 // Prepared caches the derived forms of one string that the similarity
@@ -59,7 +60,47 @@ type gramCount struct {
 // sets and n-gram profiles are derived lazily. For ASCII strings — the
 // common case for product titles — Prepare performs a single allocation.
 func Prepare(s string) *Prepared {
-	p := &Prepared{Raw: s, ascii: true}
+	p := &Prepared{}
+	p.fill(s)
+	return p
+}
+
+// preparedPool recycles Prepared values between PreparePooled and
+// Release, making the steady-state prepare-once reduce loop
+// allocation-free for ASCII strings.
+var preparedPool = sync.Pool{New: func() any { return new(Prepared) }}
+
+// PreparePooled is Prepare backed by a free list: the returned value
+// must be handed back via Release once its reduce group is finished and
+// must not be used afterwards. Kernel results are identical to
+// Prepare's. The strategy reducers drive this through the matchers'
+// optional release hook (core.PreparedReleaser).
+func PreparePooled(s string) *Prepared {
+	p := preparedPool.Get().(*Prepared)
+	p.fill(s)
+	return p
+}
+
+// Release resets p (keeping slice capacities) and returns it to the
+// pool. Only values obtained from PreparePooled may be released.
+func (p *Prepared) Release() {
+	runes, tokens, grams := p.runes, p.tokens, p.grams
+	clear(tokens[:cap(tokens)]) // drop string references past len too
+	clear(grams[:cap(grams)])
+	*p = Prepared{runes: runes[:0], tokens: tokens[:0], grams: grams[:0]}
+	preparedPool.Put(p)
+}
+
+// fill populates a zeroed (or Released) Prepared in place, reusing any
+// slice capacity left from a previous use.
+func (p *Prepared) fill(s string) {
+	p.Raw = s
+	p.ascii = true
+	p.hist = [histBuckets]int8{}
+	p.tokensReady = false
+	p.gramN = 0
+	runes := p.runes[:0]
+	p.runes = runes // empty = not materialized; keeps recycled capacity
 	// Fused pass: ASCII classification and histogram in one scan.
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -73,14 +114,14 @@ func Prepare(s string) *Prepared {
 	}
 	if !p.ascii {
 		p.hist = [histBuckets]int8{} // rebuild over runes, not bytes
-		p.runes = []rune(s)
-		for _, r := range p.runes {
+		for _, r := range s {
+			runes = append(runes, r)
 			if b := uint32(r) & (histBuckets - 1); p.hist[b] < histCap {
 				p.hist[b]++
 			}
 		}
+		p.runes = runes
 	}
-	return p
 }
 
 // RuneLen returns the length of the string in runes.
@@ -94,8 +135,12 @@ func (p *Prepared) RuneLen() int {
 // runeSeq returns the rune slice, materializing and caching it for
 // ASCII strings that end up in a mixed or over-long comparison.
 func (p *Prepared) runeSeq() []rune {
-	if p.runes == nil && len(p.Raw) > 0 {
-		p.runes = []rune(p.Raw)
+	if len(p.runes) == 0 && len(p.Raw) > 0 {
+		runes := p.runes[:0]
+		for _, r := range p.Raw {
+			runes = append(runes, r)
+		}
+		p.runes = runes
 	}
 	return p.runes
 }

@@ -1,0 +1,55 @@
+package sn
+
+import (
+	"testing"
+)
+
+// Fuzz tests for the sorted-neighborhood key codings, mirroring the
+// strategy-coding tests in internal/core: the encoded comparison must
+// agree with the struct comparators and the declared group bits must
+// decide range membership exactly. Raw fuzz values are clamped into
+// each key's documented domain (Range is a reduce-range index in
+// [0, r); the global rank is non-negative).
+
+func clampRange(v int64) int {
+	if v < 0 {
+		v = -v
+	}
+	return int(v % (1 << 31))
+}
+
+func FuzzSNKeyCoding(f *testing.F) {
+	f.Add(int64(0), "", "", int64(0), "", "")
+	f.Add(int64(1), "smith", "e-1", int64(1), "smith", "e-2")
+	f.Add(int64(2), "exactly-twelve-bytes", "x", int64(2), "exactly-twelve-byteZ", "x")
+	f.Add(int64(3), "\x00", "a", int64(3), "\x00\x00", "a")
+	coding := snKeyCoding(8)
+	f.Fuzz(func(t *testing.T, rangeA int64, keyA, idA string, rangeB int64, keyB, idB string) {
+		a := snKey{Range: clampRange(rangeA), Key: keyA, ID: idA}
+		b := snKey{Range: clampRange(rangeB), Key: keyB, ID: idB}
+		if err := coding.Verify(compareSNKeys, groupSNKeys, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzRankKeyCoding(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), int64(1))
+	f.Add(int64(5), int64(1<<40), int64(5), int64(1<<40)+1)
+	f.Fuzz(func(t *testing.T, rangeA, rankA, rangeB, rankB int64) {
+		abs := func(v int64) int64 {
+			if v < 0 {
+				if v == -v {
+					return 0
+				}
+				return -v
+			}
+			return v
+		}
+		a := rankKey{Range: clampRange(rangeA), Rank: abs(rankA)}
+		b := rankKey{Range: clampRange(rangeB), Rank: abs(rankB)}
+		if err := rankKeyCoding.Verify(compareRankKeys, groupRankKeys, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -24,14 +24,17 @@ type Pass struct {
 	Key KeyFunc
 }
 
-// MultiConfig configures a multi-pass SN run. Window, R, Matcher, and
-// Engine apply to every pass.
+// MultiConfig configures a multi-pass SN run. Window, R, Matcher,
+// PreparedMatcher, and Engine apply to every pass.
 type MultiConfig struct {
 	Passes  []Pass
 	Window  int
 	R       int
 	Matcher core.Matcher
-	Engine  *mapreduce.Engine
+	// PreparedMatcher, when non-nil, takes precedence over Matcher in
+	// every pass; see Config.PreparedMatcher.
+	PreparedMatcher core.PreparedMatcher
+	Engine          *mapreduce.Engine
 }
 
 // MultiResult aggregates the passes.
@@ -56,12 +59,13 @@ func RunMultiPass(parts entity.Partitions, cfg MultiConfig) (*MultiResult, error
 	seen := make(map[core.MatchPair]bool)
 	for _, pass := range cfg.Passes {
 		res, err := Run(parts, Config{
-			Attr:    pass.Attr,
-			Key:     pass.Key,
-			Window:  cfg.Window,
-			R:       cfg.R,
-			Matcher: cfg.Matcher,
-			Engine:  cfg.Engine,
+			Attr:            pass.Attr,
+			Key:             pass.Key,
+			Window:          cfg.Window,
+			R:               cfg.R,
+			Matcher:         cfg.Matcher,
+			PreparedMatcher: cfg.PreparedMatcher,
+			Engine:          cfg.Engine,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sn: pass %q: %w", pass.Name, err)

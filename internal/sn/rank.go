@@ -31,16 +31,25 @@ type rankKey struct {
 	Rank  int64
 }
 
-func compareRankKeys(a, b any) int {
-	ka, kb := a.(rankKey), b.(rankKey)
-	if c := mapreduce.CompareInts(ka.Range, kb.Range); c != 0 {
+func compareRankKeys(a, b rankKey) int {
+	if c := mapreduce.CompareInts(a.Range, b.Range); c != 0 {
 		return c
 	}
-	return mapreduce.CompareInt64s(ka.Rank, kb.Rank)
+	return mapreduce.CompareInt64s(a.Rank, b.Rank)
 }
 
-func groupRankKeys(a, b any) int {
-	return mapreduce.CompareInts(a.(rankKey).Range, b.(rankKey).Range)
+func groupRankKeys(a, b rankKey) int {
+	return mapreduce.CompareInts(a.Range, b.Range)
+}
+
+// rankKeyCoding is exact: the range fills the high word (GroupBits 64),
+// the non-negative global rank the low word.
+var rankKeyCoding = mapreduce.KeyCoding[rankKey]{
+	Encode: func(k rankKey) mapreduce.Code {
+		return mapreduce.Code{Hi: uint64(k.Range), Lo: uint64(k.Rank)}
+	},
+	Exact:     true,
+	GroupBits: 64,
 }
 
 // rankDistribution holds what the distribution job provides to the map
@@ -117,27 +126,21 @@ func RunRanked(parts entity.Partitions, cfg Config) (*Result, error) {
 	}
 	dist := buildRankDistribution(parts, cfg.Attr, cfg.Key, cfg.R)
 
-	job := &mapreduce.Job{
+	job := &mapreduce.Job[entity.Entity, rankKey, entity.Entity, snOut]{
 		Name:           "sorted-neighborhood-ranked",
 		NumReduceTasks: cfg.R,
-		NewMapper: func() mapreduce.Mapper {
+		NewMapper: func() mapreduce.Mapper[entity.Entity, rankKey, entity.Entity] {
 			return &rankMapper{cfg: &cfg, dist: dist}
 		},
-		NewReducer: func() mapreduce.Reducer {
-			return &snReducer{window: cfg.Window, match: cfg.Matcher}
+		NewReducer: func() mapreduce.Reducer[rankKey, entity.Entity, snOut] {
+			return newSNReducer[rankKey](&cfg)
 		},
-		Partition: func(key any, r int) int { return key.(rankKey).Range % r },
+		Partition: func(key rankKey, r int) int { return key.Range % r },
 		Compare:   compareRankKeys,
 		Group:     groupRankKeys,
+		Coding:    rankKeyCoding,
 	}
-	input := make([][]mapreduce.KeyValue, len(parts))
-	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
-		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Value: e}
-		}
-	}
-	res, err := eng.Run(job, input)
+	res, err := job.Run(eng, partitionInput(parts))
 	if err != nil {
 		return nil, fmt.Errorf("sn: ranked matching job: %w", err)
 	}
@@ -145,15 +148,15 @@ func RunRanked(parts entity.Partitions, cfg Config) (*Result, error) {
 	out := &Result{MatchResult: res}
 	seen := make(map[core.MatchPair]bool)
 	var fringes []fringe
-	for _, kv := range res.Output {
-		if p, ok := kv.Key.(core.MatchPair); ok {
-			if !seen[p] {
-				seen[p] = true
-				out.Matches = append(out.Matches, p)
-			}
+	for _, o := range res.Output {
+		if o.fringe != nil {
+			fringes = append(fringes, *o.fringe)
 			continue
 		}
-		fringes = append(fringes, kv.Value.(fringe))
+		if !seen[o.match] {
+			seen[o.match] = true
+			out.Matches = append(out.Matches, o.match)
+		}
 	}
 	out.Comparisons = res.Counter(core.ComparisonsCounter)
 
@@ -185,8 +188,7 @@ func (m *rankMapper) Configure(_, _, partitionIndex int) {
 	m.seen = make(map[string]int64)
 }
 
-func (m *rankMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-	e := kv.Value.(entity.Entity)
+func (m *rankMapper) Map(ctx *mapreduce.MapContext[entity.Entity, rankKey, entity.Entity], e entity.Entity) {
 	k := m.cfg.Key(e.Attr(m.cfg.Attr))
 	rank := m.dist.keyStart[k] + m.dist.partBase[k][m.partition] + m.seen[k]
 	m.seen[k]++

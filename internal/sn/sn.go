@@ -48,6 +48,13 @@ type Config struct {
 	R int
 	// Matcher decides matches; nil counts comparisons only.
 	Matcher core.Matcher
+	// PreparedMatcher, when non-nil, takes precedence over Matcher and
+	// drives the prepare-once comparison kernel: the window reducer
+	// prepares each entity exactly once when it enters the sliding
+	// buffer (instead of re-deriving both sides on every of its up to
+	// 2(w−1) comparisons), and the boundary stitching prepares each
+	// fringe entity once. Results are identical to the plain path.
+	PreparedMatcher core.PreparedMatcher
 	// Engine executes the jobs; zero value runs sequentially.
 	Engine *mapreduce.Engine
 }
@@ -73,9 +80,18 @@ type Result struct {
 	// first key of each range after the initial one).
 	RangeBounds []string
 	// MatchResult exposes the matching job's per-task metrics.
-	MatchResult *mapreduce.Result
+	MatchResult *mapreduce.Result[entity.Entity, snOut]
 	// BoundaryComparisons counts the cross-range stitching comparisons.
 	BoundaryComparisons int64
+}
+
+// partitionInput converts entity partitions into the typed job input.
+func partitionInput(parts entity.Partitions) [][]entity.Entity {
+	input := make([][]entity.Entity, len(parts))
+	for i, p := range parts {
+		input[i] = p
+	}
+	return input
 }
 
 // snKey is the matching job's composite key: range ‖ sort key ‖ ID.
@@ -88,19 +104,44 @@ type snKey struct {
 	ID    string
 }
 
-func compareSNKeys(a, b any) int {
-	ka, kb := a.(snKey), b.(snKey)
-	if c := mapreduce.CompareInts(ka.Range, kb.Range); c != 0 {
+func compareSNKeys(a, b snKey) int {
+	if c := mapreduce.CompareInts(a.Range, b.Range); c != 0 {
 		return c
 	}
-	if c := mapreduce.CompareStrings(ka.Key, kb.Key); c != 0 {
+	if c := mapreduce.CompareStrings(a.Key, b.Key); c != 0 {
 		return c
 	}
-	return mapreduce.CompareStrings(ka.ID, kb.ID)
+	return mapreduce.CompareStrings(a.ID, b.ID)
 }
 
-func groupSNKeys(a, b any) int {
-	return mapreduce.CompareInts(a.(snKey).Range, b.(snKey).Range)
+func groupSNKeys(a, b snKey) int {
+	return mapreduce.CompareInts(a.Range, b.Range)
+}
+
+// snKeyCoding packs range ‖ first 12 bytes of the sort key: the range
+// occupies the top 32 bits exactly (GroupBits), the 12-byte key prefix
+// decides most of the rest, ties fall back to the full comparator.
+func snKeyCoding(r int) mapreduce.KeyCoding[snKey] {
+	if r > 1<<31 {
+		return mapreduce.KeyCoding[snKey]{}
+	}
+	return mapreduce.KeyCoding[snKey]{
+		Encode: func(k snKey) mapreduce.Code {
+			p := mapreduce.StringPrefixCode(k.Key)
+			return mapreduce.Code{
+				Hi: uint64(uint32(k.Range))<<32 | p.Hi>>32,
+				Lo: p.Hi<<32 | p.Lo>>32,
+			}
+		},
+		GroupBits: 32,
+	}
+}
+
+// snOut is one matching-job output record: either a window match or a
+// side-emitted boundary fringe entity.
+type snOut struct {
+	match  core.MatchPair
+	fringe *fringe
 }
 
 // fringe tags a side-emitted boundary entity.
@@ -142,27 +183,21 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 	bounds := rangeBounds(keys, counts, total, cfg.R)
 
 	// ---- Phase 2: the matching job. ----
-	job := &mapreduce.Job{
+	job := &mapreduce.Job[entity.Entity, snKey, entity.Entity, snOut]{
 		Name:           "sorted-neighborhood",
 		NumReduceTasks: cfg.R,
-		NewMapper: func() mapreduce.Mapper {
+		NewMapper: func() mapreduce.Mapper[entity.Entity, snKey, entity.Entity] {
 			return &snMapper{cfg: &cfg, bounds: bounds}
 		},
-		NewReducer: func() mapreduce.Reducer {
-			return &snReducer{window: cfg.Window, match: cfg.Matcher}
+		NewReducer: func() mapreduce.Reducer[snKey, entity.Entity, snOut] {
+			return newSNReducer[snKey](&cfg)
 		},
-		Partition: func(key any, r int) int { return key.(snKey).Range % r },
+		Partition: func(key snKey, r int) int { return key.Range % r },
 		Compare:   compareSNKeys,
 		Group:     groupSNKeys,
+		Coding:    snKeyCoding(cfg.R),
 	}
-	input := make([][]mapreduce.KeyValue, len(parts))
-	for i, p := range parts {
-		input[i] = make([]mapreduce.KeyValue, len(p))
-		for j, e := range p {
-			input[i][j] = mapreduce.KeyValue{Key: nil, Value: e}
-		}
-	}
-	res, err := eng.Run(job, input)
+	res, err := job.Run(eng, partitionInput(parts))
 	if err != nil {
 		return nil, fmt.Errorf("sn: matching job: %w", err)
 	}
@@ -170,15 +205,15 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 	out := &Result{RangeBounds: bounds, MatchResult: res}
 	seen := make(map[core.MatchPair]bool)
 	var fringes []fringe
-	for _, kv := range res.Output {
-		if p, ok := kv.Key.(core.MatchPair); ok {
-			if !seen[p] {
-				seen[p] = true
-				out.Matches = append(out.Matches, p)
-			}
+	for _, o := range res.Output {
+		if o.fringe != nil {
+			fringes = append(fringes, *o.fringe)
 			continue
 		}
-		fringes = append(fringes, kv.Value.(fringe))
+		if !seen[o.match] {
+			seen[o.match] = true
+			out.Matches = append(out.Matches, o.match)
+		}
 	}
 	out.Comparisons = res.Counter(core.ComparisonsCounter)
 
@@ -233,65 +268,95 @@ type snMapper struct {
 
 func (m *snMapper) Configure(_, _, _ int) {}
 
-func (m *snMapper) Map(ctx *mapreduce.Context, kv mapreduce.KeyValue) {
-	e := kv.Value.(entity.Entity)
+func (m *snMapper) Map(ctx *mapreduce.MapContext[entity.Entity, snKey, entity.Entity], e entity.Entity) {
 	k := m.cfg.Key(e.Attr(m.cfg.Attr))
 	ctx.Emit(snKey{Range: rangeOf(k, m.bounds), Key: k, ID: e.ID}, e)
 }
 
-type snReducer struct {
+// snReducer is the window reducer, generic over the composite key so
+// the key-based (snKey) and rank-based (rankKey) variants share the
+// sliding-window logic; both sort one whole range per reduce call, so
+// the logic only depends on the value order.
+type snReducer[K any] struct {
 	window int
 	match  core.Matcher
+	pm     core.PreparedMatcher
+	rel    core.PreparedReleaser
 	task   int
 	buffer []entity.Entity
+	prep   []core.PreparedEntity
 }
 
-func (r *snReducer) Configure(_, _, taskIndex int) { r.task = taskIndex }
+func newSNReducer[K any](cfg *Config) *snReducer[K] {
+	r := &snReducer[K]{window: cfg.Window, match: cfg.Matcher, pm: cfg.PreparedMatcher}
+	if rel, ok := cfg.PreparedMatcher.(core.PreparedReleaser); ok {
+		r.rel = rel
+	}
+	return r
+}
+
+func (r *snReducer[K]) Configure(_, _, taskIndex int) { r.task = taskIndex }
+
+func (r *snReducer[K]) release(p core.PreparedEntity) {
+	if r.rel != nil {
+		r.rel.ReleasePrepared(p)
+	}
+}
 
 // Reduce receives one whole range in canonical order, slides the
 // window, and emits the range's head and tail fringes for the boundary
 // phase. Only the last w−1 seen entities are buffered — SN's
-// constant-memory advantage over block-based matching. The range index
-// equals the reduce task index (both the key-based and the rank-based
-// variant produce at most r ranges, partitioned by range).
-func (r *snReducer) Reduce(ctx *mapreduce.Context, _ any, values []mapreduce.KeyValue) {
+// constant-memory advantage over block-based matching. With a prepared
+// matcher each entity is prepared exactly once, when it enters the
+// window. The range index equals the reduce task index (both the
+// key-based and the rank-based variant produce at most r ranges,
+// partitioned by range).
+func (r *snReducer[K]) Reduce(ctx *mapreduce.ReduceContext[snOut], _ K, values []mapreduce.Rec[K, entity.Entity]) {
 	rg := r.task
-	r.buffer = r.buffer[:0]
+	r.buffer, r.prep = r.buffer[:0], r.prep[:0]
 	n := len(values)
-	for i, v := range values {
-		e := v.Value.(entity.Entity)
-		for _, prev := range r.buffer {
+	for i := range values {
+		e := values[i].Value
+		var pe core.PreparedEntity
+		if r.pm != nil {
+			pe = r.pm.Prepare(e)
+		}
+		for j, prev := range r.buffer {
 			ctx.Inc(core.ComparisonsCounter, 1)
-			if r.match != nil {
+			switch {
+			case r.pm != nil:
+				if _, ok := r.pm.MatchPrepared(r.prep[j], pe); ok {
+					ctx.Emit(snOut{match: core.NewMatchPair(prev.ID, e.ID)})
+				}
+			case r.match != nil:
 				if _, ok := r.match(prev, e); ok {
-					ctx.Emit(core.NewMatchPair(prev.ID, e.ID), nil)
+					ctx.Emit(snOut{match: core.NewMatchPair(prev.ID, e.ID)})
 				}
 			}
 		}
 		if len(r.buffer) == r.window-1 {
 			r.buffer = r.buffer[1:]
+			if r.pm != nil {
+				r.release(r.prep[0]) // evicted from the window: done for good
+				r.prep = r.prep[1:]
+			}
 		}
 		r.buffer = append(r.buffer, e)
+		if r.pm != nil {
+			r.prep = append(r.prep, pe)
+		}
 
 		// Fringes for boundary stitching.
 		if i < r.window-1 {
-			ctx.Emit(fringeKeyFor(rg, true, i), fringe{Range: rg, Head: true, Pos: i, E: e})
+			ctx.Emit(snOut{fringe: &fringe{Range: rg, Head: true, Pos: i, E: e}})
 		}
 		if n-1-i < r.window-1 {
-			ctx.Emit(fringeKeyFor(rg, false, n-1-i), fringe{Range: rg, Head: false, Pos: n - 1 - i, E: e})
+			ctx.Emit(snOut{fringe: &fringe{Range: rg, Head: false, Pos: n - 1 - i, E: e}})
 		}
 	}
-}
-
-// fringeKeyFor builds a distinctive output key for fringe records; the
-// engine treats reduce output keys opaquely, so any value works, but a
-// structured key aids debugging.
-func fringeKeyFor(rg int, head bool, pos int) string {
-	side := "tail"
-	if head {
-		side = "head"
+	for _, p := range r.prep {
+		r.release(p)
 	}
-	return fmt.Sprintf("fringe:%d:%s:%d", rg, side, pos)
 }
 
 // stitchBoundaries compares cross-range pairs with rank distance < w.
@@ -332,6 +397,15 @@ func stitchBoundaries(fringes []fringe, cfg Config) ([]core.MatchPair, int64) {
 		tails[rg] = orderedByPos(ps, true) // tail Pos counts from the end
 	}
 
+	// With a prepared matcher, derive each fringe entity's comparison
+	// form once up front; a fringe entity participates in up to w−1
+	// cross-range comparisons.
+	var prepHeads, prepTails map[int][]core.PreparedEntity
+	if cfg.PreparedMatcher != nil {
+		prepHeads = prepareFringes(heads, cfg.PreparedMatcher)
+		prepTails = prepareFringes(tails, cfg.PreparedMatcher)
+	}
+
 	w := cfg.Window
 	var pairs []core.MatchPair
 	var comparisons int64
@@ -362,7 +436,12 @@ func stitchBoundaries(fringes []fringe, cfg Config) ([]core.MatchPair, int64) {
 					}
 					seenPair[pk] = true
 					comparisons++
-					if cfg.Matcher != nil {
+					switch {
+					case cfg.PreparedMatcher != nil:
+						if _, ok := cfg.PreparedMatcher.MatchPrepared(prepTails[b][ti], prepHeads[nb][hi]); ok {
+							pairs = append(pairs, core.NewMatchPair(x.ID, y.ID))
+						}
+					case cfg.Matcher != nil:
 						if _, ok := cfg.Matcher(x, y); ok {
 							pairs = append(pairs, core.NewMatchPair(x.ID, y.ID))
 						}
@@ -381,7 +460,33 @@ func stitchBoundaries(fringes []fringe, cfg Config) ([]core.MatchPair, int64) {
 			}
 		}
 	}
+	if rel, ok := cfg.PreparedMatcher.(core.PreparedReleaser); ok {
+		for _, ps := range prepHeads {
+			for _, p := range ps {
+				rel.ReleasePrepared(p)
+			}
+		}
+		for _, ps := range prepTails {
+			for _, p := range ps {
+				rel.ReleasePrepared(p)
+			}
+		}
+	}
 	return pairs, comparisons
+}
+
+// prepareFringes derives the prepared form of every fringe entity, in
+// the same per-range order as the entity lists.
+func prepareFringes(lists map[int][]entity.Entity, pm core.PreparedMatcher) map[int][]core.PreparedEntity {
+	out := make(map[int][]core.PreparedEntity, len(lists))
+	for rg, es := range lists {
+		ps := make([]core.PreparedEntity, len(es))
+		for i, e := range es {
+			ps[i] = pm.Prepare(e)
+		}
+		out[rg] = ps
+	}
+	return out
 }
 
 func orderedByPos(ps map[int]entity.Entity, reverse bool) []entity.Entity {
