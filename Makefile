@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-smoke bench bench-all clean
+.PHONY: check vet build test test-race bench-smoke bench bench-all smoke-lowmem clean
 
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
@@ -37,3 +37,8 @@ bench-all:
 
 clean:
 	$(GO) clean ./...
+
+# smoke-lowmem executes the Figure 9 jobs out-of-core with GOMEMLIMIT
+# far below the shuffle volume, asserting success and spill cleanup.
+smoke-lowmem:
+	scripts/lowmem_smoke.sh

@@ -47,12 +47,12 @@ func main() {
 		defer f.Close()
 		src = f
 	}
-	entities, err := entity.ReadCSV(src)
+	// Stream rows straight into the m input partitions (no intermediate
+	// full entity slice).
+	parts, err := entity.ReadPartitionsCSV(src, *m)
 	if err != nil {
 		fail(err)
 	}
-
-	parts := entity.SplitRoundRobin(entities, *m)
 	matrix, _, _, err := bdm.Compute(&mapreduce.Engine{}, parts, bdm.JobOptions{
 		Attr:           *attr,
 		KeyFunc:        blocking.NormalizedPrefix(*prefix),

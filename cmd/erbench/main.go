@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/entity"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runio"
 )
 
 // reportTable aliases the report type for compact function signatures.
@@ -32,6 +34,9 @@ func main() {
 		scale       = flag.Float64("scale", 0.05, "dataset scale factor in (0,1]; 1 = paper-sized datasets")
 		executed    = flag.Bool("exec", false, "figures 9/10: execute the real MapReduce jobs instead of the analytic planner (identical tables, slower)")
 		parallelism = flag.Int("parallelism", 0, "engine worker bound for executed runs (0 = default)")
+		spillBudget = flag.String("spill-budget", "0", "per-map-task spill budget in bytes for executed runs (suffixes k/m/g); > 0 runs the out-of-core external dataflow")
+		tmpdir      = flag.String("tmpdir", "", "spill directory root for -spill-budget (default: system temp dir)")
+		in          = flag.String("in", "", "CSV dataset replacing the generated DS1 stand-in (streamed row by row)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	flag.Parse()
@@ -40,6 +45,37 @@ func main() {
 	opts.Scale = *scale
 	opts.Executed = *executed
 	opts.Parallelism = *parallelism
+	opts.TmpDir = *tmpdir
+	var err error
+	if opts.SpillBudget, err = runio.ParseByteSize(*spillBudget); err != nil {
+		fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		// Stream the dataset one row at a time (entity.ScanCSV): the
+		// only full materialization is the entity slice the figures
+		// partition, not a second CSV-row copy.
+		scanErr := entity.ScanCSV(f, func(e entity.Entity) error {
+			opts.Dataset = append(opts.Dataset, e)
+			return nil
+		})
+		f.Close()
+		if scanErr != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", scanErr)
+			os.Exit(1)
+		}
+		if len(opts.Dataset) == 0 {
+			// A nil Dataset would silently fall back to the generated
+			// DS1 stand-in; an empty -in file is a user error.
+			fmt.Fprintf(os.Stderr, "erbench: -in %s contains no entities\n", *in)
+			os.Exit(1)
+		}
+	}
 
 	type namedTable func(experiments.Options) (*reportTable, error)
 	var runs []namedTable

@@ -25,6 +25,7 @@ import (
 	"repro/internal/er"
 	"repro/internal/mapreduce"
 	"repro/internal/match"
+	"repro/internal/runio"
 	"repro/internal/sn"
 )
 
@@ -39,11 +40,18 @@ func main() {
 		threshold    = flag.Float64("threshold", 0.8, "minimum normalized edit-distance similarity")
 		window       = flag.Int("window", 10, "sorted-neighborhood window size (strategy sn)")
 		parallelism  = flag.Int("parallelism", runtime.NumCPU(), "engine worker bound: concurrently executing tasks per phase (0 = one goroutine per task)")
+		spillBudget  = flag.String("spill-budget", "0", "per-map-task spill budget in bytes (suffixes k/m/g); > 0 runs the out-of-core external dataflow")
+		tmpdir       = flag.String("tmpdir", "", "spill directory root for -spill-budget (default: system temp dir)")
 		showPairs    = flag.Bool("pairs", false, "print every match pair")
 		showClusters = flag.Bool("clusters", false, "print duplicate clusters (transitive closure)")
 		simulate     = flag.Bool("simulate", false, "also report simulated cluster time (10 nodes)")
 	)
 	flag.Parse()
+
+	budget, err := runio.ParseByteSize(*spillBudget)
+	if err != nil {
+		fail(err)
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "" {
@@ -54,10 +62,14 @@ func main() {
 		defer f.Close()
 		src = f
 	}
-	entities, err := entity.ReadCSV(src)
+	// Stream rows straight into the m input partitions: no intermediate
+	// full entity slice, so the pre-map memory high-water mark is the
+	// partitioned input itself.
+	parts, err := entity.ReadPartitionsCSV(src, *m)
 	if err != nil {
 		fail(err)
 	}
+	nEntities := parts.Total()
 
 	matchAttr := *attr
 	// The prepared matcher caches each entity's comparison form once per
@@ -65,7 +77,11 @@ func main() {
 	// window reducer — now runs the prepare-once kernel.
 	prepared := match.EditDistance(matchAttr, *threshold)
 	engine := &mapreduce.Engine{Parallelism: *parallelism}
-	parts := entity.SplitRoundRobin(entities, *m)
+	if budget > 0 {
+		engine.Dataflow = mapreduce.DataflowExternal
+		engine.SpillBudget = budget
+		engine.TmpDir = *tmpdir
+	}
 
 	var (
 		matches     []core.MatchPair
@@ -85,7 +101,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("strategy=SortedNeighborhood entities=%d m=%d r=%d window=%d\n",
-			len(entities), *m, *r, *window)
+			nEntities, *m, *r, *window)
 		matches, comparisons = res.Matches, res.Comparisons
 	} else {
 		var strat core.Strategy
@@ -111,7 +127,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("strategy=%s entities=%d m=%d r=%d\n", strat.Name(), len(entities), *m, *r)
+		fmt.Printf("strategy=%s entities=%d m=%d r=%d\n", strat.Name(), nEntities, *m, *r)
 		if res.BDM != nil {
 			_, largest := res.BDM.LargestBlock()
 			fmt.Printf("blocks=%d pairs=%d largest-block=%d\n", res.BDM.NumBlocks(), res.BDM.Pairs(), largest)

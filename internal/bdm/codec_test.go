@@ -1,0 +1,77 @@
+package bdm
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/runio"
+)
+
+// FuzzBDMKeyCodec round-trips the BDM job's composite key through the
+// external dataflow's disk codec, including blocking keys with tabs,
+// newlines, and invalid UTF-8 — byte content a blocking.KeyFunc can
+// legitimately produce from dirty attribute values.
+func FuzzBDMKeyCodec(f *testing.F) {
+	f.Add("canon", 0)
+	f.Add("tab\tkey\nnewline", 3)
+	f.Add(string([]byte{0xff, 0x00, 0xc0}), -1)
+	f.Fuzz(func(t *testing.T, blockKey string, partition int) {
+		k := Key{BlockKey: blockKey, Partition: partition}
+		c, ok := runio.Lookup[Key]()
+		if !ok {
+			t.Fatal("bdm.Key codec not registered")
+		}
+		enc := c.Append(nil, k)
+		got, n, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if n != len(enc) || got != k {
+			t.Fatalf("round trip: got (%+v, %d), want (%+v, %d)", got, n, k, len(enc))
+		}
+	})
+}
+
+// FuzzMatrixSerialize round-trips a matrix through the quoted-key text
+// format of WriteTo/ReadFrom — the same arbitrary-byte-key concern as
+// the runio codecs, on the other on-disk artifact of the workflow.
+func FuzzMatrixSerialize(f *testing.F) {
+	f.Add("canon", "nikon", 2, 1, 3)
+	f.Add("tab\tkey", "nl\nkey", 0, 0, 1)
+	f.Add(string([]byte{0xff, 0xfe}), string([]byte{0x00}), 1, 2, 9)
+	f.Fuzz(func(t *testing.T, key1, key2 string, p1, p2, count int) {
+		m := 4
+		norm := func(p int) int {
+			p %= m
+			if p < 0 {
+				p += m
+			}
+			return p
+		}
+		if count < 0 {
+			count = -count
+		}
+		cells := []Cell{
+			{BlockKey: key1, Partition: norm(p1), Count: count%1000 + 1},
+		}
+		if key2 != key1 {
+			cells = append(cells, Cell{BlockKey: key2, Partition: norm(p2), Count: 1})
+		}
+		x, err := FromCells(cells, m)
+		if err != nil {
+			t.Fatalf("FromCells: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		back, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadFrom: %v\ninput:\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(x.Cells(), back.Cells()) || back.NumPartitions() != m {
+			t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", x.Cells(), back.Cells())
+		}
+	})
+}

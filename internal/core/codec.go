@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bdm"
+	"repro/internal/entity"
+	"repro/internal/runio"
+)
+
+// runio codecs for every intermediate key/value type the five
+// redistribution strategies shuffle, registered at init so all of them
+// run unchanged on the external (out-of-core) dataflow. Composite keys
+// are flat sequences of zig-zag varints; entity-carrying values reuse
+// the entity.Codec. The 128-bit binary key code is not part of these
+// encodings — the engine stores it as a fixed-width record prefix.
+
+// entCodec is the shared entity payload codec (registered by the
+// entity package, whose init runs before this one).
+var entCodec = entity.Codec{}
+
+type bsKeyCodec struct{}
+
+func (bsKeyCodec) Append(dst []byte, k BSKey) []byte {
+	dst = runio.AppendVarint(dst, int64(k.Reduce))
+	dst = runio.AppendVarint(dst, int64(k.Block))
+	dst = runio.AppendVarint(dst, int64(k.I))
+	return runio.AppendVarint(dst, int64(k.J))
+}
+
+func (bsKeyCodec) Decode(src []byte) (BSKey, int, error) {
+	var k BSKey
+	n, err := decodeInts(src, &k.Reduce, &k.Block, &k.I, &k.J)
+	if err != nil {
+		return k, 0, fmt.Errorf("BSKey: %w", err)
+	}
+	return k, n, nil
+}
+
+type bsValueCodec struct{}
+
+func (bsValueCodec) Append(dst []byte, v bsValue) []byte {
+	dst = runio.AppendVarint(dst, int64(v.Partition))
+	return entCodec.Append(dst, v.E)
+}
+
+func (bsValueCodec) Decode(src []byte) (bsValue, int, error) {
+	var v bsValue
+	n, err := decodeInts(src, &v.Partition)
+	if err != nil {
+		return v, 0, fmt.Errorf("bsValue: %w", err)
+	}
+	e, en, err := entCodec.Decode(src[n:])
+	if err != nil {
+		return v, 0, fmt.Errorf("bsValue: %w", err)
+	}
+	v.E = e
+	return v, n + en, nil
+}
+
+type prKeyCodec struct{}
+
+func (prKeyCodec) Append(dst []byte, k PRKey) []byte {
+	dst = runio.AppendVarint(dst, int64(k.Range))
+	dst = runio.AppendVarint(dst, int64(k.Block))
+	return runio.AppendVarint(dst, k.Index)
+}
+
+func (prKeyCodec) Decode(src []byte) (PRKey, int, error) {
+	var k PRKey
+	n, err := decodeInts(src, &k.Range, &k.Block)
+	if err != nil {
+		return k, 0, fmt.Errorf("PRKey: %w", err)
+	}
+	idx, in, err := runio.Varint(src[n:])
+	if err != nil {
+		return k, 0, fmt.Errorf("PRKey index: %w", err)
+	}
+	k.Index = idx
+	return k, n + in, nil
+}
+
+type bsdKeyCodec struct{}
+
+func (bsdKeyCodec) Append(dst []byte, k BSDKey) []byte {
+	dst = runio.AppendVarint(dst, int64(k.Reduce))
+	dst = runio.AppendVarint(dst, int64(k.Block))
+	dst = runio.AppendVarint(dst, int64(k.RPart))
+	dst = runio.AppendVarint(dst, int64(k.SPart))
+	return runio.AppendVarint(dst, int64(k.Source))
+}
+
+func (bsdKeyCodec) Decode(src []byte) (BSDKey, int, error) {
+	var k BSDKey
+	var src_ int
+	n, err := decodeInts(src, &k.Reduce, &k.Block, &k.RPart, &k.SPart, &src_)
+	if err != nil {
+		return k, 0, fmt.Errorf("BSDKey: %w", err)
+	}
+	k.Source = bdm.Source(src_)
+	return k, n, nil
+}
+
+type prdKeyCodec struct{}
+
+func (prdKeyCodec) Append(dst []byte, k PRDKey) []byte {
+	dst = runio.AppendVarint(dst, int64(k.Range))
+	dst = runio.AppendVarint(dst, int64(k.Block))
+	dst = runio.AppendVarint(dst, int64(k.Source))
+	return runio.AppendVarint(dst, k.Index)
+}
+
+func (prdKeyCodec) Decode(src []byte) (PRDKey, int, error) {
+	var k PRDKey
+	var src_ int
+	n, err := decodeInts(src, &k.Range, &k.Block, &src_)
+	if err != nil {
+		return k, 0, fmt.Errorf("PRDKey: %w", err)
+	}
+	k.Source = bdm.Source(src_)
+	idx, in, err := runio.Varint(src[n:])
+	if err != nil {
+		return k, 0, fmt.Errorf("PRDKey index: %w", err)
+	}
+	k.Index = idx
+	return k, n + in, nil
+}
+
+// decodeInts decodes consecutive zig-zag varints into the given int
+// fields, returning the bytes consumed.
+func decodeInts(src []byte, dst ...*int) (int, error) {
+	n := 0
+	for i, d := range dst {
+		v, vn, err := runio.Varint(src[n:])
+		if err != nil {
+			return 0, fmt.Errorf("field %d: %w", i, err)
+		}
+		*d = int(v)
+		n += vn
+	}
+	return n, nil
+}
+
+func init() {
+	runio.Register[BSKey](bsKeyCodec{})
+	runio.Register[bsValue](bsValueCodec{})
+	runio.Register[PRKey](prKeyCodec{})
+	runio.Register[BSDKey](bsdKeyCodec{})
+	runio.Register[PRDKey](prdKeyCodec{})
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bdm"
+	"repro/internal/entity"
+	"repro/internal/runio"
+)
+
+// Round-trip fuzz tests for the strategy key/value codecs — every
+// intermediate type the five redistribution strategies spill on the
+// external dataflow.
+
+func codecRoundTrip[T any](t *testing.T, v T) {
+	t.Helper()
+	c, ok := runio.Lookup[T]()
+	if !ok {
+		t.Fatalf("no codec registered for %T", v)
+	}
+	enc := c.Append(nil, v)
+	got, n, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode(%+v): %v", v, err)
+	}
+	if n != len(enc) {
+		t.Fatalf("%+v: consumed %d of %d bytes", v, n, len(enc))
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip: got %+v, want %+v", got, v)
+	}
+	// Self-delimitation against a following record.
+	enc2 := c.Append(enc, v)
+	got, n, err = c.Decode(enc2)
+	if err != nil || n != len(enc) || !reflect.DeepEqual(got, v) {
+		t.Fatalf("%+v: decode with trailing record failed (n=%d, err=%v)", v, n, err)
+	}
+}
+
+func FuzzBSKeyCodec(f *testing.F) {
+	f.Add(0, 0, -1, -1)
+	f.Add(3, 17, 2, 0)
+	f.Add(-5, 1<<30, -1<<20, 7)
+	f.Fuzz(func(t *testing.T, reduce, block, i, j int) {
+		codecRoundTrip(t, BSKey{Reduce: reduce, Block: block, I: i, J: j})
+	})
+}
+
+func FuzzBSValueCodec(f *testing.F) {
+	f.Add("p1", "canon eos 5d", 3)
+	f.Add("tab\tid", "title\nwith\nnewlines", -1)
+	f.Add(string([]byte{0xff, 0xfe}), string([]byte{0x00, 0xc0}), 1<<30)
+	f.Fuzz(func(t *testing.T, id, title string, part int) {
+		codecRoundTrip(t, bsValue{E: entity.New(id, "title", title), Partition: part})
+	})
+}
+
+func FuzzPRKeyCodec(f *testing.F) {
+	f.Add(0, 0, int64(0))
+	f.Add(7, 123, int64(-9))
+	f.Add(-1, 1<<28, int64(1)<<60)
+	f.Fuzz(func(t *testing.T, rng, block int, index int64) {
+		codecRoundTrip(t, PRKey{Range: rng, Block: block, Index: index})
+	})
+}
+
+func FuzzBSDKeyCodec(f *testing.F) {
+	f.Add(0, 0, -1, -1, 0)
+	f.Add(2, 9, 1, 3, 1)
+	f.Fuzz(func(t *testing.T, reduce, block, rp, sp, src int) {
+		codecRoundTrip(t, BSDKey{Reduce: reduce, Block: block, RPart: rp, SPart: sp, Source: bdm.Source(src)})
+	})
+}
+
+func FuzzPRDKeyCodec(f *testing.F) {
+	f.Add(0, 0, 0, int64(0))
+	f.Add(5, 44, 1, int64(1)<<40)
+	f.Fuzz(func(t *testing.T, rng, block, src int, index int64) {
+		codecRoundTrip(t, PRDKey{Range: rng, Block: block, Source: bdm.Source(src), Index: index})
+	})
+}
+
+// TestStrategyValueCodecsRegistered pins the full set of intermediate
+// types the strategies shuffle: a new strategy whose types lack codecs
+// would silently lose external-mode support.
+func TestStrategyValueCodecsRegistered(t *testing.T) {
+	codecRoundTrip(t, "blocking-key")                 // Basic key
+	codecRoundTrip(t, entity.New("id", "title", "x")) // Basic/PairRange/dual values
+	codecRoundTrip(t, BSKey{Reduce: 1, Block: 2, I: -1, J: -1})
+	codecRoundTrip(t, bsValue{E: entity.New("a", "t", "v"), Partition: 0})
+	codecRoundTrip(t, PRKey{Range: 1, Block: 2, Index: 3})
+	codecRoundTrip(t, BSDKey{Reduce: 1, Block: 2, RPart: -1, SPart: -1, Source: bdm.SourceS})
+	codecRoundTrip(t, PRDKey{Range: 1, Block: 2, Source: bdm.SourceR, Index: 4})
+}

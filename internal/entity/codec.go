@@ -1,0 +1,70 @@
+package entity
+
+import (
+	"fmt"
+
+	"repro/internal/runio"
+)
+
+// Codec is the runio codec for Entity, the dominant shuffle value type
+// of every matching job: the external dataflow serializes spilled
+// entities with it. Layout: id ‖ attribute count ‖ (name ‖ value)*,
+// all strings length-prefixed, so IDs and attributes containing tabs,
+// newlines, or invalid UTF-8 survive the disk round trip byte-exactly.
+// Attribute order on disk follows map iteration order — the decoded
+// map is equal regardless.
+type Codec struct{}
+
+// Append implements runio.Codec.
+func (Codec) Append(dst []byte, e Entity) []byte {
+	dst = runio.AppendString(dst, e.ID)
+	dst = runio.AppendUvarint(dst, uint64(len(e.Attrs)))
+	for k, v := range e.Attrs {
+		dst = runio.AppendString(dst, k)
+		dst = runio.AppendString(dst, v)
+	}
+	return dst
+}
+
+// Decode implements runio.Codec. Zero attributes decode to a nil map,
+// matching the zero Entity.
+func (Codec) Decode(src []byte) (Entity, int, error) {
+	var e Entity
+	id, n, err := runio.String(src)
+	if err != nil {
+		return e, 0, fmt.Errorf("entity id: %w", err)
+	}
+	e.ID = id
+	count, cn, err := runio.Uvarint(src[n:])
+	if err != nil {
+		return e, 0, fmt.Errorf("entity attr count: %w", err)
+	}
+	n += cn
+	if count > uint64(len(src)-n) {
+		// Each attribute needs at least two bytes; a larger claimed
+		// count is corrupt, and bounding it here keeps the map
+		// allocation proportional to real data.
+		return e, 0, fmt.Errorf("%w: entity attr count %d exceeds remaining bytes", runio.ErrCorrupt, count)
+	}
+	if count > 0 {
+		e.Attrs = make(map[string]string, count)
+		for i := uint64(0); i < count; i++ {
+			k, kn, err := runio.String(src[n:])
+			if err != nil {
+				return e, 0, fmt.Errorf("entity attr name: %w", err)
+			}
+			n += kn
+			v, vn, err := runio.String(src[n:])
+			if err != nil {
+				return e, 0, fmt.Errorf("entity attr value: %w", err)
+			}
+			n += vn
+			e.Attrs[k] = v
+		}
+	}
+	return e, n, nil
+}
+
+func init() {
+	runio.Register[Entity](Codec{})
+}

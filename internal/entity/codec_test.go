@@ -1,0 +1,125 @@
+package entity
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runio"
+)
+
+func TestEntityCodecRegistered(t *testing.T) {
+	if _, ok := runio.Lookup[Entity](); !ok {
+		t.Fatal("entity.Codec not registered with runio")
+	}
+}
+
+// FuzzEntityCodec round-trips entities whose ID and attributes carry
+// arbitrary bytes — tabs, newlines, invalid UTF-8 — through the disk
+// codec.
+func FuzzEntityCodec(f *testing.F) {
+	f.Add("p1", "title", "canon eos 5d", "price", "1299")
+	f.Add("tab\tid", "attr\nname", "value\twith\ttabs", "", "")
+	f.Add(string([]byte{0xff, 0x00}), string([]byte{0xc0, 0x80}), "x", "y", "z")
+	f.Fuzz(func(t *testing.T, id, k1, v1, k2, v2 string) {
+		e := Entity{ID: id}
+		if k1 != "" || v1 != "" || k2 != "" || v2 != "" {
+			e.Attrs = map[string]string{k1: v1, k2: v2}
+		}
+		var c Codec
+		enc := c.Append(nil, e)
+		got, n, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", n, len(enc))
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("round trip: got %+v, want %+v", got, e)
+		}
+	})
+}
+
+// FuzzEntityDecodeArbitrary feeds the decoder arbitrary bytes: it must
+// error or succeed, never panic or allocate unboundedly.
+func FuzzEntityDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((Codec{}).Append(nil, New("id", "a", "b")))
+	f.Add(runio.AppendUvarint(runio.AppendString(nil, "id"), 1<<40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := (Codec{}).Decode(data)
+		if err == nil {
+			if n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			// A successful decode must re-encode to an equal value.
+			enc := (Codec{}).Append(nil, e)
+			got, _, err := (Codec{}).Decode(enc)
+			if err != nil || !reflect.DeepEqual(got, e) {
+				t.Fatalf("re-encode round trip failed: %v", err)
+			}
+		}
+	})
+}
+
+func TestScanCSVStreams(t *testing.T) {
+	const csv = "id,title,price\np1,canon eos,100\np2,nikon d850,200\np3,sony alpha,300\n"
+	var ids []string
+	err := ScanCSV(strings.NewReader(csv), func(e Entity) error {
+		ids = append(ids, e.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"p1", "p2", "p3"}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+
+	// ReadCSV is a thin wrapper: identical records.
+	all, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[1].Attr("title") != "nikon d850" {
+		t.Fatalf("ReadCSV = %v", all)
+	}
+}
+
+func TestScanCSVCallbackErrorStops(t *testing.T) {
+	const csv = "id,title\np1,a\np2,b\np3,c\n"
+	calls := 0
+	sentinel := errStop{}
+	err := ScanCSV(strings.NewReader(csv), func(e Entity) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || calls != 2 {
+		t.Fatalf("err = %v after %d calls, want sentinel after 2", err, calls)
+	}
+}
+
+type errStop struct{}
+
+func (errStop) Error() string { return "stop" }
+
+func TestReadPartitionsCSV(t *testing.T) {
+	const csv = "id,title\np0,a\np1,b\np2,c\np3,d\np4,e\n"
+	ps, err := ReadPartitionsCSV(strings.NewReader(csv), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must match SplitRoundRobin over the same rows exactly.
+	all, _ := ReadCSV(strings.NewReader(csv))
+	want := SplitRoundRobin(all, 2)
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("ReadPartitionsCSV = %v, want %v", ps, want)
+	}
+	if _, err := ReadPartitionsCSV(strings.NewReader(csv), 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}

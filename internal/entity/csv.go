@@ -29,26 +29,29 @@ func WriteCSV(w io.Writer, entities []Entity, attrs []string) error {
 	return cw.Error()
 }
 
-// ReadCSV reads entities from CSV produced by WriteCSV (or any CSV whose
-// first column is an id and whose header names the attribute columns).
-func ReadCSV(r io.Reader) ([]Entity, error) {
+// ScanCSV streams entities from CSV produced by WriteCSV (or any CSV
+// whose first column is an id and whose header names the attribute
+// columns), invoking fn once per row in input order. Only one row is
+// materialized at a time, so callers can partition or filter arbitrarily
+// large datasets without holding the full entity slice; a non-nil error
+// from fn stops the scan and is returned unwrapped.
+func ScanCSV(r io.Reader, fn func(Entity) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("entity: read csv header: %w", err)
+		return fmt.Errorf("entity: read csv header: %w", err)
 	}
 	if len(header) == 0 || header[0] != "id" {
-		return nil, fmt.Errorf("entity: csv header must start with %q, got %v", "id", header)
+		return fmt.Errorf("entity: csv header must start with %q, got %v", "id", header)
 	}
-	var out []Entity
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("entity: read csv row: %w", err)
+			return fmt.Errorf("entity: read csv row: %w", err)
 		}
 		if len(rec) == 0 {
 			continue
@@ -57,7 +60,43 @@ func ReadCSV(r io.Reader) ([]Entity, error) {
 		for i := 1; i < len(rec) && i < len(header); i++ {
 			e.Attrs[header[i]] = rec[i]
 		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadCSV reads all entities into a slice — a thin wrapper over
+// ScanCSV for callers that need the full dataset in memory.
+func ReadCSV(r io.Reader) ([]Entity, error) {
+	var out []Entity
+	err := ScanCSV(r, func(e Entity) error {
 		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ReadPartitionsCSV streams a CSV dataset directly into m round-robin
+// partitions (the SplitRoundRobin layout) without materializing the
+// intermediate full entity slice — the input path of the out-of-core
+// pipeline, where the partitions feed map tasks that spill to disk.
+func ReadPartitionsCSV(r io.Reader, m int) (Partitions, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("entity: ReadPartitionsCSV requires m > 0, got %d", m)
+	}
+	ps := make(Partitions, m)
+	i := 0
+	err := ScanCSV(r, func(e Entity) error {
+		ps[i%m] = append(ps[i%m], e)
+		i++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
 }

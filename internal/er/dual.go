@@ -24,6 +24,10 @@ type DualConfig struct {
 	// Parallelism bounds concurrently executing tasks per phase when
 	// Engine is nil; see Config.Parallelism.
 	Parallelism int
+	// SpillBudget and TmpDir select the out-of-core external dataflow
+	// when Engine is nil; see Config.SpillBudget.
+	SpillBudget int64
+	TmpDir      string
 }
 
 func (c *DualConfig) validate() error {
@@ -56,6 +60,11 @@ func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, err
 	eng := cfg.Engine
 	if eng == nil {
 		eng = &mapreduce.Engine{Parallelism: cfg.Parallelism}
+		if cfg.SpillBudget > 0 {
+			eng.Dataflow = mapreduce.DataflowExternal
+			eng.SpillBudget = cfg.SpillBudget
+			eng.TmpDir = cfg.TmpDir
+		}
 	}
 	parts := append(append(entity.Partitions{}, partsR...), partsS...)
 	sources := make([]bdm.Source, len(parts))

@@ -46,6 +46,13 @@ type Config struct {
 	// default). Ignored when Engine is set — configure the engine
 	// directly instead.
 	Parallelism int
+	// SpillBudget, when > 0, runs both jobs on the out-of-core external
+	// dataflow with this per-map-task spill budget in bytes (see
+	// mapreduce.Engine.SpillBudget). Ignored when Engine is set.
+	SpillBudget int64
+	// TmpDir is the spill directory root for SpillBudget > 0 ("" = the
+	// system temp dir). Ignored when Engine is set.
+	TmpDir string
 	// UseCombiner enables the combiner in the BDM job.
 	UseCombiner bool
 }
@@ -115,6 +122,11 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 	eng := cfg.Engine
 	if eng == nil {
 		eng = &mapreduce.Engine{Parallelism: cfg.Parallelism}
+		if cfg.SpillBudget > 0 {
+			eng.Dataflow = mapreduce.DataflowExternal
+			eng.SpillBudget = cfg.SpillBudget
+			eng.TmpDir = cfg.TmpDir
+		}
 	}
 	res := &Result{}
 

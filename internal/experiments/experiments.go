@@ -42,6 +42,16 @@ type Options struct {
 	// phase in executed mode (0 = the default of 8). The cmd/erbench
 	// -parallelism flag sets it.
 	Parallelism int
+	// SpillBudget, when > 0, runs executed-mode jobs on the out-of-core
+	// external dataflow with this per-map-task spill budget in bytes
+	// (cmd/erbench -spill-budget); TmpDir roots the spill directories
+	// ("" = system temp dir, cmd/erbench -tmpdir).
+	SpillBudget int64
+	TmpDir      string
+	// Dataset, when non-nil, replaces the generated DS1 stand-in with a
+	// real dataset (cmd/erbench -in streams one from CSV via
+	// entity.ScanCSV).
+	Dataset []entity.Entity
 }
 
 // DefaultOptions uses a 5% scale — large enough for stable shapes,
@@ -64,13 +74,30 @@ func (o Options) parallelism() int {
 	return o.Parallelism
 }
 
+// engine builds the executed-mode engine: in-memory typed by default,
+// the out-of-core external dataflow when a spill budget is set.
+func (o Options) engine() *mapreduce.Engine {
+	e := &mapreduce.Engine{Parallelism: o.parallelism()}
+	if o.SpillBudget > 0 {
+		e.Dataflow = mapreduce.DataflowExternal
+		e.SpillBudget = o.SpillBudget
+		e.TmpDir = o.TmpDir
+	}
+	return e
+}
+
 // strategies in the order the paper plots them.
 func allStrategies() []core.Strategy {
 	return []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}}
 }
 
-// ds1 generates the DS1 stand-in, already shuffled (unsorted order).
+// ds1 generates the DS1 stand-in, already shuffled (unsorted order) —
+// or returns the caller-supplied real dataset when Options.Dataset is
+// set (cmd/erbench -in).
 func ds1(o Options) []entity.Entity {
+	if o.Dataset != nil {
+		return o.Dataset
+	}
 	es, _ := datagen.Generate(datagen.DS1Spec(o.scale()))
 	return es
 }
@@ -99,7 +126,7 @@ func strategyTime(o Options, parts entity.Partitions, x *bdm.Matrix, strat core.
 		BlockKey:    key,
 		Matcher:     nil, // count comparisons only
 		R:           r,
-		Engine:      &mapreduce.Engine{Parallelism: o.parallelism()},
+		Engine:      o.engine(),
 		UseCombiner: true,
 	})
 	if err != nil {

@@ -9,7 +9,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/entity"
 	"repro/internal/er"
-	"repro/internal/mapreduce"
 	"repro/internal/match"
 	"repro/internal/report"
 )
@@ -80,7 +79,7 @@ func Ablations(o Options) (*report.Table, error) {
 		"round-robin max reduce load / greedy")
 
 	// 2. BDM combiner.
-	eng := &mapreduce.Engine{Parallelism: o.parallelism()}
+	eng := o.engine()
 	_, _, plain, err := bdm.Compute(eng, parts, bdm.JobOptions{
 		Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20,
 	})
@@ -178,7 +177,7 @@ func QualityTable(o Options) (*report.Table, error) {
 			BlockKey:        datagen.BlockKey(),
 			PreparedMatcher: match.EditDistance(datagen.AttrTitle, th),
 			R:               32,
-			Engine:          &mapreduce.Engine{Parallelism: o.parallelism()},
+			Engine:          o.engine(),
 			UseCombiner:     true,
 		})
 		if err != nil {

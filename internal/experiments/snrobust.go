@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/entity"
-	"repro/internal/mapreduce"
 	"repro/internal/report"
 	"repro/internal/sn"
 )
@@ -51,7 +50,7 @@ func SNRobustness(o Options) (*report.Table, error) {
 			Key:    func(v string) string { return v },
 			Window: window,
 			R:      r,
-			Engine: &mapreduce.Engine{Parallelism: o.parallelism()},
+			Engine: o.engine(),
 		}
 		keyed, err := sn.Run(parts, cfg)
 		if err != nil {

@@ -1,0 +1,751 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/runio"
+)
+
+// This file implements DataflowExternal, the out-of-core realization of
+// the typed engine: the Hadoop dataflow where map output beyond a
+// per-task byte budget spills to sorted on-disk runs and reducers
+// stream an external k-way merge over run segments.
+//
+// The execution model is unchanged — same partition/compare/group
+// semantics, same stability guarantee — only the residency of the
+// intermediate records differs, so results are byte-identical to
+// DataflowTyped (the differential tests assert it, TaskMetrics
+// included, spill counters excepted). The moving pieces:
+//
+//   - extSpiller accumulates map output twice: decoded (for the spill
+//     sort and the in-memory tail) and encoded (runio codecs, applied
+//     once per record at emit time, which also gives exact byte-
+//     denominated budget accounting). When the encoded bytes reach the
+//     budget, the batch is stable-sorted by (reduce partition, key) —
+//     the record's binary key code first, exactly like the in-memory
+//     engine — and written as one run file (runio.Writer).
+//   - The stability tiebreak extends from (key, mapTask) to (key,
+//     mapTask, run): runs are temporal segments of one task's output,
+//     so merging them in run order with the in-memory tail last
+//     reproduces the task's emission order for equal keys, and the
+//     merged stream is identical to the all-in-memory sort.
+//   - With a combiner, the task's spilled runs and tail are first
+//     k-way merged back (map-side), combined group-by-group exactly
+//     like the in-memory combine, and the combiner's output flows
+//     through a second-generation spiller. This keeps combiner group
+//     boundaries — and therefore every metric — identical to the
+//     typed engine, unlike Hadoop's per-spill combining.
+//   - Reduce task j merges, per map task, the partition-j segment of
+//     every run plus the in-memory tail bucket, all behind the same
+//     merge-heap discipline as the in-memory path.
+//
+// Temp-file lifecycle: Run creates one directory under Engine.TmpDir
+// and removes it on every exit path, success or error. First-
+// generation runs are additionally deleted as soon as the map-side
+// combine has drained them.
+
+// DefaultSpillBudget is the per-map-task encoded-byte budget when
+// Engine.SpillBudget is zero.
+const DefaultSpillBudget = 64 << 20
+
+// extConfig carries the run-wide external-dataflow parameters.
+type extConfig[K, V any] struct {
+	kc        runio.Codec[K]
+	vc        runio.Codec[V]
+	dir       string
+	budget    int64
+	codeWidth int
+}
+
+// runExternal executes the job on the external dataflow (the job is
+// already validated by Run, which dispatches here). See Job.Run for the
+// semantics; this path additionally requires runio codecs registered
+// for K and V.
+func (j *Job[I, K, V, O]) runExternal(e *Engine, input [][]I) (*Result[I, O], error) {
+	m := len(input)
+	kc, ok := runio.Lookup[K]()
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: job %q: external dataflow: no runio codec registered for key type %T (runio.Register it in the key's package)", j.Name, *new(K))
+	}
+	vc, ok := runio.Lookup[V]()
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: job %q: external dataflow: no runio codec registered for value type %T (runio.Register it in the value's package)", j.Name, *new(V))
+	}
+	if e.TmpDir != "" {
+		if err := os.MkdirAll(e.TmpDir, 0o755); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: create tmp dir: %w", j.Name, err)
+		}
+	}
+	dir, err := os.MkdirTemp(e.TmpDir, "mr-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: create spill dir: %w", j.Name, err)
+	}
+	// The spill directory dies with this Run on every exit path.
+	defer os.RemoveAll(dir)
+
+	st := newRunState(j)
+	cfg := &extConfig[K, V]{kc: kc, vc: vc, dir: dir, budget: e.SpillBudget}
+	if cfg.budget <= 0 {
+		cfg.budget = DefaultSpillBudget
+	}
+	if st.encode != nil {
+		cfg.codeWidth = 16
+	}
+
+	r := j.NumReduceTasks
+	res := &Result[I, O]{
+		Metrics: Metrics{
+			JobName:       j.Name,
+			MapMetrics:    make([]TaskMetrics, m),
+			ReduceMetrics: make([]TaskMetrics, r),
+		},
+		SideOutput: make([][]I, m),
+	}
+
+	// ---- Map phase (spilling) ----
+	mapOut := make([]extMapOutput[K, V], m)
+	mapErr := make([]error, m)
+	e.forEachTask(m, func(i int) {
+		mapOut[i], mapErr[i] = st.runMapTaskExternal(cfg, i, m, input[i], res)
+	})
+	for i, err := range mapErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", j.Name, i, err)
+		}
+	}
+	for i := range res.MapMetrics {
+		res.MapMetrics[i].Kind = MapTask
+		res.MapMetrics[i].Index = i
+		res.MapOutputRecords += res.MapMetrics[i].OutputRecords
+	}
+
+	// ---- Shuffle + external merge + reduce phase ----
+	// Every run file is opened once; concurrent reduce tasks stream
+	// their segments through io.SectionReaders sharing the handle.
+	files := make([][]*os.File, m)
+	defer func() {
+		for _, fs := range files {
+			for _, f := range fs {
+				if f != nil {
+					f.Close()
+				}
+			}
+		}
+	}()
+	for mi := range mapOut {
+		files[mi] = make([]*os.File, len(mapOut[mi].runs))
+		for ri, info := range mapOut[mi].runs {
+			f, err := os.Open(info.Path)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: job %q: open spill run: %w", j.Name, err)
+			}
+			files[mi][ri] = f
+		}
+	}
+
+	reduceOut := make([][]O, r)
+	reduceErr := make([]error, r)
+	e.forEachTask(r, func(jj int) {
+		reduceOut[jj], reduceErr[jj] = st.runReduceTaskExternal(cfg, jj, mapOut, files, res)
+	})
+	for jj, err := range reduceErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", j.Name, jj, err)
+		}
+	}
+	var total int
+	for jj := range reduceOut {
+		total += len(reduceOut[jj])
+	}
+	res.Output = make([]O, 0, total)
+	for jj := range res.ReduceMetrics {
+		res.ReduceMetrics[jj].Kind = ReduceTask
+		res.ReduceMetrics[jj].Index = jj
+		res.Output = append(res.Output, reduceOut[jj]...)
+		putOutBuf(st.outPool, reduceOut[jj])
+	}
+	for i := range mapOut {
+		st.pools.putRecBuf(mapOut[i].flat)
+	}
+	return res, nil
+}
+
+// extMapOutput is one map task's shuffle-ready output on the external
+// dataflow: zero or more sorted on-disk runs plus the in-memory tail,
+// already bucketed and sorted like a typed-engine task's output.
+type extMapOutput[K, V any] struct {
+	runs    []*runio.Info
+	buckets [][]Rec[K, V]
+	flat    []Rec[K, V]
+}
+
+func (st *runState[I, K, V, O]) runMapTaskExternal(cfg *extConfig[K, V], idx, m int, input []I, res *Result[I, O]) (out extMapOutput[K, V], err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	j := st.job
+	r := j.NumReduceTasks
+	metrics := &res.MapMetrics[idx]
+	if metrics.Counters == nil {
+		metrics.Counters = make(map[string]int64)
+	}
+	sp := st.newSpiller(cfg, fmt.Sprintf("m%04d-g0", idx), metrics)
+	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp, sideCap: len(input)}
+	mapper := j.NewMapper()
+	mapper.Configure(m, r, idx)
+	for i := range input {
+		metrics.InputRecords++
+		mapper.Map(ctx, input[i])
+	}
+	if sp.err != nil {
+		return out, sp.err
+	}
+	res.SideOutput[idx] = ctx.side
+
+	if j.NewCombiner == nil {
+		out.runs = sp.runs
+		out.buckets, out.flat, err = st.partitionAndSort(sp.takeRecs())
+		return out, err
+	}
+
+	if len(sp.runs) == 0 {
+		// Nothing spilled: the whole task fits in budget, so the
+		// combine is the typed engine's, verbatim.
+		combined, cerr := st.combine(idx, m, sp.recs, metrics)
+		st.pools.putRecBuf(sp.takeRecs())
+		if cerr != nil {
+			return out, cerr
+		}
+		metrics.OutputRecords = int64(len(combined))
+		out.buckets, out.flat, err = st.partitionAndSort(combined)
+		return out, err
+	}
+
+	// Map-side external merge + combine: stream the spilled runs and
+	// the sorted tail back in (partition, key, run) order, cut the
+	// stream into the same groups the in-memory combine would form
+	// (a group never spans partitions — grouping must be compatible
+	// with partitioning, as in Hadoop), and feed the combiner, whose
+	// output flows through a second-generation spiller.
+	sp2 := st.newSpiller(cfg, fmt.Sprintf("m%04d-g1", idx), metrics)
+	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp2}
+	combiner := j.NewCombiner()
+	combiner.Configure(m, r, idx)
+	if err := st.mergeSpilled(cfg, sp, metrics, func(group []Rec[K, V]) {
+		combiner.Combine(cctx, group[0].Key, group)
+	}); err != nil {
+		return out, err
+	}
+	if sp2.err != nil {
+		return out, sp2.err
+	}
+	// The combiner rewrote the task's output; fix the metric (the
+	// typed engine does the same after its in-memory combine).
+	metrics.OutputRecords = sp2.count
+	out.runs = sp2.runs
+	out.buckets, out.flat, err = st.partitionAndSort(sp2.takeRecs())
+	return out, err
+}
+
+// mergeSpilled merges one map task's spilled runs and in-memory tail
+// back into (partition, key, run)-ordered groups and hands each group
+// to emit. The first-generation run files are deleted once drained.
+func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpiller[K, V], metrics *TaskMetrics, emit func(group []Rec[K, V])) error {
+	dec := &recDecoder[K, V]{kc: cfg.kc, vc: cfg.vc, codeWidth: cfg.codeWidth}
+	sources := make([]mergeSource[K, V], 0, len(sp.runs)+1)
+	fs := make([]*os.File, 0, len(sp.runs))
+	defer func() {
+		for _, f := range fs {
+			f.Close()
+		}
+	}()
+	for _, info := range sp.runs {
+		f, err := os.Open(info.Path)
+		if err != nil {
+			return fmt.Errorf("reopen spill run: %w", err)
+		}
+		fs = append(fs, f)
+		sources = append(sources, &runSource[K, V]{f: f, info: info, dec: dec})
+		metrics.SpillBytesRead += info.Bytes
+	}
+	parts, perm, err := sp.sortedPerm()
+	if err != nil {
+		return err
+	}
+	defer putInt32Buf(parts)
+	defer putInt32Buf(perm)
+	if len(sp.recs) > 0 {
+		sources = append(sources, &tailSource[K, V]{recs: sp.recs, parts: parts, perm: perm})
+	}
+
+	mg, err := newExtMerger(st, sources)
+	if err != nil {
+		return err
+	}
+	group := st.pools.getRecBuf()
+	var part int32
+	for {
+		rec, p, ok, err := mg.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if len(group) > 0 && (p != part || !st.sameGroup(&group[0], &rec)) {
+			emit(group)
+			group = group[:0]
+		}
+		group = append(group, rec)
+		part = p
+	}
+	if len(group) > 0 {
+		emit(group)
+	}
+	st.pools.putRecBuf(group)
+	st.pools.putRecBuf(sp.takeRecs())
+	// Generation-1 runs are dead; free the disk before gen-2 grows.
+	for _, info := range sp.runs {
+		os.Remove(info.Path)
+	}
+	return nil
+}
+
+func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx int, mapOut []extMapOutput[K, V], files [][]*os.File, res *Result[I, O]) (out []O, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	j := st.job
+	metrics := &res.ReduceMetrics[idx]
+	if metrics.Counters == nil {
+		metrics.Counters = make(map[string]int64)
+	}
+	ctx := &ReduceContext[O]{metrics: metrics, out: getOutBuf[O](st.outPool)}
+	reducer := j.NewReducer()
+	reducer.Configure(len(mapOut), j.NumReduceTasks, idx)
+
+	// One source per (map task, run) segment plus one per in-memory
+	// tail bucket, in (map task, run, tail) order: the source index is
+	// the merge tiebreak, which extends the typed engine's map-task
+	// tiebreak with temporal run order — the stability guarantee.
+	dec := &recDecoder[K, V]{kc: cfg.kc, vc: cfg.vc, codeWidth: cfg.codeWidth}
+	var sources []mergeSource[K, V]
+	var total int64
+	for mi := range mapOut {
+		for ri, info := range mapOut[mi].runs {
+			seg := info.Segments[idx]
+			if seg.Records == 0 {
+				continue
+			}
+			sources = append(sources, &segSource[K, V]{
+				sr:   runio.NewSegmentReader(files[mi][ri], seg),
+				dec:  dec,
+				part: int32(idx),
+			})
+			total += seg.Records
+			metrics.SpillBytesRead += seg.Len
+		}
+		if b := mapOut[mi].buckets[idx]; len(b) > 0 {
+			sources = append(sources, &bucketSource[K, V]{recs: b, part: int32(idx)})
+			total += int64(len(b))
+		}
+	}
+	metrics.InputRecords = total
+
+	mg, err := newExtMerger(st, sources)
+	if err != nil {
+		return nil, err
+	}
+	group := st.pools.getRecBuf()
+	for {
+		rec, _, ok, err := mg.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if len(group) > 0 && !st.sameGroup(&group[0], &rec) {
+			st.emitGroup(ctx, reducer, group)
+			group = group[:0]
+		}
+		group = append(group, rec)
+	}
+	if len(group) > 0 {
+		st.emitGroup(ctx, reducer, group)
+	}
+	st.pools.putRecBuf(group)
+	return ctx.out, nil
+}
+
+// ---- the spiller ----
+
+// extSpiller buffers one map task's emitted records, encoded once at
+// emit time (exact byte budget accounting, no re-encode at spill), and
+// flushes sorted runs whenever the encoded bytes reach the budget.
+type extSpiller[K, V any] struct {
+	cfg     *extConfig[K, V]
+	prefix  string
+	r       int
+	cmp     func(a, b *Rec[K, V]) int
+	part    func(K, int) int
+	metrics *TaskMetrics
+
+	recs  []Rec[K, V]
+	enc   []byte
+	spans []extSpan
+	runs  []*runio.Info
+	count int64 // records appended over the task's lifetime
+	err   error // sticky: first spill failure stops the task
+}
+
+type extSpan struct{ off, end int64 }
+
+func (st *runState[I, K, V, O]) newSpiller(cfg *extConfig[K, V], prefix string, metrics *TaskMetrics) *extSpiller[K, V] {
+	return &extSpiller[K, V]{
+		cfg:     cfg,
+		prefix:  prefix,
+		r:       st.job.NumReduceTasks,
+		cmp:     st.cmpRec,
+		part:    st.job.Partition,
+		metrics: metrics,
+	}
+}
+
+// add appends one record, spilling the buffered batch when the encoded
+// bytes reach the budget. Errors are sticky (checked by the task after
+// the map loop) because Emit has no error channel.
+func (sp *extSpiller[K, V]) add(rec Rec[K, V]) {
+	if sp.err != nil {
+		return
+	}
+	off := int64(len(sp.enc))
+	if sp.cfg.codeWidth != 0 {
+		sp.enc = binary.LittleEndian.AppendUint64(sp.enc, rec.code.Hi)
+		sp.enc = binary.LittleEndian.AppendUint64(sp.enc, rec.code.Lo)
+	}
+	sp.enc = sp.cfg.kc.Append(sp.enc, rec.Key)
+	sp.enc = sp.cfg.vc.Append(sp.enc, rec.Value)
+	sp.spans = append(sp.spans, extSpan{off: off, end: int64(len(sp.enc))})
+	sp.recs = append(sp.recs, rec)
+	sp.count++
+	if int64(len(sp.enc)) >= sp.cfg.budget {
+		sp.err = sp.spill()
+	}
+}
+
+// takeRecs hands the decoded tail to the caller and detaches it from
+// the spiller (the encoded copy is dropped).
+func (sp *extSpiller[K, V]) takeRecs() []Rec[K, V] {
+	recs := sp.recs
+	sp.recs = nil
+	sp.enc = nil
+	sp.spans = nil
+	return recs
+}
+
+// sortedPerm computes each buffered record's reduce partition and a
+// permutation that orders the batch by (partition, key) — binary key
+// code first, like every other sort in the engine — stable in emission
+// order. Both slices are pooled; the caller returns them.
+func (sp *extSpiller[K, V]) sortedPerm() (parts, perm []int32, err error) {
+	n := len(sp.recs)
+	parts = getInt32Buf(n)
+	perm = getInt32Buf(n)
+	for i := range sp.recs {
+		p := sp.part(sp.recs[i].Key, sp.r)
+		if p < 0 || p >= sp.r {
+			putInt32Buf(parts)
+			putInt32Buf(perm)
+			return nil, nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, sp.r)
+		}
+		parts[i] = int32(p)
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		a, b := perm[x], perm[y]
+		if parts[a] != parts[b] {
+			return parts[a] < parts[b]
+		}
+		return sp.cmp(&sp.recs[a], &sp.recs[b]) < 0
+	})
+	return parts, perm, nil
+}
+
+// spill writes the buffered batch as one sorted run file and resets the
+// buffers (capacity retained: the next batch will be about as large).
+func (sp *extSpiller[K, V]) spill() error {
+	if len(sp.recs) == 0 {
+		return nil
+	}
+	parts, perm, err := sp.sortedPerm()
+	if err != nil {
+		return err
+	}
+	defer putInt32Buf(parts)
+	defer putInt32Buf(perm)
+	path := filepath.Join(sp.cfg.dir, fmt.Sprintf("%s-%04d.run", sp.prefix, len(sp.runs)))
+	w, err := runio.Create(path, sp.r, sp.cfg.codeWidth)
+	if err != nil {
+		return err
+	}
+	for _, i := range perm {
+		s := sp.spans[i]
+		if err := w.Append(int(parts[i]), sp.enc[s.off:s.end]); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	info, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	sp.runs = append(sp.runs, info)
+	sp.metrics.SpillRuns++
+	sp.metrics.SpillBytesWritten += info.FileBytes
+	clear(sp.recs)
+	sp.recs = sp.recs[:0]
+	sp.enc = sp.enc[:0]
+	sp.spans = sp.spans[:0]
+	return nil
+}
+
+// ---- merge sources and the external merge heap ----
+
+// recDecoder decodes one on-disk record (code ‖ key ‖ value) into a
+// Rec. Decoded values never alias the read buffer (codec contract).
+type recDecoder[K, V any] struct {
+	kc        runio.Codec[K]
+	vc        runio.Codec[V]
+	codeWidth int
+}
+
+func (d *recDecoder[K, V]) decode(b []byte, dst *Rec[K, V]) error {
+	if d.codeWidth != 0 {
+		if len(b) < d.codeWidth {
+			return fmt.Errorf("%w: record shorter than key code", runio.ErrCorrupt)
+		}
+		dst.code.Hi = binary.LittleEndian.Uint64(b)
+		dst.code.Lo = binary.LittleEndian.Uint64(b[8:])
+		b = b[d.codeWidth:]
+	} else {
+		dst.code = Code{}
+	}
+	k, n, err := d.kc.Decode(b)
+	if err != nil {
+		return fmt.Errorf("decode key: %w", err)
+	}
+	v, n2, err := d.vc.Decode(b[n:])
+	if err != nil {
+		return fmt.Errorf("decode value: %w", err)
+	}
+	if n+n2 != len(b) {
+		return fmt.Errorf("%w: %d trailing record bytes", runio.ErrCorrupt, len(b)-n-n2)
+	}
+	dst.Key, dst.Value = k, v
+	return nil
+}
+
+// mergeSource streams one pre-sorted sequence of records into the
+// external merge. next fills dst and reports the record's partition;
+// ok=false means the source is exhausted.
+type mergeSource[K, V any] interface {
+	next(dst *Rec[K, V]) (part int32, ok bool, err error)
+}
+
+// segSource streams one partition segment of one run file.
+type segSource[K, V any] struct {
+	sr   *runio.SegmentReader
+	dec  *recDecoder[K, V]
+	part int32
+}
+
+func (s *segSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
+	b, err := s.sr.Next()
+	if err == io.EOF {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if err := s.dec.decode(b, dst); err != nil {
+		return 0, false, err
+	}
+	return s.part, true, nil
+}
+
+// runSource streams a whole run file, segment by segment in partition
+// order (the map-side combine merge reads every partition).
+type runSource[K, V any] struct {
+	f    *os.File
+	info *runio.Info
+	dec  *recDecoder[K, V]
+	cur  int
+	sr   *runio.SegmentReader
+	part int32
+}
+
+func (s *runSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
+	for {
+		if s.sr == nil {
+			for s.cur < len(s.info.Segments) && s.info.Segments[s.cur].Records == 0 {
+				s.cur++
+			}
+			if s.cur >= len(s.info.Segments) {
+				return 0, false, nil
+			}
+			s.sr = runio.NewSegmentReader(s.f, s.info.Segments[s.cur])
+			s.part = int32(s.cur)
+			s.cur++
+		}
+		b, err := s.sr.Next()
+		if err == io.EOF {
+			s.sr = nil
+			continue
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		if err := s.dec.decode(b, dst); err != nil {
+			return 0, false, err
+		}
+		return s.part, true, nil
+	}
+}
+
+// bucketSource streams one in-memory tail bucket (reduce side: the
+// partition is fixed, the bucket is already sorted).
+type bucketSource[K, V any] struct {
+	recs []Rec[K, V]
+	part int32
+	i    int
+}
+
+func (s *bucketSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
+	if s.i >= len(s.recs) {
+		return 0, false, nil
+	}
+	*dst = s.recs[s.i]
+	s.i++
+	return s.part, true, nil
+}
+
+// tailSource streams the spiller's unspilled tail in (partition, key)
+// order through the sortedPerm permutation (map-side combine merge).
+type tailSource[K, V any] struct {
+	recs  []Rec[K, V]
+	parts []int32
+	perm  []int32
+	i     int
+}
+
+func (s *tailSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
+	if s.i >= len(s.perm) {
+		return 0, false, nil
+	}
+	j := s.perm[s.i]
+	*dst = s.recs[j]
+	s.i++
+	return s.parts[j], true, nil
+}
+
+// extMerger is the external counterpart of recMerger: a binary min-heap
+// over merge sources keyed by (partition, record, source index). The
+// source-index tiebreak is the (map task, run, tail) order the caller
+// appended sources in — the stability guarantee, extended to disk runs.
+type extMerger[I, K, V, O any] struct {
+	st   *runState[I, K, V, O]
+	heap []mergeItem[K, V]
+}
+
+type mergeItem[K, V any] struct {
+	rec  Rec[K, V]
+	part int32
+	seq  int32
+	src  mergeSource[K, V]
+}
+
+func newExtMerger[I, K, V, O any](st *runState[I, K, V, O], sources []mergeSource[K, V]) (*extMerger[I, K, V, O], error) {
+	m := &extMerger[I, K, V, O]{st: st, heap: make([]mergeItem[K, V], 0, len(sources))}
+	for i, src := range sources {
+		it := mergeItem[K, V]{seq: int32(i), src: src}
+		part, ok, err := src.next(&it.rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		it.part = part
+		m.heap = append(m.heap, it)
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m, nil
+}
+
+func (m *extMerger[I, K, V, O]) less(x, y *mergeItem[K, V]) bool {
+	if x.part != y.part {
+		return x.part < y.part
+	}
+	if c := m.st.cmpRec(&x.rec, &y.rec); c != 0 {
+		return c < 0
+	}
+	return x.seq < y.seq
+}
+
+func (m *extMerger[I, K, V, O]) siftDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		s := l
+		if r := l + 1; r < n && m.less(&h[r], &h[l]) {
+			s = r
+		}
+		if !m.less(&h[s], &h[i]) {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+}
+
+// next pops the globally smallest remaining record and refills its
+// source. ok=false once every source is drained.
+func (m *extMerger[I, K, V, O]) next() (rec Rec[K, V], part int32, ok bool, err error) {
+	if len(m.heap) == 0 {
+		return rec, 0, false, nil
+	}
+	top := &m.heap[0]
+	rec, part = top.rec, top.part
+	p, more, err := top.src.next(&top.rec)
+	if err != nil {
+		return rec, part, false, err
+	}
+	if more {
+		top.part = p
+	} else {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap[last] = mergeItem[K, V]{} // drop source + record refs
+		m.heap = m.heap[:last]
+	}
+	if len(m.heap) > 1 {
+		m.siftDown(0)
+	}
+	return rec, part, true, nil
+}

@@ -209,6 +209,18 @@ type TaskMetrics struct {
 	// Counters map because it is incremented once per candidate pair.
 	Comparisons int64
 	Counters    map[string]int64
+
+	// The spill fields are only non-zero on the external dataflow
+	// (DataflowExternal): SpillRuns counts the sorted runs a map task
+	// flushed to disk, SpillBytesWritten the run-file bytes it wrote,
+	// and SpillBytesRead the run bytes streamed back (by reduce tasks,
+	// and by map tasks re-reading their own runs for the combiner).
+	// They are deliberately excluded from the external≡typed
+	// differential contract — everything else in TaskMetrics must be
+	// byte-identical across dataflows.
+	SpillRuns         int64
+	SpillBytesWritten int64
+	SpillBytesRead    int64
 }
 
 // Counter returns the named user counter (0 when absent).
@@ -280,6 +292,14 @@ const (
 	// DataflowBoxed routes a typed Job through the boxed any-based
 	// engine via a thin boxing adapter — the differential oracle.
 	DataflowBoxed
+	// DataflowExternal is the out-of-core dataflow: map output beyond
+	// the per-task SpillBudget is flushed to sorted on-disk runs
+	// (Hadoop's spill-file model), and reduce tasks stream an external
+	// k-way merge over disk segments and the in-memory tail. Requires a
+	// runio codec registered for the job's key and value types; results
+	// are byte-identical to DataflowTyped except the TaskMetrics spill
+	// counters. See external.go and DESIGN.md ("External dataflow").
+	DataflowExternal
 )
 
 // Engine executes jobs. Parallelism bounds the number of concurrently
@@ -294,6 +314,16 @@ type Engine struct {
 	// Dataflow selects the record representation for typed Jobs (see
 	// Job.Run). The boxed engine's Run ignores it.
 	Dataflow DataflowMode
+	// SpillBudget bounds, in encoded bytes, the map-output buffer a
+	// task accumulates before flushing a sorted run to disk on the
+	// external dataflow (0 = DefaultSpillBudget). Ignored by the other
+	// dataflows.
+	SpillBudget int64
+	// TmpDir is where the external dataflow creates its per-run spill
+	// directory ("" = the system temp dir). The directory is created on
+	// demand and the per-run subdirectory is removed when Run returns,
+	// error or not.
+	TmpDir string
 }
 
 // Run executes the job over the given input partitions and returns the

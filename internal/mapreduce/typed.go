@@ -137,6 +137,10 @@ type MapContext[I, K, V any] struct {
 	// boxed, when non-nil, redirects all emissions and counters through
 	// the boxed oracle context (see oracle.go).
 	boxed *BoxedContext
+	// spill, when non-nil, redirects emissions into the external
+	// dataflow's spiller instead of the in-memory out buffer (see
+	// external.go).
+	spill *extSpiller[K, V]
 }
 
 // Emit appends an intermediate key-value pair to the task's output,
@@ -149,6 +153,11 @@ func (c *MapContext[I, K, V]) Emit(key K, value V) {
 	var code Code
 	if c.encode != nil {
 		code = c.encode(key)
+	}
+	if c.spill != nil {
+		c.spill.add(Rec[K, V]{code: code, Key: key, Value: value})
+		c.metrics.OutputRecords++
+		return
 	}
 	c.out = append(c.out, Rec[K, V]{code: code, Key: key, Value: value})
 	c.metrics.OutputRecords++
@@ -291,8 +300,11 @@ func (j *Job[I, K, V, O]) Run(e *Engine, input [][]I) (*Result[I, O], error) {
 	if err := j.validate(m); err != nil {
 		return nil, err
 	}
-	if e.Dataflow == DataflowBoxed {
+	switch e.Dataflow {
+	case DataflowBoxed:
 		return j.runBoxed(e, input)
+	case DataflowExternal:
+		return j.runExternal(e, input)
 	}
 	r := j.NumReduceTasks
 
@@ -443,7 +455,17 @@ func (st *runState[I, K, V, O]) runMapTask(idx, m int, input []I, res *Result[I,
 		metrics.OutputRecords = int64(len(out))
 	}
 	res.SideOutput[idx] = ctx.side
+	return st.partitionAndSort(out)
+}
 
+// partitionAndSort buckets one map task's (possibly combined) output by
+// partition and stable-sorts each bucket — the in-memory spill step.
+// It takes ownership of out (the buffer is recycled); the returned flat
+// backing array must be recycled by the caller once the reduce phase
+// has drained the buckets.
+func (st *runState[I, K, V, O]) partitionAndSort(out []Rec[K, V]) (buckets [][]Rec[K, V], flat []Rec[K, V], err error) {
+	j := st.job
+	r := j.NumReduceTasks
 	// Bucket by partition: count first, then carve exact-size buckets
 	// out of one flat allocation instead of growing r slices.
 	parts := getInt32Buf(len(out))

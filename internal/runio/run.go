@@ -1,0 +1,359 @@
+package runio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements the spill-run file format. One run is the sorted
+// on-disk image of part of a map task's output: records sorted by
+// (reduce partition, key) and laid out as contiguous per-partition
+// segments, so a reduce task can stream exactly its segment of every
+// run without touching the rest of the file.
+//
+// Layout:
+//
+//	header:  magic "ERN1" | version (1 byte) | code width (1 byte)
+//	         | uvarint numPartitions
+//	records: per partition, ascending: uvarint recordLen | record bytes
+//	         (record bytes = key code [code width] ‖ key ‖ value)
+//	trailer: per partition: uvarint records | uvarint byteLen
+//	         | uvarint numPartitions | fixed64 trailerOffset | magic
+//
+// The writer returns the segment index (Info) in memory — the engine
+// that wrote a run in this process reads it back without reparsing —
+// and also persists it in the trailer so a run file is self-describing
+// (ReadInfo recovers the index from the file alone).
+
+const (
+	runMagic   = "ERN1"
+	runVersion = 1
+)
+
+// Segment locates one reduce partition's records inside a run file.
+type Segment struct {
+	// Off is the file offset of the segment's first record; Len the
+	// byte length of the segment including per-record length prefixes.
+	Off, Len int64
+	// Records is the number of records in the segment.
+	Records int64
+}
+
+// Info describes a finished run file.
+type Info struct {
+	Path string
+	// CodeWidth is the fixed byte width of the binary key code prefix
+	// of every record (0 when the job has no key coding, 16 otherwise).
+	CodeWidth int
+	// Segments is indexed by reduce partition.
+	Segments []Segment
+	// Records and Bytes total the segments; FileBytes is the full file
+	// size including header and trailer.
+	Records   int64
+	Bytes     int64
+	FileBytes int64
+}
+
+// Writer writes one run file. Records must be appended in ascending
+// partition order (within a partition, the caller's sort order is
+// preserved). Writers are single-goroutine, like the map task that owns
+// them.
+type Writer struct {
+	f    *os.File
+	bw   *bufio.Writer
+	info Info
+	off  int64
+	cur  int
+	err  error
+}
+
+// Create opens a new run file for writing. numPartitions is the job's
+// reduce task count r; codeWidth must be 0 or 16.
+func Create(path string, numPartitions, codeWidth int) (*Writer, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("runio: Create %s: numPartitions must be > 0, got %d", path, numPartitions)
+	}
+	if codeWidth != 0 && codeWidth != 16 {
+		return nil, fmt.Errorf("runio: Create %s: code width must be 0 or 16, got %d", path, codeWidth)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runio: create run: %w", err)
+	}
+	w := &Writer{
+		f:  f,
+		bw: bufio.NewWriterSize(f, 64<<10),
+		info: Info{
+			Path:      path,
+			CodeWidth: codeWidth,
+			Segments:  make([]Segment, numPartitions),
+		},
+	}
+	var hdr []byte
+	hdr = append(hdr, runMagic...)
+	hdr = append(hdr, runVersion, byte(codeWidth))
+	hdr = binary.AppendUvarint(hdr, uint64(numPartitions))
+	if _, err := w.bw.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runio: write run header: %w", err)
+	}
+	w.off = int64(len(hdr))
+	for i := range w.info.Segments {
+		w.info.Segments[i].Off = w.off
+	}
+	return w, nil
+}
+
+// Append writes one encoded record (code ‖ key ‖ value bytes) into the
+// given partition's segment. Partitions must be non-decreasing.
+func (w *Writer) Append(partition int, rec []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if partition < w.cur || partition >= len(w.info.Segments) {
+		w.err = fmt.Errorf("runio: %s: record for partition %d after partition %d (of %d)",
+			w.info.Path, partition, w.cur, len(w.info.Segments))
+		return w.err
+	}
+	if partition > w.cur {
+		for p := w.cur + 1; p <= partition; p++ {
+			w.info.Segments[p].Off = w.off
+		}
+		w.cur = partition
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
+	if _, err := w.bw.Write(lenBuf[:n]); err != nil {
+		w.err = fmt.Errorf("runio: write record: %w", err)
+		return w.err
+	}
+	if _, err := w.bw.Write(rec); err != nil {
+		w.err = fmt.Errorf("runio: write record: %w", err)
+		return w.err
+	}
+	written := int64(n + len(rec))
+	w.off += written
+	seg := &w.info.Segments[partition]
+	seg.Len += written
+	seg.Records++
+	w.info.Records++
+	w.info.Bytes += written
+	return nil
+}
+
+// Finish writes the trailer, flushes, closes the file, and returns the
+// run's segment index. The writer is unusable afterwards.
+func (w *Writer) Finish() (*Info, error) {
+	if w.err != nil {
+		w.f.Close()
+		return nil, w.err
+	}
+	for p := w.cur + 1; p < len(w.info.Segments); p++ {
+		w.info.Segments[p].Off = w.off
+	}
+	trailerOff := w.off
+	var tr []byte
+	for _, seg := range w.info.Segments {
+		tr = binary.AppendUvarint(tr, uint64(seg.Records))
+		tr = binary.AppendUvarint(tr, uint64(seg.Len))
+	}
+	tr = binary.AppendUvarint(tr, uint64(len(w.info.Segments)))
+	tr = binary.LittleEndian.AppendUint64(tr, uint64(trailerOff))
+	tr = append(tr, runMagic...)
+	if _, err := w.bw.Write(tr); err != nil {
+		w.f.Close()
+		return nil, fmt.Errorf("runio: write run trailer: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return nil, fmt.Errorf("runio: flush run: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, fmt.Errorf("runio: close run: %w", err)
+	}
+	w.info.FileBytes = trailerOff + int64(len(tr))
+	info := w.info
+	return &info, nil
+}
+
+// Abort closes the underlying file without finalizing it; the caller is
+// expected to remove the temp directory the file lives in.
+func (w *Writer) Abort() {
+	if w.f != nil {
+		w.f.Close()
+	}
+}
+
+// ReadInfo recovers a run's segment index from its trailer, proving the
+// format is self-describing. The in-process engine uses the Info
+// returned by Finish instead; this path exists for tooling and tests.
+func ReadInfo(path string) (*Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runio: open run: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("runio: stat run: %w", err)
+	}
+	hdr := make([]byte, 6+binary.MaxVarintLen64)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("%w: run header: %v", ErrCorrupt, err)
+	}
+	hdr = hdr[:n]
+	if len(hdr) < 7 || string(hdr[:4]) != runMagic || hdr[4] != runVersion {
+		return nil, fmt.Errorf("%w: bad run magic/version %q", ErrCorrupt, hdr)
+	}
+	codeWidth := int(hdr[5])
+	if codeWidth != 0 && codeWidth != 16 {
+		return nil, fmt.Errorf("%w: bad code width %d", ErrCorrupt, codeWidth)
+	}
+	numPartitions, pn, err := Uvarint(hdr[6:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: partition count: %v", ErrCorrupt, err)
+	}
+	hdrLen := int64(6 + pn)
+	// Every partition occupies at least two trailer bytes (two
+	// uvarints), so a claimed count the file cannot hold is corrupt —
+	// reject it before sizing any allocation by it.
+	if numPartitions == 0 || numPartitions > uint64(st.Size())/2 {
+		return nil, fmt.Errorf("%w: implausible partition count %d for %d-byte file", ErrCorrupt, numPartitions, st.Size())
+	}
+
+	// Fixed-size footer: 8-byte trailer offset + 4-byte magic.
+	if st.Size() < hdrLen+12 {
+		return nil, fmt.Errorf("%w: run file truncated (%d bytes)", ErrCorrupt, st.Size())
+	}
+	var foot [12]byte
+	if _, err := f.ReadAt(foot[:], st.Size()-12); err != nil {
+		return nil, fmt.Errorf("%w: run footer: %v", ErrCorrupt, err)
+	}
+	if string(foot[8:]) != runMagic {
+		return nil, fmt.Errorf("%w: bad trailer magic %q", ErrCorrupt, foot[8:])
+	}
+	trailerOff := int64(binary.LittleEndian.Uint64(foot[:8]))
+	if trailerOff < hdrLen || trailerOff > st.Size()-12 {
+		return nil, fmt.Errorf("%w: trailer offset %d out of range", ErrCorrupt, trailerOff)
+	}
+	tr := make([]byte, st.Size()-12-trailerOff)
+	if _, err := f.ReadAt(tr, trailerOff); err != nil {
+		return nil, fmt.Errorf("%w: run trailer: %v", ErrCorrupt, err)
+	}
+	// The trailer holds one (records, length) pair per partition, then
+	// repeats the partition count as a cross-check.
+	info := &Info{Path: path, CodeWidth: codeWidth, FileBytes: st.Size()}
+	rest := tr
+	entries := make([]Segment, 0, numPartitions)
+	for i := uint64(0); i < numPartitions; i++ {
+		recs, n1, err := Uvarint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: malformed run trailer", ErrCorrupt)
+		}
+		rest = rest[n1:]
+		l, n2, err := Uvarint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: malformed run trailer", ErrCorrupt)
+		}
+		rest = rest[n2:]
+		entries = append(entries, Segment{Records: int64(recs), Len: l2i(l)})
+	}
+	count, n3, err := Uvarint(rest)
+	if err != nil || count != numPartitions || len(rest) != n3 {
+		return nil, fmt.Errorf("%w: malformed run trailer", ErrCorrupt)
+	}
+	off := hdrLen
+	for i := range entries {
+		entries[i].Off = off
+		off += entries[i].Len
+		info.Records += entries[i].Records
+		info.Bytes += entries[i].Len
+	}
+	if off != trailerOff {
+		return nil, fmt.Errorf("%w: segment lengths (%d) disagree with trailer offset (%d)", ErrCorrupt, off, trailerOff)
+	}
+	info.Segments = entries
+	return info, nil
+}
+
+// uvarintLen returns the encoded byte length of x in LEB128 form.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func l2i(x uint64) int64 {
+	if x > 1<<62 {
+		return 1 << 62
+	}
+	return int64(x)
+}
+
+// SegmentReader streams the records of one segment of a run file. It
+// reads through its own buffer via ReadAt, so any number of concurrent
+// readers (one per reduce task) can share a single open *os.File.
+type SegmentReader struct {
+	r         *bufio.Reader
+	remaining int64
+	records   int64
+	buf       []byte
+}
+
+// segReaderBufSize is the read-ahead buffer per open segment: large
+// enough to amortize syscalls, small enough that a reduce task merging
+// dozens of runs stays within a few MB of buffer memory.
+const segReaderBufSize = 64 << 10
+
+// NewSegmentReader streams seg from ra (typically the run's *os.File).
+// The read-ahead buffer never exceeds the segment itself, so a reduce
+// task merging many small segments (tiny budgets fragment runs) pays
+// buffer memory proportional to its actual input, not to the run count.
+func NewSegmentReader(ra io.ReaderAt, seg Segment) *SegmentReader {
+	bufSize := segReaderBufSize
+	if seg.Len < int64(bufSize) {
+		bufSize = int(seg.Len)
+	}
+	if bufSize < 16 {
+		bufSize = 16
+	}
+	return &SegmentReader{
+		r:         bufio.NewReaderSize(io.NewSectionReader(ra, seg.Off, seg.Len), bufSize),
+		remaining: seg.Len,
+		records:   seg.Records,
+	}
+}
+
+// Next returns the next record's bytes (code ‖ key ‖ value, without the
+// length prefix), or io.EOF after the last record. The returned slice
+// is only valid until the following Next call.
+func (s *SegmentReader) Next() ([]byte, error) {
+	if s.records <= 0 {
+		return nil, io.EOF
+	}
+	l, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: record length: %v", ErrCorrupt, err)
+	}
+	s.remaining -= int64(uvarintLen(l))
+	if l > uint64(s.remaining) {
+		return nil, fmt.Errorf("%w: record length %d exceeds segment remainder %d", ErrCorrupt, l, s.remaining)
+	}
+	if uint64(cap(s.buf)) < l {
+		s.buf = make([]byte, l)
+	}
+	s.buf = s.buf[:l]
+	if _, err := io.ReadFull(s.r, s.buf); err != nil {
+		return nil, fmt.Errorf("%w: record body: %v", ErrCorrupt, err)
+	}
+	s.remaining -= int64(l)
+	s.records--
+	return s.buf, nil
+}

@@ -1,0 +1,192 @@
+// Package runio provides the on-disk record representation of the
+// out-of-core dataflow: self-delimiting binary codecs for the concrete
+// key and value types flowing through a typed MapReduce job, a
+// process-wide codec registry mirroring the engine's record-pool
+// registry, and the spill-run file format (a header followed by
+// length-prefixed records, grouped into per-reduce-task segments) that
+// the external shuffle writes at map time and streams back at reduce
+// time.
+//
+// The package is deliberately independent of the engine: it knows
+// nothing about jobs, keys codes, or merge order. The engine passes the
+// 128-bit binary key code through as an opaque fixed-width prefix of
+// each record (see Writer), so on-disk records sort and group exactly
+// like their in-memory counterparts.
+//
+// # The codec contract
+//
+// A Codec[T] serializes values of one concrete type as self-delimiting
+// byte strings:
+//
+//  1. Round trip: Decode(Append(nil, v)) must return a value
+//     semantically equal to v, consuming exactly the appended bytes.
+//  2. Self-delimitation: Decode must determine the encoding's length
+//     from the bytes themselves (length prefixes, fixed widths); it is
+//     handed a buffer that may contain trailing bytes of the next
+//     record.
+//  3. No aliasing: the decoded value must not retain the input buffer
+//     (readers reuse it between records) — string(b) copies, so
+//     string-building decoders are naturally safe.
+//  4. No panics on corrupt input: Decode returns an error for any byte
+//     string it cannot parse, and must not allocate proportionally to a
+//     length claimed by corrupt data (validate claimed lengths against
+//     len(src) first).
+//
+// Codecs are looked up once per job Run, never on a per-record path,
+// and must be safe for concurrent use (stateless codecs trivially are).
+package runio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// ErrCorrupt is wrapped by all decode errors caused by malformed bytes.
+var ErrCorrupt = errors.New("runio: corrupt data")
+
+// Codec serializes one concrete type T as a self-delimiting byte
+// string. See the package comment for the full contract.
+type Codec[T any] interface {
+	// Append appends the encoding of v to dst and returns the extended
+	// buffer (append-style).
+	Append(dst []byte, v T) []byte
+	// Decode reads one value from the front of src, returning the value
+	// and the number of bytes consumed.
+	Decode(src []byte) (T, int, error)
+}
+
+// registry maps a reflect.Type to its Codec[T]. Like the engine's
+// record-pool registry, it exists because generic package-level
+// variables do not: each package registers codecs for the key and value
+// types it defines (init time), and the engine looks them up by type
+// when a job runs on the external dataflow.
+var registry sync.Map // reflect.Type -> Codec[T]
+
+func typeOf[T any]() reflect.Type { return reflect.TypeOf((*T)(nil)).Elem() }
+
+// Register installs the codec for type T. Registering a type twice
+// panics: two packages disagreeing on a type's on-disk format is a bug,
+// not a configuration.
+func Register[T any](c Codec[T]) {
+	if c == nil {
+		panic("runio: Register called with nil codec")
+	}
+	if _, dup := registry.LoadOrStore(typeOf[T](), c); dup {
+		panic(fmt.Sprintf("runio: codec for %v registered twice", typeOf[T]()))
+	}
+}
+
+// Lookup returns the registered codec for T, or false when no package
+// has registered one (the engine turns that into a descriptive error at
+// job start, not a per-record failure).
+func Lookup[T any]() (Codec[T], bool) {
+	c, ok := registry.Load(typeOf[T]())
+	if !ok {
+		return nil, false
+	}
+	return c.(Codec[T]), true
+}
+
+// ---- encoding primitives ----
+
+// AppendUvarint appends x in unsigned LEB128 form.
+func AppendUvarint(dst []byte, x uint64) []byte { return binary.AppendUvarint(dst, x) }
+
+// Uvarint decodes an unsigned LEB128 value from the front of src.
+func Uvarint(src []byte) (uint64, int, error) {
+	x, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return x, n, nil
+}
+
+// AppendVarint appends x in zig-zag LEB128 form.
+func AppendVarint(dst []byte, x int64) []byte { return binary.AppendVarint(dst, x) }
+
+// Varint decodes a zig-zag LEB128 value from the front of src.
+func Varint(src []byte) (int64, int, error) {
+	x, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	return x, n, nil
+}
+
+// AppendString appends s as uvarint length + raw bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// String decodes a length-prefixed string from the front of src. The
+// returned string is a copy and does not alias src.
+func String(src []byte) (string, int, error) {
+	l, n, err := Uvarint(src)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: string length", ErrCorrupt)
+	}
+	if l > uint64(len(src)-n) {
+		return "", 0, fmt.Errorf("%w: string length %d exceeds remaining %d bytes", ErrCorrupt, l, len(src)-n)
+	}
+	return string(src[n : n+int(l)]), n + int(l), nil
+}
+
+// ---- built-in codecs ----
+
+// StringCodec encodes strings as uvarint length + raw bytes. Arbitrary
+// byte content — tabs, newlines, invalid UTF-8 — survives unchanged.
+type StringCodec struct{}
+
+func (StringCodec) Append(dst []byte, v string) []byte     { return AppendString(dst, v) }
+func (StringCodec) Decode(src []byte) (string, int, error) { return String(src) }
+
+// IntCodec encodes ints as zig-zag varints (platform-width safe: the
+// value range of int always fits int64).
+type IntCodec struct{}
+
+func (IntCodec) Append(dst []byte, v int) []byte { return AppendVarint(dst, int64(v)) }
+func (IntCodec) Decode(src []byte) (int, int, error) {
+	x, n, err := Varint(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	if x < math.MinInt || x > math.MaxInt {
+		return 0, 0, fmt.Errorf("%w: int value %d out of range", ErrCorrupt, x)
+	}
+	return int(x), n, nil
+}
+
+// Int64Codec encodes int64s as zig-zag varints.
+type Int64Codec struct{}
+
+func (Int64Codec) Append(dst []byte, v int64) []byte { return AppendVarint(dst, v) }
+func (Int64Codec) Decode(src []byte) (int64, int, error) {
+	return Varint(src)
+}
+
+// Float64Codec encodes float64s as fixed 8-byte little-endian IEEE 754
+// bits (exact round trip, including NaN payloads and signed zeros).
+type Float64Codec struct{}
+
+func (Float64Codec) Append(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func (Float64Codec) Decode(src []byte) (float64, int, error) {
+	if len(src) < 8 {
+		return 0, 0, fmt.Errorf("%w: float64 needs 8 bytes, have %d", ErrCorrupt, len(src))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(src)), 8, nil
+}
+
+func init() {
+	Register[string](StringCodec{})
+	Register[int](IntCodec{})
+	Register[int64](Int64Codec{})
+	Register[float64](Float64Codec{})
+}

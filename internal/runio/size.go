@@ -1,0 +1,38 @@
+package runio
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human-friendly byte count for the CLI spill
+// budget flags: a non-negative integer with an optional (case-
+// insensitive) binary suffix k/kb, m/mb, or g/gb. "0" disables the
+// feature the flag controls.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "kb"):
+		mult, t = 1<<10, t[:len(t)-2]
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "mb"):
+		mult, t = 1<<20, t[:len(t)-2]
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "gb"):
+		mult, t = 1<<30, t[:len(t)-2]
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("runio: invalid byte size %q (want e.g. 8388608, 64k, 16m, 1g)", s)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("runio: byte size %q overflows", s)
+	}
+	return n * mult, nil
+}

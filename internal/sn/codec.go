@@ -1,0 +1,69 @@
+package sn
+
+import (
+	"fmt"
+
+	"repro/internal/runio"
+)
+
+// runio codecs for the sorted-neighborhood jobs' intermediate keys, so
+// the SN extension (and its rank-based variant) also runs on the
+// external dataflow. Values are entities, covered by entity.Codec; the
+// snOut output type never touches disk (only intermediate records
+// spill).
+
+type snKeyCodec struct{}
+
+func (snKeyCodec) Append(dst []byte, k snKey) []byte {
+	dst = runio.AppendVarint(dst, int64(k.Range))
+	dst = runio.AppendString(dst, k.Key)
+	return runio.AppendString(dst, k.ID)
+}
+
+func (snKeyCodec) Decode(src []byte) (snKey, int, error) {
+	var k snKey
+	r, n, err := runio.Varint(src)
+	if err != nil {
+		return k, 0, fmt.Errorf("snKey range: %w", err)
+	}
+	k.Range = int(r)
+	s, sn_, err := runio.String(src[n:])
+	if err != nil {
+		return k, 0, fmt.Errorf("snKey key: %w", err)
+	}
+	n += sn_
+	k.Key = s
+	id, idn, err := runio.String(src[n:])
+	if err != nil {
+		return k, 0, fmt.Errorf("snKey id: %w", err)
+	}
+	k.ID = id
+	return k, n + idn, nil
+}
+
+type rankKeyCodec struct{}
+
+func (rankKeyCodec) Append(dst []byte, k rankKey) []byte {
+	dst = runio.AppendVarint(dst, int64(k.Range))
+	return runio.AppendVarint(dst, k.Rank)
+}
+
+func (rankKeyCodec) Decode(src []byte) (rankKey, int, error) {
+	var k rankKey
+	r, n, err := runio.Varint(src)
+	if err != nil {
+		return k, 0, fmt.Errorf("rankKey range: %w", err)
+	}
+	k.Range = int(r)
+	rank, rn, err := runio.Varint(src[n:])
+	if err != nil {
+		return k, 0, fmt.Errorf("rankKey rank: %w", err)
+	}
+	k.Rank = rank
+	return k, n + rn, nil
+}
+
+func init() {
+	runio.Register[snKey](snKeyCodec{})
+	runio.Register[rankKey](rankKeyCodec{})
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Runs the regression benchmarks (shuffle engine + comparison kernel)
-# with -benchmem and writes a BENCH_<date>.json snapshot in the repo
-# root, seeding the perf trajectory. Usage: scripts/bench.sh [benchtime]
+# Runs the regression benchmarks (shuffle engine, comparison kernel,
+# out-of-core dataflow) with -benchmem and writes a BENCH_<date>.json
+# snapshot in the repo root, seeding the perf trajectory.
+# Usage: scripts/bench.sh [benchtime]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +13,7 @@ out="BENCH_${date}.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-benches='BenchmarkShuffleMerge|BenchmarkEngineAllocs|BenchmarkSimilarityKernels|BenchmarkMatcherEndToEnd'
+benches='BenchmarkShuffleMerge|BenchmarkEngineAllocs|BenchmarkSimilarityKernels|BenchmarkMatcherEndToEnd|BenchmarkExternalShuffle|BenchmarkExternalEndToEnd|BenchmarkRunioCodecs'
 go test -run '^$' -bench "$benches" -benchtime="$benchtime" -benchmem . | tee "$tmp"
 
 awk -v date="$date" -v goversion="$(go env GOVERSION)" '

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Low-memory smoke for the out-of-core dataflow: executes the real
+# MapReduce jobs of Figure 9 (erbench -exec) with GOMEMLIMIT set well
+# below the shuffle volume and a small -spill-budget, asserting the run
+# succeeds and leaves the spill directory empty. The CI job calls this;
+# usage: scripts/lowmem_smoke.sh [scale] [budget] [gomemlimit]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+scale="${1:-0.25}"
+budget="${2:-1m}"
+memlimit="${3:-24MiB}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/erbench" ./cmd/erbench
+mkdir "$tmp/spill"
+
+echo "==> erbench -figure 9 -exec -scale $scale -spill-budget $budget (GOMEMLIMIT=$memlimit)"
+GOMEMLIMIT="$memlimit" "$tmp/erbench" -figure 9 -exec -scale "$scale" \
+	-spill-budget "$budget" -tmpdir "$tmp/spill"
+
+if [ -n "$(ls -A "$tmp/spill")" ]; then
+	echo "FAIL: spill directory not empty after run:" >&2
+	ls -l "$tmp/spill" >&2
+	exit 1
+fi
+echo "low-memory smoke OK (spill dir clean)"
