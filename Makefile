@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-smoke bench bench-all smoke-lowmem clean
+.PHONY: check vet build test test-race test-cancel-race bench-smoke bench bench-all smoke-lowmem clean
 
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
@@ -19,6 +19,12 @@ test:
 # concurrency.
 test-race:
 	$(GO) test -race ./...
+
+# test-cancel-race runs the cancellation tests under the race detector
+# as a fast, named gate: the cancel fires from inside concurrently
+# executing tasks, exactly where a racy context check would show up.
+test-cancel-race:
+	$(GO) test -race -run Cancel ./internal/mapreduce ./internal/er ./internal/sn
 
 # bench-smoke builds and runs every benchmark in the repo exactly once,
 # so bench files cannot silently rot, without paying for a full

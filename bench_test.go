@@ -351,7 +351,7 @@ func BenchmarkEndToEndStrategies(b *testing.B) {
 					Attr:        datagen.AttrTitle,
 					BlockKey:    datagen.BlockKey(),
 					R:           16,
-					Engine:      &mapreduce.Engine{Parallelism: 4},
+					RunOptions:  er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 					UseCombiner: true,
 				}); err != nil {
 					b.Fatal(err)
@@ -521,7 +521,7 @@ func BenchmarkMatcherEndToEnd(b *testing.B) {
 			BlockKey:        blocking.NormalizedPrefix(3),
 			PreparedMatcher: match.EditDistance(datagen.AttrTitle, 0.8),
 			R:               16,
-			Engine:          &mapreduce.Engine{Parallelism: 4},
+			RunOptions:      er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -545,12 +545,12 @@ func BenchmarkMatcherEndToEndPlain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := er.Run(parts, er.Config{
-			Strategy: core.PairRange{},
-			Attr:     datagen.AttrTitle,
-			BlockKey: blocking.NormalizedPrefix(3),
-			Matcher:  matcher,
-			R:        16,
-			Engine:   &mapreduce.Engine{Parallelism: 4},
+			Strategy:   core.PairRange{},
+			Attr:       datagen.AttrTitle,
+			BlockKey:   blocking.NormalizedPrefix(3),
+			Matcher:    matcher,
+			R:          16,
+			RunOptions: er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 		}); err != nil {
 			b.Fatal(err)
 		}

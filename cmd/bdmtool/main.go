@@ -9,11 +9,12 @@
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 
 	"repro/internal/bdm"
 	"repro/internal/blocking"
@@ -75,7 +76,7 @@ func main() {
 	for k := range rows {
 		rows[k] = row{k: k, size: matrix.Size(k), pairs: matrix.BlockPairs(k)}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].pairs > rows[j].pairs })
+	slices.SortFunc(rows, func(a, b row) int { return cmp.Compare(b.pairs, a.pairs) })
 	if *top > 0 && len(rows) > *top {
 		rows = rows[:*top]
 	}

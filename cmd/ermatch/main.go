@@ -1,18 +1,23 @@
 // Command ermatch runs blocking-based entity resolution over a CSV
 // dataset with a selectable load-balancing strategy, executing the full
-// two-job MapReduce workflow on the in-process engine.
+// two-job MapReduce workflow on the in-process engine. Matches can be
+// streamed to a file (-out) through the pipeline's writer sinks instead
+// of being buffered, and Ctrl-C cancels the run between engine tasks.
 //
 // Usage:
 //
 //	ermatch -in ds1.csv -strategy pairrange -m 8 -r 32 -threshold 0.8
+//	ermatch -in ds1.csv -out matches.csv -format csv
 //	ergen -dataset ds1 -scale 0.02 | ermatch -strategy blocksplit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
@@ -21,9 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/entity"
 	"repro/internal/er"
-	"repro/internal/mapreduce"
 	"repro/internal/match"
 	"repro/internal/runio"
 	"repro/internal/sn"
@@ -42,6 +45,8 @@ func main() {
 		parallelism  = flag.Int("parallelism", runtime.NumCPU(), "engine worker bound: concurrently executing tasks per phase (0 = one goroutine per task)")
 		spillBudget  = flag.String("spill-budget", "0", "per-map-task spill budget in bytes (suffixes k/m/g); > 0 runs the out-of-core external dataflow")
 		tmpdir       = flag.String("tmpdir", "", "spill directory root for -spill-budget (default: system temp dir)")
+		out          = flag.String("out", "", "stream matches to this file instead of buffering them ('-' = stdout)")
+		format       = flag.String("format", "csv", "match output format for -out: csv or ndjson")
 		showPairs    = flag.Bool("pairs", false, "print every match pair")
 		showClusters = flag.Bool("clusters", false, "print duplicate clusters (transitive closure)")
 		simulate     = flag.Bool("simulate", false, "also report simulated cluster time (10 nodes)")
@@ -52,36 +57,75 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-
-	var src io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		src = f
+	if *out != "" && (*showPairs || *showClusters) {
+		fail(fmt.Errorf("-out streams matches without buffering them; it cannot be combined with -pairs or -clusters"))
 	}
+	if *out != "" && *format != "csv" && *format != "ndjson" {
+		// Validated before the output file is touched, so a typo'd
+		// -format never truncates an existing file.
+		fail(fmt.Errorf("unknown -format %q (want csv or ndjson)", *format))
+	}
+	// When the match stream goes to stdout (-out -), the human-readable
+	// report moves to stderr so the streamed CSV/NDJSON stays parseable.
+	report := io.Writer(os.Stdout)
+	if *out == "-" {
+		report = os.Stderr
+	}
+
+	// Ctrl-C cancels the run between engine tasks; the external
+	// dataflow's spill directory is removed on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Stream rows straight into the m input partitions: no intermediate
 	// full entity slice, so the pre-map memory high-water mark is the
 	// partitioned input itself.
-	parts, err := entity.ReadPartitionsCSV(src, *m)
+	var src er.Source
+	if *in != "" {
+		src = er.FromCSVFile(*in, *m)
+	} else {
+		src = er.FromCSV(os.Stdin, *m)
+	}
+	parts, err := src.Partitions()
 	if err != nil {
 		fail(err)
 	}
 	nEntities := parts.Total()
 
+	// -out installs a streaming writer sink: matches flow from the
+	// reduce tasks to the file as they are found and are never
+	// accumulated in memory.
+	opts := er.RunOptions{
+		Parallelism: *parallelism,
+		SpillBudget: budget,
+		TmpDir:      *tmpdir,
+	}
+	var count func() int64
+	var outFile *os.File
+	if *out != "" {
+		var w io.Writer = os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			outFile = f
+			w = f
+		}
+		if *format == "csv" {
+			s := er.NewCSVSink(w)
+			opts.Sink, count = s, s.Count
+		} else {
+			s := er.NewNDJSONSink(w)
+			opts.Sink, count = s, s.Count
+		}
+	}
+
 	matchAttr := *attr
 	// The prepared matcher caches each entity's comparison form once per
 	// reduce group; every strategy — including sorted neighborhood's
-	// window reducer — now runs the prepare-once kernel.
+	// window reducer — runs the prepare-once kernel.
 	prepared := match.EditDistance(matchAttr, *threshold)
-	engine := &mapreduce.Engine{Parallelism: *parallelism}
-	if budget > 0 {
-		engine.Dataflow = mapreduce.DataflowExternal
-		engine.SpillBudget = budget
-		engine.TmpDir = *tmpdir
-	}
 
 	var (
 		matches     []core.MatchPair
@@ -89,18 +133,18 @@ func main() {
 	)
 	start := time.Now()
 	if *strategy == "sn" {
-		res, err := sn.Run(parts, sn.Config{
+		res, err := sn.RunPipeline(ctx, er.FromPartitions(parts), sn.Config{
+			RunOptions:      opts,
 			Attr:            matchAttr,
 			Key:             func(v string) string { return v },
 			Window:          *window,
 			R:               *r,
 			PreparedMatcher: prepared,
-			Engine:          engine,
 		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("strategy=SortedNeighborhood entities=%d m=%d r=%d window=%d\n",
+		fmt.Fprintf(report, "strategy=SortedNeighborhood entities=%d m=%d r=%d window=%d\n",
 			nEntities, *m, *r, *window)
 		matches, comparisons = res.Matches, res.Comparisons
 	} else {
@@ -115,35 +159,47 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown strategy %q", *strategy))
 		}
-		res, err := er.Run(parts, er.Config{
+		res, err := er.RunPipeline(ctx, er.FromPartitions(parts), er.Config{
+			RunOptions:      opts,
 			Strategy:        strat,
 			Attr:            matchAttr,
 			BlockKey:        blocking.NormalizedPrefix(*prefix),
 			PreparedMatcher: prepared,
 			R:               *r,
-			Engine:          engine,
 			UseCombiner:     true,
 		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("strategy=%s entities=%d m=%d r=%d\n", strat.Name(), nEntities, *m, *r)
+		fmt.Fprintf(report, "strategy=%s entities=%d m=%d r=%d\n", strat.Name(), nEntities, *m, *r)
 		if res.BDM != nil {
 			_, largest := res.BDM.LargestBlock()
-			fmt.Printf("blocks=%d pairs=%d largest-block=%d\n", res.BDM.NumBlocks(), res.BDM.Pairs(), largest)
+			fmt.Fprintf(report, "blocks=%d pairs=%d largest-block=%d\n", res.BDM.NumBlocks(), res.BDM.Pairs(), largest)
 		}
 		if *simulate {
 			t, err := res.SimulatedTime(cluster.DefaultSlots(10), cluster.DefaultCostModel())
 			if err != nil {
 				fail(err)
 			}
-			defer fmt.Printf("simulated-cluster-time=%.0f units (10 nodes)\n", t)
+			defer fmt.Fprintf(report, "simulated-cluster-time=%.0f units (10 nodes)\n", t)
 		}
 		matches, comparisons = res.Matches, res.Comparisons
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("comparisons=%d matches=%d wall=%s\n", comparisons, len(matches), elapsed)
+	nMatches := int64(len(matches))
+	if count != nil {
+		nMatches = count()
+	}
+	fmt.Fprintf(report, "comparisons=%d matches=%d wall=%s\n", comparisons, nMatches, elapsed)
+	if outFile != nil {
+		// A failed close can mean lost buffered writes (quota, NFS);
+		// surface it instead of reporting a complete file.
+		if err := outFile.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("matches streamed to %s (%s)\n", *out, *format)
+	}
 	if *showPairs {
 		for _, p := range matches {
 			fmt.Printf("%s\t%s\n", p.A, p.B)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,8 +27,11 @@ func main() {
 		return sim, sim >= 0.8
 	}
 
+	ctx := context.Background()
+	src := er.FromEntities(entities, 2)
+
 	// Single-pass baseline: title-prefix blocking only.
-	single, err := er.Run(entity.SplitRoundRobin(entities, 2), er.Config{
+	single, err := er.RunPipeline(ctx, src, er.Config{
 		Strategy: core.PairRange{},
 		Attr:     "title",
 		BlockKey: blocking.NormalizedPrefix(3),
@@ -43,7 +47,7 @@ func main() {
 		{Name: "prefix", Attr: "title", Key: blocking.NormalizedPrefix(3)},
 		{Name: "suffix", Attr: "title", Key: blocking.Suffix(4)},
 	}
-	multi, err := multipass.Run(entity.SplitRoundRobin(entities, 2), multipass.Config{
+	multi, err := multipass.RunPipeline(ctx, src, multipass.Config{
 		Passes:   passes,
 		Strategy: core.PairRange{},
 		Matcher:  matcher,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -13,9 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/entity"
 	"repro/internal/er"
-	"repro/internal/mapreduce"
 	"repro/internal/match"
 )
 
@@ -33,16 +32,16 @@ func main() {
 
 	matcher := match.EditDistance(datagen.AttrTitle, 0.8)
 
-	parts := entity.SplitRoundRobin(entities, runtime.NumCPU())
+	src := er.FromEntities(entities, runtime.NumCPU())
 	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
 		start := time.Now()
-		res, err := er.Run(parts, er.Config{
+		res, err := er.RunPipeline(context.Background(), src, er.Config{
+			RunOptions:      er.RunOptions{Parallelism: runtime.NumCPU()},
 			Strategy:        strat,
 			Attr:            datagen.AttrTitle,
 			BlockKey:        datagen.BlockKey(),
 			PreparedMatcher: matcher,
 			R:               4 * runtime.NumCPU(),
-			Engine:          &mapreduce.Engine{Parallelism: runtime.NumCPU()},
 			UseCombiner:     true,
 		})
 		if err != nil {

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/blocking"
 	"repro/internal/core"
@@ -38,14 +40,18 @@ func main() {
 	// Two entities match when their titles' normalized edit-distance
 	// similarity reaches 0.8 — the paper's match rule. The prepared
 	// matcher caches each title's comparison form once per reduce group
-	// instead of re-deriving it on every pair.
-	res, err := er.Run(entity.SplitRoundRobin(entities, 2), er.Config{
+	// instead of re-deriving it on every pair. The Source abstraction
+	// feeds the pipeline (FromEntities splits round-robin into 2 map
+	// partitions); with no Sink configured, matches are collected into
+	// res.Matches, canonically sorted.
+	cfg := er.Config{
 		Strategy:        core.PairRange{},
 		Attr:            "title",
 		BlockKey:        blocking.NormalizedPrefix(3),
 		PreparedMatcher: match.EditDistance("title", 0.8),
 		R:               3,
-	})
+	}
+	res, err := er.RunPipeline(context.Background(), er.FromEntities(entities, 2), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,5 +62,15 @@ func main() {
 	fmt.Println("matches:")
 	for _, p := range res.Matches {
 		fmt.Printf("  %s == %s\n", p.A, p.B)
+	}
+
+	// The same run with a streaming sink: matches flow straight from
+	// the reduce tasks to the writer (NDJSON here) and are never
+	// accumulated in memory — the output path for larger-than-RAM
+	// results.
+	fmt.Println("\nstreamed as NDJSON:")
+	cfg.Sink = er.NewNDJSONSink(os.Stdout)
+	if _, err := er.RunPipeline(context.Background(), er.FromEntities(entities, 2), cfg); err != nil {
+		log.Fatal(err)
 	}
 }

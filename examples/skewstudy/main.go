@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/entity"
 	"repro/internal/er"
-	"repro/internal/mapreduce"
 )
 
 func main() {
@@ -28,20 +28,22 @@ func main() {
 		m      = 4
 		r      = 8
 	)
-	entities := datagen.Exponential(n, blocks, skew, 7)
-	parts := entity.SplitRoundRobin(entities, m)
+	// A SourceFunc feeds the pipeline straight from the generator.
+	src := er.SourceFunc(func() (entity.Partitions, error) {
+		return entity.SplitRoundRobin(datagen.Exponential(n, blocks, skew, 7), m), nil
+	})
 
 	cfg := cluster.DefaultSlots(4)
 	cm := cluster.DefaultCostModel()
 
 	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
-		res, err := er.Run(parts, er.Config{
-			Strategy: strat,
-			Attr:     datagen.AttrBlock,
-			BlockKey: blocking.Identity(),
-			Matcher:  nil, // count comparisons only
-			R:        r,
-			Engine:   &mapreduce.Engine{Parallelism: 4},
+		res, err := er.RunPipeline(context.Background(), src, er.Config{
+			RunOptions: er.RunOptions{Parallelism: 4},
+			Strategy:   strat,
+			Attr:       datagen.AttrBlock,
+			BlockKey:   blocking.Identity(),
+			Matcher:    nil, // count comparisons only
+			R:          r,
 		})
 		if err != nil {
 			log.Fatal(err)

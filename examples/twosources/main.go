@@ -5,13 +5,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/entity"
 	"repro/internal/er"
 	"repro/internal/match"
 )
@@ -28,9 +28,9 @@ func main() {
 
 	var results []*er.DualResult
 	for _, strat := range []core.DualStrategy{core.BlockSplitDual{}, core.PairRangeDual{}} {
-		res, err := er.RunDual(
-			entity.SplitRoundRobin(r, 2),
-			entity.SplitRoundRobin(s, 3),
+		res, err := er.RunDualPipeline(context.Background(),
+			er.FromEntities(r, 2),
+			er.FromEntities(s, 3),
 			er.DualConfig{
 				Strategy:        strat,
 				Attr:            datagen.AttrTitle,

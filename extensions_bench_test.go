@@ -31,11 +31,11 @@ func BenchmarkExtensionSortedNeighborhood(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sn.Run(parts, sn.Config{
-			Attr:   datagen.AttrBlock,
-			Key:    func(v string) string { return v },
-			Window: 10,
-			R:      8,
-			Engine: &mapreduce.Engine{Parallelism: 4},
+			Attr:       datagen.AttrBlock,
+			Key:        func(v string) string { return v },
+			Window:     10,
+			R:          8,
+			RunOptions: er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -53,11 +53,11 @@ func BenchmarkExtensionRankedSN(b *testing.B) {
 	es := datagen.Exponential(4000, 20, 1.0, 5)
 	parts := entity.SplitRoundRobin(es, 4)
 	cfg := sn.Config{
-		Attr:   datagen.AttrBlock,
-		Key:    func(v string) string { return v },
-		Window: 10,
-		R:      8,
-		Engine: &mapreduce.Engine{Parallelism: 4},
+		Attr:       datagen.AttrBlock,
+		Key:        func(v string) string { return v },
+		Window:     10,
+		R:          8,
+		RunOptions: er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 	}
 	straggler := func(res *sn.Result) float64 {
 		var mx, total int64
@@ -106,7 +106,7 @@ func BenchmarkExtensionMultiPass(b *testing.B) {
 			Passes:   passes,
 			Strategy: core.PairRange{},
 			R:        16,
-			ErConfig: er.Config{Engine: &mapreduce.Engine{Parallelism: 4}, UseCombiner: true},
+			ErConfig: er.Config{RunOptions: er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}}, UseCombiner: true},
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -129,11 +129,11 @@ func BenchmarkExtensionMissingKeys(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := er.RunWithMissingKeys(parts, er.Config{
-			Strategy: core.BlockSplit{},
-			Attr:     datagen.AttrTitle,
-			BlockKey: key,
-			R:        8,
-			Engine:   &mapreduce.Engine{Parallelism: 4},
+			Strategy:   core.BlockSplit{},
+			Attr:       datagen.AttrTitle,
+			BlockKey:   key,
+			R:          8,
+			RunOptions: er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -36,7 +36,7 @@ func BenchmarkExternalShuffle(b *testing.B) {
 				Attr:        datagen.AttrTitle,
 				BlockKey:    datagen.BlockKey(),
 				R:           16,
-				Engine:      eng,
+				RunOptions:  er.RunOptions{Engine: eng},
 				UseCombiner: true,
 			})
 			if err != nil {
@@ -111,7 +111,7 @@ func BenchmarkExternalEndToEnd(b *testing.B) {
 					Attr:        datagen.AttrTitle,
 					BlockKey:    datagen.BlockKey(),
 					R:           16,
-					Engine:      eng,
+					RunOptions:  er.RunOptions{Engine: eng},
 					UseCombiner: true,
 				})
 			})

@@ -1,6 +1,7 @@
 package bdm
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/blocking"
@@ -139,10 +140,17 @@ func (c *countCombiner) Combine(ctx *mapreduce.MapContext[Annotated, Key, int], 
 	ctx.Emit(key, sum)
 }
 
-// Compute runs Algorithm 3 over the partitioned input and returns the
-// assembled Matrix plus the per-partition side output (entities annotated
-// with their blocking key) that forms the input of the second MR job.
+// Compute runs Algorithm 3 over the partitioned input — the pre-context
+// adapter over ComputeContext.
 func Compute(eng *mapreduce.Engine, parts entity.Partitions, opts JobOptions) (*Matrix, [][]Annotated, *JobResult, error) {
+	return ComputeContext(context.Background(), eng, parts, opts)
+}
+
+// ComputeContext runs Algorithm 3 over the partitioned input and returns
+// the assembled Matrix plus the per-partition side output (entities
+// annotated with their blocking key) that forms the input of the second
+// MR job. Cancellation follows the engine's between-task semantics.
+func ComputeContext(ctx context.Context, eng *mapreduce.Engine, parts entity.Partitions, opts JobOptions) (*Matrix, [][]Annotated, *JobResult, error) {
 	input := make([][]Annotated, len(parts))
 	for i, p := range parts {
 		input[i] = make([]Annotated, len(p))
@@ -150,7 +158,7 @@ func Compute(eng *mapreduce.Engine, parts entity.Partitions, opts JobOptions) (*
 			input[i][j] = Annotated{Value: e}
 		}
 	}
-	res, err := Job(opts).Run(eng, input)
+	res, err := Job(opts).RunContext(ctx, eng, input)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("bdm: compute: %w", err)
 	}

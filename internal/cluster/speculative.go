@@ -1,6 +1,9 @@
 package cluster
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // ScheduleSpeculative models Hadoop's speculative execution on top of
 // the list schedule: once every task is assigned and a slot goes idle,
@@ -37,11 +40,11 @@ func ScheduleSpeculative(costs []float64, speeds []float64) PhaseResult {
 	for s, f := range free {
 		idle = append(idle, idleSlot{at: f, slot: s})
 	}
-	sort.Slice(idle, func(i, j int) bool {
-		if idle[i].at != idle[j].at {
-			return idle[i].at < idle[j].at
+	slices.SortFunc(idle, func(a, b idleSlot) int {
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
 		}
-		return idle[i].slot < idle[j].slot
+		return cmp.Compare(a.slot, b.slot)
 	})
 
 	end := append([]float64(nil), res.TaskEnd...)

@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bdm"
 	"repro/internal/cluster"
@@ -143,6 +144,15 @@ func NewMatchPair(id1, id2 string) MatchPair {
 }
 
 func (p MatchPair) String() string { return p.A + "|" + p.B }
+
+// CompareMatchPairs orders pairs lexicographically (A, then B) — the
+// canonical match-result order used by every pipeline.
+func CompareMatchPairs(a, b MatchPair) int {
+	if c := strings.Compare(a.A, b.A); c != 0 {
+		return c
+	}
+	return strings.Compare(a.B, b.B)
+}
 
 // ComparisonsCounter is the user-counter name under which every
 // strategy's reduce function records the number of pair comparisons it

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bdm"
@@ -188,7 +190,7 @@ func mergeIntervals(ivs []interval) []interval {
 			kept = append(kept, iv)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].lo < kept[j].lo })
+	slices.SortFunc(kept, func(a, b interval) int { return cmp.Compare(a.lo, b.lo) })
 	out := kept[:0]
 	for _, iv := range kept {
 		if n := len(out); n > 0 && iv.lo <= out[n-1].hi {

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/bdm"
@@ -138,7 +139,7 @@ func TestPaperExampleBlockSplitAssignment(t *testing.T) {
 	// Greedy assignment: loads 7, 7, 6 ("between six and seven
 	// comparisons" per reduce task).
 	loads := append([]int64(nil), asg.loads...)
-	sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+	slices.SortFunc(loads, func(a, b int64) int { return cmp.Compare(b, a) })
 	if !reflect.DeepEqual(loads, []int64{7, 7, 6}) {
 		t.Errorf("reduce loads = %v, want [7 7 6]", loads)
 	}
@@ -248,7 +249,7 @@ func assertComparisonLoads(t *testing.T, res *MatchJobResult, wantSortedDesc []i
 		loads[i] = res.ReduceMetrics[i].Counter(ComparisonsCounter)
 	}
 	sorted := append([]int64(nil), loads...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	slices.SortFunc(sorted, func(a, b int64) int { return cmp.Compare(b, a) })
 	if !reflect.DeepEqual(sorted, wantSortedDesc) {
 		t.Errorf("per-task comparisons (sorted desc) = %v, want %v", sorted, wantSortedDesc)
 	}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // LoadStats summarizes how evenly a workload is spread over tasks. It is
@@ -68,7 +68,7 @@ func gini(loads []int64) float64 {
 		return 0
 	}
 	sorted := append([]int64(nil), loads...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	var cum, weighted float64
 	for i, l := range sorted {
 		cum += float64(l)

@@ -1,7 +1,9 @@
 package er
 
 import (
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -28,7 +30,7 @@ func Clusters(pairs []core.MatchPair) [][]string {
 		sort.Strings(members)
 		out = append(out, members)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	slices.SortFunc(out, func(a, b []string) int { return strings.Compare(a[0], b[0]) })
 	return out
 }
 

@@ -1,17 +1,21 @@
 package er
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bdm"
 	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/entity"
-	"repro/internal/mapreduce"
 )
 
 // DualConfig configures a two-source (R×S) pipeline run (Appendix I).
 type DualConfig struct {
+	// RunOptions is the execution plumbing (engine, parallelism,
+	// out-of-core spilling, match sink) shared by every workflow.
+	RunOptions
+
 	Strategy core.DualStrategy
 	Attr     string
 	BlockKey blocking.KeyFunc
@@ -20,14 +24,6 @@ type DualConfig struct {
 	// Config.PreparedMatcher.
 	PreparedMatcher core.PreparedMatcher
 	R               int
-	Engine          *mapreduce.Engine
-	// Parallelism bounds concurrently executing tasks per phase when
-	// Engine is nil; see Config.Parallelism.
-	Parallelism int
-	// SpillBudget and TmpDir select the out-of-core external dataflow
-	// when Engine is nil; see Config.SpillBudget.
-	SpillBudget int64
-	TmpDir      string
 }
 
 func (c *DualConfig) validate() error {
@@ -52,57 +48,23 @@ type DualResult struct {
 
 // RunDual matches two sources. partsR and partsS are each source's input
 // partitions; as in the paper, every partition holds entities of exactly
-// one source (partition indexes are assigned R-first, then S).
+// one source (partition indexes are assigned R-first, then S). It is the
+// pre-context adapter over RunDualPipeline, kept for one release of
+// compatibility.
 func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	eng := cfg.Engine
-	if eng == nil {
-		eng = &mapreduce.Engine{Parallelism: cfg.Parallelism}
-		if cfg.SpillBudget > 0 {
-			eng.Dataflow = mapreduce.DataflowExternal
-			eng.SpillBudget = cfg.SpillBudget
-			eng.TmpDir = cfg.TmpDir
-		}
-	}
-	parts := append(append(entity.Partitions{}, partsR...), partsS...)
-	sources := make([]bdm.Source, len(parts))
-	for i := range partsR {
-		sources[i] = bdm.SourceR
-	}
-	for i := range partsS {
-		sources[len(partsR)+i] = bdm.SourceS
-	}
+	return RunDualPipeline(context.Background(), FromPartitions(partsR), FromPartitions(partsS), cfg)
+}
 
-	matrix, err := bdm.FromDualPartitions(parts, sources, cfg.Attr, cfg.BlockKey)
-	if err != nil {
-		return nil, err
-	}
-	var job core.MatchJob
-	switch {
-	case cfg.PreparedMatcher != nil:
+// buildDualMatchJob selects the dual matching job's matcher path (the
+// two-source analogue of buildMatchJob).
+func buildDualMatchJob(cfg DualConfig, x *bdm.DualMatrix) (core.MatchJob, error) {
+	if cfg.PreparedMatcher != nil {
 		if ps, ok := cfg.Strategy.(core.PreparedDualStrategy); ok {
-			job, err = ps.JobPrepared(matrix, cfg.R, cfg.PreparedMatcher)
-		} else {
-			job, err = cfg.Strategy.Job(matrix, cfg.R, core.PlainMatcher(cfg.PreparedMatcher))
+			return ps.JobPrepared(x, cfg.R, cfg.PreparedMatcher)
 		}
-	default:
-		job, err = cfg.Strategy.Job(matrix, cfg.R, cfg.Matcher)
+		return cfg.Strategy.Job(x, cfg.R, core.PlainMatcher(cfg.PreparedMatcher))
 	}
-	if err != nil {
-		return nil, err
-	}
-	matchRes, err := job.Run(eng, AnnotateInput(parts, cfg.Attr, cfg.BlockKey))
-	if err != nil {
-		return nil, err
-	}
-	return &DualResult{
-		Matches:     CollectMatches(matchRes),
-		Comparisons: matchRes.Counter(core.ComparisonsCounter),
-		BDM:         matrix,
-		MatchResult: matchRes,
-	}, nil
+	return cfg.Strategy.Job(x, cfg.R, cfg.Matcher)
 }
 
 // SerialMatchDual is the two-source reference: compare every R entity

@@ -2,22 +2,38 @@
 // two-job MapReduce workflow of Figure 2 (BDM computation followed by
 // the load-balanced matching job), result collection, simulated-time
 // accounting, and match-quality metrics.
+//
+// The pipeline surface is composable: a Source supplies the
+// partitioned input (in-memory slices, streaming CSV, generators), a
+// MatchSink optionally consumes the match stream without accumulating
+// it (constant-memory output), and the RunOptions block embedded by
+// every workflow configuration — one-source, two-source, sorted
+// neighborhood, multi-pass, missing-keys — carries the shared engine
+// plumbing. The context-aware entry points (RunPipeline,
+// RunDualPipeline, RunWithMissingKeysPipeline, and the sn/multipass
+// analogues) cancel between engine tasks; the legacy signatures (Run,
+// RunDual, RunWithMissingKeys) remain as thin adapters for one release.
+// See DESIGN.md, "Pipeline API".
 package er
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bdm"
 	"repro/internal/blocking"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/entity"
-	"repro/internal/mapreduce"
 )
 
 // Config configures a pipeline run.
 type Config struct {
+	// RunOptions is the execution plumbing (engine, parallelism,
+	// out-of-core spilling, match sink) shared by every workflow.
+	RunOptions
+
 	// Strategy selects the redistribution scheme (core.Basic{},
 	// core.BlockSplit{}, core.PairRange{}).
 	Strategy core.Strategy
@@ -38,21 +54,6 @@ type Config struct {
 	// R is the number of reduce tasks of the matching job (and of the
 	// BDM job).
 	R int
-	// Engine executes the jobs; nil means a default engine whose worker
-	// bound is Parallelism.
-	Engine *mapreduce.Engine
-	// Parallelism bounds the number of concurrently executing tasks per
-	// phase when Engine is nil (0 = one goroutine per task, the engine
-	// default). Ignored when Engine is set — configure the engine
-	// directly instead.
-	Parallelism int
-	// SpillBudget, when > 0, runs both jobs on the out-of-core external
-	// dataflow with this per-map-task spill budget in bytes (see
-	// mapreduce.Engine.SpillBudget). Ignored when Engine is set.
-	SpillBudget int64
-	// TmpDir is the spill directory root for SpillBudget > 0 ("" = the
-	// system temp dir). Ignored when Engine is set.
-	TmpDir string
 	// UseCombiner enables the combiner in the BDM job.
 	UseCombiner bool
 }
@@ -109,57 +110,11 @@ func (r *Result) SimulatedTime(cfg cluster.Config, cm cluster.CostModel) (float6
 	return total, nil
 }
 
-// Run executes the full workflow of Figure 2 over the partitioned input:
-// Job 1 computes the BDM and side-writes blocking-key-annotated entities
-// per partition; Job 2 redistributes them with the configured strategy
-// and performs the matching. For the Basic strategy only a single job
-// runs (it needs no BDM); its input is annotated inline to keep the
-// dataflow identical.
+// Run executes the full workflow of Figure 2 over the partitioned
+// input — the pre-context adapter over RunPipeline, kept for one
+// release of compatibility.
 func Run(parts entity.Partitions, cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	eng := cfg.Engine
-	if eng == nil {
-		eng = &mapreduce.Engine{Parallelism: cfg.Parallelism}
-		if cfg.SpillBudget > 0 {
-			eng.Dataflow = mapreduce.DataflowExternal
-			eng.SpillBudget = cfg.SpillBudget
-			eng.TmpDir = cfg.TmpDir
-		}
-	}
-	res := &Result{}
-
-	var job2Input [][]core.AnnotatedEntity
-	if cfg.Strategy.NeedsBDM() {
-		matrix, side, bdmRes, err := bdm.Compute(eng, parts, bdm.JobOptions{
-			Attr:           cfg.Attr,
-			KeyFunc:        cfg.BlockKey,
-			NumReduceTasks: cfg.R,
-			UseCombiner:    cfg.UseCombiner,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.BDM = matrix
-		res.BDMResult = bdmRes
-		job2Input = side
-	} else {
-		job2Input = AnnotateInput(parts, cfg.Attr, cfg.BlockKey)
-	}
-
-	job, err := buildMatchJob(cfg, res.BDM)
-	if err != nil {
-		return nil, err
-	}
-	matchRes, err := job.Run(eng, job2Input)
-	if err != nil {
-		return nil, err
-	}
-	res.MatchResult = matchRes
-	res.Comparisons = matchRes.Counter(core.ComparisonsCounter)
-	res.Matches = CollectMatches(matchRes)
-	return res, nil
+	return RunPipeline(context.Background(), FromPartitions(parts), cfg)
 }
 
 // buildMatchJob selects the matching job's matcher path: the prepared
@@ -209,12 +164,7 @@ func CollectMatches(res *core.MatchJobResult) []core.MatchPair {
 
 // SortMatches orders pairs lexicographically for deterministic output.
 func SortMatches(ps []core.MatchPair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
-		}
-		return ps[i].B < ps[j].B
-	})
+	slices.SortFunc(ps, core.CompareMatchPairs)
 }
 
 // SerialMatch is the reference implementation the property tests compare

@@ -74,12 +74,12 @@ func TestRunAgainstSerialFuzz(t *testing.T) {
 		want, _ := SerialMatch(es, datagen.AttrTitle, datagen.BlockKey(), titleMatcher(0.85))
 		for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
 			res, err := Run(entity.SplitRoundRobin(es, rng.Intn(4)+1), Config{
-				Strategy: strat,
-				Attr:     datagen.AttrTitle,
-				BlockKey: datagen.BlockKey(),
-				Matcher:  titleMatcher(0.85),
-				R:        rng.Intn(8) + 1,
-				Engine:   &mapreduce.Engine{Parallelism: 4},
+				Strategy:   strat,
+				Attr:       datagen.AttrTitle,
+				BlockKey:   datagen.BlockKey(),
+				Matcher:    titleMatcher(0.85),
+				R:          rng.Intn(8) + 1,
+				RunOptions: RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 			})
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, strat.Name(), err)

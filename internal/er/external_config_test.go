@@ -74,13 +74,12 @@ func TestConfigSpillBudgetRunsExternal(t *testing.T) {
 		t.Fatal(err)
 	}
 	dext, err := er.RunDual(parts[:2], parts[2:], er.DualConfig{
-		Strategy:    core.PairRangeDual{},
-		Attr:        "title",
-		BlockKey:    blocking.NormalizedPrefix(3),
-		Matcher:     matcher,
-		R:           4,
-		SpillBudget: 32,
-		TmpDir:      tmp,
+		Strategy:   core.PairRangeDual{},
+		Attr:       "title",
+		BlockKey:   blocking.NormalizedPrefix(3),
+		Matcher:    matcher,
+		R:          4,
+		RunOptions: er.RunOptions{SpillBudget: 32, TmpDir: tmp},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package er
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/blocking"
@@ -49,12 +50,28 @@ func dualStrategyFor(s core.Strategy) core.DualStrategy {
 	return core.BlockSplitDual{}
 }
 
-// RunWithMissingKeys runs the full decomposition. cfg.BlockKey may
-// return "" for entities without a valid key; those are routed through
-// the Cartesian parts. All other configuration fields apply to each
-// sub-run.
+// RunWithMissingKeys runs the full decomposition — the pre-context
+// adapter over RunWithMissingKeysPipeline.
 func RunWithMissingKeys(parts entity.Partitions, cfg Config) (*MissingKeyResult, error) {
+	return RunWithMissingKeysPipeline(context.Background(), FromPartitions(parts), cfg)
+}
+
+// RunWithMissingKeysPipeline runs the full decomposition over the
+// source's partitions. cfg.BlockKey may return "" for entities without
+// a valid key; those are routed through the Cartesian parts. All other
+// configuration — the whole embedded RunOptions included, so spilling
+// and a configured Sink apply to every sub-run — is forwarded to each
+// of the three sub-pipelines. The three parts produce disjoint pair
+// sets (each pair falls into exactly one part by which sides carry a
+// key), so a streaming sink sees each match once; without a sink the
+// union is additionally deduplicated and canonically sorted into
+// MissingKeyResult.Matches.
+func RunWithMissingKeysPipeline(ctx context.Context, src Source, cfg Config) (*MissingKeyResult, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	parts, err := src.Partitions()
+	if err != nil {
 		return nil, err
 	}
 	keyed := make(entity.Partitions, len(parts))
@@ -85,7 +102,7 @@ func RunWithMissingKeys(parts entity.Partitions, cfg Config) (*MissingKeyResult,
 
 	// Part 1: ordinary blocked matching of the keyed entities.
 	if nKeyed > 0 {
-		res, err := Run(compact(keyed), cfg)
+		res, err := RunPipeline(ctx, FromPartitions(compact(keyed)), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("er: missing-keys decomposition, keyed part: %w", err)
 		}
@@ -96,15 +113,14 @@ func RunWithMissingKeys(parts entity.Partitions, cfg Config) (*MissingKeyResult,
 
 	// Part 2: R∅ × (R−R∅) under the constant key ⊥ (two sources).
 	if nNoKey > 0 && nKeyed > 0 {
-		res, err := RunDual(compact(noKey), compact(keyed), DualConfig{
+		res, err := RunDualPipeline(ctx, FromPartitions(compact(noKey)), FromPartitions(compact(keyed)), DualConfig{
+			RunOptions:      cfg.RunOptions,
 			Strategy:        dualStrategyFor(cfg.Strategy),
 			Attr:            cfg.Attr,
 			BlockKey:        blocking.Constant(noKeySentinel),
 			Matcher:         cfg.Matcher,
 			PreparedMatcher: cfg.PreparedMatcher,
 			R:               cfg.R,
-			Engine:          cfg.Engine,
-			Parallelism:     cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("er: missing-keys decomposition, cross part: %w", err)
@@ -118,13 +134,23 @@ func RunWithMissingKeys(parts entity.Partitions, cfg Config) (*MissingKeyResult,
 	if nNoKey > 1 {
 		sub := cfg
 		sub.BlockKey = blocking.Constant(noKeySentinel)
-		res, err := Run(compact(noKey), sub)
+		res, err := RunPipeline(ctx, FromPartitions(compact(noKey)), sub)
 		if err != nil {
 			return nil, fmt.Errorf("er: missing-keys decomposition, no-key part: %w", err)
 		}
 		out.NoKey = res
 		out.Comparisons += res.Comparisons
 		add(res.Matches)
+	}
+
+	// Degenerate inputs (no keyed entities and fewer than two keyless
+	// ones) run zero sub-pipelines; flush the sink anyway so every
+	// successful run honours the MatchSink contract (writer sinks emit
+	// their header, buffers drain).
+	if cfg.Sink != nil && out.Keyed == nil && out.Cross == nil && out.NoKey == nil {
+		if err := cfg.Sink.Flush(); err != nil {
+			return nil, err
+		}
 	}
 
 	SortMatches(out.Matches)

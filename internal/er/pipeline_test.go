@@ -1,0 +1,391 @@
+package er_test
+
+// Pipeline-API tests: the legacy adapters (Run/RunDual/
+// RunWithMissingKeys) must produce byte-identical Results — TaskMetrics
+// included — to the redesigned context-aware pipeline entry points;
+// streamed sinks must see exactly the collected match stream without
+// accumulating it; Sources must reproduce the legacy input layouts.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/entity"
+	"repro/internal/er"
+	"repro/internal/mapreduce"
+	"repro/internal/similarity"
+)
+
+func testMatcher(threshold float64) core.Matcher {
+	return func(a, b entity.Entity) (float64, bool) {
+		sim := similarity.LevenshteinSimilarity(a.Attr(datagen.AttrTitle), b.Attr(datagen.AttrTitle))
+		return sim, sim >= threshold
+	}
+}
+
+func testEntities(n int, seed int64) []entity.Entity {
+	es, _ := datagen.Generate(datagen.Spec{N: n, Blocks: 12, Alpha: 0.8, DupRate: 0.2, Seed: seed})
+	return es
+}
+
+func baseConfig(strat core.Strategy, par int) er.Config {
+	return er.Config{
+		RunOptions:  er.RunOptions{Engine: &mapreduce.Engine{Parallelism: par}},
+		Strategy:    strat,
+		Attr:        datagen.AttrTitle,
+		BlockKey:    datagen.BlockKey(),
+		Matcher:     testMatcher(0.8),
+		R:           5,
+		UseCombiner: true,
+	}
+}
+
+// TestAdapterMatchesPipeline: er.Run ≡ er.RunPipeline on the full
+// Result — matches, comparisons, BDM, and every TaskMetrics field of
+// both jobs — across all three strategies and parallelism 1 and 4.
+func TestAdapterMatchesPipeline(t *testing.T) {
+	es := testEntities(150, 3)
+	parts := entity.SplitRoundRobin(es, 3)
+	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
+		for _, par := range []int{1, 4} {
+			cfg := baseConfig(strat, par)
+			legacy, err := er.Run(parts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipeline, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(legacy, pipeline) {
+				t.Fatalf("%s par %d: legacy adapter result differs from pipeline", strat.Name(), par)
+			}
+			if len(legacy.Matches) == 0 {
+				t.Fatalf("%s: differential test vacuous, no matches", strat.Name())
+			}
+		}
+	}
+}
+
+// TestDualAdapterMatchesPipeline: er.RunDual ≡ er.RunDualPipeline for
+// both dual strategies.
+func TestDualAdapterMatchesPipeline(t *testing.T) {
+	es := testEntities(160, 5)
+	r, s := datagen.TwoSources(es, 0.5, 11)
+	partsR := entity.SplitRoundRobin(r, 2)
+	partsS := entity.SplitRoundRobin(s, 3)
+	for _, strat := range []core.DualStrategy{core.BlockSplitDual{}, core.PairRangeDual{}} {
+		cfg := er.DualConfig{
+			RunOptions: er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
+			Strategy:   strat,
+			Attr:       datagen.AttrTitle,
+			BlockKey:   datagen.BlockKey(),
+			Matcher:    testMatcher(0.8),
+			R:          4,
+		}
+		legacy, err := er.RunDual(partsR, partsS, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipeline, err := er.RunDualPipeline(context.Background(), er.FromPartitions(partsR), er.FromPartitions(partsS), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, pipeline) {
+			t.Fatalf("%s: legacy dual adapter result differs from pipeline", strat.Name())
+		}
+	}
+}
+
+// missingKeyBlocker drops the blocking key for part of the dataset so
+// the decomposition exercises all three sub-runs.
+func missingKeyBlocker(v string) string {
+	if len(v) > 0 && v[0]%4 == 0 {
+		return ""
+	}
+	return blocking.Prefix(3)(v)
+}
+
+// TestMissingKeysAdapterMatchesPipeline: er.RunWithMissingKeys ≡
+// er.RunWithMissingKeysPipeline on the aggregated result.
+func TestMissingKeysAdapterMatchesPipeline(t *testing.T) {
+	es := testEntities(120, 7)
+	parts := entity.SplitRoundRobin(es, 3)
+	cfg := baseConfig(core.BlockSplit{}, 2)
+	cfg.BlockKey = missingKeyBlocker
+	legacy, err := er.RunWithMissingKeys(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Keyed == nil || legacy.Cross == nil || legacy.NoKey == nil {
+		t.Fatal("decomposition did not exercise all three sub-runs")
+	}
+	pipeline, err := er.RunWithMissingKeysPipeline(context.Background(), er.FromPartitions(parts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, pipeline) {
+		t.Fatal("legacy missing-keys adapter result differs from pipeline")
+	}
+}
+
+// countingSink counts without retaining — the "non-collecting sink" of
+// the O(1)-output contract.
+type countingSink struct {
+	n       int64
+	flushes int
+}
+
+func (c *countingSink) Consume(core.MatchPair, float64) error { c.n++; return nil }
+func (c *countingSink) Flush() error                          { c.flushes++; return nil }
+
+// TestStreamingSinkDoesNotAccumulate is the constant-memory output pin:
+// with a non-collecting sink installed, no match is accumulated
+// anywhere in the result (Matches nil, MatchResult.Output empty), the
+// sink sees exactly the emissions a collecting run accumulates, and all
+// metrics stay byte-identical.
+func TestStreamingSinkDoesNotAccumulate(t *testing.T) {
+	es := testEntities(200, 9)
+	parts := entity.SplitRoundRobin(es, 3)
+	cfg := baseConfig(core.PairRange{}, 4)
+	collected, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := len(collected.MatchResult.Output)
+	if emitted == 0 {
+		t.Fatal("test vacuous: no matches emitted")
+	}
+
+	sink := &countingSink{}
+	cfg.Sink = sink
+	streamed, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Matches != nil {
+		t.Fatalf("Matches = %d entries, want nil with a sink installed", len(streamed.Matches))
+	}
+	if n := len(streamed.MatchResult.Output); n != 0 {
+		t.Fatalf("MatchResult.Output holds %d records, want 0 (not accumulated)", n)
+	}
+	if sink.n != int64(emitted) {
+		t.Fatalf("sink consumed %d matches, collecting run emitted %d", sink.n, emitted)
+	}
+	if sink.flushes != 1 {
+		t.Fatalf("sink flushed %d times, want 1", sink.flushes)
+	}
+	if streamed.Comparisons != collected.Comparisons {
+		t.Fatalf("comparisons %d != %d", streamed.Comparisons, collected.Comparisons)
+	}
+	// Full metrics equality: only the output residency may differ.
+	a, b := *collected, *streamed
+	a.Matches, b.Matches = nil, nil
+	ao, bo := *a.MatchResult, *b.MatchResult
+	ao.Output, bo.Output = nil, nil
+	a.MatchResult, b.MatchResult = &ao, &bo
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("streaming run diverges from collecting run beyond output residency")
+	}
+}
+
+// TestCanonicalSinkMatchesCollect: the deduping Canonical sink must
+// reproduce exactly the legacy collected Matches.
+func TestCanonicalSinkMatchesCollect(t *testing.T) {
+	es := testEntities(150, 13)
+	parts := entity.SplitRoundRobin(es, 2)
+	cfg := baseConfig(core.BlockSplit{}, 4)
+	collected, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := &er.Canonical{}
+	cfg.Sink = canon
+	if _, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon.Matches(), collected.Matches) {
+		t.Fatalf("Canonical sink = %v, want %v", canon.Matches(), collected.Matches)
+	}
+}
+
+// TestWriterSinks pins the writer sinks' wire formats and counters
+// (unit level), then runs a sequential pipeline into the CSV sink and
+// cross-checks the row count against the collecting run.
+func TestWriterSinks(t *testing.T) {
+	var csvBuf, njBuf bytes.Buffer
+	cs := er.NewCSVSink(&csvBuf)
+	ns := er.NewNDJSONSink(&njBuf)
+	for _, s := range []er.MatchSink{cs, ns} {
+		if err := s.Consume(core.MatchPair{A: "a1", B: "b:2"}, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Consume(core.MatchPair{A: `q"uote`, B: "c,comma"}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantCSV := "a,b,similarity\na1,b:2,0.5\n\"q\"\"uote\",\"c,comma\",1\n"
+	if got := csvBuf.String(); got != wantCSV {
+		t.Errorf("csv sink wrote %q, want %q", got, wantCSV)
+	}
+	wantNJ := `{"a":"a1","b":"b:2","similarity":0.5}` + "\n" + `{"a":"q\"uote","b":"c,comma","similarity":1}` + "\n"
+	if got := njBuf.String(); got != wantNJ {
+		t.Errorf("ndjson sink wrote %q, want %q", got, wantNJ)
+	}
+	if cs.Count() != 2 || ns.Count() != 2 {
+		t.Errorf("counts = %d, %d, want 2, 2", cs.Count(), ns.Count())
+	}
+
+	// A zero-match run must still leave the header (Flush writes it
+	// when no Consume has).
+	var empty bytes.Buffer
+	es0 := er.NewCSVSink(&empty)
+	if err := es0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.String(); got != "a,b,similarity\n" {
+		t.Errorf("empty csv sink wrote %q, want header only", got)
+	}
+
+	// Pipeline-level: at Parallelism 1 the stream is deterministic; the
+	// CSV must hold exactly one row per collected emission plus header.
+	es := testEntities(120, 17)
+	parts := entity.SplitRoundRobin(es, 2)
+	cfg := baseConfig(core.Basic{}, 1)
+	collected, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	cfg.Sink = er.NewCSVSink(&out)
+	if _, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg); err != nil {
+		t.Fatal(err)
+	}
+	gotRows := strings.Count(out.String(), "\n")
+	if want := len(collected.MatchResult.Output) + 1; gotRows != want {
+		t.Fatalf("csv rows = %d, want %d", gotRows, want)
+	}
+}
+
+// TestSources: every Source constructor must reproduce the legacy input
+// layout, and source errors must fail the pipeline.
+func TestSources(t *testing.T) {
+	es := testEntities(50, 19)
+	want := entity.SplitRoundRobin(es, 3)
+
+	got, err := er.FromPartitions(want).Partitions()
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromPartitions: %v / %v", err, got)
+	}
+	got, err = er.FromEntities(es, 3).Partitions()
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromEntities: %v", err)
+	}
+	if _, err := er.FromEntities(es, 0).Partitions(); err == nil {
+		t.Fatal("FromEntities m=0: want error")
+	}
+
+	var buf bytes.Buffer
+	if err := entity.WriteCSV(&buf, es, []string{datagen.AttrTitle, datagen.AttrBlock}); err != nil {
+		t.Fatal(err)
+	}
+	csvParts, err := er.FromCSV(bytes.NewReader(buf.Bytes()), 3).Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csvParts) != 3 || csvParts.Total() != len(es) {
+		t.Fatalf("FromCSV: %d partitions, %d entities", len(csvParts), csvParts.Total())
+	}
+	for i, p := range csvParts {
+		for j, e := range p {
+			if e.ID != want[i][j].ID || e.Attr(datagen.AttrTitle) != want[i][j].Attr(datagen.AttrTitle) {
+				t.Fatalf("FromCSV partition %d record %d differs", i, j)
+			}
+		}
+	}
+
+	srcErr := errors.New("generator broke")
+	_, err = er.RunPipeline(context.Background(),
+		er.SourceFunc(func() (entity.Partitions, error) { return nil, srcErr }),
+		baseConfig(core.Basic{}, 1))
+	if !errors.Is(err, srcErr) {
+		t.Fatalf("source error not propagated: %v", err)
+	}
+}
+
+// TestPipelineCancelled: a cancelled context aborts the er-level
+// pipeline with ctx.Err().
+func TestPipelineCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	parts := entity.SplitRoundRobin(testEntities(40, 23), 2)
+	for name, run := range map[string]func() error{
+		"run": func() error {
+			_, err := er.RunPipeline(ctx, er.FromPartitions(parts), baseConfig(core.BlockSplit{}, 2))
+			return err
+		},
+		"dual": func() error {
+			_, err := er.RunDualPipeline(ctx, er.FromPartitions(parts[:1]), er.FromPartitions(parts[1:]), er.DualConfig{
+				Strategy: core.PairRangeDual{},
+				Attr:     datagen.AttrTitle,
+				BlockKey: datagen.BlockKey(),
+				R:        2,
+			})
+			return err
+		},
+		"missingkeys": func() error {
+			cfg := baseConfig(core.BlockSplit{}, 2)
+			cfg.BlockKey = missingKeyBlocker
+			_, err := er.RunWithMissingKeysPipeline(ctx, er.FromPartitions(parts), cfg)
+			return err
+		},
+	} {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestMissingKeysSinkStreamsDisjointParts: the three decomposition
+// parts emit disjoint pair sets, so a Canonical sink over the streamed
+// union equals the collected (deduplicated) Matches.
+func TestMissingKeysSinkStreamsDisjointParts(t *testing.T) {
+	es := testEntities(120, 29)
+	parts := entity.SplitRoundRobin(es, 3)
+	cfg := baseConfig(core.PairRange{}, 2)
+	cfg.BlockKey = missingKeyBlocker
+	collected, err := er.RunWithMissingKeys(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := &countingSink{}
+	canon := &er.Canonical{}
+	for _, sink := range []er.MatchSink{count, canon} {
+		cfg.Sink = sink
+		res, err := er.RunWithMissingKeysPipeline(context.Background(), er.FromPartitions(parts), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != nil {
+			t.Fatal("missing-keys result accumulated matches despite sink")
+		}
+	}
+	if !reflect.DeepEqual(canon.Matches(), collected.Matches) {
+		t.Fatal("Canonical sink over missing-keys stream differs from collected matches")
+	}
+	// Raw stream length == deduplicated length proves disjointness for
+	// this dataset (every streamed pair is distinct).
+	if count.n != int64(len(collected.Matches)) {
+		t.Fatalf("raw stream carried %d pairs, %d distinct — parts not disjoint?", count.n, len(collected.Matches))
+	}
+}

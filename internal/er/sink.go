@@ -1,0 +1,173 @@
+package er
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// MatchSink consumes a pipeline's emitted matches as a stream. When a
+// sink is installed (RunOptions.Sink), the matching job's reduce phase
+// hands every emitted pair to Consume instead of accumulating it in
+// Result.Matches / MatchResult.Output, so peak memory is independent of
+// the match count — the output half of the out-of-core story.
+//
+// Contract:
+//   - Consume is never called concurrently (the engine serializes
+//     streamed emissions), but the order across reduce tasks is the
+//     tasks' completion interleaving — deterministic only at
+//     Parallelism 1. Within one reduce task, emission order holds.
+//   - The stream carries raw emissions: the usual dedup/sort pass of
+//     the collecting path does not run. The in-tree strategies emit
+//     each pair at most once; Canonical restores set semantics when
+//     needed.
+//   - Flush is called once after each (sub-)pipeline that streamed to
+//     the sink completes successfully; composite workflows
+//     (missing-keys, multi-pass SN) flush once per sub-run, so Flush
+//     must be safe to call repeatedly. It is not called on error.
+//   - A non-nil error from Consume or Flush fails the run.
+type MatchSink interface {
+	Consume(p core.MatchPair, similarity float64) error
+	Flush() error
+}
+
+// SinkFunc adapts a plain consume function to the MatchSink interface
+// (Flush is a no-op).
+type SinkFunc func(p core.MatchPair, similarity float64) error
+
+// Consume implements MatchSink.
+func (f SinkFunc) Consume(p core.MatchPair, sim float64) error { return f(p, sim) }
+
+// Flush implements MatchSink (no-op).
+func (f SinkFunc) Flush() error { return nil }
+
+// Collect accumulates every streamed match in arrival order, raw (no
+// dedup, no sort) — the minimal sink, mostly useful in tests and as a
+// building block.
+type Collect struct {
+	Pairs []core.MatchPair
+	Sims  []float64
+}
+
+// Consume implements MatchSink.
+func (c *Collect) Consume(p core.MatchPair, sim float64) error {
+	c.Pairs = append(c.Pairs, p)
+	c.Sims = append(c.Sims, sim)
+	return nil
+}
+
+// Flush implements MatchSink (no-op).
+func (c *Collect) Flush() error { return nil }
+
+// Canonical deduplicates the streamed matches and, at Flush, sorts them
+// into the canonical order — the streamed twin of the collecting path's
+// CollectMatches. Memory is O(distinct matches), which is exactly what
+// the legacy Result.Matches held.
+type Canonical struct {
+	seen    map[core.MatchPair]bool
+	matches []core.MatchPair
+}
+
+// Consume implements MatchSink.
+func (c *Canonical) Consume(p core.MatchPair, _ float64) error {
+	if c.seen == nil {
+		c.seen = make(map[core.MatchPair]bool)
+	}
+	if !c.seen[p] {
+		c.seen[p] = true
+		c.matches = append(c.matches, p)
+	}
+	return nil
+}
+
+// Flush implements MatchSink: it re-establishes the canonical sort
+// (idempotent, so composite workflows may flush repeatedly).
+func (c *Canonical) Flush() error {
+	SortMatches(c.matches)
+	return nil
+}
+
+// Matches returns the deduplicated matches. Canonically sorted after
+// Flush — i.e., after the pipeline run that streamed into the sink.
+func (c *Canonical) Matches() []core.MatchPair { return c.matches }
+
+// CSVSink streams matches as CSV rows "a,b,similarity" with a header,
+// writing through a buffered csv.Writer — constant memory in the match
+// count.
+type CSVSink struct {
+	w          *csv.Writer
+	n          atomic.Int64
+	headerDone bool
+}
+
+// NewCSVSink returns a CSVSink writing to w. The header row is written
+// lazily — by the first Consume, or by Flush for a zero-match run — so
+// every successful run produces at least the header; only an erroring
+// run can leave an empty file.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+func (s *CSVSink) header() error {
+	if s.headerDone {
+		return nil
+	}
+	s.headerDone = true
+	return s.w.Write([]string{"a", "b", "similarity"})
+}
+
+// Consume implements MatchSink.
+func (s *CSVSink) Consume(p core.MatchPair, sim float64) error {
+	if err := s.header(); err != nil {
+		return err
+	}
+	s.n.Add(1)
+	return s.w.Write([]string{p.A, p.B, strconv.FormatFloat(sim, 'g', -1, 64)})
+}
+
+// Flush implements MatchSink.
+func (s *CSVSink) Flush() error {
+	if err := s.header(); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Count returns the number of matches consumed so far.
+func (s *CSVSink) Count() int64 { return s.n.Load() }
+
+// NDJSONSink streams matches as newline-delimited JSON objects
+// {"a":…,"b":…,"similarity":…} — constant memory in the match count.
+type NDJSONSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   atomic.Int64
+}
+
+// NewNDJSONSink returns an NDJSONSink writing to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	bw := bufio.NewWriter(w)
+	return &NDJSONSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Consume implements MatchSink.
+func (s *NDJSONSink) Consume(p core.MatchPair, sim float64) error {
+	s.n.Add(1)
+	return s.enc.Encode(struct {
+		A          string  `json:"a"`
+		B          string  `json:"b"`
+		Similarity float64 `json:"similarity"`
+	}{p.A, p.B, sim})
+}
+
+// Flush implements MatchSink.
+func (s *NDJSONSink) Flush() error { return s.w.Flush() }
+
+// Count returns the number of matches consumed so far.
+func (s *NDJSONSink) Count() int64 { return s.n.Load() }

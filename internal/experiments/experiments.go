@@ -28,6 +28,14 @@ import (
 // quick runs; 1.0 reproduces full-size datasets (planner mode keeps even
 // those fast).
 type Options struct {
+	// RunOptions is the shared execution plumbing for executed-mode
+	// runs: Parallelism bounds concurrently executing tasks per phase
+	// (0 = the harness default of 8; cmd/erbench -parallelism),
+	// SpillBudget > 0 selects the out-of-core external dataflow
+	// (cmd/erbench -spill-budget) with TmpDir as the spill-directory
+	// root (cmd/erbench -tmpdir).
+	er.RunOptions
+
 	Scale float64
 	Cost  cluster.CostModel
 	// Executed switches Figures 9 and 10 from the analytic planner to
@@ -38,16 +46,6 @@ type Options struct {
 	// tables (a property the tests assert); executed mode exists to
 	// demonstrate that, and is limited by real O(P) work.
 	Executed bool
-	// Parallelism bounds the engine's concurrently executing tasks per
-	// phase in executed mode (0 = the default of 8). The cmd/erbench
-	// -parallelism flag sets it.
-	Parallelism int
-	// SpillBudget, when > 0, runs executed-mode jobs on the out-of-core
-	// external dataflow with this per-map-task spill budget in bytes
-	// (cmd/erbench -spill-budget); TmpDir roots the spill directories
-	// ("" = system temp dir, cmd/erbench -tmpdir).
-	SpillBudget int64
-	TmpDir      string
 	// Dataset, when non-nil, replaces the generated DS1 stand-in with a
 	// real dataset (cmd/erbench -in streams one from CSV via
 	// entity.ScanCSV).
@@ -74,16 +72,20 @@ func (o Options) parallelism() int {
 	return o.Parallelism
 }
 
+// runOptions returns the executed-mode RunOptions with the harness's
+// parallelism default applied; engine resolution and the out-of-core
+// switch live in er.RunOptions.ResolveEngine.
+func (o Options) runOptions() er.RunOptions {
+	ro := o.RunOptions
+	ro.Parallelism = o.parallelism()
+	return ro
+}
+
 // engine builds the executed-mode engine: in-memory typed by default,
 // the out-of-core external dataflow when a spill budget is set.
 func (o Options) engine() *mapreduce.Engine {
-	e := &mapreduce.Engine{Parallelism: o.parallelism()}
-	if o.SpillBudget > 0 {
-		e.Dataflow = mapreduce.DataflowExternal
-		e.SpillBudget = o.SpillBudget
-		e.TmpDir = o.TmpDir
-	}
-	return e
+	ro := o.runOptions()
+	return ro.ResolveEngine()
 }
 
 // strategies in the order the paper plots them.
@@ -121,12 +123,12 @@ func strategyTime(o Options, parts entity.Partitions, x *bdm.Matrix, strat core.
 		return t, err
 	}
 	res, err := er.Run(parts, er.Config{
+		RunOptions:  o.runOptions(),
 		Strategy:    strat,
 		Attr:        attr,
 		BlockKey:    key,
 		Matcher:     nil, // count comparisons only
 		R:           r,
-		Engine:      o.engine(),
 		UseCombiner: true,
 	})
 	if err != nil {

@@ -172,12 +172,12 @@ func QualityTable(o Options) (*report.Table, error) {
 	for _, th := range []float64{0.60, 0.70, 0.80, 0.90, 0.95} {
 		th := th
 		res, err := er.Run(parts, er.Config{
+			RunOptions:      o.runOptions(),
 			Strategy:        core.BlockSplit{},
 			Attr:            datagen.AttrTitle,
 			BlockKey:        datagen.BlockKey(),
 			PreparedMatcher: match.EditDistance(datagen.AttrTitle, th),
 			R:               32,
-			Engine:          o.engine(),
 			UseCombiner:     true,
 		})
 		if err != nil {

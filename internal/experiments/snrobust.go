@@ -46,11 +46,11 @@ func SNRobustness(o Options) (*report.Table, error) {
 		// Sort by the block attribute: duplicates (same block) become
 		// window neighbours, the standard SN setup.
 		cfg := sn.Config{
-			Attr:   datagen.AttrBlock,
-			Key:    func(v string) string { return v },
-			Window: window,
-			R:      r,
-			Engine: o.engine(),
+			RunOptions: o.runOptions(),
+			Attr:       datagen.AttrBlock,
+			Key:        func(v string) string { return v },
+			Window:     window,
+			R:          r,
 		}
 		keyed, err := sn.Run(parts, cfg)
 		if err != nil {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 )
 
@@ -41,14 +41,14 @@ func referenceRun(job *BoxedJob, input [][]KeyValue) []KeyValue {
 	var out []KeyValue
 	for ri := 0; ri < r; ri++ {
 		b := buckets[ri]
-		sort.SliceStable(b, func(i, j int) bool {
-			if c := job.Compare(b[i].kv.Key, b[j].kv.Key); c != 0 {
-				return c < 0
+		slices.SortStableFunc(b, func(x, y refRecord) int {
+			if c := job.Compare(x.kv.Key, y.kv.Key); c != 0 {
+				return c
 			}
-			if b[i].mapTask != b[j].mapTask {
-				return b[i].mapTask < b[j].mapTask
+			if c := x.mapTask - y.mapTask; c != 0 {
+				return c
 			}
-			return b[i].seq < b[j].seq
+			return x.seq - y.seq
 		})
 		reducer := job.NewReducer()
 		reducer.Configure(len(input), r, ri)

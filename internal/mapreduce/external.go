@@ -1,12 +1,13 @@
 package mapreduce
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 
 	"repro/internal/runio"
 )
@@ -63,10 +64,11 @@ type extConfig[K, V any] struct {
 }
 
 // runExternal executes the job on the external dataflow (the job is
-// already validated by Run, which dispatches here). See Job.Run for the
-// semantics; this path additionally requires runio codecs registered
-// for K and V.
-func (j *Job[I, K, V, O]) runExternal(e *Engine, input [][]I) (*Result[I, O], error) {
+// already validated by Job.run, which dispatches here). See
+// Job.RunContext for the semantics; this path additionally requires
+// runio codecs registered for K and V. The deferred RemoveAll makes the
+// spill directory die on every exit path — cancellation included.
+func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]I, sink *outputSink[O]) (*Result[I, O], error) {
 	m := len(input)
 	kc, ok := runio.Lookup[K]()
 	if !ok {
@@ -110,9 +112,12 @@ func (j *Job[I, K, V, O]) runExternal(e *Engine, input [][]I) (*Result[I, O], er
 	// ---- Map phase (spilling) ----
 	mapOut := make([]extMapOutput[K, V], m)
 	mapErr := make([]error, m)
-	e.forEachTask(m, func(i int) {
+	e.forEachTask(ctx, m, func(i int) {
 		mapOut[i], mapErr[i] = st.runMapTaskExternal(cfg, i, m, input[i], res)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
+	}
 	for i, err := range mapErr {
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", j.Name, i, err)
@@ -150,12 +155,20 @@ func (j *Job[I, K, V, O]) runExternal(e *Engine, input [][]I) (*Result[I, O], er
 
 	reduceOut := make([][]O, r)
 	reduceErr := make([]error, r)
-	e.forEachTask(r, func(jj int) {
-		reduceOut[jj], reduceErr[jj] = st.runReduceTaskExternal(cfg, jj, mapOut, files, res)
+	e.forEachTask(ctx, r, func(jj int) {
+		reduceOut[jj], reduceErr[jj] = st.runReduceTaskExternal(cfg, jj, mapOut, files, res, sink)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
+	}
 	for jj, err := range reduceErr {
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", j.Name, jj, err)
+		}
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: output sink: %w", j.Name, err)
 		}
 	}
 	var total int
@@ -318,7 +331,7 @@ func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpille
 	return nil
 }
 
-func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx int, mapOut []extMapOutput[K, V], files [][]*os.File, res *Result[I, O]) (out []O, err error) {
+func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx int, mapOut []extMapOutput[K, V], files [][]*os.File, res *Result[I, O], sink *outputSink[O]) (out []O, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
@@ -329,7 +342,10 @@ func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx 
 	if metrics.Counters == nil {
 		metrics.Counters = make(map[string]int64)
 	}
-	ctx := &ReduceContext[O]{metrics: metrics, out: getOutBuf[O](st.outPool)}
+	ctx := &ReduceContext[O]{metrics: metrics, sink: sink}
+	if sink == nil {
+		ctx.out = getOutBuf[O](st.outPool)
+	}
 	reducer := j.NewReducer()
 	reducer.Configure(len(mapOut), j.NumReduceTasks, idx)
 
@@ -471,12 +487,11 @@ func (sp *extSpiller[K, V]) sortedPerm() (parts, perm []int32, err error) {
 		parts[i] = int32(p)
 		perm[i] = int32(i)
 	}
-	sort.SliceStable(perm, func(x, y int) bool {
-		a, b := perm[x], perm[y]
+	slices.SortStableFunc(perm, func(a, b int32) int {
 		if parts[a] != parts[b] {
-			return parts[a] < parts[b]
+			return int(parts[a]) - int(parts[b])
 		}
-		return sp.cmp(&sp.recs[a], &sp.recs[b]) < 0
+		return sp.cmp(&sp.recs[a], &sp.recs[b])
 	})
 	return parts, perm, nil
 }

@@ -37,8 +37,9 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -139,12 +140,21 @@ type BoxedContext struct {
 	out     []KeyValue
 	side    []KeyValue
 	metrics *TaskMetrics
+	// sink, when non-nil on a reduce-task context, receives every
+	// emitted record instead of the out buffer (the streamed-output
+	// path of RunStream, bridged by the boxing adapter).
+	sink *outputSink[KeyValue]
 }
 
 // Emit appends a key-value pair to the task's primary output. For map
 // tasks the pair enters the shuffle; for reduce tasks it becomes job
-// output.
+// output (or streams to the run's output sink under RunStream).
 func (c *BoxedContext) Emit(key, value any) {
+	if c.sink != nil {
+		c.sink.write(KeyValue{Key: key, Value: value})
+		c.metrics.OutputRecords++
+		return
+	}
 	c.out = append(c.out, KeyValue{Key: key, Value: value})
 	c.metrics.OutputRecords++
 }
@@ -327,12 +337,28 @@ type Engine struct {
 }
 
 // Run executes the job over the given input partitions and returns the
-// result. Execution is deterministic: map outputs are shuffled with a
-// stable, map-task-ordered merge and sorted with the job's Compare.
+// result — the pre-context adapter over RunContext.
 func (e *Engine) Run(job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
+	return e.RunContext(context.Background(), job, input)
+}
+
+// RunContext executes the job over the given input partitions and
+// returns the result. Execution is deterministic: map outputs are
+// shuffled with a stable, map-task-ordered merge and sorted with the
+// job's Compare. Cancellation is checked between tasks: once ctx is
+// done, no further task starts and RunContext returns an error wrapping
+// ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
+	return e.runBoxed(ctx, job, input, nil)
+}
+
+func (e *Engine) runBoxed(ctx context.Context, job *BoxedJob, input [][]KeyValue, sink *outputSink[KeyValue]) (*BoxedResult, error) {
 	m := len(input)
 	if err := job.validate(m); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 	r := job.NumReduceTasks
 
@@ -349,9 +375,12 @@ func (e *Engine) Run(job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
 	// mapOut[mapTask][reduceTask] holds the bucketed map output.
 	mapOut := make([][][]KeyValue, m)
 	mapErr := make([]error, m)
-	e.forEachTask(m, func(i int) {
+	e.forEachTask(ctx, m, func(i int) {
 		mapOut[i], mapErr[i] = e.runMapTask(job, i, m, input[i], res)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
 	for i, err := range mapErr {
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", job.Name, i, err)
@@ -369,12 +398,20 @@ func (e *Engine) Run(job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
 	// reducing overlap within a task and across tasks.
 	reduceOut := make([][]KeyValue, r)
 	reduceErr := make([]error, r)
-	e.forEachTask(r, func(j int) {
-		reduceOut[j], reduceErr[j] = e.runReduceTask(job, j, m, mapOut, res)
+	e.forEachTask(ctx, r, func(j int) {
+		reduceOut[j], reduceErr[j] = e.runReduceTask(job, j, m, mapOut, res, sink)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
 	for j, err := range reduceErr {
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", job.Name, j, err)
+		}
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: output sink: %w", job.Name, err)
 		}
 	}
 	var total int
@@ -496,14 +533,17 @@ func (e *Engine) combine(job *BoxedJob, idx, m int, out []KeyValue, metrics *Tas
 	return cctx.out, nil
 }
 
-func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue, res *BoxedResult) (out []KeyValue, err error) {
+func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue, res *BoxedResult, sink *outputSink[KeyValue]) (out []KeyValue, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
 		}
 	}()
 	ctx := newTaskContext(ReduceTask, idx, &res.ReduceMetrics[idx])
-	ctx.out = getKVBuf()
+	ctx.sink = sink
+	if sink == nil {
+		ctx.out = getKVBuf()
+	}
 	reducer := job.NewReducer()
 	reducer.Configure(m, job.NumReduceTasks, idx)
 
@@ -515,8 +555,8 @@ func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue,
 		for mi := 0; mi < m; mi++ {
 			input = append(input, mapOut[mi][idx]...)
 		}
-		sort.SliceStable(input, func(i, j int) bool {
-			return job.Compare(input[i].Key, input[j].Key) < 0
+		slices.SortStableFunc(input, func(a, b KeyValue) int {
+			return job.Compare(a.Key, b.Key)
 		})
 		ctx.metrics.InputRecords = int64(len(input))
 		reduceSortedRun(ctx, job, reducer, input)
@@ -589,13 +629,20 @@ func emitGroup(ctx *BoxedContext, reducer BoxedReducer, group []KeyValue) {
 }
 
 // forEachTask runs fn(i) for i in [0,n) with bounded parallelism.
-func (e *Engine) forEachTask(n int, fn func(int)) {
+// Cancellation is prompt between tasks: once ctx is done, no further
+// task starts; tasks already executing run to completion and every
+// worker goroutine is joined before forEachTask returns, so a cancelled
+// phase leaks nothing. The caller detects cancellation via ctx.Err().
+func (e *Engine) forEachTask(ctx context.Context, n int, fn func(int)) {
 	workers := e.Parallelism
 	if workers <= 0 || workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -607,12 +654,22 @@ func (e *Engine) forEachTask(n int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				if ctx.Err() == nil {
+					fn(i)
+				}
 			}
 		}()
 	}
+	// The ctx.Done case never fires for a background context (nil
+	// channel); otherwise it stops feeding tasks as soon as ctx is done.
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,5 +1,7 @@
 package mapreduce
 
+import "context"
+
 // The boxing adapter: runs a typed Job[I, K, V, O] on the boxed
 // any-based engine (the original dataflow, untouched since it was
 // differentially validated) and converts the result back. This is the
@@ -15,7 +17,7 @@ package mapreduce
 // cross-checks the codes' order/group behaviour against the plain
 // comparators.
 
-func (j *Job[I, K, V, O]) runBoxed(e *Engine, input [][]I) (*Result[I, O], error) {
+func (j *Job[I, K, V, O]) runBoxed(ctx context.Context, e *Engine, input [][]I, sink *outputSink[O]) (*Result[I, O], error) {
 	bj := &BoxedJob{
 		Name:           j.Name,
 		NumReduceTasks: j.NumReduceTasks,
@@ -44,7 +46,13 @@ func (j *Job[I, K, V, O]) runBoxed(e *Engine, input [][]I) (*Result[I, O], error
 			binput[i][k] = KeyValue{Key: rec}
 		}
 	}
-	bres, err := e.Run(bj, binput)
+	// The typed sink streams unboxed records; bridge it so the boxed
+	// engine's reduce contexts can feed it directly.
+	var bsink *outputSink[KeyValue]
+	if sink != nil {
+		bsink = &outputSink[KeyValue]{fn: func(kv KeyValue) error { return sink.fn(kv.Key.(O)) }}
+	}
+	bres, err := e.runBoxed(ctx, bj, binput, bsink)
 	if err != nil {
 		return nil, err
 	}

@@ -103,11 +103,11 @@ func TestStrategyMatrixShuffleDifferential(t *testing.T) {
 func TestShuffleMaxGroupRecordsMatchesBlockSizes(t *testing.T) {
 	es := skewedEntities()
 	res, err := er.Run(entity.SplitRoundRobin(es, 3), er.Config{
-		Strategy: core.Basic{},
-		Attr:     "title",
-		BlockKey: blocking.NormalizedPrefix(3),
-		R:        1,
-		Engine:   &mapreduce.Engine{},
+		Strategy:   core.Basic{},
+		Attr:       "title",
+		BlockKey:   blocking.NormalizedPrefix(3),
+		R:          1,
+		RunOptions: er.RunOptions{Engine: &mapreduce.Engine{}},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -104,9 +105,43 @@ func (j *Job[I, K, V, O]) JobName() string { return j.Name }
 // K and V types so heterogeneous jobs that share input and output record
 // types (e.g. the five redistribution strategies) can stand behind one
 // interface.
+//
+// RunContext is the primary entry point; Run is the pre-context adapter
+// (kept for one release of compatibility) and RunStream additionally
+// streams reduce output to a callback instead of accumulating it in
+// Result.Output — the constant-memory output path.
 type JobRunner[I, O any] interface {
 	Run(e *Engine, input [][]I) (*Result[I, O], error)
+	RunContext(ctx context.Context, e *Engine, input [][]I) (*Result[I, O], error)
+	RunStream(ctx context.Context, e *Engine, input [][]I, out func(O) error) (*Result[I, O], error)
 	JobName() string
+}
+
+// outputSink serializes streamed reduce output across concurrently
+// executing reduce tasks: records are handed to fn under a mutex, in
+// emission order within one reduce task (the order across tasks is the
+// tasks' completion interleaving — deterministic only at Parallelism 1).
+// The first callback error is sticky: later writes become no-ops and the
+// run fails with it after the reduce phase.
+type outputSink[O any] struct {
+	mu  sync.Mutex
+	fn  func(O) error
+	err error
+}
+
+func (s *outputSink[O]) write(rec O) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.fn(rec)
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the sticky first write error, if any.
+func (s *outputSink[O]) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // Result is the outcome of a typed job execution.
@@ -195,12 +230,21 @@ type ReduceContext[O any] struct {
 	metrics *TaskMetrics
 	out     []O
 	boxed   *BoxedContext
+	// sink, when non-nil, receives every emitted record instead of the
+	// out buffer (RunStream) — output is never accumulated in memory.
+	sink *outputSink[O]
 }
 
-// Emit appends one record to the job output.
+// Emit appends one record to the job output (or streams it to the run's
+// output sink under RunStream).
 func (c *ReduceContext[O]) Emit(rec O) {
 	if c.boxed != nil {
 		c.boxed.Emit(rec, nil)
+		return
+	}
+	if c.sink != nil {
+		c.sink.write(rec)
+		c.metrics.OutputRecords++
 		return
 	}
 	c.out = append(c.out, rec)
@@ -289,22 +333,53 @@ func (j *Job[I, K, V, O]) validate(numPartitions int) error {
 }
 
 // Run executes the job over the given input partitions and returns the
-// result. Execution is deterministic and byte-identical across the
-// typed/boxed × k-way/concat-sort engine variants: map outputs are
-// shuffled with a stable, map-task-ordered merge and sorted with the
-// job's Compare (accelerated by the key code when present). When
-// e.Dataflow is DataflowBoxed, the job runs on the boxed oracle engine
-// through the boxing adapter in oracle.go instead.
+// result — the pre-context adapter over RunContext, kept for one release
+// of compatibility.
 func (j *Job[I, K, V, O]) Run(e *Engine, input [][]I) (*Result[I, O], error) {
+	return j.RunContext(context.Background(), e, input)
+}
+
+// RunContext executes the job over the given input partitions and
+// returns the result. Execution is deterministic and byte-identical
+// across the typed/boxed × k-way/concat-sort engine variants: map
+// outputs are shuffled with a stable, map-task-ordered merge and sorted
+// with the job's Compare (accelerated by the key code when present).
+// When e.Dataflow is DataflowBoxed, the job runs on the boxed oracle
+// engine through the boxing adapter in oracle.go instead.
+//
+// Cancellation is checked between tasks: once ctx is done, no further
+// map or reduce task starts, in-flight tasks finish, and RunContext
+// returns an error wrapping ctx.Err(). The external dataflow removes
+// its spill directory on every exit path, cancellation included.
+func (j *Job[I, K, V, O]) RunContext(ctx context.Context, e *Engine, input [][]I) (*Result[I, O], error) {
+	return j.run(ctx, e, input, nil)
+}
+
+// RunStream is RunContext with streamed output: every reduce emission is
+// handed to out (serialized across tasks, emission order within a task)
+// instead of being accumulated, so Result.Output stays empty and peak
+// memory is independent of the output size. A non-nil error from out
+// fails the run. Metrics and side output are identical to RunContext.
+func (j *Job[I, K, V, O]) RunStream(ctx context.Context, e *Engine, input [][]I, out func(O) error) (*Result[I, O], error) {
+	if out == nil {
+		return j.run(ctx, e, input, nil)
+	}
+	return j.run(ctx, e, input, &outputSink[O]{fn: out})
+}
+
+func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink *outputSink[O]) (*Result[I, O], error) {
 	m := len(input)
 	if err := j.validate(m); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
+	}
 	switch e.Dataflow {
 	case DataflowBoxed:
-		return j.runBoxed(e, input)
+		return j.runBoxed(ctx, e, input, sink)
 	case DataflowExternal:
-		return j.runExternal(e, input)
+		return j.runExternal(ctx, e, input, sink)
 	}
 	r := j.NumReduceTasks
 
@@ -325,9 +400,12 @@ func (j *Job[I, K, V, O]) Run(e *Engine, input [][]I) (*Result[I, O], error) {
 	mapOut := make([][][]Rec[K, V], m)
 	mapFlat := make([][]Rec[K, V], m)
 	mapErr := make([]error, m)
-	e.forEachTask(m, func(i int) {
+	e.forEachTask(ctx, m, func(i int) {
 		mapOut[i], mapFlat[i], mapErr[i] = st.runMapTask(i, m, input[i], res)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
+	}
 	for i, err := range mapErr {
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", j.Name, i, err)
@@ -342,12 +420,20 @@ func (j *Job[I, K, V, O]) Run(e *Engine, input [][]I) (*Result[I, O], error) {
 	// ---- Shuffle + merge + reduce phase ----
 	reduceOut := make([][]O, r)
 	reduceErr := make([]error, r)
-	e.forEachTask(r, func(jj int) {
-		reduceOut[jj], reduceErr[jj] = st.runReduceTask(e, jj, m, mapOut, res)
+	e.forEachTask(ctx, r, func(jj int) {
+		reduceOut[jj], reduceErr[jj] = st.runReduceTask(e, jj, m, mapOut, res, sink)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
+	}
 	for jj, err := range reduceErr {
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", j.Name, jj, err)
+		}
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: output sink: %w", j.Name, err)
 		}
 	}
 	var total int
@@ -539,7 +625,7 @@ func (st *runState[I, K, V, O]) combine(idx, m int, out []Rec[K, V], metrics *Ta
 	return cctx.out, nil
 }
 
-func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][][]Rec[K, V], res *Result[I, O]) (out []O, err error) {
+func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][][]Rec[K, V], res *Result[I, O], sink *outputSink[O]) (out []O, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
@@ -550,7 +636,10 @@ func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][]
 	if metrics.Counters == nil {
 		metrics.Counters = make(map[string]int64)
 	}
-	ctx := &ReduceContext[O]{metrics: metrics, out: getOutBuf[O](st.outPool)}
+	ctx := &ReduceContext[O]{metrics: metrics, sink: sink}
+	if sink == nil {
+		ctx.out = getOutBuf[O](st.outPool)
+	}
 	reducer := j.NewReducer()
 	reducer.Configure(m, j.NumReduceTasks, idx)
 

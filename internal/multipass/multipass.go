@@ -18,6 +18,7 @@
 package multipass
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -189,16 +190,28 @@ type Config struct {
 	ErConfig er.Config
 }
 
-// Run executes the full load-balanced multi-pass workflow: expand the
-// input (one replica per entity and key), run the two-job pipeline with
-// the replica key as blocking key, and deduplicate matches via the
-// least-common-key rule.
+// Run executes the full load-balanced multi-pass workflow — the
+// pre-context adapter over RunPipeline.
 func Run(parts entity.Partitions, cfg Config) (*er.Result, error) {
+	return RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+}
+
+// RunPipeline executes the full load-balanced multi-pass workflow over
+// the source's partitions: expand the input (one replica per entity and
+// key), run the two-job pipeline with the replica key as blocking key,
+// and deduplicate matches via the least-common-key rule. The rule
+// rejects every redundant co-occurrence before the matcher fires, so a
+// streaming sink (ErConfig.Sink) sees each match exactly once.
+func RunPipeline(ctx context.Context, src er.Source, cfg Config) (*er.Result, error) {
 	if len(cfg.Passes) == 0 {
 		return nil, fmt.Errorf("multipass: at least one pass is required")
 	}
 	if cfg.Strategy == nil {
 		return nil, fmt.Errorf("multipass: Config.Strategy is required")
+	}
+	parts, err := src.Partitions()
+	if err != nil {
+		return nil, err
 	}
 	expanded := Expand(parts, cfg.Passes)
 	ec := cfg.ErConfig
@@ -213,7 +226,7 @@ func Run(parts entity.Partitions, cfg Config) (*er.Result, error) {
 		ec.PreparedMatcher = nil
 	}
 	ec.R = cfg.R
-	return er.Run(expanded, ec)
+	return er.RunPipeline(ctx, er.FromPartitions(expanded), ec)
 }
 
 // SerialMatch is the multi-pass reference implementation: for each pair

@@ -1,11 +1,12 @@
 package sn
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/entity"
-	"repro/internal/mapreduce"
+	"repro/internal/er"
 )
 
 // Multi-pass Sorted Neighborhood — the actual subject of the cited CSRD
@@ -25,8 +26,13 @@ type Pass struct {
 }
 
 // MultiConfig configures a multi-pass SN run. Window, R, Matcher,
-// PreparedMatcher, and Engine apply to every pass.
+// PreparedMatcher, and the embedded RunOptions apply to every pass. A
+// configured Sink receives each pass's raw match stream (a pair inside
+// several passes' windows repeats, mirroring Comparisons counting it
+// per pass); without a sink the union is deduplicated into Matches.
 type MultiConfig struct {
+	er.RunOptions
+
 	Passes  []Pass
 	Window  int
 	R       int
@@ -34,7 +40,6 @@ type MultiConfig struct {
 	// PreparedMatcher, when non-nil, takes precedence over Matcher in
 	// every pass; see Config.PreparedMatcher.
 	PreparedMatcher core.PreparedMatcher
-	Engine          *mapreduce.Engine
 }
 
 // MultiResult aggregates the passes.
@@ -50,22 +55,33 @@ type MultiResult struct {
 	PerPass []*Result
 }
 
-// RunMultiPass executes all passes and unions the matches.
+// RunMultiPass executes all passes and unions the matches — the
+// pre-context adapter over RunMultiPassPipeline.
 func RunMultiPass(parts entity.Partitions, cfg MultiConfig) (*MultiResult, error) {
+	return RunMultiPassPipeline(context.Background(), er.FromPartitions(parts), cfg)
+}
+
+// RunMultiPassPipeline executes all passes over the source's partitions
+// and unions the matches (or streams them; see MultiConfig).
+func RunMultiPassPipeline(ctx context.Context, src er.Source, cfg MultiConfig) (*MultiResult, error) {
 	if len(cfg.Passes) == 0 {
 		return nil, fmt.Errorf("sn: RunMultiPass requires at least one pass")
+	}
+	parts, err := src.Partitions()
+	if err != nil {
+		return nil, err
 	}
 	out := &MultiResult{}
 	seen := make(map[core.MatchPair]bool)
 	for _, pass := range cfg.Passes {
-		res, err := Run(parts, Config{
+		res, err := RunPipeline(ctx, er.FromPartitions(parts), Config{
+			RunOptions:      cfg.RunOptions,
 			Attr:            pass.Attr,
 			Key:             pass.Key,
 			Window:          cfg.Window,
 			R:               cfg.R,
 			Matcher:         cfg.Matcher,
 			PreparedMatcher: cfg.PreparedMatcher,
-			Engine:          cfg.Engine,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sn: pass %q: %w", pass.Name, err)
@@ -79,7 +95,7 @@ func RunMultiPass(parts entity.Partitions, cfg MultiConfig) (*MultiResult, error
 			}
 		}
 	}
-	sortPairs(out.Matches)
+	er.SortMatches(out.Matches)
 	return out, nil
 }
 
@@ -97,6 +113,6 @@ func SerialMultiPass(entities []entity.Entity, passes []Pass, window int, match 
 			}
 		}
 	}
-	sortPairs(out)
+	er.SortMatches(out)
 	return out
 }

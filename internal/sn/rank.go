@@ -1,11 +1,15 @@
 package sn
 
 import (
+	"context"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/entity"
+	"repro/internal/er"
 	"repro/internal/mapreduce"
 )
 
@@ -113,16 +117,23 @@ func (d *rankDistribution) rangeOfRank(rank int64) int {
 	return int(rank / d.perRange)
 }
 
-// RunRanked executes sorted neighborhood with rank partitioning. The
-// canonical total order is (sorting key, partition index, arrival
-// index); SerialRanked is the matching reference.
+// RunRanked executes sorted neighborhood with rank partitioning — the
+// pre-context adapter over RunRankedPipeline.
 func RunRanked(parts entity.Partitions, cfg Config) (*Result, error) {
+	return RunRankedPipeline(context.Background(), er.FromPartitions(parts), cfg)
+}
+
+// RunRankedPipeline executes sorted neighborhood with rank partitioning
+// over the source's partitions. The canonical total order is (sorting
+// key, partition index, arrival index); SerialRanked is the matching
+// reference. Cancellation and sink semantics match RunPipeline.
+func RunRankedPipeline(ctx context.Context, src er.Source, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	eng := cfg.Engine
-	if eng == nil {
-		eng = &mapreduce.Engine{}
+	parts, err := src.Partitions()
+	if err != nil {
+		return nil, err
 	}
 	dist := buildRankDistribution(parts, cfg.Attr, cfg.Key, cfg.R)
 
@@ -140,36 +151,10 @@ func RunRanked(parts entity.Partitions, cfg Config) (*Result, error) {
 		Group:     groupRankKeys,
 		Coding:    rankKeyCoding,
 	}
-	res, err := job.Run(eng, partitionInput(parts))
-	if err != nil {
+	out := &Result{}
+	if err := runSNMatching(ctx, job, partitionInput(parts), cfg, out); err != nil {
 		return nil, fmt.Errorf("sn: ranked matching job: %w", err)
 	}
-
-	out := &Result{MatchResult: res}
-	seen := make(map[core.MatchPair]bool)
-	var fringes []fringe
-	for _, o := range res.Output {
-		if o.fringe != nil {
-			fringes = append(fringes, *o.fringe)
-			continue
-		}
-		if !seen[o.match] {
-			seen[o.match] = true
-			out.Matches = append(out.Matches, o.match)
-		}
-	}
-	out.Comparisons = res.Counter(core.ComparisonsCounter)
-
-	stitched, comps := stitchBoundaries(fringes, cfg)
-	out.BoundaryComparisons = comps
-	out.Comparisons += comps
-	for _, p := range stitched {
-		if !seen[p] {
-			seen[p] = true
-			out.Matches = append(out.Matches, p)
-		}
-	}
-	sortPairs(out.Matches)
 	return out, nil
 }
 
@@ -210,14 +195,14 @@ func SerialRanked(parts entity.Partitions, attr string, key KeyFunc, window int,
 			ks = append(ks, keyed{k: key(e.Attr(attr)), part: p, seq: seq, e: e})
 		}
 	}
-	sort.SliceStable(ks, func(i, j int) bool {
-		if ks[i].k != ks[j].k {
-			return ks[i].k < ks[j].k
+	slices.SortStableFunc(ks, func(a, b keyed) int {
+		if c := strings.Compare(a.k, b.k); c != 0 {
+			return c
 		}
-		if ks[i].part != ks[j].part {
-			return ks[i].part < ks[j].part
+		if c := a.part - b.part; c != 0 {
+			return c
 		}
-		return ks[i].seq < ks[j].seq
+		return a.seq - b.seq
 	})
 	var pairs []core.MatchPair
 	var comparisons int64
@@ -236,6 +221,6 @@ func SerialRanked(parts entity.Partitions, attr string, key KeyFunc, window int,
 			}
 		}
 	}
-	sortPairs(pairs)
+	er.SortMatches(pairs)
 	return pairs, comparisons
 }

@@ -25,11 +25,15 @@
 package sn
 
 import (
+	"context"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/entity"
+	"repro/internal/er"
 	"repro/internal/mapreduce"
 )
 
@@ -38,6 +42,12 @@ type KeyFunc func(attrValue string) string
 
 // Config configures a sorted-neighborhood run.
 type Config struct {
+	// RunOptions is the execution plumbing (engine, parallelism,
+	// out-of-core spilling, match sink) shared with the er pipelines.
+	// A configured Sink receives the window and boundary matches as a
+	// stream (raw emissions; Result.Matches stays nil).
+	er.RunOptions
+
 	// Attr is the attribute the sorting key is derived from.
 	Attr string
 	// Key derives the sorting key (identity on the attribute is common).
@@ -55,8 +65,6 @@ type Config struct {
 	// 2(w−1) comparisons), and the boundary stitching prepares each
 	// fringe entity once. Results are identical to the plain path.
 	PreparedMatcher core.PreparedMatcher
-	// Engine executes the jobs; zero value runs sequentially.
-	Engine *mapreduce.Engine
 }
 
 func (c *Config) validate() error {
@@ -137,10 +145,11 @@ func snKeyCoding(r int) mapreduce.KeyCoding[snKey] {
 	}
 }
 
-// snOut is one matching-job output record: either a window match or a
-// side-emitted boundary fringe entity.
+// snOut is one matching-job output record: either a window match (with
+// its similarity) or a side-emitted boundary fringe entity.
 type snOut struct {
 	match  core.MatchPair
+	sim    float64
 	fringe *fringe
 }
 
@@ -156,14 +165,23 @@ type fringe struct {
 	E   entity.Entity
 }
 
-// Run executes the full sorted-neighborhood workflow.
+// Run executes the full sorted-neighborhood workflow — the pre-context
+// adapter over RunPipeline, kept for one release of compatibility.
 func Run(parts entity.Partitions, cfg Config) (*Result, error) {
+	return RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+}
+
+// RunPipeline executes the full sorted-neighborhood workflow over the
+// source's partitions. Cancelling ctx stops the run between engine
+// tasks; a configured Sink streams the window and boundary matches
+// instead of collecting them into Result.Matches.
+func RunPipeline(ctx context.Context, src er.Source, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	eng := cfg.Engine
-	if eng == nil {
-		eng = &mapreduce.Engine{}
+	parts, err := src.Partitions()
+	if err != nil {
+		return nil, err
 	}
 
 	// ---- Phase 1: key distribution (the SN analogue of the BDM). ----
@@ -197,42 +215,79 @@ func Run(parts entity.Partitions, cfg Config) (*Result, error) {
 		Group:     groupSNKeys,
 		Coding:    snKeyCoding(cfg.R),
 	}
-	res, err := job.Run(eng, partitionInput(parts))
-	if err != nil {
+	out := &Result{RangeBounds: bounds}
+	if err := runSNMatching(ctx, job, partitionInput(parts), cfg, out); err != nil {
 		return nil, fmt.Errorf("sn: matching job: %w", err)
 	}
+	return out, nil
+}
 
-	out := &Result{RangeBounds: bounds, MatchResult: res}
-	seen := make(map[core.MatchPair]bool)
+// runSNMatching executes an SN matching job (key- or rank-partitioned —
+// both share the snOut output shape) and assembles the Result: window
+// matches are deduplicated into out.Matches, or streamed raw to the
+// configured sink; the O(r·w) boundary fringes are always collected
+// in-driver and feed phase 3, the boundary stitching, whose matches
+// follow the same path.
+func runSNMatching(ctx context.Context, job mapreduce.JobRunner[entity.Entity, snOut], input [][]entity.Entity, cfg Config, out *Result) error {
+	eng := cfg.ResolveEngine()
+	sink := cfg.Sink
 	var fringes []fringe
-	for _, o := range res.Output {
+
+	if sink == nil {
+		res, err := job.RunContext(ctx, eng, input)
+		if err != nil {
+			return err
+		}
+		out.MatchResult = res
+		seen := make(map[core.MatchPair]bool)
+		for _, o := range res.Output {
+			if o.fringe != nil {
+				fringes = append(fringes, *o.fringe)
+				continue
+			}
+			if !seen[o.match] {
+				seen[o.match] = true
+				out.Matches = append(out.Matches, o.match)
+			}
+		}
+		out.Comparisons = res.Counter(core.ComparisonsCounter)
+		stitched, comps := stitchBoundaries(fringes, cfg)
+		out.BoundaryComparisons = comps
+		out.Comparisons += comps
+		for _, sp := range stitched {
+			if !seen[sp.pair] {
+				seen[sp.pair] = true
+				out.Matches = append(out.Matches, sp.pair)
+			}
+		}
+		er.SortMatches(out.Matches)
+		return nil
+	}
+
+	// Streaming: window matches go straight to the sink (the engine
+	// serializes emissions, so appending fringes here is race-free);
+	// only the fringes are buffered for the stitching phase.
+	res, err := job.RunStream(ctx, eng, input, func(o snOut) error {
 		if o.fringe != nil {
 			fringes = append(fringes, *o.fringe)
-			continue
+			return nil
 		}
-		if !seen[o.match] {
-			seen[o.match] = true
-			out.Matches = append(out.Matches, o.match)
-		}
+		return sink.Consume(o.match, o.sim)
+	})
+	if err != nil {
+		return err
 	}
+	out.MatchResult = res
 	out.Comparisons = res.Counter(core.ComparisonsCounter)
-
-	// ---- Phase 3: boundary stitching. ----
-	// Collect per-range heads and tails in rank order, then compare
-	// cross-range pairs with rank distance < w. A window can span more
-	// than one range when ranges hold fewer than w−1 entities, so walk
-	// the globally concatenated tail/head sequence.
 	stitched, comps := stitchBoundaries(fringes, cfg)
 	out.BoundaryComparisons = comps
 	out.Comparisons += comps
-	for _, p := range stitched {
-		if !seen[p] {
-			seen[p] = true
-			out.Matches = append(out.Matches, p)
+	for _, sp := range stitched {
+		if err := sink.Consume(sp.pair, sp.sim); err != nil {
+			return err
 		}
 	}
-	sortPairs(out.Matches)
-	return out, nil
+	return sink.Flush()
 }
 
 // rangeBounds cuts the sorted key groups into r contiguous ranges of
@@ -325,12 +380,12 @@ func (r *snReducer[K]) Reduce(ctx *mapreduce.ReduceContext[snOut], _ K, values [
 			ctx.Inc(core.ComparisonsCounter, 1)
 			switch {
 			case r.pm != nil:
-				if _, ok := r.pm.MatchPrepared(r.prep[j], pe); ok {
-					ctx.Emit(snOut{match: core.NewMatchPair(prev.ID, e.ID)})
+				if sim, ok := r.pm.MatchPrepared(r.prep[j], pe); ok {
+					ctx.Emit(snOut{match: core.NewMatchPair(prev.ID, e.ID), sim: sim})
 				}
 			case r.match != nil:
-				if _, ok := r.match(prev, e); ok {
-					ctx.Emit(snOut{match: core.NewMatchPair(prev.ID, e.ID)})
+				if sim, ok := r.match(prev, e); ok {
+					ctx.Emit(snOut{match: core.NewMatchPair(prev.ID, e.ID), sim: sim})
 				}
 			}
 		}
@@ -359,12 +414,19 @@ func (r *snReducer[K]) Reduce(ctx *mapreduce.ReduceContext[snOut], _ K, values [
 	}
 }
 
+// scoredPair is a stitched boundary match with its similarity (streamed
+// to the sink when one is installed).
+type scoredPair struct {
+	pair core.MatchPair
+	sim  float64
+}
+
 // stitchBoundaries compares cross-range pairs with rank distance < w.
 // It reconstructs the global order around each range boundary from the
 // fringes: ...tail of range i (positions w−2..0), head of range i+1
 // (positions 0..w−2)... and, when ranges are tiny, continues through
 // subsequent heads/tails.
-func stitchBoundaries(fringes []fringe, cfg Config) ([]core.MatchPair, int64) {
+func stitchBoundaries(fringes []fringe, cfg Config) ([]scoredPair, int64) {
 	// Order fringes into the global sequence: heads and tails of a
 	// range interleave (a range shorter than w−1 contributes the same
 	// entity to both its head and tail). Build per-range ordered entity
@@ -407,7 +469,7 @@ func stitchBoundaries(fringes []fringe, cfg Config) ([]core.MatchPair, int64) {
 	}
 
 	w := cfg.Window
-	var pairs []core.MatchPair
+	var pairs []scoredPair
 	var comparisons int64
 	seenPair := make(map[[2]string]bool)
 	// For each boundary between range b and the ranges after it,
@@ -438,12 +500,12 @@ func stitchBoundaries(fringes []fringe, cfg Config) ([]core.MatchPair, int64) {
 					comparisons++
 					switch {
 					case cfg.PreparedMatcher != nil:
-						if _, ok := cfg.PreparedMatcher.MatchPrepared(prepTails[b][ti], prepHeads[nb][hi]); ok {
-							pairs = append(pairs, core.NewMatchPair(x.ID, y.ID))
+						if sim, ok := cfg.PreparedMatcher.MatchPrepared(prepTails[b][ti], prepHeads[nb][hi]); ok {
+							pairs = append(pairs, scoredPair{core.NewMatchPair(x.ID, y.ID), sim})
 						}
 					case cfg.Matcher != nil:
-						if _, ok := cfg.Matcher(x, y); ok {
-							pairs = append(pairs, core.NewMatchPair(x.ID, y.ID))
+						if sim, ok := cfg.Matcher(x, y); ok {
+							pairs = append(pairs, scoredPair{core.NewMatchPair(x.ID, y.ID), sim})
 						}
 					}
 				}
@@ -506,15 +568,6 @@ func orderedByPos(ps map[int]entity.Entity, reverse bool) []entity.Entity {
 	return out
 }
 
-func sortPairs(ps []core.MatchPair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
-		}
-		return ps[i].B < ps[j].B
-	})
-}
-
 // Serial is the reference implementation: sort all entities by
 // (key, ID) and compare each with its w−1 predecessors.
 func Serial(entities []entity.Entity, attr string, key KeyFunc, window int, match core.Matcher) ([]core.MatchPair, int64) {
@@ -526,11 +579,11 @@ func Serial(entities []entity.Entity, attr string, key KeyFunc, window int, matc
 	for i, e := range entities {
 		ks[i] = keyed{k: key(e.Attr(attr)), e: e}
 	}
-	sort.Slice(ks, func(i, j int) bool {
-		if ks[i].k != ks[j].k {
-			return ks[i].k < ks[j].k
+	slices.SortFunc(ks, func(a, b keyed) int {
+		if c := strings.Compare(a.k, b.k); c != 0 {
+			return c
 		}
-		return ks[i].e.ID < ks[j].e.ID
+		return strings.Compare(a.e.ID, b.e.ID)
 	})
 	var pairs []core.MatchPair
 	var comparisons int64
@@ -549,6 +602,6 @@ func Serial(entities []entity.Entity, attr string, key KeyFunc, window int, matc
 			}
 		}
 	}
-	sortPairs(pairs)
+	er.SortMatches(pairs)
 	return pairs, comparisons
 }

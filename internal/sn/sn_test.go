@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/entity"
+	"repro/internal/er"
 	"repro/internal/mapreduce"
 )
 
@@ -197,8 +198,8 @@ func TestRunParallelEngineDeterminism(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		res, err := Run(entity.SplitRoundRobin(es, 3), Config{
 			Attr: "k", Key: identityKey, Window: 4, R: 5,
-			Matcher: func(a, b entity.Entity) (float64, bool) { return 1, a.ID[1] == b.ID[1] },
-			Engine:  &mapreduce.Engine{Parallelism: 4},
+			Matcher:    func(a, b entity.Entity) (float64, bool) { return 1, a.ID[1] == b.ID[1] },
+			RunOptions: er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
 		})
 		if err != nil {
 			t.Fatal(err)
