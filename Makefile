@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race test-cancel-race bench-smoke bench bench-all smoke-lowmem clean
+.PHONY: check vet build test test-race test-cancel-race bench-smoke bench bench-all smoke-lowmem smoke-chaos clean
 
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
@@ -48,3 +48,9 @@ clean:
 # far below the shuffle volume, asserting success and spill cleanup.
 smoke-lowmem:
 	scripts/lowmem_smoke.sh
+
+# smoke-chaos runs the fault-injection differential suites and the
+# mid-phase cancellation tests under -race with a randomized chaos
+# seed (echoed for reproduction; pin with CHAOS_SEED=N).
+smoke-chaos:
+	scripts/chaos_smoke.sh

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/entity"
 	"repro/internal/experiments"
+	"repro/internal/mapreduce"
 	"repro/internal/report"
 	"repro/internal/runio"
 )
@@ -38,6 +39,9 @@ func main() {
 		tmpdir      = flag.String("tmpdir", "", "spill directory root for -spill-budget (default: system temp dir)")
 		in          = flag.String("in", "", "CSV dataset replacing the generated DS1 stand-in (streamed row by row)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		maxAttempts = flag.Int("max-attempts", 0, "per-task attempt budget for executed runs (0 = engine default)")
+		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt wall-clock timeout for executed runs (0 = none)")
+		faults      = flag.String("faults", "", "deterministic fault injection 'rate[:seed]' for executed runs (e.g. 0.2:7)")
 	)
 	flag.Parse()
 
@@ -46,7 +50,12 @@ func main() {
 	opts.Executed = *executed
 	opts.Parallelism = *parallelism
 	opts.TmpDir = *tmpdir
+	opts.Retry = mapreduce.RetryPolicy{MaxAttempts: *maxAttempts, TaskTimeout: *taskTimeout}
 	var err error
+	if opts.FaultHook, err = mapreduce.ParseChaos(*faults, *maxAttempts); err != nil {
+		fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+		os.Exit(1)
+	}
 	if opts.SpillBudget, err = runio.ParseByteSize(*spillBudget); err != nil {
 		fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 		os.Exit(1)

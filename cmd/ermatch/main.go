@@ -2,7 +2,11 @@
 // dataset with a selectable load-balancing strategy, executing the full
 // two-job MapReduce workflow on the in-process engine. Matches can be
 // streamed to a file (-out) through the pipeline's writer sinks instead
-// of being buffered, and Ctrl-C cancels the run between engine tasks.
+// of being buffered — written atomically: the stream lands in a temp
+// file renamed over -out only on success, so a failed or interrupted
+// run never leaves a partial file. Ctrl-C cancels the run between
+// engine tasks, and -max-attempts/-task-timeout/-faults expose the
+// engine's retry policy and deterministic fault injection.
 //
 // Usage:
 //
@@ -18,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -27,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/er"
+	"repro/internal/mapreduce"
 	"repro/internal/match"
 	"repro/internal/runio"
 	"repro/internal/sn"
@@ -50,6 +56,9 @@ func main() {
 		showPairs    = flag.Bool("pairs", false, "print every match pair")
 		showClusters = flag.Bool("clusters", false, "print duplicate clusters (transitive closure)")
 		simulate     = flag.Bool("simulate", false, "also report simulated cluster time (10 nodes)")
+		maxAttempts  = flag.Int("max-attempts", 0, "per-task attempt budget before the run fails (0 = engine default)")
+		taskTimeout  = flag.Duration("task-timeout", 0, "per-attempt wall-clock timeout; a timed-out attempt is retried (0 = none)")
+		faults       = flag.String("faults", "", "deterministic fault injection 'rate[:seed]' for chaos testing (e.g. 0.2:7)")
 	)
 	flag.Parse()
 
@@ -95,21 +104,36 @@ func main() {
 	// -out installs a streaming writer sink: matches flow from the
 	// reduce tasks to the file as they are found and are never
 	// accumulated in memory.
+	faultHook, err := mapreduce.ParseChaos(*faults, *maxAttempts)
+	if err != nil {
+		fail(err)
+	}
 	opts := er.RunOptions{
 		Parallelism: *parallelism,
 		SpillBudget: budget,
 		TmpDir:      *tmpdir,
+		Retry:       mapreduce.RetryPolicy{MaxAttempts: *maxAttempts, TaskTimeout: *taskTimeout},
+		FaultHook:   faultHook,
 	}
 	var count func() int64
 	var outFile *os.File
+	var outTmp string
 	if *out != "" {
 		var w io.Writer = os.Stdout
 		if *out != "-" {
-			f, err := os.Create(*out)
+			// Matches stream into a temp file beside the target; it is
+			// renamed over -out only after the run and Close succeed, so a
+			// failed or interrupted run never leaves a partial output file
+			// (and never clobbers a previous good one).
+			f, err := os.CreateTemp(filepath.Dir(*out), "."+filepath.Base(*out)+".tmp-*")
 			if err != nil {
 				fail(err)
 			}
-			outFile = f
+			outFile, outTmp = f, f.Name()
+			cleanupOnFail = func() {
+				f.Close()
+				os.Remove(outTmp)
+			}
 			w = f
 		}
 		if *format == "csv" {
@@ -198,6 +222,10 @@ func main() {
 		if err := outFile.Close(); err != nil {
 			fail(err)
 		}
+		if err := os.Rename(outTmp, *out); err != nil {
+			fail(err)
+		}
+		cleanupOnFail = nil
 		fmt.Printf("matches streamed to %s (%s)\n", *out, *format)
 	}
 	if *showPairs {
@@ -212,7 +240,14 @@ func main() {
 	}
 }
 
+// cleanupOnFail removes the in-flight temp output file; fail runs it
+// because os.Exit skips deferred calls.
+var cleanupOnFail func()
+
 func fail(err error) {
+	if cleanupOnFail != nil {
+		cleanupOnFail()
+	}
 	fmt.Fprintf(os.Stderr, "ermatch: %v\n", err)
 	os.Exit(1)
 }

@@ -15,6 +15,13 @@ import (
 // The model launches at most one backup per task and assigns idle slots
 // in order of when they become free, mirroring the single-backup policy
 // of Hadoop's default speculative scheduler.
+//
+// The execution engine now implements this policy for real — see
+// mapreduce.RetryPolicy.SpeculativeSlowdown, which launches a live
+// backup attempt for any task running longer than a multiple of the
+// phase's median completed-task duration and commits whichever copy
+// finishes first. This analytical model remains the tool for studying
+// the policy's effect on makespan without running workloads.
 func ScheduleSpeculative(costs []float64, speeds []float64) PhaseResult {
 	res := ScheduleWithSpeeds(costs, speeds)
 	n := len(costs)

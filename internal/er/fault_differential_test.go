@@ -1,0 +1,205 @@
+package er_test
+
+// End-to-end fault-schedule differential: the full ER workflow (BDM job
+// + match job) under injected faults must produce a Result
+// byte-identical to the fault-free run, for every strategy × dataflow ×
+// fault kind — proving the engine's commit protocol holds through the
+// two-job pipeline, not just a single job. Attempt counters and spill
+// counters are zeroed before comparison (execution history, not
+// output); everything else — matches, comparisons, BDM, side output,
+// every TaskMetrics field — must match exactly.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/er"
+	"repro/internal/mapreduce"
+	"repro/internal/testleak"
+)
+
+var chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the chaos-hook pipeline differential test")
+
+// faultEngine builds one engine per dataflow for the pipeline runs;
+// external engines spill aggressively into a per-test temp dir.
+func faultEngine(t *testing.T, dataflow mapreduce.DataflowMode) *mapreduce.Engine {
+	t.Helper()
+	e := &mapreduce.Engine{Parallelism: 4, Dataflow: dataflow}
+	if dataflow == mapreduce.DataflowExternal {
+		e.SpillBudget = 128
+		e.TmpDir = t.TempDir()
+	}
+	return e
+}
+
+// zeroHistory strips the execution-history counters from an er.Result
+// in place: the four attempt counters plus the external-only spill
+// counters of both jobs.
+func zeroHistory(res *er.Result) {
+	clear := func(m *mapreduce.Metrics) {
+		m.Attempts = 0
+		m.Retries = 0
+		m.SpeculativeLaunched = 0
+		m.SpeculativeWon = 0
+		for _, ms := range [][]mapreduce.TaskMetrics{m.MapMetrics, m.ReduceMetrics} {
+			for i := range ms {
+				ms[i].SpillRuns = 0
+				ms[i].SpillBytesWritten = 0
+				ms[i].SpillBytesRead = 0
+			}
+		}
+	}
+	if res.BDMResult != nil {
+		clear(&res.BDMResult.Metrics)
+	}
+	if res.MatchResult != nil {
+		clear(&res.MatchResult.Metrics)
+	}
+}
+
+// erFault is one fault kind of the differential matrix. install mutates
+// the engine (hook and/or retry policy); extOnly restricts disk faults
+// to the dataflow that has disk points.
+type erFault struct {
+	name    string
+	extOnly bool
+	install func(e *mapreduce.Engine)
+}
+
+// failFirstAt fails attempt 1 of every task of the given phase at the
+// given point — FaultEmit faults panic through the user map/reduce
+// frames (the injected-panic carrier), making "map-panic"/"reduce-panic"
+// literal descriptions of the unwinding path.
+func failFirstAt(phase mapreduce.TaskKind, point mapreduce.FaultPoint) func(e *mapreduce.Engine) {
+	return func(e *mapreduce.Engine) {
+		e.Retry.BaseBackoff = 1
+		e.FaultHook = func(ctx context.Context, ph mapreduce.TaskKind, task, attempt int, pt mapreduce.FaultPoint) error {
+			if ph == phase && pt == point && attempt == 1 {
+				return fmt.Errorf("injected %s fault (%s task %d)", pt, ph, task)
+			}
+			return nil
+		}
+	}
+}
+
+func erFaults() []erFault {
+	return []erFault{
+		{name: "map-panic", install: failFirstAt(mapreduce.MapTask, mapreduce.FaultEmit)},
+		{name: "reduce-panic", install: failFirstAt(mapreduce.ReduceTask, mapreduce.FaultEmit)},
+		{name: "spill-transient", extOnly: true, install: failFirstAt(mapreduce.MapTask, mapreduce.FaultSpill)},
+		{name: "straggler-speculation", install: func(e *mapreduce.Engine) {
+			e.Retry = mapreduce.RetryPolicy{
+				SpeculativeSlowdown: 1.5,
+				SpeculativeInterval: time.Millisecond,
+				SpeculativeMinAge:   5 * time.Millisecond,
+			}
+			// Attempt 1 of map task 0 straggles until cancelled; the
+			// speculative backup is the only way the task finishes.
+			e.FaultHook = func(ctx context.Context, ph mapreduce.TaskKind, task, attempt int, pt mapreduce.FaultPoint) error {
+				if ph == mapreduce.MapTask && task == 0 && attempt == 1 && pt == mapreduce.FaultTaskStart {
+					<-ctx.Done()
+					return ctx.Err()
+				}
+				return nil
+			}
+		}},
+	}
+}
+
+// TestERChaosDifferential runs the full two-job pipeline under a
+// seeded random fault schedule (every hook point of every attempt may
+// fail, final attempts excepted) and requires the byte-identical
+// Result. The chaos-smoke CI job randomizes -chaos-seed.
+func TestERChaosDifferential(t *testing.T) {
+	parts := entity.SplitRoundRobin(testEntities(150, 3), 3)
+	dataflows := map[string]mapreduce.DataflowMode{
+		"typed":    mapreduce.DataflowTyped,
+		"boxed":    mapreduce.DataflowBoxed,
+		"external": mapreduce.DataflowExternal,
+	}
+	for dname, dataflow := range dataflows {
+		t.Run(dname, func(t *testing.T) {
+			cfg := baseConfig(core.BlockSplit{}, 4)
+			cfg.Engine = faultEngine(t, dataflow)
+			baseline, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zeroHistory(baseline)
+
+			before := testleak.Snapshot()
+			cfg = baseConfig(core.BlockSplit{}, 4)
+			eng := faultEngine(t, dataflow)
+			eng.Retry.BaseBackoff = 1
+			eng.FaultHook = mapreduce.ChaosHook(*chaosSeed, 0.3, 0)
+			cfg.Engine = eng
+			res, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+			if err != nil {
+				t.Fatalf("chaos-seed=%d: %v", *chaosSeed, err)
+			}
+			testleak.Check(t, before)
+			zeroHistory(res)
+			if !reflect.DeepEqual(res, baseline) {
+				t.Fatalf("chaos-seed=%d: chaotic pipeline diverges from fault-free run", *chaosSeed)
+			}
+		})
+	}
+}
+
+func TestERFaultScheduleDifferential(t *testing.T) {
+	parts := entity.SplitRoundRobin(testEntities(150, 3), 3)
+	dataflows := map[string]mapreduce.DataflowMode{
+		"typed":    mapreduce.DataflowTyped,
+		"boxed":    mapreduce.DataflowBoxed,
+		"external": mapreduce.DataflowExternal,
+	}
+	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
+		for dname, dataflow := range dataflows {
+			// Fault-free baseline on the same dataflow/engine shape.
+			cfg := baseConfig(strat, 4)
+			cfg.Engine = faultEngine(t, dataflow)
+			baseline, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(baseline.Matches) == 0 {
+				t.Fatalf("%s/%s: differential vacuous, no matches", strat.Name(), dname)
+			}
+			zeroHistory(baseline)
+			for _, fault := range erFaults() {
+				if fault.extOnly && dataflow != mapreduce.DataflowExternal {
+					continue
+				}
+				t.Run(fmt.Sprintf("%s/%s/%s", strat.Name(), dname, fault.name), func(t *testing.T) {
+					before := testleak.Snapshot()
+					cfg := baseConfig(strat, 4)
+					eng := faultEngine(t, dataflow)
+					fault.install(eng)
+					cfg.Engine = eng
+					res, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					testleak.Check(t, before)
+					injected := res.MatchResult.Retries + res.MatchResult.SpeculativeLaunched
+					if res.BDMResult != nil {
+						injected += res.BDMResult.Retries + res.BDMResult.SpeculativeLaunched
+					}
+					if injected == 0 {
+						t.Fatalf("fault %s never fired: no retries or backups recorded", fault.name)
+					}
+					zeroHistory(res)
+					if !reflect.DeepEqual(res, baseline) {
+						t.Fatal("faulted pipeline diverges from fault-free run")
+					}
+				})
+			}
+		}
+	}
+}

@@ -35,6 +35,15 @@ type RunOptions struct {
 	// match-output memory is O(1) in the match count. See MatchSink for
 	// the ordering and Flush contract.
 	Sink MatchSink
+	// Retry configures task attempts, backoff, and speculative
+	// re-execution for the pipeline's jobs (the zero value means engine
+	// defaults: see mapreduce.RetryPolicy). Ignored when Engine is set —
+	// configure the engine directly instead.
+	Retry mapreduce.RetryPolicy
+	// FaultHook, when non-nil, is the deterministic fault-injection hook
+	// threaded to every job (chaos testing; see mapreduce.ChaosHook).
+	// Ignored when Engine is set.
+	FaultHook mapreduce.FaultHook
 }
 
 // ResolveEngine returns the effective engine: the configured one, or a
@@ -44,7 +53,7 @@ func (o *RunOptions) ResolveEngine() *mapreduce.Engine {
 	if o.Engine != nil {
 		return o.Engine
 	}
-	e := &mapreduce.Engine{Parallelism: o.Parallelism}
+	e := &mapreduce.Engine{Parallelism: o.Parallelism, Retry: o.Retry, FaultHook: o.FaultHook}
 	if o.SpillBudget > 0 {
 		e.Dataflow = mapreduce.DataflowExternal
 		e.SpillBudget = o.SpillBudget

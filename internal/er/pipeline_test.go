@@ -21,6 +21,7 @@ import (
 	"repro/internal/er"
 	"repro/internal/mapreduce"
 	"repro/internal/similarity"
+	"repro/internal/testleak"
 )
 
 func testMatcher(threshold float64) core.Matcher {
@@ -329,6 +330,8 @@ func TestPipelineCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	parts := entity.SplitRoundRobin(testEntities(40, 23), 2)
+	before := testleak.Snapshot()
+	defer testleak.Check(t, before)
 	for name, run := range map[string]func() error{
 		"run": func() error {
 			_, err := er.RunPipeline(ctx, er.FromPartitions(parts), baseConfig(core.BlockSplit{}, 2))

@@ -1,0 +1,699 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the task-attempt supervision layer shared by all three
+// dataflows (typed, boxed, external). Every map and reduce task executes
+// as a sequence of *attempts*: a panic or error inside one attempt fails
+// only that attempt, the RetryPolicy decides whether and when the task
+// re-runs, and straggling tasks can be speculatively duplicated — the
+// first attempt to finish commits, the loser is cancelled. Correctness
+// under retries and duplicate attempts rests on a task-commit protocol:
+// an attempt accumulates all of its observable output (records, side
+// output, metrics) privately and the supervisor publishes it atomically
+// on commit, so a failed, retried, or superseded attempt leaves no trace
+// in the Result. See DESIGN.md ("Fault tolerance").
+
+// Defaults of the zero-value RetryPolicy. They are deliberately small:
+// the engine runs in-process, so "rack-local re-fetch" style backoffs
+// would only slow tests down.
+const (
+	// DefaultMaxAttempts is the per-task attempt budget when
+	// RetryPolicy.MaxAttempts is zero.
+	DefaultMaxAttempts = 3
+	// DefaultBaseBackoff/DefaultMaxBackoff bound the capped exponential
+	// backoff between attempts.
+	DefaultBaseBackoff = 2 * time.Millisecond
+	DefaultMaxBackoff  = 250 * time.Millisecond
+	// DefaultSpeculativeInterval is how often the straggler monitor
+	// re-inspects running tasks; DefaultSpeculativeMinAge is the minimum
+	// task age before a backup may launch (guards against duplicating
+	// sub-millisecond tasks whose median is noise).
+	DefaultSpeculativeInterval = 5 * time.Millisecond
+	DefaultSpeculativeMinAge   = 100 * time.Millisecond
+)
+
+// RetryPolicy governs task re-execution. The zero value enables retries
+// with the defaults above and disables per-attempt timeouts and
+// speculative execution.
+type RetryPolicy struct {
+	// MaxAttempts is the attempt budget per task (0 = DefaultMaxAttempts,
+	// 1 = fail on the first error, Hadoop's mapred.map.max.attempts).
+	// A speculative backup gets one attempt of its own on top.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// before attempt n+1: base·2^(n-1) capped at MaxBackoff, then
+	// jittered into [d/2, d] with a deterministic hash of
+	// (Seed, phase, task, attempt) — retries of different tasks decohere
+	// without a global randomness source.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed seeds the backoff jitter (and nothing else); runs with equal
+	// seeds back off identically.
+	Seed uint64
+	// TaskTimeout, when > 0, bounds each attempt's wall-clock time. A
+	// timed-out attempt fails with context.DeadlineExceeded, which is
+	// retryable; task loops observe the deadline between input records.
+	TaskTimeout time.Duration
+	// Retryable classifies attempt errors: false means the error is
+	// terminal and fails the run immediately. nil retries everything
+	// except errors marked with Fatal and run-context cancellation.
+	Retryable func(error) bool
+	// SpeculativeSlowdown enables speculative execution when > 0: a task
+	// running longer than SpeculativeSlowdown × the median duration of
+	// completed same-phase tasks gets one backup attempt; the first
+	// finisher commits and the loser is cancelled via its context. This
+	// graduates internal/cluster/speculative.go's single-backup policy
+	// from the simulator into the engine.
+	SpeculativeSlowdown float64
+	// SpeculativeInterval is the monitor's polling period
+	// (0 = DefaultSpeculativeInterval).
+	SpeculativeInterval time.Duration
+	// SpeculativeMinAge is the minimum age before a task can be backed
+	// up (0 = DefaultSpeculativeMinAge).
+	SpeculativeMinAge time.Duration
+}
+
+func (p *RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (p *RetryPolicy) baseBackoff() time.Duration {
+	if p.BaseBackoff > 0 {
+		return p.BaseBackoff
+	}
+	return DefaultBaseBackoff
+}
+
+func (p *RetryPolicy) maxBackoff() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return DefaultMaxBackoff
+}
+
+func (p *RetryPolicy) specInterval() time.Duration {
+	if p.SpeculativeInterval > 0 {
+		return p.SpeculativeInterval
+	}
+	return DefaultSpeculativeInterval
+}
+
+func (p *RetryPolicy) specMinAge() time.Duration {
+	if p.SpeculativeMinAge > 0 {
+		return p.SpeculativeMinAge
+	}
+	return DefaultSpeculativeMinAge
+}
+
+func (p *RetryPolicy) retryable(err error) bool {
+	if isFatal(err) {
+		return false
+	}
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return true
+}
+
+// backoffFor returns the sleep before re-running a task after `failed`
+// failed attempts: capped exponential growth with deterministic
+// half-interval jitter (always in [d/2, d]).
+func (p *RetryPolicy) backoffFor(phase TaskKind, task, failed int) time.Duration {
+	d, cap := p.baseBackoff(), p.maxBackoff()
+	for i := 1; i < failed && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	h := splitmix64(p.Seed ^ uint64(phase)<<62 ^ uint64(task)<<20 ^ uint64(failed))
+	return half + time.Duration(h%uint64(half)+1)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed integer hash used for backoff jitter and the chaos
+// hook's per-site fault decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TaskError is the terminal failure of one task: the phase and index it
+// belongs to, the attempt that failed last, and the underlying cause.
+// Both retry exhaustion and fatal (non-retryable) errors surface as a
+// *TaskError inside the job-level error, so callers can errors.As it
+// out and inspect where the run died.
+type TaskError struct {
+	Phase   TaskKind
+	Task    int
+	Attempt int
+	Cause   error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("%s task %d (attempt %d): %v", e.Phase, e.Task, e.Attempt, e.Cause)
+}
+
+func (e *TaskError) Unwrap() error { return e.Cause }
+
+// fatalError marks an error as non-retryable regardless of the policy's
+// Retryable classifier.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// Fatal marks err as non-retryable: an attempt failing with a
+// Fatal-wrapped error fails its task on the spot, retry budget
+// notwithstanding. The engine uses it for deterministic user-logic bugs
+// (an out-of-range Partition function) that re-running cannot fix.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &fatalError{err: err}
+}
+
+func isFatal(err error) bool {
+	var f *fatalError
+	return errors.As(err, &f)
+}
+
+// FaultPoint identifies where in an attempt's lifecycle a FaultHook
+// fires.
+type FaultPoint int
+
+const (
+	// FaultTaskStart fires once when an attempt starts, before any user
+	// code runs.
+	FaultTaskStart FaultPoint = iota
+	// FaultEmit fires on every Emit of the attempt's map/combine/reduce
+	// context.
+	FaultEmit
+	// FaultSpill fires before the external dataflow writes a sorted run
+	// to disk.
+	FaultSpill
+	// FaultMerge fires before a reduce (or map-side combine) merge
+	// starts consuming its sources.
+	FaultMerge
+)
+
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultTaskStart:
+		return "task-start"
+	case FaultEmit:
+		return "emit"
+	case FaultSpill:
+		return "spill"
+	case FaultMerge:
+		return "merge"
+	}
+	return fmt.Sprintf("FaultPoint(%d)", int(p))
+}
+
+// FaultHook injects deterministic faults for testing. It is called at
+// the instrumented points of every attempt with the attempt's identity;
+// a non-nil return value fails the attempt with that error (wrap with
+// Fatal to make the failure terminal). ctx is the attempt's context —
+// hooks that sleep (straggler injection) must select on ctx.Done() so a
+// losing attempt cancels promptly. Hooks run on task goroutines and
+// must be safe for concurrent use.
+type FaultHook func(ctx context.Context, phase TaskKind, task, attempt int, point FaultPoint) error
+
+// taskHook binds the engine's FaultHook to one attempt's identity.
+// Contexts carry a *taskHook (nil when no hook is installed), so fault
+// injection costs one nil check per emit when disabled.
+type taskHook struct {
+	hook    FaultHook
+	ctx     context.Context
+	phase   TaskKind
+	task    int
+	attempt int
+}
+
+// fire invokes the hook at an error-returning point; nil receiver means
+// no hook installed.
+func (h *taskHook) fire(point FaultPoint) error {
+	if h == nil {
+		return nil
+	}
+	return h.hook(h.ctx, h.phase, h.task, h.attempt, point)
+}
+
+// fireEmit invokes the hook at an emit site. Emit has no error channel,
+// so an injected error travels as an injectedFault panic, which
+// recoverAttempt translates back into the attempt's error — exercising
+// the same recovery path a panic in user code takes.
+func (h *taskHook) fireEmit() {
+	if h == nil {
+		return
+	}
+	if err := h.hook(h.ctx, h.phase, h.task, h.attempt, FaultEmit); err != nil {
+		panic(injectedFault{err: err})
+	}
+}
+
+// injectedFault carries a hook-injected error through user stack frames.
+type injectedFault struct{ err error }
+
+// recoverAttempt is deferred at the top of every attempt runner: a panic
+// in user Map/Reduce/Combine code (or an injected fault) becomes the
+// attempt's error instead of killing the process.
+func recoverAttempt(err *error) {
+	if p := recover(); p != nil {
+		if f, ok := p.(injectedFault); ok {
+			*err = f.err
+			return
+		}
+		*err = fmt.Errorf("panic: %v", p)
+	}
+}
+
+// cancelCheckMask gates the in-attempt cancellation/deadline polls: task
+// loops check their context every (mask+1) records, and only when the
+// context is cancellable at all.
+const cancelCheckMask = 63
+
+// attemptStats is one phase's attempt accounting, merged into
+// Metrics after the phase completes.
+type attemptStats struct {
+	attempts     int64
+	retries      int64
+	specLaunched int64
+	specWon      int64
+}
+
+// taskOps is the phase-specific half of the supervisor: how to run one
+// attempt, publish a winner, and release a loser. Implementations are
+// passed by pointer, so the interface conversion never allocates — the
+// typed fast path embeds both its ops and its supervisor in runState
+// and pays zero allocations for supervision.
+type taskOps[T any] interface {
+	// runTaskAttempt executes one attempt. It must keep all observable
+	// output private to the attempt and clean up its own resources on
+	// error.
+	runTaskAttempt(ctx context.Context, hook *taskHook, task, attempt int) (T, error)
+	// commitTask publishes a winning attempt's output; it is called at
+	// most once per task. A commit error is terminal for the task.
+	commitTask(task int, out T) error
+	// discardOut releases the output of a completed attempt that lost a
+	// speculation race and will never be committed.
+	discardOut(out T)
+}
+
+// taskSupervisor executes one phase's tasks as supervised attempt
+// sequences. T is the attempt-private output type a successful attempt
+// hands to commit. A supervisor is single-use: init it, run one phase
+// through supervise, read stats.
+type taskSupervisor[T any] struct {
+	e           *Engine
+	pol         *RetryPolicy
+	phase       TaskKind
+	maxAttempts int
+	ops         taskOps[T]
+
+	stats attemptStats
+	board *specBoard
+
+	// First failed task in task order — the phase's reported error.
+	// (Tracking the minimum beats an n-sized error slice: supervision
+	// stays allocation-free on the fault-free path.)
+	errMu     sync.Mutex
+	firstErr  error
+	firstTask int
+}
+
+// init prepares the supervisor for one phase. Kept separate from
+// supervise so callers on the hot path can embed the supervisor in an
+// existing allocation instead of constructing one per phase.
+func (sv *taskSupervisor[T]) init(e *Engine, phase TaskKind, ops taskOps[T]) {
+	sv.e = e
+	sv.pol = &e.Retry
+	sv.phase = phase
+	sv.maxAttempts = e.Retry.maxAttempts()
+	sv.ops = ops
+	sv.firstTask = -1
+	sv.firstErr = nil
+}
+
+// supervise runs n tasks of the phase under the engine's RetryPolicy,
+// with the same bounded parallelism as forEachTask. It returns the
+// phase's attempt statistics and the first failed task's error in task
+// order (a *TaskError, or the context error when the run was
+// cancelled).
+func (sv *taskSupervisor[T]) supervise(ctx context.Context, n int) (attemptStats, error) {
+	if sv.pol.SpeculativeSlowdown > 0 {
+		sv.board = &specBoard{running: make(map[int]*specTask, n)}
+		stop := make(chan struct{})
+		var mwg sync.WaitGroup
+		mwg.Add(1)
+		go func() {
+			defer mwg.Done()
+			sv.monitor(ctx, stop)
+		}()
+		sv.e.forEachTask(ctx, n, sv)
+		close(stop)
+		mwg.Wait()
+	} else {
+		sv.e.forEachTask(ctx, n, sv)
+	}
+	return sv.stats, sv.firstErr
+}
+
+// runOne is the taskRunner hook forEachTask drives: it dispatches to
+// the plain or speculative retry loop and records the failure of the
+// lowest-numbered failed task.
+func (sv *taskSupervisor[T]) runOne(ctx context.Context, task int) {
+	var err error
+	if sv.board != nil {
+		err = sv.runSpecTask(ctx, task)
+	} else {
+		err = sv.runPlainTask(ctx, task)
+	}
+	if err != nil {
+		sv.errMu.Lock()
+		if sv.firstTask == -1 || task < sv.firstTask {
+			sv.firstTask, sv.firstErr = task, err
+		}
+		sv.errMu.Unlock()
+	}
+}
+
+// funcTaskOps adapts free functions to taskOps for the call sites that
+// build their phases from closures (boxed and external dataflows).
+type funcTaskOps[T any] struct {
+	run     func(ctx context.Context, hook *taskHook, task, attempt int) (T, error)
+	commit  func(task int, out T) error
+	discard func(out T)
+}
+
+func (o *funcTaskOps[T]) runTaskAttempt(ctx context.Context, hook *taskHook, task, attempt int) (T, error) {
+	return o.run(ctx, hook, task, attempt)
+}
+func (o *funcTaskOps[T]) commitTask(task int, out T) error { return o.commit(task, out) }
+func (o *funcTaskOps[T]) discardOut(out T)                 { o.discard(out) }
+
+// superviseTasks is the closure-based entry point over
+// taskSupervisor.supervise, used by the boxed and external dataflows.
+func superviseTasks[T any](
+	ctx context.Context,
+	e *Engine,
+	phase TaskKind,
+	n int,
+	run func(ctx context.Context, hook *taskHook, task, attempt int) (T, error),
+	commit func(task int, out T) error,
+	discard func(out T),
+) (attemptStats, error) {
+	sv := &taskSupervisor[T]{}
+	sv.init(e, phase, &funcTaskOps[T]{run: run, commit: commit, discard: discard})
+	return sv.supervise(ctx, n)
+}
+
+// runAttempt executes one attempt: per-attempt deadline, fault-hook
+// binding, and attempt accounting.
+func (sv *taskSupervisor[T]) runAttempt(ctx context.Context, task, attempt int) (T, error) {
+	atomic.AddInt64(&sv.stats.attempts, 1)
+	actx := ctx
+	var cancel context.CancelFunc
+	if sv.pol.TaskTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, sv.pol.TaskTimeout)
+	}
+	var hook *taskHook
+	if sv.e.FaultHook != nil {
+		hook = &taskHook{hook: sv.e.FaultHook, ctx: actx, phase: sv.phase, task: task, attempt: attempt}
+	}
+	out, err := sv.ops.runTaskAttempt(actx, hook, task, attempt)
+	if cancel != nil {
+		cancel()
+	}
+	return out, err
+}
+
+// runPlainTask is the non-speculative retry loop: attempts run
+// back-to-back with backoff until one commits, the budget is exhausted,
+// the error is classified non-retryable, or the run is cancelled.
+func (sv *taskSupervisor[T]) runPlainTask(ctx context.Context, task int) error {
+	for failed := 0; ; {
+		attempt := failed + 1
+		out, err := sv.runAttempt(ctx, task, attempt)
+		if err == nil {
+			if cerr := sv.ops.commitTask(task, out); cerr != nil {
+				return &TaskError{Phase: sv.phase, Task: task, Attempt: attempt, Cause: cerr}
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			// Run cancelled: the attempt's failure is a consequence, not
+			// a task fault — surface the cancellation unclassified.
+			return ctx.Err()
+		}
+		failed++
+		if failed >= sv.maxAttempts || !sv.pol.retryable(err) {
+			return &TaskError{Phase: sv.phase, Task: task, Attempt: attempt, Cause: err}
+		}
+		atomic.AddInt64(&sv.stats.retries, 1)
+		if !sleepCtx(ctx, sv.pol.backoffFor(sv.phase, task, failed)) {
+			return ctx.Err()
+		}
+	}
+}
+
+// sleepCtx sleeps for d, returning false if ctx is done first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ---- speculative execution ----
+
+// specBoard is the straggler monitor's shared view of one phase:
+// durations of committed tasks (median source) and the currently
+// running primaries.
+type specBoard struct {
+	mu        sync.Mutex
+	durations []time.Duration
+	running   map[int]*specTask
+}
+
+// specTask coordinates one task's primary attempt line with its (at
+// most one) speculative backup.
+type specTask struct {
+	task  int
+	start time.Time
+	// primaryCancel aborts the primary's in-flight attempt when the
+	// backup wins; immutable after registration.
+	primaryCancel context.CancelFunc
+	// backupCancel (guarded by the board mutex) aborts the backup when
+	// the primary wins; backupLaunched flips once, under the same lock.
+	backupCancel   context.CancelFunc
+	backupLaunched bool
+	backupWG       sync.WaitGroup
+	// won flips once, by the attempt that commits.
+	won atomic.Bool
+	// seq hands out attempt numbers shared between the lines.
+	seq atomic.Int64
+	// commitErr records a failed commit (terminal), guarded by won:
+	// only the winning attempt writes it, before the loser can observe
+	// won via join.
+	commitErr error
+}
+
+// runSpecTask is runPlainTask's speculative counterpart: the primary
+// retry loop runs under a cancellable context registered on the board,
+// and the task only settles after any backup attempt has been joined.
+func (sv *taskSupervisor[T]) runSpecTask(ctx context.Context, task int) error {
+	st := &specTask{task: task, start: time.Now()}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	st.primaryCancel = pcancel
+	b := sv.board
+	b.mu.Lock()
+	b.running[task] = st
+	b.mu.Unlock()
+
+	perr := sv.primaryLoop(pctx, ctx, st)
+
+	b.mu.Lock()
+	delete(b.running, task)
+	b.mu.Unlock()
+	// A backup launched before deregistration must finish before the
+	// task settles (and before the phase returns — no goroutine leaks).
+	st.backupWG.Wait()
+	if st.won.Load() {
+		if st.commitErr != nil {
+			return &TaskError{Phase: sv.phase, Task: task, Attempt: int(st.seq.Load()), Cause: st.commitErr}
+		}
+		return nil
+	}
+	return perr
+}
+
+// primaryLoop is the retry loop of the task's original execution line.
+// actx is the cancellable primary context (cancelled by a winning
+// backup); rctx the run context (cancellation of the whole run).
+func (sv *taskSupervisor[T]) primaryLoop(actx, rctx context.Context, st *specTask) error {
+	for failed := 0; ; {
+		attempt := int(st.seq.Add(1))
+		out, err := sv.runAttempt(actx, st.task, attempt)
+		if err == nil {
+			sv.finish(st, st.task, out, false)
+			return nil
+		}
+		if st.won.Load() {
+			return nil // superseded by the backup; our failure is moot
+		}
+		if rctx.Err() != nil {
+			return rctx.Err()
+		}
+		if actx.Err() != nil {
+			return nil // cancelled as the loser mid-race
+		}
+		failed++
+		if failed >= sv.maxAttempts || !sv.pol.retryable(err) {
+			return &TaskError{Phase: sv.phase, Task: st.task, Attempt: attempt, Cause: err}
+		}
+		atomic.AddInt64(&sv.stats.retries, 1)
+		if !sleepCtx(actx, sv.pol.backoffFor(sv.phase, st.task, failed)) {
+			if rctx.Err() != nil {
+				return rctx.Err()
+			}
+			return nil
+		}
+	}
+}
+
+// finish settles a successful attempt: the first finisher commits its
+// output, records the task's duration for the straggler median, and
+// cancels the competing attempt; any later finisher discards. Returns
+// whether this attempt won.
+func (sv *taskSupervisor[T]) finish(st *specTask, task int, out T, backup bool) bool {
+	if !st.won.CompareAndSwap(false, true) {
+		sv.ops.discardOut(out)
+		return false
+	}
+	b := sv.board
+	b.mu.Lock()
+	other := st.backupCancel
+	if backup {
+		other = st.primaryCancel
+	}
+	b.mu.Unlock()
+	if other != nil {
+		other()
+	}
+	if err := sv.ops.commitTask(task, out); err != nil {
+		st.commitErr = err
+		return true
+	}
+	d := time.Since(st.start)
+	b.mu.Lock()
+	b.durations = append(b.durations, d)
+	b.mu.Unlock()
+	return true
+}
+
+// monitor wakes every SpeculativeInterval and launches backups for
+// stragglers until the phase ends.
+func (sv *taskSupervisor[T]) monitor(ctx context.Context, stop <-chan struct{}) {
+	t := time.NewTicker(sv.pol.specInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			sv.scanStragglers(ctx)
+		}
+	}
+}
+
+// scanStragglers launches one backup attempt for every running task
+// older than max(SpeculativeSlowdown × median completed duration,
+// SpeculativeMinAge). The backup gets a single attempt: if it fails,
+// the primary's retry loop is still the task's execution of record.
+func (sv *taskSupervisor[T]) scanStragglers(ctx context.Context) {
+	b := sv.board
+	now := time.Now()
+	var launch []*specTask
+	b.mu.Lock()
+	if len(b.durations) > 0 {
+		threshold := time.Duration(float64(medianDuration(b.durations)) * sv.pol.SpeculativeSlowdown)
+		if minAge := sv.pol.specMinAge(); threshold < minAge {
+			threshold = minAge
+		}
+		for _, st := range b.running {
+			if !st.backupLaunched && !st.won.Load() && now.Sub(st.start) > threshold {
+				st.backupLaunched = true
+				st.backupWG.Add(1)
+				launch = append(launch, st)
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, st := range launch {
+		bctx, bcancel := context.WithCancel(ctx)
+		b.mu.Lock()
+		st.backupCancel = bcancel
+		b.mu.Unlock()
+		atomic.AddInt64(&sv.stats.specLaunched, 1)
+		go func(st *specTask, bctx context.Context, bcancel context.CancelFunc) {
+			defer st.backupWG.Done()
+			defer bcancel()
+			attempt := int(st.seq.Add(1))
+			out, err := sv.runAttempt(bctx, st.task, attempt)
+			if err != nil {
+				return
+			}
+			if sv.finish(st, st.task, out, true) {
+				atomic.AddInt64(&sv.stats.specWon, 1)
+			}
+		}(st, bctx, bcancel)
+	}
+}
+
+// medianDuration returns the median of ds (callers hold the board lock;
+// ds is non-empty).
+func medianDuration(ds []time.Duration) time.Duration {
+	s := make([]time.Duration, len(ds))
+	copy(s, ds)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// addStats merges one phase's attempt accounting into the run metrics.
+func (m *Metrics) addStats(s attemptStats) {
+	m.Attempts += s.attempts
+	m.Retries += s.retries
+	m.SpeculativeLaunched += s.specLaunched
+	m.SpeculativeWon += s.specWon
+}

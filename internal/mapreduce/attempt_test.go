@@ -1,0 +1,368 @@
+package mapreduce_test
+
+// Black-box tests of the task-attempt supervision layer across all
+// three dataflows: transient faults are retried to an identical result,
+// exhausted or fatal faults surface as *TaskError with a clean spill
+// root, per-attempt timeouts retry, and stragglers get a real
+// speculative backup whose winner commits exactly once. Every test
+// asserts the goroutine count returns to its pre-run baseline.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/testleak"
+)
+
+var allDataflows = map[string]mapreduce.DataflowMode{
+	"typed":    mapreduce.DataflowTyped,
+	"boxed":    mapreduce.DataflowBoxed,
+	"external": mapreduce.DataflowExternal,
+}
+
+// clearAttemptCounters zeroes the execution-history counters (see the
+// Metrics doc: they describe how the run executed, not what it
+// computed) so faulted and fault-free Results compare byte-for-byte.
+func clearAttemptCounters(m *mapreduce.Metrics) {
+	m.Attempts = 0
+	m.Retries = 0
+	m.SpeculativeLaunched = 0
+	m.SpeculativeWon = 0
+}
+
+// normalize strips all execution-history counters from a result.
+func normalize(res *mapreduce.Result[string, mapreduce.Pair[string, int]]) {
+	clearAttemptCounters(&res.Metrics)
+	clearSpillCounters(res.MapMetrics)
+	clearSpillCounters(res.ReduceMetrics)
+}
+
+// failFirstAttempt fails attempt 1 of every task at the given point
+// with a transient error.
+func failFirstAttempt(at mapreduce.FaultPoint) mapreduce.FaultHook {
+	return func(ctx context.Context, phase mapreduce.TaskKind, task, attempt int, point mapreduce.FaultPoint) error {
+		if point == at && attempt == 1 {
+			return fmt.Errorf("injected %s fault (%s task %d)", point, phase, task)
+		}
+		return nil
+	}
+}
+
+func TestRetryTransientFault(t *testing.T) {
+	const m, r = 3, 4
+	input := wordInput(m)
+	baseline, err := wordJob(r, false).Run(&mapreduce.Engine{}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(baseline)
+	for dname, dataflow := range allDataflows {
+		for _, at := range []mapreduce.FaultPoint{mapreduce.FaultTaskStart, mapreduce.FaultEmit} {
+			t.Run(fmt.Sprintf("%s/%s", dname, at), func(t *testing.T) {
+				before := testleak.Snapshot()
+				e, _ := engineFor(t, dataflow)
+				e.FaultHook = failFirstAttempt(at)
+				res, err := wordJob(r, false).Run(e, input)
+				if err != nil {
+					t.Fatal(err)
+				}
+				testleak.Check(t, before)
+				// Every task's first attempt failed, so each of the m+r
+				// tasks ran exactly twice.
+				if res.Retries != m+r {
+					t.Fatalf("Retries = %d, want %d", res.Retries, m+r)
+				}
+				if res.Attempts != 2*(m+r) {
+					t.Fatalf("Attempts = %d, want %d", res.Attempts, 2*(m+r))
+				}
+				normalize(res)
+				if !reflect.DeepEqual(res, baseline) {
+					t.Fatal("retried run diverges from fault-free run")
+				}
+			})
+		}
+	}
+}
+
+func TestRetryExhaustedFailsWithTaskError(t *testing.T) {
+	for dname, dataflow := range allDataflows {
+		t.Run(dname, func(t *testing.T) {
+			before := testleak.Snapshot()
+			e, tmp := engineFor(t, dataflow)
+			e.Retry.MaxAttempts = 3
+			e.Retry.BaseBackoff = time.Microsecond
+			e.FaultHook = func(ctx context.Context, phase mapreduce.TaskKind, task, attempt int, point mapreduce.FaultPoint) error {
+				if phase == mapreduce.MapTask && task == 1 && point == mapreduce.FaultTaskStart {
+					return errors.New("persistent map fault")
+				}
+				return nil
+			}
+			res, err := wordJob(4, false).Run(e, wordInput(3))
+			if res != nil || err == nil {
+				t.Fatalf("res=%v err=%v, want nil result and an error", res, err)
+			}
+			testleak.Check(t, before)
+			var te *mapreduce.TaskError
+			if !errors.As(err, &te) {
+				t.Fatalf("error %v does not carry a *TaskError", err)
+			}
+			if te.Phase != mapreduce.MapTask || te.Task != 1 || te.Attempt != 3 {
+				t.Fatalf("TaskError = {%v task %d attempt %d}, want {map task 1 attempt 3}", te.Phase, te.Task, te.Attempt)
+			}
+			if te.Cause == nil || te.Cause.Error() != "persistent map fault" {
+				t.Fatalf("Cause = %v, want the injected fault", te.Cause)
+			}
+			if tmp != "" {
+				if ents, _ := os.ReadDir(tmp); len(ents) != 0 {
+					t.Fatalf("spill root not cleaned after failed run: %v", ents)
+				}
+			}
+		})
+	}
+}
+
+func TestFatalFaultFailsFirstAttempt(t *testing.T) {
+	for dname, dataflow := range allDataflows {
+		t.Run(dname, func(t *testing.T) {
+			before := testleak.Snapshot()
+			var starts atomic.Int64
+			e, tmp := engineFor(t, dataflow)
+			e.FaultHook = func(ctx context.Context, phase mapreduce.TaskKind, task, attempt int, point mapreduce.FaultPoint) error {
+				if phase == mapreduce.ReduceTask && task == 0 && point == mapreduce.FaultTaskStart {
+					starts.Add(1)
+					return mapreduce.Fatal(errors.New("deterministic bug"))
+				}
+				return nil
+			}
+			_, err := wordJob(4, false).Run(e, wordInput(2))
+			if err == nil {
+				t.Fatal("fatal fault did not fail the run")
+			}
+			testleak.Check(t, before)
+			var te *mapreduce.TaskError
+			if !errors.As(err, &te) || te.Phase != mapreduce.ReduceTask || te.Task != 0 || te.Attempt != 1 {
+				t.Fatalf("err = %v, want reduce task 0 failing on attempt 1", err)
+			}
+			if n := starts.Load(); n != 1 {
+				t.Fatalf("fatal task started %d attempts, want 1 (no retry)", n)
+			}
+			if tmp != "" {
+				if ents, _ := os.ReadDir(tmp); len(ents) != 0 {
+					t.Fatalf("spill root not cleaned: %v", ents)
+				}
+			}
+		})
+	}
+}
+
+func TestRetryableClassifierStopsRetry(t *testing.T) {
+	before := testleak.Snapshot()
+	e := &mapreduce.Engine{Parallelism: 2}
+	e.Retry.Retryable = func(error) bool { return false }
+	e.FaultHook = failFirstAttempt(mapreduce.FaultTaskStart)
+	_, err := wordJob(2, false).Run(e, wordInput(1))
+	var te *mapreduce.TaskError
+	if !errors.As(err, &te) || te.Attempt != 1 {
+		t.Fatalf("err = %v, want a first-attempt TaskError under a false classifier", err)
+	}
+	testleak.Check(t, before)
+}
+
+func TestTaskTimeoutRetries(t *testing.T) {
+	const m, r = 2, 3
+	baseline, err := wordJob(r, false).Run(&mapreduce.Engine{}, wordInput(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(baseline)
+	before := testleak.Snapshot()
+	e := &mapreduce.Engine{Parallelism: 2}
+	e.Retry.TaskTimeout = 20 * time.Millisecond
+	e.Retry.BaseBackoff = time.Microsecond
+	// Attempt 1 of map task 0 hangs until its per-attempt deadline
+	// cancels it; the retry runs clean.
+	e.FaultHook = func(ctx context.Context, phase mapreduce.TaskKind, task, attempt int, point mapreduce.FaultPoint) error {
+		if phase == mapreduce.MapTask && task == 0 && attempt == 1 && point == mapreduce.FaultTaskStart {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}
+	res, err := wordJob(r, false).Run(e, wordInput(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testleak.Check(t, before)
+	if res.Retries != 1 || res.Attempts != m+r+1 {
+		t.Fatalf("Attempts/Retries = %d/%d, want %d/1", res.Attempts, res.Retries, m+r+1)
+	}
+	normalize(res)
+	if !reflect.DeepEqual(res, baseline) {
+		t.Fatal("timed-out-and-retried run diverges from fault-free run")
+	}
+}
+
+// specPolicy is the aggressive straggler policy the speculation tests
+// share: back up any task 1.5× slower than the median, checking every
+// millisecond, with a 5ms floor.
+func specPolicy() mapreduce.RetryPolicy {
+	return mapreduce.RetryPolicy{
+		SpeculativeSlowdown: 1.5,
+		SpeculativeInterval: time.Millisecond,
+		SpeculativeMinAge:   5 * time.Millisecond,
+	}
+}
+
+func TestSpeculativeBackupWins(t *testing.T) {
+	const m, r = 4, 4
+	input := wordInput(m)
+	baseline, err := wordJob(r, false).Run(&mapreduce.Engine{}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(baseline)
+	for _, dname := range []string{"typed", "external"} {
+		t.Run(dname, func(t *testing.T) {
+			before := testleak.Snapshot()
+			e, _ := engineFor(t, allDataflows[dname])
+			e.Retry = specPolicy()
+			// Attempt 1 of map task 0 straggles forever; only the backup
+			// (attempt 2) can finish the task.
+			e.FaultHook = func(ctx context.Context, phase mapreduce.TaskKind, task, attempt int, point mapreduce.FaultPoint) error {
+				if phase == mapreduce.MapTask && task == 0 && attempt == 1 && point == mapreduce.FaultTaskStart {
+					<-ctx.Done()
+					return ctx.Err()
+				}
+				return nil
+			}
+			res, err := wordJob(r, false).Run(e, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testleak.Check(t, before)
+			if res.SpeculativeLaunched < 1 {
+				t.Fatalf("SpeculativeLaunched = %d, want >= 1", res.SpeculativeLaunched)
+			}
+			if res.SpeculativeWon < 1 {
+				t.Fatalf("SpeculativeWon = %d, want >= 1 (only the backup could finish)", res.SpeculativeWon)
+			}
+			normalize(res)
+			if !reflect.DeepEqual(res, baseline) {
+				t.Fatal("speculative run diverges from fault-free run")
+			}
+		})
+	}
+}
+
+func TestSpeculativePrimaryWins(t *testing.T) {
+	const m, r = 4, 4
+	input := wordInput(m)
+	baseline, err := wordJob(r, false).Run(&mapreduce.Engine{}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(baseline)
+	before := testleak.Snapshot()
+	e := &mapreduce.Engine{Parallelism: 4}
+	e.Retry = specPolicy()
+	// The primary of map task 0 straggles long enough for a backup to
+	// launch but then completes; the backup blocks until the winning
+	// primary cancels it, so it can never commit.
+	e.FaultHook = func(ctx context.Context, phase mapreduce.TaskKind, task, attempt int, point mapreduce.FaultPoint) error {
+		if phase != mapreduce.MapTask || task != 0 || point != mapreduce.FaultTaskStart {
+			return nil
+		}
+		if attempt == 1 {
+			select {
+			case <-time.After(150 * time.Millisecond):
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	res, err := wordJob(r, false).Run(e, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testleak.Check(t, before)
+	if res.SpeculativeLaunched < 1 {
+		t.Fatalf("SpeculativeLaunched = %d, want >= 1", res.SpeculativeLaunched)
+	}
+	if res.SpeculativeWon != 0 {
+		t.Fatalf("SpeculativeWon = %d, want 0 (backup can never commit)", res.SpeculativeWon)
+	}
+	normalize(res)
+	if !reflect.DeepEqual(res, baseline) {
+		t.Fatal("speculative run diverges from fault-free run")
+	}
+}
+
+// TestPanicInUserCodeRecovered: a panic in user map/reduce code fails
+// the attempt (not the process) and retries; a panicking final attempt
+// surfaces as a TaskError whose cause carries the panic text.
+func TestPanicInUserCodeRecovered(t *testing.T) {
+	for dname, dataflow := range allDataflows {
+		t.Run(dname, func(t *testing.T) {
+			before := testleak.Snapshot()
+			var once atomic.Bool
+			j := wordJob(3, false)
+			inner := j.NewMapper
+			j.NewMapper = func() mapreduce.Mapper[string, string, int] {
+				mp := inner()
+				return &mapreduce.MapperFunc[string, string, int]{
+					OnMap: func(ctx *mapreduce.MapContext[string, string, int], line string) {
+						if once.CompareAndSwap(false, true) {
+							panic("user map bug")
+						}
+						mp.Map(ctx, line)
+					},
+				}
+			}
+			e, _ := engineFor(t, dataflow)
+			e.Retry.BaseBackoff = time.Microsecond
+			res, err := j.Run(e, wordInput(2))
+			if err != nil {
+				t.Fatalf("panic was not retried: %v", err)
+			}
+			if res.Retries != 1 {
+				t.Fatalf("Retries = %d, want 1", res.Retries)
+			}
+			testleak.Check(t, before)
+		})
+	}
+}
+
+func TestPanicExhaustsIntoTaskError(t *testing.T) {
+	j := wordJob(2, false)
+	j.NewMapper = func() mapreduce.Mapper[string, string, int] {
+		return &mapreduce.MapperFunc[string, string, int]{
+			OnMap: func(ctx *mapreduce.MapContext[string, string, int], line string) {
+				panic("always down")
+			},
+		}
+	}
+	e := &mapreduce.Engine{Parallelism: 2}
+	e.Retry.MaxAttempts = 2
+	e.Retry.BaseBackoff = time.Microsecond
+	_, err := j.Run(e, wordInput(1))
+	var te *mapreduce.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want a TaskError", err)
+	}
+	if te.Phase != mapreduce.MapTask || te.Attempt != 2 {
+		t.Fatalf("TaskError = %+v, want map phase, attempt 2", te)
+	}
+	if got := te.Cause.Error(); got != "panic: always down" {
+		t.Fatalf("Cause = %q, want the recovered panic", got)
+	}
+}

@@ -10,11 +10,10 @@ import (
 	"context"
 	"errors"
 	"os"
-	"runtime"
 	"testing"
-	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/testleak"
 )
 
 // cancelJob is wordJob with a hook that cancels the run's context from
@@ -70,15 +69,7 @@ func checkCancelled(t *testing.T, err error, before int, tmp string) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	// Workers are joined before Run returns, but give the runtime a
-	// moment to retire finished goroutines before declaring a leak.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > before {
-		t.Fatalf("goroutines after cancelled run: %d, want <= %d (leak)", n, before)
-	}
+	testleak.Check(t, before)
 	if tmp != "" {
 		ents, err := os.ReadDir(tmp)
 		if err != nil {
@@ -106,7 +97,7 @@ func TestCancelMidPhase(t *testing.T) {
 				ctx, cancel := context.WithCancel(context.Background())
 				defer cancel()
 				e, tmp := engineFor(t, dataflow)
-				before := runtime.NumGoroutine()
+				before := testleak.Snapshot()
 				res, err := cancelJob(4, phase, cancel).RunContext(ctx, e, wordInput(4))
 				if res != nil {
 					t.Fatal("cancelled run returned a result")
@@ -164,7 +155,7 @@ func TestCancelBoxedEngine(t *testing.T) {
 	}
 	input := [][]mapreduce.KeyValue{{{Key: "a"}, {Key: "b"}}, {{Key: "c"}}}
 	e := &mapreduce.Engine{Parallelism: 2}
-	before := runtime.NumGoroutine()
+	before := testleak.Snapshot()
 	res, err := e.RunContext(ctx, job, input)
 	if res != nil {
 		t.Fatal("cancelled run returned a result")

@@ -1,0 +1,72 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ChaosHook builds a deterministic FaultHook for chaos testing: at every
+// instrumented point it hashes (seed, phase, task, attempt, point) and
+// injects a transient error when the hash falls under rate. Determinism
+// is the point — a failing chaos run reproduces from its seed alone, and
+// the differential suite can re-run the exact fault schedule across
+// dataflows.
+//
+// Two properties make every schedule eventually succeed:
+//
+//   - The decision depends on the attempt number, so a retried attempt
+//     rolls a fresh hash rather than replaying its predecessor's fault.
+//   - Nothing is ever injected once attempt reaches maxAttempts (the
+//     policy's per-task budget, pass Engine.Retry.MaxAttempts or 0 for
+//     the default): the final attempt of any task is fault-free.
+//
+// An attempt marked to fail at FaultEmit fails on its first emit (the
+// hash does not vary within one attempt's point), which is enough to
+// exercise mid-task abandonment: output is half-buffered, spills may
+// already be on disk.
+func ChaosHook(seed uint64, rate float64, maxAttempts int) FaultHook {
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	threshold := uint64(rate * float64(^uint64(0)>>1))
+	return func(ctx context.Context, phase TaskKind, task, attempt int, point FaultPoint) error {
+		if attempt >= maxAttempts {
+			return nil
+		}
+		h := splitmix64(seed ^ uint64(phase)<<60 ^ uint64(task)<<32 ^ uint64(attempt)<<8 ^ uint64(point))
+		if h>>1 < threshold {
+			return fmt.Errorf("chaos: injected fault at %s (%s task %d attempt %d)", point, phase, task, attempt)
+		}
+		return nil
+	}
+}
+
+// ParseChaos parses the CLI chaos flag "rate[:seed]" (e.g. "0.2" or
+// "0.2:12345") into a ChaosHook. An empty spec returns nil (no
+// injection); rate must be in [0,1].
+func ParseChaos(spec string, maxAttempts int) (FaultHook, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	rateStr, seedStr, hasSeed := strings.Cut(spec, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("chaos spec %q: rate must be a number in [0,1]", spec)
+	}
+	var seed uint64 = 1
+	if hasSeed {
+		seed, err = strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos spec %q: seed must be an unsigned integer", spec)
+		}
+	}
+	return ChaosHook(seed, rate, maxAttempts), nil
+}

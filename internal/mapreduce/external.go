@@ -46,9 +46,15 @@ import (
 //     merge-heap discipline as the in-memory path.
 //
 // Temp-file lifecycle: Run creates one directory under Engine.TmpDir
-// and removes it on every exit path, success or error. First-
-// generation runs are additionally deleted as soon as the map-side
-// combine has drained them.
+// and removes it on every exit path, success or error. Each map
+// *attempt* writes its runs into an attempt-scoped subdirectory
+// (m0007-a001/); the supervisor's commit step atomically adopts the
+// directory by renaming it to the task's final name (m0007/), and a
+// failed or superseded attempt's directory is reaped instead — so
+// concurrent attempts of one task never collide and a retried task
+// never leaves stale runs behind. First-generation runs are
+// additionally deleted as soon as the map-side combine has drained
+// them.
 
 // DefaultSpillBudget is the per-map-task encoded-byte budget when
 // Engine.SpillBudget is zero.
@@ -110,22 +116,49 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 	}
 
 	// ---- Map phase (spilling) ----
-	mapOut := make([]extMapOutput[K, V], m)
-	mapErr := make([]error, m)
-	e.forEachTask(ctx, m, func(i int) {
-		mapOut[i], mapErr[i] = st.runMapTaskExternal(cfg, i, m, input[i], res)
-	})
+	mapOut := make([]extMapOutput[I, K, V], m)
+	mstats, merr := superviseTasks(ctx, e, MapTask, m,
+		func(actx context.Context, hook *taskHook, task, attempt int) (extMapOutput[I, K, V], error) {
+			return st.runMapAttemptExternal(actx, hook, cfg, task, attempt, m, input[task])
+		},
+		func(task int, out extMapOutput[I, K, V]) error {
+			// Adopt the attempt's spill directory under the task's final
+			// name; the rename is the commit point for the on-disk runs.
+			if len(out.runs) == 0 {
+				if out.dir != "" {
+					os.RemoveAll(out.dir)
+				}
+			} else {
+				final := filepath.Join(cfg.dir, fmt.Sprintf("m%04d", task))
+				if err := os.Rename(out.dir, final); err != nil {
+					return fmt.Errorf("adopt spill dir: %w", err)
+				}
+				for _, info := range out.runs {
+					info.Path = filepath.Join(final, filepath.Base(info.Path))
+				}
+			}
+			out.metrics.Kind = MapTask
+			out.metrics.Index = task
+			res.MapMetrics[task] = out.metrics
+			res.SideOutput[task] = out.side
+			mapOut[task] = out
+			return nil
+		},
+		func(out extMapOutput[I, K, V]) {
+			if out.dir != "" {
+				os.RemoveAll(out.dir)
+			}
+			st.pools.putRecBuf(out.flat)
+		},
+	)
+	res.addStats(mstats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
 	}
-	for i, err := range mapErr {
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", j.Name, i, err)
-		}
+	if merr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, merr)
 	}
 	for i := range res.MapMetrics {
-		res.MapMetrics[i].Kind = MapTask
-		res.MapMetrics[i].Index = i
 		res.MapOutputRecords += res.MapMetrics[i].OutputRecords
 	}
 
@@ -154,17 +187,30 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 	}
 
 	reduceOut := make([][]O, r)
-	reduceErr := make([]error, r)
-	e.forEachTask(ctx, r, func(jj int) {
-		reduceOut[jj], reduceErr[jj] = st.runReduceTaskExternal(cfg, jj, mapOut, files, res, sink)
-	})
+	rstats, rerr := superviseTasks(ctx, e, ReduceTask, r,
+		func(actx context.Context, hook *taskHook, task, attempt int) (typedReduceOut[O], error) {
+			return st.runReduceAttemptExternal(actx, hook, cfg, task, mapOut, files)
+		},
+		func(task int, out typedReduceOut[O]) error {
+			out.metrics.Kind = ReduceTask
+			out.metrics.Index = task
+			res.ReduceMetrics[task] = out.metrics
+			if sink != nil {
+				sink.writeAll(out.out)
+				putOutBuf(st.outPool, out.out)
+				return nil
+			}
+			reduceOut[task] = out.out
+			return nil
+		},
+		func(out typedReduceOut[O]) { putOutBuf(st.outPool, out.out) },
+	)
+	res.addStats(rstats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
 	}
-	for jj, err := range reduceErr {
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", j.Name, jj, err)
-		}
+	if rerr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, rerr)
 	}
 	if sink != nil {
 		if err := sink.Err(); err != nil {
@@ -176,9 +222,7 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 		total += len(reduceOut[jj])
 	}
 	res.Output = make([]O, 0, total)
-	for jj := range res.ReduceMetrics {
-		res.ReduceMetrics[jj].Kind = ReduceTask
-		res.ReduceMetrics[jj].Index = jj
+	for jj := range reduceOut {
 		res.Output = append(res.Output, reduceOut[jj]...)
 		putOutBuf(st.outPool, reduceOut[jj])
 	}
@@ -188,39 +232,58 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 	return res, nil
 }
 
-// extMapOutput is one map task's shuffle-ready output on the external
-// dataflow: zero or more sorted on-disk runs plus the in-memory tail,
-// already bucketed and sorted like a typed-engine task's output.
-type extMapOutput[K, V any] struct {
+// extMapOutput is one map attempt's shuffle-ready output on the
+// external dataflow: zero or more sorted on-disk runs in the attempt's
+// spill directory plus the in-memory tail, already bucketed and sorted
+// like a typed-engine task's output. The supervisor's commit step
+// renames dir to the task's final name (updating the run paths) or
+// reaps it when the attempt is discarded.
+type extMapOutput[I, K, V any] struct {
 	runs    []*runio.Info
 	buckets [][]Rec[K, V]
 	flat    []Rec[K, V]
+	side    []I
+	dir     string
+	metrics TaskMetrics
 }
 
-func (st *runState[I, K, V, O]) runMapTaskExternal(cfg *extConfig[K, V], idx, m int, input []I, res *Result[I, O]) (out extMapOutput[K, V], err error) {
+func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook *taskHook, cfg *extConfig[K, V], idx, attempt, m int, input []I) (out extMapOutput[I, K, V], err error) {
+	// Declared before recoverAttempt so it runs after it (LIFO): by the
+	// time the attempt's spill directory is reaped, a recovered panic
+	// has already been translated into err.
 	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
+		if err != nil && out.dir != "" {
+			os.RemoveAll(out.dir)
+			out.dir = ""
 		}
 	}()
+	defer recoverAttempt(&err)
+	if err := hook.fire(FaultTaskStart); err != nil {
+		return out, err
+	}
+	out.dir = filepath.Join(cfg.dir, fmt.Sprintf("m%04d-a%03d", idx, attempt))
+	if err := os.MkdirAll(out.dir, 0o755); err != nil {
+		return out, err
+	}
 	j := st.job
 	r := j.NumReduceTasks
-	metrics := &res.MapMetrics[idx]
-	if metrics.Counters == nil {
-		metrics.Counters = make(map[string]int64)
-	}
-	sp := st.newSpiller(cfg, fmt.Sprintf("m%04d-g0", idx), metrics)
-	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp, sideCap: len(input)}
+	metrics := &out.metrics
+	sp := st.newSpiller(cfg, out.dir, "g0", metrics, hook)
+	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp, sideCap: len(input), hook: hook}
 	mapper := j.NewMapper()
 	mapper.Configure(m, r, idx)
+	check := actx.Done() != nil
 	for i := range input {
+		if check && i&cancelCheckMask == 0 && actx.Err() != nil {
+			return out, actx.Err()
+		}
 		metrics.InputRecords++
 		mapper.Map(ctx, input[i])
 	}
 	if sp.err != nil {
 		return out, sp.err
 	}
-	res.SideOutput[idx] = ctx.side
+	out.side = ctx.side
 
 	if j.NewCombiner == nil {
 		out.runs = sp.runs
@@ -231,7 +294,7 @@ func (st *runState[I, K, V, O]) runMapTaskExternal(cfg *extConfig[K, V], idx, m 
 	if len(sp.runs) == 0 {
 		// Nothing spilled: the whole task fits in budget, so the
 		// combine is the typed engine's, verbatim.
-		combined, cerr := st.combine(idx, m, sp.recs, metrics)
+		combined, cerr := st.combine(idx, m, sp.recs, metrics, hook)
 		st.pools.putRecBuf(sp.takeRecs())
 		if cerr != nil {
 			return out, cerr
@@ -247,11 +310,11 @@ func (st *runState[I, K, V, O]) runMapTaskExternal(cfg *extConfig[K, V], idx, m 
 	// (a group never spans partitions — grouping must be compatible
 	// with partitioning, as in Hadoop), and feed the combiner, whose
 	// output flows through a second-generation spiller.
-	sp2 := st.newSpiller(cfg, fmt.Sprintf("m%04d-g1", idx), metrics)
-	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp2}
+	sp2 := st.newSpiller(cfg, out.dir, "g1", metrics, hook)
+	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp2, hook: hook}
 	combiner := j.NewCombiner()
 	combiner.Configure(m, r, idx)
-	if err := st.mergeSpilled(cfg, sp, metrics, func(group []Rec[K, V]) {
+	if err := st.mergeSpilled(cfg, sp, metrics, hook, func(group []Rec[K, V]) {
 		combiner.Combine(cctx, group[0].Key, group)
 	}); err != nil {
 		return out, err
@@ -270,7 +333,10 @@ func (st *runState[I, K, V, O]) runMapTaskExternal(cfg *extConfig[K, V], idx, m 
 // mergeSpilled merges one map task's spilled runs and in-memory tail
 // back into (partition, key, run)-ordered groups and hands each group
 // to emit. The first-generation run files are deleted once drained.
-func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpiller[K, V], metrics *TaskMetrics, emit func(group []Rec[K, V])) error {
+func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpiller[K, V], metrics *TaskMetrics, hook *taskHook, emit func(group []Rec[K, V])) error {
+	if err := hook.fire(FaultMerge); err != nil {
+		return err
+	}
 	dec := &recDecoder[K, V]{kc: cfg.kc, vc: cfg.vc, codeWidth: cfg.codeWidth}
 	sources := make([]mergeSource[K, V], 0, len(sp.runs)+1)
 	fs := make([]*os.File, 0, len(sp.runs))
@@ -331,21 +397,14 @@ func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpille
 	return nil
 }
 
-func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx int, mapOut []extMapOutput[K, V], files [][]*os.File, res *Result[I, O], sink *outputSink[O]) (out []O, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
-		}
-	}()
+func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, hook *taskHook, cfg *extConfig[K, V], idx int, mapOut []extMapOutput[I, K, V], files [][]*os.File) (rout typedReduceOut[O], err error) {
+	defer recoverAttempt(&err)
+	if err := hook.fire(FaultTaskStart); err != nil {
+		return rout, err
+	}
 	j := st.job
-	metrics := &res.ReduceMetrics[idx]
-	if metrics.Counters == nil {
-		metrics.Counters = make(map[string]int64)
-	}
-	ctx := &ReduceContext[O]{metrics: metrics, sink: sink}
-	if sink == nil {
-		ctx.out = getOutBuf[O](st.outPool)
-	}
+	metrics := &rout.metrics
+	ctx := &ReduceContext[O]{metrics: metrics, out: getOutBuf[O](st.outPool), hook: hook}
 	reducer := j.NewReducer()
 	reducer.Configure(len(mapOut), j.NumReduceTasks, idx)
 
@@ -363,7 +422,7 @@ func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx 
 				continue
 			}
 			sources = append(sources, &segSource[K, V]{
-				sr:   runio.NewSegmentReader(files[mi][ri], seg),
+				sr:   runio.NewSegmentReader(files[mi][ri], seg, info.Path),
 				dec:  dec,
 				part: int32(idx),
 			})
@@ -377,15 +436,22 @@ func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx 
 	}
 	metrics.InputRecords = total
 
+	if err := hook.fire(FaultMerge); err != nil {
+		return rout, err
+	}
 	mg, err := newExtMerger(st, sources)
 	if err != nil {
-		return nil, err
+		return rout, err
 	}
 	group := st.pools.getRecBuf()
-	for {
+	check := actx.Done() != nil
+	for n := 0; ; n++ {
+		if check && n&cancelCheckMask == 0 && actx.Err() != nil {
+			return rout, actx.Err()
+		}
 		rec, _, ok, err := mg.next()
 		if err != nil {
-			return nil, err
+			return rout, err
 		}
 		if !ok {
 			break
@@ -400,7 +466,8 @@ func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx 
 		st.emitGroup(ctx, reducer, group)
 	}
 	st.pools.putRecBuf(group)
-	return ctx.out, nil
+	rout.out = ctx.out
+	return rout, nil
 }
 
 // ---- the spiller ----
@@ -410,11 +477,13 @@ func (st *runState[I, K, V, O]) runReduceTaskExternal(cfg *extConfig[K, V], idx 
 // flushes sorted runs whenever the encoded bytes reach the budget.
 type extSpiller[K, V any] struct {
 	cfg     *extConfig[K, V]
-	prefix  string
+	dir     string // the attempt's spill directory
+	prefix  string // run generation within the attempt ("g0"/"g1")
 	r       int
 	cmp     func(a, b *Rec[K, V]) int
 	part    func(K, int) int
 	metrics *TaskMetrics
+	hook    *taskHook
 
 	recs  []Rec[K, V]
 	enc   []byte
@@ -426,14 +495,16 @@ type extSpiller[K, V any] struct {
 
 type extSpan struct{ off, end int64 }
 
-func (st *runState[I, K, V, O]) newSpiller(cfg *extConfig[K, V], prefix string, metrics *TaskMetrics) *extSpiller[K, V] {
+func (st *runState[I, K, V, O]) newSpiller(cfg *extConfig[K, V], dir, prefix string, metrics *TaskMetrics, hook *taskHook) *extSpiller[K, V] {
 	return &extSpiller[K, V]{
 		cfg:     cfg,
+		dir:     dir,
 		prefix:  prefix,
 		r:       st.job.NumReduceTasks,
 		cmp:     st.cmpRec,
 		part:    st.job.Partition,
 		metrics: metrics,
+		hook:    hook,
 	}
 }
 
@@ -482,7 +553,8 @@ func (sp *extSpiller[K, V]) sortedPerm() (parts, perm []int32, err error) {
 		if p < 0 || p >= sp.r {
 			putInt32Buf(parts)
 			putInt32Buf(perm)
-			return nil, nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, sp.r)
+			// A deterministic user-logic bug: re-running cannot fix it.
+			return nil, nil, Fatal(fmt.Errorf("partition function returned %d for %d reduce tasks", p, sp.r))
 		}
 		parts[i] = int32(p)
 		perm[i] = int32(i)
@@ -502,13 +574,16 @@ func (sp *extSpiller[K, V]) spill() error {
 	if len(sp.recs) == 0 {
 		return nil
 	}
+	if err := sp.hook.fire(FaultSpill); err != nil {
+		return err
+	}
 	parts, perm, err := sp.sortedPerm()
 	if err != nil {
 		return err
 	}
 	defer putInt32Buf(parts)
 	defer putInt32Buf(perm)
-	path := filepath.Join(sp.cfg.dir, fmt.Sprintf("%s-%04d.run", sp.prefix, len(sp.runs)))
+	path := filepath.Join(sp.dir, fmt.Sprintf("%s-%04d.run", sp.prefix, len(sp.runs)))
 	w, err := runio.Create(path, sp.r, sp.cfg.codeWidth)
 	if err != nil {
 		return err
@@ -618,7 +693,7 @@ func (s *runSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
 			if s.cur >= len(s.info.Segments) {
 				return 0, false, nil
 			}
-			s.sr = runio.NewSegmentReader(s.f, s.info.Segments[s.cur])
+			s.sr = runio.NewSegmentReader(s.f, s.info.Segments[s.cur], s.info.Path)
 			s.part = int32(s.cur)
 			s.cur++
 		}

@@ -131,8 +131,8 @@ func (j *BoxedJob) group(a, b any) int {
 const ComparisonsCounter = "comparisons"
 
 // BoxedContext is passed to map and reduce calls for emitting output and
-// updating counters. It is owned by a single task; methods are not safe
-// for concurrent use by multiple goroutines.
+// updating counters. It is owned by a single task attempt; methods are
+// not safe for concurrent use by multiple goroutines.
 type BoxedContext struct {
 	taskKind TaskKind
 	taskIdx  int
@@ -140,21 +140,18 @@ type BoxedContext struct {
 	out     []KeyValue
 	side    []KeyValue
 	metrics *TaskMetrics
-	// sink, when non-nil on a reduce-task context, receives every
-	// emitted record instead of the out buffer (the streamed-output
-	// path of RunStream, bridged by the boxing adapter).
-	sink *outputSink[KeyValue]
+	// hook is the attempt's fault-injection binding (nil when the engine
+	// has no FaultHook installed).
+	hook *taskHook
 }
 
-// Emit appends a key-value pair to the task's primary output. For map
-// tasks the pair enters the shuffle; for reduce tasks it becomes job
-// output (or streams to the run's output sink under RunStream).
+// Emit appends a key-value pair to the task attempt's primary output.
+// For map tasks the pair enters the shuffle; for reduce tasks it becomes
+// job output once the attempt commits (under RunStream it is drained to
+// the run's output sink at commit — the task-commit protocol: a failed
+// or superseded attempt never publishes a record).
 func (c *BoxedContext) Emit(key, value any) {
-	if c.sink != nil {
-		c.sink.write(KeyValue{Key: key, Value: value})
-		c.metrics.OutputRecords++
-		return
-	}
+	c.hook.fireEmit()
 	c.out = append(c.out, KeyValue{Key: key, Value: value})
 	c.metrics.OutputRecords++
 }
@@ -178,8 +175,9 @@ func (c *BoxedContext) Inc(name string, delta int64) {
 	}
 	m := c.metrics.Counters
 	if m == nil {
-		// Engine-created contexts initialize the map once per task; this
-		// guard only fires for contexts constructed directly in tests.
+		// The map is created lazily on the first named counter: most
+		// tasks only touch the Comparisons fast path and never pay for
+		// the allocation.
 		m = make(map[string]int64)
 		c.metrics.Counters = m
 	}
@@ -252,6 +250,21 @@ type Metrics struct {
 	// MapOutputRecords is the total number of key-value pairs emitted by
 	// the map phase after combining — the quantity plotted in Figure 12.
 	MapOutputRecords int64
+
+	// Attempt accounting of the fault-tolerance layer (attempt.go).
+	// Attempts counts every task attempt started (retries and
+	// speculative backups included), Retries the re-executions after a
+	// failed attempt, SpeculativeLaunched the backup attempts launched
+	// for stragglers, and SpeculativeWon the backups that finished
+	// before their originals. On a fault-free, speculation-free run
+	// Attempts == len(MapMetrics) + len(ReduceMetrics) and the other
+	// three are zero. Like the TaskMetrics spill counters, all four are
+	// excluded from the differential contract: they describe how the
+	// run executed, not what it computed.
+	Attempts            int64
+	Retries             int64
+	SpeculativeLaunched int64
+	SpeculativeWon      int64
 }
 
 // Counter sums the named user counter over all map and reduce tasks.
@@ -334,6 +347,20 @@ type Engine struct {
 	// demand and the per-run subdirectory is removed when Run returns,
 	// error or not.
 	TmpDir string
+	// Retry is the task-attempt supervision policy: every map/reduce
+	// task runs as a sequence of attempts governed by it (panic
+	// recovery, retry with backoff, optional per-attempt timeout and
+	// speculative straggler re-execution). The zero value retries
+	// transient failures up to DefaultMaxAttempts with small capped
+	// exponential backoff and no speculation. See RetryPolicy in
+	// attempt.go and DESIGN.md ("Fault tolerance").
+	Retry RetryPolicy
+	// FaultHook, when non-nil, is invoked at the instrumented points of
+	// every task attempt (task start, emit, spill, merge — see
+	// FaultPoint) and may inject an error to fail the attempt:
+	// deterministic fault injection for the chaos differential tests.
+	// Nil costs one predictable branch per emit.
+	FaultHook FaultHook
 }
 
 // Run executes the job over the given input partitions and returns the
@@ -345,9 +372,10 @@ func (e *Engine) Run(job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
 // RunContext executes the job over the given input partitions and
 // returns the result. Execution is deterministic: map outputs are
 // shuffled with a stable, map-task-ordered merge and sorted with the
-// job's Compare. Cancellation is checked between tasks: once ctx is
-// done, no further task starts and RunContext returns an error wrapping
-// ctx.Err().
+// job's Compare. Cancellation is checked between tasks (once ctx is
+// done, no further task or attempt starts) and periodically between
+// records inside cancellable attempts; RunContext returns an error
+// wrapping ctx.Err().
 func (e *Engine) RunContext(ctx context.Context, job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
 	return e.runBoxed(ctx, job, input, nil)
 }
@@ -372,42 +400,65 @@ func (e *Engine) runBoxed(ctx context.Context, job *BoxedJob, input [][]KeyValue
 	}
 
 	// ---- Map phase ----
-	// mapOut[mapTask][reduceTask] holds the bucketed map output.
+	// mapOut[mapTask][reduceTask] holds the bucketed map output,
+	// published per task by the supervisor's commit step.
 	mapOut := make([][][]KeyValue, m)
-	mapErr := make([]error, m)
-	e.forEachTask(ctx, m, func(i int) {
-		mapOut[i], mapErr[i] = e.runMapTask(job, i, m, input[i], res)
-	})
+	mstats, merr := superviseTasks(ctx, e, MapTask, m,
+		func(actx context.Context, hook *taskHook, task, attempt int) (boxedMapOut, error) {
+			return e.runMapAttempt(actx, hook, job, task, m, input[task])
+		},
+		func(task int, out boxedMapOut) error {
+			out.metrics.Kind = MapTask
+			out.metrics.Index = task
+			res.MapMetrics[task] = out.metrics
+			res.SideOutput[task] = out.side
+			mapOut[task] = out.buckets
+			return nil
+		},
+		func(out boxedMapOut) {},
+	)
+	res.addStats(mstats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
-	for i, err := range mapErr {
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", job.Name, i, err)
-		}
+	if merr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, merr)
 	}
 	for i := range res.MapMetrics {
-		res.MapMetrics[i].Kind = MapTask
-		res.MapMetrics[i].Index = i
 		res.MapOutputRecords += res.MapMetrics[i].OutputRecords
 	}
 
 	// ---- Shuffle + merge + reduce phase ----
 	// Reduce tasks run with the same bounded parallelism as map tasks;
 	// each task's merge streams groups into Reduce, so merging and
-	// reducing overlap within a task and across tasks.
+	// reducing overlap within a task and across tasks. Output is
+	// buffered per attempt and drained to the sink (or the collected
+	// Output) only at commit — the task-commit protocol.
 	reduceOut := make([][]KeyValue, r)
-	reduceErr := make([]error, r)
-	e.forEachTask(ctx, r, func(j int) {
-		reduceOut[j], reduceErr[j] = e.runReduceTask(job, j, m, mapOut, res, sink)
-	})
+	rstats, rerr := superviseTasks(ctx, e, ReduceTask, r,
+		func(actx context.Context, hook *taskHook, task, attempt int) (boxedReduceOut, error) {
+			return e.runReduceAttempt(actx, hook, job, task, m, mapOut)
+		},
+		func(task int, out boxedReduceOut) error {
+			out.metrics.Kind = ReduceTask
+			out.metrics.Index = task
+			res.ReduceMetrics[task] = out.metrics
+			if sink != nil {
+				sink.writeAll(out.out)
+				putKVBuf(out.out)
+				return nil
+			}
+			reduceOut[task] = out.out
+			return nil
+		},
+		func(out boxedReduceOut) { putKVBuf(out.out) },
+	)
+	res.addStats(rstats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
-	for j, err := range reduceErr {
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", job.Name, j, err)
-		}
+	if rerr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, rerr)
 	}
 	if sink != nil {
 		if err := sink.Err(); err != nil {
@@ -419,51 +470,60 @@ func (e *Engine) runBoxed(ctx context.Context, job *BoxedJob, input [][]KeyValue
 		total += len(reduceOut[j])
 	}
 	res.Output = make([]KeyValue, 0, total)
-	for j := range res.ReduceMetrics {
-		res.ReduceMetrics[j].Kind = ReduceTask
-		res.ReduceMetrics[j].Index = j
+	for j := range reduceOut {
 		res.Output = append(res.Output, reduceOut[j]...)
 		putKVBuf(reduceOut[j])
 	}
 	return res, nil
 }
 
-// newTaskContext builds the per-task BoxedContext, initializing the counter
-// map once so Inc never has to on the hot path.
-func newTaskContext(kind TaskKind, idx int, metrics *TaskMetrics) *BoxedContext {
-	if metrics.Counters == nil {
-		metrics.Counters = make(map[string]int64)
-	}
-	return &BoxedContext{taskKind: kind, taskIdx: idx, metrics: metrics}
+// boxedMapOut is one boxed map attempt's private output, published
+// atomically when the supervisor commits the attempt.
+type boxedMapOut struct {
+	buckets [][]KeyValue
+	side    []KeyValue
+	metrics TaskMetrics
 }
 
-func (e *Engine) runMapTask(job *BoxedJob, idx, m int, input []KeyValue, res *BoxedResult) (buckets [][]KeyValue, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
-		}
-	}()
+// boxedReduceOut is one boxed reduce attempt's private output.
+type boxedReduceOut struct {
+	out     []KeyValue
+	metrics TaskMetrics
+}
+
+func (e *Engine) runMapAttempt(actx context.Context, hook *taskHook, job *BoxedJob, idx, m int, input []KeyValue) (mout boxedMapOut, err error) {
+	defer recoverAttempt(&err)
+	if err := hook.fire(FaultTaskStart); err != nil {
+		return mout, err
+	}
 	r := job.NumReduceTasks
-	ctx := newTaskContext(MapTask, idx, &res.MapMetrics[idx])
+	ctx := &BoxedContext{taskKind: MapTask, taskIdx: idx, metrics: &mout.metrics, hook: hook}
 	ctx.out = getKVBuf()
 	mapper := job.NewMapper()
 	mapper.Configure(m, r, idx)
-	for _, kv := range input {
+	// Attempt cancellation (a losing speculative attempt, a per-attempt
+	// timeout) is observed between input records; the gate keeps
+	// background-context runs free of per-record checks.
+	check := actx.Done() != nil
+	for i, kv := range input {
+		if check && i&cancelCheckMask == 0 && actx.Err() != nil {
+			return mout, actx.Err()
+		}
 		ctx.metrics.InputRecords++
 		mapper.Map(ctx, kv)
 	}
 	out := ctx.out
 	if job.NewCombiner != nil {
-		combined, cerr := e.combine(job, idx, m, out, ctx.metrics)
+		combined, cerr := e.combine(job, idx, m, out, ctx.metrics, hook)
 		if cerr != nil {
-			return nil, cerr
+			return mout, cerr
 		}
 		putKVBuf(out)
 		out = combined
 		// The combiner rewrote the task's output; fix the metric.
 		ctx.metrics.OutputRecords = int64(len(out))
 	}
-	res.SideOutput[idx] = ctx.side
+	mout.side = ctx.side
 
 	// Bucket by partition: count first, then carve exact-size buckets
 	// out of one flat allocation instead of growing r slices.
@@ -477,7 +537,8 @@ func (e *Engine) runMapTask(job *BoxedJob, idx, m int, input []KeyValue, res *Bo
 		if p < 0 || p >= r {
 			putInt32Buf(parts)
 			putInt32Buf(counts)
-			return nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, r)
+			// A deterministic user-logic bug: re-running cannot fix it.
+			return mout, Fatal(fmt.Errorf("partition function returned %d for %d reduce tasks", p, r))
 		}
 		parts[i] = int32(p)
 		counts[p]++
@@ -496,7 +557,7 @@ func (e *Engine) runMapTask(job *BoxedJob, idx, m int, input []KeyValue, res *Bo
 		flat[counts[p]] = kv
 		counts[p]++
 	}
-	buckets = make([][]KeyValue, r)
+	buckets := make([][]KeyValue, r)
 	start := int32(0)
 	for p := 0; p < r; p++ {
 		end := counts[p]
@@ -511,16 +572,17 @@ func (e *Engine) runMapTask(job *BoxedJob, idx, m int, input []KeyValue, res *Bo
 	for _, b := range buckets {
 		sortKVsStable(b, job.Compare)
 	}
-	return buckets, nil
+	mout.buckets = buckets
+	return mout, nil
 }
 
 // combine runs the job's combiner over one map task's output, grouped
 // exactly like the reduce side would group it.
-func (e *Engine) combine(job *BoxedJob, idx, m int, out []KeyValue, metrics *TaskMetrics) ([]KeyValue, error) {
+func (e *Engine) combine(job *BoxedJob, idx, m int, out []KeyValue, metrics *TaskMetrics, hook *taskHook) ([]KeyValue, error) {
 	sortKVsStable(out, job.Compare)
 	combiner := job.NewCombiner()
 	combiner.Configure(m, job.NumReduceTasks, idx)
-	cctx := &BoxedContext{taskKind: MapTask, taskIdx: idx, metrics: metrics}
+	cctx := &BoxedContext{taskKind: MapTask, taskIdx: idx, metrics: metrics, hook: hook}
 	cctx.out = getKVBuf()
 	for lo := 0; lo < len(out); {
 		hi := lo + 1
@@ -533,17 +595,13 @@ func (e *Engine) combine(job *BoxedJob, idx, m int, out []KeyValue, metrics *Tas
 	return cctx.out, nil
 }
 
-func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue, res *BoxedResult, sink *outputSink[KeyValue]) (out []KeyValue, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
-		}
-	}()
-	ctx := newTaskContext(ReduceTask, idx, &res.ReduceMetrics[idx])
-	ctx.sink = sink
-	if sink == nil {
-		ctx.out = getKVBuf()
+func (e *Engine) runReduceAttempt(actx context.Context, hook *taskHook, job *BoxedJob, idx, m int, mapOut [][][]KeyValue) (rout boxedReduceOut, err error) {
+	defer recoverAttempt(&err)
+	if err := hook.fire(FaultTaskStart); err != nil {
+		return rout, err
 	}
+	ctx := &BoxedContext{taskKind: ReduceTask, taskIdx: idx, metrics: &rout.metrics, hook: hook}
+	ctx.out = getKVBuf()
 	reducer := job.NewReducer()
 	reducer.Configure(m, job.NumReduceTasks, idx)
 
@@ -560,12 +618,16 @@ func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue,
 		})
 		ctx.metrics.InputRecords = int64(len(input))
 		reduceSortedRun(ctx, job, reducer, input)
-		return ctx.out, nil
+		rout.out = ctx.out
+		return rout, nil
 	}
 
 	// Streaming k-way merge of the pre-sorted spill buckets. Equal keys
 	// are popped in map-task order (heap ties break on bucket index),
 	// reproducing the concat+stable-sort order exactly.
+	if err := hook.fire(FaultMerge); err != nil {
+		return rout, err
+	}
 	runs := getRunsBuf(m)
 	total := 0
 	for mi := 0; mi < m; mi++ {
@@ -575,6 +637,7 @@ func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue,
 		}
 	}
 	ctx.metrics.InputRecords = int64(total)
+	check := actx.Done() != nil
 	switch len(runs) {
 	case 0:
 	case 1:
@@ -586,7 +649,10 @@ func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue,
 		group := getKVBuf()
 		kv, _ := mg.next()
 		group = append(group, kv)
-		for {
+		for n := 0; ; n++ {
+			if check && n&cancelCheckMask == 0 && actx.Err() != nil {
+				return rout, actx.Err()
+			}
 			kv, ok := mg.next()
 			if !ok {
 				break
@@ -602,7 +668,8 @@ func (e *Engine) runReduceTask(job *BoxedJob, idx, m int, mapOut [][][]KeyValue,
 		mg.release()
 	}
 	putRunsBuf(runs)
-	return ctx.out, nil
+	rout.out = ctx.out
+	return rout, nil
 }
 
 // reduceSortedRun walks one fully sorted input run and invokes the
@@ -628,12 +695,20 @@ func emitGroup(ctx *BoxedContext, reducer BoxedReducer, group []KeyValue) {
 	reducer.Reduce(ctx, group[0].Key, group)
 }
 
-// forEachTask runs fn(i) for i in [0,n) with bounded parallelism.
-// Cancellation is prompt between tasks: once ctx is done, no further
-// task starts; tasks already executing run to completion and every
-// worker goroutine is joined before forEachTask returns, so a cancelled
-// phase leaks nothing. The caller detects cancellation via ctx.Err().
-func (e *Engine) forEachTask(ctx context.Context, n int, fn func(int)) {
+// taskRunner is forEachTask's per-task hook. An interface rather than a
+// func value so the supervisor can pass itself by pointer — conversion
+// to taskRunner is allocation-free, where a closure per phase is not.
+type taskRunner interface {
+	runOne(ctx context.Context, task int)
+}
+
+// forEachTask runs r.runOne(ctx, i) for i in [0,n) with bounded
+// parallelism. Cancellation is prompt between tasks: once ctx is done,
+// no further task starts; tasks already executing run to completion and
+// every worker goroutine is joined before forEachTask returns, so a
+// cancelled phase leaks nothing. The caller detects cancellation via
+// ctx.Err().
+func (e *Engine) forEachTask(ctx context.Context, n int, r taskRunner) {
 	workers := e.Parallelism
 	if workers <= 0 || workers > n {
 		workers = n
@@ -643,7 +718,7 @@ func (e *Engine) forEachTask(ctx context.Context, n int, fn func(int)) {
 			if ctx.Err() != nil {
 				return
 			}
-			fn(i)
+			r.runOne(ctx, i)
 		}
 		return
 	}
@@ -655,7 +730,7 @@ func (e *Engine) forEachTask(ctx context.Context, n int, fn func(int)) {
 			defer wg.Done()
 			for i := range next {
 				if ctx.Err() == nil {
-					fn(i)
+					r.runOne(ctx, i)
 				}
 			}
 		}()

@@ -16,6 +16,11 @@ import "context"
 // on this path (the boxed engine predates them), so the oracle also
 // cross-checks the codes' order/group behaviour against the plain
 // comparators.
+//
+// Fault tolerance needs no bridging: attempts, retry, speculation, and
+// the fault hook live in the engine-level task supervisor (attempt.go),
+// which the boxed dataflow shares with the typed and external ones, so
+// the oracle exercises the same supervision code the typed paths do.
 
 func (j *Job[I, K, V, O]) runBoxed(ctx context.Context, e *Engine, input [][]I, sink *outputSink[O]) (*Result[I, O], error) {
 	bj := &BoxedJob{

@@ -129,10 +129,17 @@ type outputSink[O any] struct {
 	err error
 }
 
-func (s *outputSink[O]) write(rec O) {
+// writeAll drains one committed reduce attempt's buffered output under a
+// single lock acquisition, preserving the attempt's emission order. The
+// commit protocol funnels all sink output through here: records of a
+// failed or superseded attempt never reach the sink.
+func (s *outputSink[O]) writeAll(recs []O) {
 	s.mu.Lock()
-	if s.err == nil {
-		s.err = s.fn(rec)
+	for i := range recs {
+		if s.err != nil {
+			break
+		}
+		s.err = s.fn(recs[i])
 	}
 	s.mu.Unlock()
 }
@@ -176,6 +183,9 @@ type MapContext[I, K, V any] struct {
 	// dataflow's spiller instead of the in-memory out buffer (see
 	// external.go).
 	spill *extSpiller[K, V]
+	// hook is the attempt's fault-injection binding (nil when the engine
+	// has no FaultHook installed).
+	hook *taskHook
 }
 
 // Emit appends an intermediate key-value pair to the task's output,
@@ -185,6 +195,7 @@ func (c *MapContext[I, K, V]) Emit(key K, value V) {
 		c.boxed.Emit(key, value)
 		return
 	}
+	c.hook.fireEmit()
 	var code Code
 	if c.encode != nil {
 		code = c.encode(key)
@@ -230,23 +241,21 @@ type ReduceContext[O any] struct {
 	metrics *TaskMetrics
 	out     []O
 	boxed   *BoxedContext
-	// sink, when non-nil, receives every emitted record instead of the
-	// out buffer (RunStream) — output is never accumulated in memory.
-	sink *outputSink[O]
+	// hook is the attempt's fault-injection binding (nil when the engine
+	// has no FaultHook installed).
+	hook *taskHook
 }
 
-// Emit appends one record to the job output (or streams it to the run's
-// output sink under RunStream).
+// Emit appends one record to the attempt's buffered output. Under
+// RunStream the buffer is drained to the run's output sink when the
+// attempt commits — never earlier, so a failed, retried, or superseded
+// attempt cannot double-emit (the task-commit protocol).
 func (c *ReduceContext[O]) Emit(rec O) {
 	if c.boxed != nil {
 		c.boxed.Emit(rec, nil)
 		return
 	}
-	if c.sink != nil {
-		c.sink.write(rec)
-		c.metrics.OutputRecords++
-		return
-	}
+	c.hook.fireEmit()
 	c.out = append(c.out, rec)
 	c.metrics.OutputRecords++
 }
@@ -268,8 +277,9 @@ func incCounter(metrics *TaskMetrics, name string, delta int64) {
 	}
 	m := metrics.Counters
 	if m == nil {
-		// Engine-created contexts initialize the map once per task; this
-		// guard only fires for contexts constructed directly in tests.
+		// The map is created lazily on the first named counter: most
+		// tasks only touch the Comparisons fast path and never pay for
+		// the allocation.
 		m = make(map[string]int64)
 		metrics.Counters = m
 	}
@@ -347,18 +357,27 @@ func (j *Job[I, K, V, O]) Run(e *Engine, input [][]I) (*Result[I, O], error) {
 // When e.Dataflow is DataflowBoxed, the job runs on the boxed oracle
 // engine through the boxing adapter in oracle.go instead.
 //
-// Cancellation is checked between tasks: once ctx is done, no further
-// map or reduce task starts, in-flight tasks finish, and RunContext
-// returns an error wrapping ctx.Err(). The external dataflow removes
-// its spill directory on every exit path, cancellation included.
+// Cancellation is checked between tasks (once ctx is done, no further
+// task or attempt starts) and periodically between records inside
+// cancellable attempts; RunContext returns an error wrapping ctx.Err().
+// The external dataflow removes its spill directory on every exit path,
+// cancellation included.
+//
+// Fault tolerance: every task executes as a sequence of attempts under
+// Engine.Retry — panics in user code are recovered into the attempt's
+// error, transient failures retry with backoff, and stragglers can be
+// speculatively re-executed. A run that fails despite retries returns
+// an error wrapping a *TaskError. See DESIGN.md ("Fault tolerance").
 func (j *Job[I, K, V, O]) RunContext(ctx context.Context, e *Engine, input [][]I) (*Result[I, O], error) {
 	return j.run(ctx, e, input, nil)
 }
 
-// RunStream is RunContext with streamed output: every reduce emission is
-// handed to out (serialized across tasks, emission order within a task)
-// instead of being accumulated, so Result.Output stays empty and peak
-// memory is independent of the output size. A non-nil error from out
+// RunStream is RunContext with streamed output: each reduce task's
+// emissions are handed to out when the task commits (serialized across
+// tasks, emission order within a task) instead of being accumulated in
+// Result.Output, so peak memory is O(largest task's output) — the
+// commit protocol's price for never double-emitting under retries and
+// speculation — rather than O(total output). A non-nil error from out
 // fails the run. Metrics and side output are identical to RunContext.
 func (j *Job[I, K, V, O]) RunStream(ctx context.Context, e *Engine, input [][]I, out func(O) error) (*Result[I, O], error) {
 	if out == nil {
@@ -397,39 +416,36 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 	// mapOut[mapTask][reduceTask] holds the bucketed map output; the
 	// buckets of one task are carved out of the single backing array in
 	// mapFlat[mapTask], which is recycled once the reduce phase is done.
+	// Both are published per task by the supervisor's commit step.
 	mapOut := make([][][]Rec[K, V], m)
 	mapFlat := make([][]Rec[K, V], m)
-	mapErr := make([]error, m)
-	e.forEachTask(ctx, m, func(i int) {
-		mapOut[i], mapFlat[i], mapErr[i] = st.runMapTask(i, m, input[i], res)
-	})
+	st.mapPhase = typedMapPhase[I, K, V, O]{st: st, input: input, m: m, res: res, mapOut: mapOut, mapFlat: mapFlat}
+	st.mapSup.init(e, MapTask, &st.mapPhase)
+	mstats, merr := st.mapSup.supervise(ctx, m)
+	res.addStats(mstats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
 	}
-	for i, err := range mapErr {
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: job %q: map task %d: %w", j.Name, i, err)
-		}
+	if merr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, merr)
 	}
 	for i := range res.MapMetrics {
-		res.MapMetrics[i].Kind = MapTask
-		res.MapMetrics[i].Index = i
 		res.MapOutputRecords += res.MapMetrics[i].OutputRecords
 	}
 
 	// ---- Shuffle + merge + reduce phase ----
+	// Output is buffered per attempt and drained to the sink (or the
+	// collected Output) only at commit — the task-commit protocol.
 	reduceOut := make([][]O, r)
-	reduceErr := make([]error, r)
-	e.forEachTask(ctx, r, func(jj int) {
-		reduceOut[jj], reduceErr[jj] = st.runReduceTask(e, jj, m, mapOut, res, sink)
-	})
+	st.redPhase = typedReducePhase[I, K, V, O]{st: st, e: e, m: m, res: res, mapOut: mapOut, sink: sink, reduceOut: reduceOut}
+	st.redSup.init(e, ReduceTask, &st.redPhase)
+	rstats, rerr := st.redSup.supervise(ctx, r)
+	res.addStats(rstats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
 	}
-	for jj, err := range reduceErr {
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", j.Name, jj, err)
-		}
+	if rerr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, rerr)
 	}
 	if sink != nil {
 		if err := sink.Err(); err != nil {
@@ -441,9 +457,7 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 		total += len(reduceOut[jj])
 	}
 	res.Output = make([]O, 0, total)
-	for jj := range res.ReduceMetrics {
-		res.ReduceMetrics[jj].Kind = ReduceTask
-		res.ReduceMetrics[jj].Index = jj
+	for jj := range reduceOut {
 		res.Output = append(res.Output, reduceOut[jj]...)
 		putOutBuf(st.outPool, reduceOut[jj])
 	}
@@ -454,6 +468,83 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 		st.pools.putRecBuf(flat)
 	}
 	return res, nil
+}
+
+// typedMapOut is one typed map attempt's private output, published
+// atomically when the supervisor commits the attempt.
+type typedMapOut[I, K, V any] struct {
+	buckets [][]Rec[K, V]
+	flat    []Rec[K, V]
+	side    []I
+	metrics TaskMetrics
+}
+
+// typedReduceOut is one typed reduce attempt's private output.
+type typedReduceOut[O any] struct {
+	out     []O
+	metrics TaskMetrics
+}
+
+// typedMapPhase is the map phase's taskOps: run one map attempt,
+// publish its buckets, side output, and metrics at commit.
+type typedMapPhase[I, K, V, O any] struct {
+	st      *runState[I, K, V, O]
+	input   [][]I
+	m       int
+	res     *Result[I, O]
+	mapOut  [][][]Rec[K, V]
+	mapFlat [][]Rec[K, V]
+}
+
+func (p *typedMapPhase[I, K, V, O]) runTaskAttempt(actx context.Context, hook *taskHook, task, attempt int) (typedMapOut[I, K, V], error) {
+	return p.st.runMapAttempt(actx, hook, task, p.m, p.input[task])
+}
+
+func (p *typedMapPhase[I, K, V, O]) commitTask(task int, out typedMapOut[I, K, V]) error {
+	out.metrics.Kind = MapTask
+	out.metrics.Index = task
+	p.res.MapMetrics[task] = out.metrics
+	p.res.SideOutput[task] = out.side
+	p.mapOut[task], p.mapFlat[task] = out.buckets, out.flat
+	return nil
+}
+
+func (p *typedMapPhase[I, K, V, O]) discardOut(out typedMapOut[I, K, V]) {
+	p.st.pools.putRecBuf(out.flat)
+}
+
+// typedReducePhase is the reduce phase's taskOps. Output is buffered
+// per attempt and drained to the sink (or the collected Output) only at
+// commit — the task-commit protocol.
+type typedReducePhase[I, K, V, O any] struct {
+	st        *runState[I, K, V, O]
+	e         *Engine
+	m         int
+	res       *Result[I, O]
+	mapOut    [][][]Rec[K, V]
+	sink      *outputSink[O]
+	reduceOut [][]O
+}
+
+func (p *typedReducePhase[I, K, V, O]) runTaskAttempt(actx context.Context, hook *taskHook, task, attempt int) (typedReduceOut[O], error) {
+	return p.st.runReduceAttempt(actx, hook, p.e, task, p.m, p.mapOut)
+}
+
+func (p *typedReducePhase[I, K, V, O]) commitTask(task int, out typedReduceOut[O]) error {
+	out.metrics.Kind = ReduceTask
+	out.metrics.Index = task
+	p.res.ReduceMetrics[task] = out.metrics
+	if p.sink != nil {
+		p.sink.writeAll(out.out)
+		putOutBuf(p.st.outPool, out.out)
+		return nil
+	}
+	p.reduceOut[task] = out.out
+	return nil
+}
+
+func (p *typedReducePhase[I, K, V, O]) discardOut(out typedReduceOut[O]) {
+	putOutBuf(p.st.outPool, out.out)
 }
 
 // runState carries the per-run comparator/group fast paths and the
@@ -467,6 +558,15 @@ type runState[I, K, V, O any] struct {
 
 	pools   *recPools[K, V]
 	outPool *sync.Pool // pooled []O reduce-output buffers
+
+	// Supervision state for the two phases, embedded so the fault-free
+	// fast path allocates nothing per phase: &st.mapPhase converts to
+	// taskOps without boxing, and the supervisors live in this one
+	// allocation instead of one per phase.
+	mapPhase typedMapPhase[I, K, V, O]
+	mapSup   taskSupervisor[typedMapOut[I, K, V]]
+	redPhase typedReducePhase[I, K, V, O]
+	redSup   taskSupervisor[typedReduceOut[O]]
 }
 
 func newRunState[I, K, V, O any](j *Job[I, K, V, O]) *runState[I, K, V, O] {
@@ -510,38 +610,42 @@ func (st *runState[I, K, V, O]) sameGroup(a, b *Rec[K, V]) bool {
 	return st.group(a.Key, b.Key) == 0
 }
 
-func (st *runState[I, K, V, O]) runMapTask(idx, m int, input []I, res *Result[I, O]) (buckets [][]Rec[K, V], flat []Rec[K, V], err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
-		}
-	}()
+func (st *runState[I, K, V, O]) runMapAttempt(actx context.Context, hook *taskHook, idx, m int, input []I) (mout typedMapOut[I, K, V], err error) {
+	defer recoverAttempt(&err)
+	if err := hook.fire(FaultTaskStart); err != nil {
+		return mout, err
+	}
 	j := st.job
 	r := j.NumReduceTasks
-	metrics := &res.MapMetrics[idx]
-	if metrics.Counters == nil {
-		metrics.Counters = make(map[string]int64)
-	}
-	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, out: st.pools.getRecBuf(), sideCap: len(input)}
+	metrics := &mout.metrics
+	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, out: st.pools.getRecBuf(), sideCap: len(input), hook: hook}
 	mapper := j.NewMapper()
 	mapper.Configure(m, r, idx)
+	// Attempt cancellation (a losing speculative attempt, a per-attempt
+	// timeout) is observed between input records; the gate keeps
+	// background-context runs free of per-record checks.
+	check := actx.Done() != nil
 	for i := range input {
+		if check && i&cancelCheckMask == 0 && actx.Err() != nil {
+			return mout, actx.Err()
+		}
 		metrics.InputRecords++
 		mapper.Map(ctx, input[i])
 	}
 	out := ctx.out
 	if j.NewCombiner != nil {
-		combined, cerr := st.combine(idx, m, out, metrics)
+		combined, cerr := st.combine(idx, m, out, metrics, hook)
 		if cerr != nil {
-			return nil, nil, cerr
+			return mout, cerr
 		}
 		st.pools.putRecBuf(out)
 		out = combined
 		// The combiner rewrote the task's output; fix the metric.
 		metrics.OutputRecords = int64(len(out))
 	}
-	res.SideOutput[idx] = ctx.side
-	return st.partitionAndSort(out)
+	mout.side = ctx.side
+	mout.buckets, mout.flat, err = st.partitionAndSort(out)
+	return mout, err
 }
 
 // partitionAndSort buckets one map task's (possibly combined) output by
@@ -564,7 +668,8 @@ func (st *runState[I, K, V, O]) partitionAndSort(out []Rec[K, V]) (buckets [][]R
 		if p < 0 || p >= r {
 			putInt32Buf(parts)
 			putInt32Buf(counts)
-			return nil, nil, fmt.Errorf("partition function returned %d for %d reduce tasks", p, r)
+			// A deterministic user-logic bug: re-running cannot fix it.
+			return nil, nil, Fatal(fmt.Errorf("partition function returned %d for %d reduce tasks", p, r))
 		}
 		parts[i] = int32(p)
 		counts[p]++
@@ -609,11 +714,11 @@ func (st *runState[I, K, V, O]) partitionAndSort(out []Rec[K, V]) (buckets [][]R
 
 // combine runs the job's combiner over one map task's output, grouped
 // exactly like the reduce side would group it.
-func (st *runState[I, K, V, O]) combine(idx, m int, out []Rec[K, V], metrics *TaskMetrics) ([]Rec[K, V], error) {
+func (st *runState[I, K, V, O]) combine(idx, m int, out []Rec[K, V], metrics *TaskMetrics, hook *taskHook) ([]Rec[K, V], error) {
 	st.sortRecsStable(out)
 	combiner := st.job.NewCombiner()
 	combiner.Configure(m, st.job.NumReduceTasks, idx)
-	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, out: st.pools.getRecBuf()}
+	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, out: st.pools.getRecBuf(), hook: hook}
 	for lo := 0; lo < len(out); {
 		hi := lo + 1
 		for hi < len(out) && st.sameGroup(&out[lo], &out[hi]) {
@@ -625,21 +730,14 @@ func (st *runState[I, K, V, O]) combine(idx, m int, out []Rec[K, V], metrics *Ta
 	return cctx.out, nil
 }
 
-func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][][]Rec[K, V], res *Result[I, O], sink *outputSink[O]) (out []O, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
-		}
-	}()
+func (st *runState[I, K, V, O]) runReduceAttempt(actx context.Context, hook *taskHook, e *Engine, idx, m int, mapOut [][][]Rec[K, V]) (rout typedReduceOut[O], err error) {
+	defer recoverAttempt(&err)
+	if err := hook.fire(FaultTaskStart); err != nil {
+		return rout, err
+	}
 	j := st.job
-	metrics := &res.ReduceMetrics[idx]
-	if metrics.Counters == nil {
-		metrics.Counters = make(map[string]int64)
-	}
-	ctx := &ReduceContext[O]{metrics: metrics, sink: sink}
-	if sink == nil {
-		ctx.out = getOutBuf[O](st.outPool)
-	}
+	metrics := &rout.metrics
+	ctx := &ReduceContext[O]{metrics: metrics, out: getOutBuf[O](st.outPool), hook: hook}
 	reducer := j.NewReducer()
 	reducer.Configure(m, j.NumReduceTasks, idx)
 
@@ -654,12 +752,16 @@ func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][]
 		st.sortRecsStable(input)
 		metrics.InputRecords = int64(len(input))
 		st.reduceSortedRun(ctx, reducer, input)
-		return ctx.out, nil
+		rout.out = ctx.out
+		return rout, nil
 	}
 
 	// Streaming k-way merge of the pre-sorted spill buckets. Equal keys
 	// are popped in map-task order (heap ties break on bucket index),
 	// reproducing the concat+stable-sort order exactly.
+	if err := hook.fire(FaultMerge); err != nil {
+		return rout, err
+	}
 	runs := st.pools.getRunsBuf(m)
 	total := 0
 	for mi := 0; mi < m; mi++ {
@@ -669,6 +771,7 @@ func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][]
 		}
 	}
 	metrics.InputRecords = int64(total)
+	check := actx.Done() != nil
 	switch len(runs) {
 	case 0:
 	case 1:
@@ -680,7 +783,10 @@ func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][]
 		group := st.pools.getRecBuf()
 		rec, _ := mg.next()
 		group = append(group, rec)
-		for {
+		for n := 0; ; n++ {
+			if check && n&cancelCheckMask == 0 && actx.Err() != nil {
+				return rout, actx.Err()
+			}
 			rec, ok := mg.next()
 			if !ok {
 				break
@@ -695,7 +801,8 @@ func (st *runState[I, K, V, O]) runReduceTask(e *Engine, idx, m int, mapOut [][]
 		st.pools.putRecBuf(group)
 	}
 	st.pools.putRunsBuf(runs)
-	return ctx.out, nil
+	rout.out = ctx.out
+	return rout, nil
 }
 
 // reduceSortedRun walks one fully sorted input run and invokes the

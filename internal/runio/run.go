@@ -203,46 +203,46 @@ func ReadInfo(path string) (*Info, error) {
 	hdr := make([]byte, 6+binary.MaxVarintLen64)
 	n, err := io.ReadFull(f, hdr)
 	if err != nil && err != io.ErrUnexpectedEOF {
-		return nil, fmt.Errorf("%w: run header: %v", ErrCorrupt, err)
+		return nil, corruptAt(path, 0, "a readable run header", err)
 	}
 	hdr = hdr[:n]
 	if len(hdr) < 7 || string(hdr[:4]) != runMagic || hdr[4] != runVersion {
-		return nil, fmt.Errorf("%w: bad run magic/version %q", ErrCorrupt, hdr)
+		return nil, corruptAt(path, 0, fmt.Sprintf("run magic %q version %d, got %q", runMagic, runVersion, hdr), nil)
 	}
 	codeWidth := int(hdr[5])
 	if codeWidth != 0 && codeWidth != 16 {
-		return nil, fmt.Errorf("%w: bad code width %d", ErrCorrupt, codeWidth)
+		return nil, corruptAt(path, 5, fmt.Sprintf("code width 0 or 16, got %d", codeWidth), nil)
 	}
 	numPartitions, pn, err := Uvarint(hdr[6:])
 	if err != nil {
-		return nil, fmt.Errorf("%w: partition count: %v", ErrCorrupt, err)
+		return nil, corruptAt(path, 6, "partition count uvarint", err)
 	}
 	hdrLen := int64(6 + pn)
 	// Every partition occupies at least two trailer bytes (two
 	// uvarints), so a claimed count the file cannot hold is corrupt —
 	// reject it before sizing any allocation by it.
 	if numPartitions == 0 || numPartitions > uint64(st.Size())/2 {
-		return nil, fmt.Errorf("%w: implausible partition count %d for %d-byte file", ErrCorrupt, numPartitions, st.Size())
+		return nil, corruptAt(path, 6, fmt.Sprintf("plausible partition count for a %d-byte file, got %d", st.Size(), numPartitions), nil)
 	}
 
 	// Fixed-size footer: 8-byte trailer offset + 4-byte magic.
 	if st.Size() < hdrLen+12 {
-		return nil, fmt.Errorf("%w: run file truncated (%d bytes)", ErrCorrupt, st.Size())
+		return nil, corruptAt(path, st.Size(), fmt.Sprintf("at least %d bytes of header and footer, file has %d (truncated)", hdrLen+12, st.Size()), nil)
 	}
 	var foot [12]byte
 	if _, err := f.ReadAt(foot[:], st.Size()-12); err != nil {
-		return nil, fmt.Errorf("%w: run footer: %v", ErrCorrupt, err)
+		return nil, corruptAt(path, st.Size()-12, "a readable 12-byte footer", err)
 	}
 	if string(foot[8:]) != runMagic {
-		return nil, fmt.Errorf("%w: bad trailer magic %q", ErrCorrupt, foot[8:])
+		return nil, corruptAt(path, st.Size()-4, fmt.Sprintf("trailer magic %q, got %q", runMagic, foot[8:]), nil)
 	}
 	trailerOff := int64(binary.LittleEndian.Uint64(foot[:8]))
 	if trailerOff < hdrLen || trailerOff > st.Size()-12 {
-		return nil, fmt.Errorf("%w: trailer offset %d out of range", ErrCorrupt, trailerOff)
+		return nil, corruptAt(path, st.Size()-12, fmt.Sprintf("trailer offset in [%d,%d], got %d", hdrLen, st.Size()-12, trailerOff), nil)
 	}
 	tr := make([]byte, st.Size()-12-trailerOff)
 	if _, err := f.ReadAt(tr, trailerOff); err != nil {
-		return nil, fmt.Errorf("%w: run trailer: %v", ErrCorrupt, err)
+		return nil, corruptAt(path, trailerOff, "a readable run trailer", err)
 	}
 	// The trailer holds one (records, length) pair per partition, then
 	// repeats the partition count as a cross-check.
@@ -252,19 +252,19 @@ func ReadInfo(path string) (*Info, error) {
 	for i := uint64(0); i < numPartitions; i++ {
 		recs, n1, err := Uvarint(rest)
 		if err != nil {
-			return nil, fmt.Errorf("%w: malformed run trailer", ErrCorrupt)
+			return nil, corruptAt(path, trailerOff+int64(len(tr)-len(rest)), fmt.Sprintf("record count of trailer entry %d", i), err)
 		}
 		rest = rest[n1:]
 		l, n2, err := Uvarint(rest)
 		if err != nil {
-			return nil, fmt.Errorf("%w: malformed run trailer", ErrCorrupt)
+			return nil, corruptAt(path, trailerOff+int64(len(tr)-len(rest)), fmt.Sprintf("byte length of trailer entry %d", i), err)
 		}
 		rest = rest[n2:]
 		entries = append(entries, Segment{Records: int64(recs), Len: l2i(l)})
 	}
 	count, n3, err := Uvarint(rest)
 	if err != nil || count != numPartitions || len(rest) != n3 {
-		return nil, fmt.Errorf("%w: malformed run trailer", ErrCorrupt)
+		return nil, corruptAt(path, trailerOff+int64(len(tr)-len(rest)), fmt.Sprintf("trailer cross-check count %d", numPartitions), err)
 	}
 	off := hdrLen
 	for i := range entries {
@@ -274,7 +274,7 @@ func ReadInfo(path string) (*Info, error) {
 		info.Bytes += entries[i].Len
 	}
 	if off != trailerOff {
-		return nil, fmt.Errorf("%w: segment lengths (%d) disagree with trailer offset (%d)", ErrCorrupt, off, trailerOff)
+		return nil, corruptAt(path, trailerOff, fmt.Sprintf("segment lengths summing to the trailer offset, got %d", off), nil)
 	}
 	info.Segments = entries
 	return info, nil
@@ -305,6 +305,8 @@ type SegmentReader struct {
 	remaining int64
 	records   int64
 	buf       []byte
+	path      string
+	off       int64 // absolute file offset of the next read
 }
 
 // segReaderBufSize is the read-ahead buffer per open segment: large
@@ -312,11 +314,12 @@ type SegmentReader struct {
 // dozens of runs stays within a few MB of buffer memory.
 const segReaderBufSize = 64 << 10
 
-// NewSegmentReader streams seg from ra (typically the run's *os.File).
-// The read-ahead buffer never exceeds the segment itself, so a reduce
-// task merging many small segments (tiny budgets fragment runs) pays
-// buffer memory proportional to its actual input, not to the run count.
-func NewSegmentReader(ra io.ReaderAt, seg Segment) *SegmentReader {
+// NewSegmentReader streams seg from ra (typically the run's *os.File);
+// path names the file in corruption errors ("" is allowed). The
+// read-ahead buffer never exceeds the segment itself, so a reduce task
+// merging many small segments (tiny budgets fragment runs) pays buffer
+// memory proportional to its actual input, not to the run count.
+func NewSegmentReader(ra io.ReaderAt, seg Segment, path string) *SegmentReader {
 	bufSize := segReaderBufSize
 	if seg.Len < int64(bufSize) {
 		bufSize = int(seg.Len)
@@ -328,31 +331,38 @@ func NewSegmentReader(ra io.ReaderAt, seg Segment) *SegmentReader {
 		r:         bufio.NewReaderSize(io.NewSectionReader(ra, seg.Off, seg.Len), bufSize),
 		remaining: seg.Len,
 		records:   seg.Records,
+		path:      path,
+		off:       seg.Off,
 	}
 }
 
 // Next returns the next record's bytes (code ‖ key ‖ value, without the
 // length prefix), or io.EOF after the last record. The returned slice
-// is only valid until the following Next call.
+// is only valid until the following Next call. A truncated or corrupted
+// segment fails with a *CorruptError carrying the file, the offset, and
+// what was expected there — never a bare EOF mid-record.
 func (s *SegmentReader) Next() ([]byte, error) {
 	if s.records <= 0 {
 		return nil, io.EOF
 	}
 	l, err := binary.ReadUvarint(s.r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: record length: %v", ErrCorrupt, err)
+		return nil, corruptAt(s.path, s.off, fmt.Sprintf("record length uvarint (%d records remain)", s.records), err)
 	}
-	s.remaining -= int64(uvarintLen(l))
+	pfx := int64(uvarintLen(l))
+	s.remaining -= pfx
 	if l > uint64(s.remaining) {
-		return nil, fmt.Errorf("%w: record length %d exceeds segment remainder %d", ErrCorrupt, l, s.remaining)
+		return nil, corruptAt(s.path, s.off, fmt.Sprintf("record of at most %d bytes (segment remainder), got length %d", s.remaining, l), nil)
 	}
+	s.off += pfx
 	if uint64(cap(s.buf)) < l {
 		s.buf = make([]byte, l)
 	}
 	s.buf = s.buf[:l]
 	if _, err := io.ReadFull(s.r, s.buf); err != nil {
-		return nil, fmt.Errorf("%w: record body: %v", ErrCorrupt, err)
+		return nil, corruptAt(s.path, s.off, fmt.Sprintf("%d-byte record body", l), err)
 	}
+	s.off += int64(l)
 	s.remaining -= int64(l)
 	s.records--
 	return s.buf, nil

@@ -48,6 +48,54 @@ import (
 // ErrCorrupt is wrapped by all decode errors caused by malformed bytes.
 var ErrCorrupt = errors.New("runio: corrupt data")
 
+// CorruptError is the typed corruption report of the run-file readers
+// (ReadInfo, SegmentReader.Next): which file, at what byte offset, and
+// what the parser expected there — so a truncated or corrupted spill
+// run fails with an actionable message instead of a bare EOF. It
+// satisfies both errors.Is(err, ErrCorrupt) and errors.As with
+// *CorruptError. The per-record codec errors keep wrapping plain
+// ErrCorrupt: they have no file position to report.
+type CorruptError struct {
+	// Path is the run file ("" when reading an anonymous source).
+	Path string
+	// Off is the byte offset of the failed read; -1 when unknown.
+	Off int64
+	// What describes what the parser expected at that point.
+	What string
+	// Err is the underlying cause (an I/O error, a bad value); may be
+	// nil when the expectation itself failed.
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	msg := "runio: corrupt run"
+	if e.Path != "" {
+		msg += " " + e.Path
+	}
+	if e.Off >= 0 {
+		msg += fmt.Sprintf(" at offset %d", e.Off)
+	}
+	msg += ": expected " + e.What
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap makes the error match ErrCorrupt (always) and its underlying
+// cause (when present) under errors.Is/As.
+func (e *CorruptError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrCorrupt, e.Err}
+	}
+	return []error{ErrCorrupt}
+}
+
+// corruptAt builds the readers' standard corruption error.
+func corruptAt(path string, off int64, what string, cause error) error {
+	return &CorruptError{Path: path, Off: off, What: what, Err: cause}
+}
+
 // Codec serializes one concrete type T as a self-delimiting byte
 // string. See the package comment for the full contract.
 type Codec[T any] interface {

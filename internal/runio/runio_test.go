@@ -122,7 +122,7 @@ func TestRunWriteRead(t *testing.T) {
 		defer f.Close()
 		var c StringCodec
 		for p, n := range counts {
-			sr := NewSegmentReader(f, info.Segments[p])
+			sr := NewSegmentReader(f, info.Segments[p], info.Path)
 			for i := 0; i < n; i++ {
 				rec, err := sr.Next()
 				if err != nil {
@@ -211,7 +211,7 @@ func TestSegmentReaderCorruptLength(t *testing.T) {
 	// holds must error, not hang or over-allocate.
 	var buf bytes.Buffer
 	buf.Write(AppendUvarint(nil, 1<<50))
-	sr := NewSegmentReader(bytes.NewReader(buf.Bytes()), Segment{Off: 0, Len: int64(buf.Len()), Records: 1})
+	sr := NewSegmentReader(bytes.NewReader(buf.Bytes()), Segment{Off: 0, Len: int64(buf.Len()), Records: 1}, "")
 	if _, err := sr.Next(); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}

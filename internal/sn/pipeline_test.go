@@ -15,6 +15,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/er"
 	"repro/internal/mapreduce"
+	"repro/internal/testleak"
 )
 
 // snPipelineFixture builds a skewed keyed dataset whose ranges are
@@ -129,6 +130,8 @@ func TestSNPipelineCancelled(t *testing.T) {
 	parts, cfg := snPipelineFixture()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
+	before := testleak.Snapshot()
+	defer testleak.Check(t, before)
 	if _, err := RunPipeline(ctx, er.FromPartitions(parts), cfg); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — randomized fault-injection smoke under the race
+# detector.
+#
+# Runs the fault-schedule differential suites (engine-level and
+# ER-pipeline-level) plus the mid-phase cancellation tests with -race
+# and a randomized chaos seed. The seed is echoed up front: a failing
+# run reproduces with
+#
+#   CHAOS_SEED=<seed> scripts/chaos_smoke.sh
+#
+# because every chaos decision is a pure hash of the seed and the
+# attempt's identity — no other randomness source exists in the suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${CHAOS_SEED:-$RANDOM$RANDOM$RANDOM}"
+echo "chaos-smoke: seed=$SEED (reproduce with CHAOS_SEED=$SEED $0)"
+
+# The custom flag must follow the package list: the go tool stops
+# parsing its own flags at the first one it does not recognize.
+go test -race -count=1 \
+    -run 'TestFaultScheduleDifferential|TestSpillFaultDifferential|TestERFaultScheduleDifferential|TestERChaosDifferential|TestCancelMidPhase' \
+    ./internal/mapreduce ./internal/er \
+    -chaos-seed="$SEED"
+
+echo "chaos-smoke: OK (seed=$SEED)"
