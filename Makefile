@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race test-cancel-race bench-smoke bench bench-all smoke-lowmem smoke-chaos clean
+.PHONY: check vet build test test-race test-cancel-race bench-smoke bench bench-all smoke-lowmem smoke-chaos smoke-dist clean
 
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
@@ -54,3 +54,10 @@ smoke-lowmem:
 # seed (echoed for reproduction; pin with CHAOS_SEED=N).
 smoke-chaos:
 	scripts/chaos_smoke.sh
+
+# smoke-dist runs the match pipeline across real worker processes
+# (master + 3 erworkers over HTTP), SIGKILLs one worker mid-reduce,
+# and asserts the output is byte-identical to a local run and that
+# gracefully stopped workers leave empty run directories.
+smoke-dist:
+	scripts/dist_smoke.sh

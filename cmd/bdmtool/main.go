@@ -38,6 +38,16 @@ func main() {
 		nodes  = flag.Int("nodes", 4, "simulated cluster size for the -plan timeline")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+	// A bad -plan name is a usage error; validate it before any work so
+	// a typo fails fast with exit 2 instead of after the BDM run.
+	if *plan != "" {
+		if _, err := planStrategy(*plan); err != nil {
+			usage(err)
+		}
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "" {
@@ -103,16 +113,9 @@ func main() {
 // showPlan prints a strategy's per-reduce-task workload statistics and
 // the simulated reduce-phase timeline on a small cluster.
 func showPlan(matrix *bdm.Matrix, name string, m, r, nodes int) error {
-	var strat core.Strategy
-	switch name {
-	case "basic":
-		strat = core.Basic{}
-	case "blocksplit":
-		strat = core.BlockSplit{}
-	case "pairrange":
-		strat = core.PairRange{}
-	default:
-		return fmt.Errorf("unknown strategy %q (want basic, blocksplit, or pairrange)", name)
+	strat, err := planStrategy(name)
+	if err != nil {
+		return err
 	}
 	plan, err := strat.Plan(matrix, m, r)
 	if err != nil {
@@ -134,7 +137,28 @@ func showPlan(matrix *bdm.Matrix, name string, m, r, nodes int) error {
 	return nil
 }
 
+func planStrategy(name string) (core.Strategy, error) {
+	switch name {
+	case "basic":
+		return core.Basic{}, nil
+	case "blocksplit":
+		return core.BlockSplit{}, nil
+	case "pairrange":
+		return core.PairRange{}, nil
+	default:
+		return nil, fmt.Errorf("unknown -plan strategy %q (want basic, blocksplit, or pairrange)", name)
+	}
+}
+
+// fail reports a runtime error (exit 1); usage reports a bad
+// invocation with exit 2, matching the other er commands.
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "bdmtool: %v\n", err)
 	os.Exit(1)
+}
+
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "bdmtool: %v\n", err)
+	fmt.Fprintln(os.Stderr, "run 'bdmtool -h' for usage")
+	os.Exit(2)
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dist"
 	"repro/internal/entity"
 	"repro/internal/experiments"
 	"repro/internal/mapreduce"
@@ -42,8 +43,17 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 0, "per-task attempt budget for executed runs (0 = engine default)")
 		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt wall-clock timeout for executed runs (0 = none)")
 		faults      = flag.String("faults", "", "deterministic fault injection 'rate[:seed]' for executed runs (e.g. 0.2:7)")
+		masterAddr  = flag.String("master", "", "run the distributed-vs-local comparison: listen for erworker registrations on this address (e.g. 127.0.0.1:0)")
+		workers     = flag.Int("workers", 0, "distributed: wait for this many registered workers before dispatching tasks")
+		addrFile    = flag.String("master-addr-file", "", "distributed: write the master's URL to this file once listening (for scripted worker launch)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+	if (*workers > 0 || *addrFile != "") && *masterAddr == "" {
+		usage(fmt.Errorf("-workers/-master-addr-file require -master"))
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
@@ -53,18 +63,15 @@ func main() {
 	opts.Retry = mapreduce.RetryPolicy{MaxAttempts: *maxAttempts, TaskTimeout: *taskTimeout}
 	var err error
 	if opts.FaultHook, err = mapreduce.ParseChaos(*faults, *maxAttempts); err != nil {
-		fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
-		os.Exit(1)
+		usage(fmt.Errorf("invalid -faults value: %v (expected rate[:seed], rate in [0,1])", err))
 	}
 	if opts.SpillBudget, err = runio.ParseByteSize(*spillBudget); err != nil {
-		fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
-		os.Exit(1)
+		usage(fmt.Errorf("invalid -spill-budget value: %v", err))
 	}
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		// Stream the dataset one row at a time (entity.ScanCSV): the
 		// only full materialization is the entity slice the figures
@@ -75,15 +82,31 @@ func main() {
 		})
 		f.Close()
 		if scanErr != nil {
-			fmt.Fprintf(os.Stderr, "erbench: %v\n", scanErr)
-			os.Exit(1)
+			fail(scanErr)
 		}
 		if len(opts.Dataset) == 0 {
 			// A nil Dataset would silently fall back to the generated
 			// DS1 stand-in; an empty -in file is a user error.
-			fmt.Fprintf(os.Stderr, "erbench: -in %s contains no entities\n", *in)
-			os.Exit(1)
+			fail(fmt.Errorf("-in %s contains no entities", *in))
 		}
+	}
+	if *masterAddr != "" {
+		// The master starts before the table runs so its URL can be
+		// published for scripted worker launch; the Distributed table
+		// dispatches both jobs' tasks through it per strategy.
+		master := dist.NewMaster(dist.MasterOptions{Addr: *masterAddr})
+		if err := master.Start(); err != nil {
+			fail(err)
+		}
+		defer master.Close()
+		if *addrFile != "" {
+			if err := os.WriteFile(*addrFile, []byte(master.URL()+"\n"), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "erbench: master listening at %s (waiting for %d workers)\n", master.URL(), *workers)
+		opts.Master = master
+		opts.Workers = *workers
 	}
 
 	type namedTable func(experiments.Options) (*reportTable, error)
@@ -116,8 +139,12 @@ func main() {
 	if *snrobust || *all {
 		runs = append(runs, experiments.SNRobustness)
 	}
+	if *masterAddr != "" {
+		// -all deliberately excludes this table: it needs live workers.
+		runs = append(runs, experiments.Distributed)
+	}
 	if len(runs) == 0 {
-		fmt.Fprintln(os.Stderr, "erbench: specify -figure 8..14, -all, -appendix, -ablations, -balance, or -quality")
+		fmt.Fprintln(os.Stderr, "erbench: specify -figure 8..14, -all, -appendix, -ablations, -balance, -quality, or -master")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -125,8 +152,7 @@ func main() {
 	for i, run := range runs {
 		table, err := run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if i > 0 {
 			fmt.Println()
@@ -137,8 +163,20 @@ func main() {
 			err = table.Fprint(os.Stdout)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
+}
+
+// fail reports a runtime error (exit 1); usage reports a bad
+// invocation with exit 2, matching the other er commands.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+	os.Exit(1)
+}
+
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+	fmt.Fprintln(os.Stderr, "run 'erbench -h' for usage")
+	os.Exit(2)
 }

@@ -27,6 +27,9 @@ func main() {
 		stats   = flag.Bool("stats", false, "print Figure 8-style dataset statistics to stderr")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
 
 	var (
 		entities []entity.Entity
@@ -43,23 +46,20 @@ func main() {
 		entities = datagen.Exponential(*n, *blocks, *skew, *seed)
 		attrs = []string{datagen.AttrBlock, datagen.AttrTitle}
 	default:
-		fmt.Fprintf(os.Stderr, "ergen: unknown dataset %q (want ds1, ds2, or exp)\n", *dataset)
-		os.Exit(2)
+		usage(fmt.Errorf("unknown dataset %q (want ds1, ds2, or exp)", *dataset))
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ergen: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := entity.WriteCSV(w, entities, attrs); err != nil {
-		fmt.Fprintf(os.Stderr, "ergen: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *stats {
 		st := datagen.ComputeStats(entities, datagen.AttrTitle, datagen.BlockKey())
@@ -69,4 +69,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "entities=%d blocks=%d largest=%d (%.1f%% of entities) pairs=%d (%.1f%% in largest)\n",
 			st.Entities, st.Blocks, st.LargestBlock, 100*st.LargestBlockFrac, st.Pairs, 100*st.LargestPairsFrac)
 	}
+}
+
+// fail reports a runtime error (exit 1); usage reports a bad
+// invocation with exit 2, matching the other er commands.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ergen: %v\n", err)
+	os.Exit(1)
+}
+
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "ergen: %v\n", err)
+	fmt.Fprintln(os.Stderr, "run 'ergen -h' for usage")
+	os.Exit(2)
 }

@@ -6,13 +6,17 @@
 // file renamed over -out only on success, so a failed or interrupted
 // run never leaves a partial file. Ctrl-C cancels the run between
 // engine tasks, and -max-attempts/-task-timeout/-faults expose the
-// engine's retry policy and deterministic fault injection.
+// engine's retry policy and deterministic fault injection. With
+// -master the process becomes the master of a distributed run: it
+// listens for erworker registrations and dispatches both jobs' tasks
+// to them, producing output byte-identical to the local run.
 //
 // Usage:
 //
 //	ermatch -in ds1.csv -strategy pairrange -m 8 -r 32 -threshold 0.8
 //	ermatch -in ds1.csv -out matches.csv -format csv
 //	ergen -dataset ds1 -scale 0.02 | ermatch -strategy blocksplit
+//	ermatch -in ds1.csv -master 127.0.0.1:0 -master-addr-file master.addr -workers 3
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/dist"
 	"repro/internal/er"
 	"repro/internal/mapreduce"
 	"repro/internal/match"
@@ -59,20 +64,33 @@ func main() {
 		maxAttempts  = flag.Int("max-attempts", 0, "per-task attempt budget before the run fails (0 = engine default)")
 		taskTimeout  = flag.Duration("task-timeout", 0, "per-attempt wall-clock timeout; a timed-out attempt is retried (0 = none)")
 		faults       = flag.String("faults", "", "deterministic fault injection 'rate[:seed]' for chaos testing (e.g. 0.2:7)")
+		masterAddr   = flag.String("master", "", "run distributed: listen for erworker registrations on this address (e.g. 127.0.0.1:0 or :7400)")
+		workers      = flag.Int("workers", 0, "distributed: wait for this many registered workers before dispatching tasks")
+		addrFile     = flag.String("master-addr-file", "", "distributed: write the master's URL to this file once listening (for scripted worker launch)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
 
 	budget, err := runio.ParseByteSize(*spillBudget)
 	if err != nil {
-		fail(err)
+		usage(fmt.Errorf("invalid -spill-budget value: %v", err))
 	}
 	if *out != "" && (*showPairs || *showClusters) {
-		fail(fmt.Errorf("-out streams matches without buffering them; it cannot be combined with -pairs or -clusters"))
+		usage(fmt.Errorf("-out streams matches without buffering them; it cannot be combined with -pairs or -clusters"))
 	}
 	if *out != "" && *format != "csv" && *format != "ndjson" {
 		// Validated before the output file is touched, so a typo'd
 		// -format never truncates an existing file.
-		fail(fmt.Errorf("unknown -format %q (want csv or ndjson)", *format))
+		usage(fmt.Errorf("unknown -format %q (want csv or ndjson)", *format))
+	}
+	distributed := *masterAddr != "" || *workers > 0 || *addrFile != ""
+	if distributed && *masterAddr == "" {
+		usage(fmt.Errorf("-workers/-master-addr-file require -master"))
+	}
+	if distributed && *strategy == "sn" {
+		usage(fmt.Errorf("strategy sn does not support distributed execution (use basic, blocksplit, or pairrange)"))
 	}
 	// When the match stream goes to stdout (-out -), the human-readable
 	// report moves to stderr so the streamed CSV/NDJSON stays parseable.
@@ -106,7 +124,7 @@ func main() {
 	// accumulated in memory.
 	faultHook, err := mapreduce.ParseChaos(*faults, *maxAttempts)
 	if err != nil {
-		fail(err)
+		usage(fmt.Errorf("invalid -faults value: %v (expected rate[:seed], rate in [0,1])", err))
 	}
 	opts := er.RunOptions{
 		Parallelism: *parallelism,
@@ -114,6 +132,24 @@ func main() {
 		TmpDir:      *tmpdir,
 		Retry:       mapreduce.RetryPolicy{MaxAttempts: *maxAttempts, TaskTimeout: *taskTimeout},
 		FaultHook:   faultHook,
+	}
+	if distributed {
+		// The master is started here (not inside the pipeline) so its
+		// URL can be published to -master-addr-file before any worker
+		// needs it; the pipeline then dispatches through it.
+		master := dist.NewMaster(dist.MasterOptions{Addr: *masterAddr})
+		if err := master.Start(); err != nil {
+			fail(err)
+		}
+		defer master.Close()
+		if *addrFile != "" {
+			if err := os.WriteFile(*addrFile, []byte(master.URL()+"\n"), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ermatch: master listening at %s (waiting for %d workers)\n", master.URL(), *workers)
+		opts.Master = master
+		opts.Workers = *workers
 	}
 	var count func() int64
 	var outFile *os.File
@@ -181,17 +217,32 @@ func main() {
 		case "pairrange":
 			strat = core.PairRange{}
 		default:
-			fail(fmt.Errorf("unknown strategy %q", *strategy))
+			usage(fmt.Errorf("unknown strategy %q (want basic, blocksplit, pairrange, or sn)", *strategy))
 		}
-		res, err := er.RunPipeline(ctx, er.FromPartitions(parts), er.Config{
-			RunOptions:      opts,
-			Strategy:        strat,
-			Attr:            matchAttr,
-			BlockKey:        blocking.NormalizedPrefix(*prefix),
-			PreparedMatcher: prepared,
-			R:               *r,
-			UseCombiner:     true,
-		})
+		var res *er.Result
+		if distributed {
+			// Distributed runs take the declarative job description (the
+			// same parameters, minus the function values a Config carries)
+			// so workers can rebuild the identical jobs from the spec.
+			res, err = er.RunDistributedPipeline(ctx, er.FromPartitions(parts), er.DistParams{
+				Strategy:    *strategy,
+				Attr:        matchAttr,
+				KeyPrefix:   *prefix,
+				Threshold:   *threshold,
+				R:           *r,
+				UseCombiner: true,
+			}, opts)
+		} else {
+			res, err = er.RunPipeline(ctx, er.FromPartitions(parts), er.Config{
+				RunOptions:      opts,
+				Strategy:        strat,
+				Attr:            matchAttr,
+				BlockKey:        blocking.NormalizedPrefix(*prefix),
+				PreparedMatcher: prepared,
+				R:               *r,
+				UseCombiner:     true,
+			})
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -244,10 +295,22 @@ func main() {
 // because os.Exit skips deferred calls.
 var cleanupOnFail func()
 
+// fail reports a runtime error (exit 1); usage reports a bad
+// invocation — unknown enum value, malformed flag, conflicting flags —
+// with exit 2, matching the other er commands.
 func fail(err error) {
 	if cleanupOnFail != nil {
 		cleanupOnFail()
 	}
 	fmt.Fprintf(os.Stderr, "ermatch: %v\n", err)
 	os.Exit(1)
+}
+
+func usage(err error) {
+	if cleanupOnFail != nil {
+		cleanupOnFail()
+	}
+	fmt.Fprintf(os.Stderr, "ermatch: %v\n", err)
+	fmt.Fprintln(os.Stderr, "run 'ermatch -h' for usage")
+	os.Exit(2)
 }

@@ -3,6 +3,8 @@ package bdm
 import (
 	"fmt"
 
+	"repro/internal/entity"
+	"repro/internal/mapreduce"
 	"repro/internal/runio"
 )
 
@@ -36,4 +38,11 @@ func (keyCodec) Decode(src []byte) (Key, int, error) {
 
 func init() {
 	runio.Register[Key](keyCodec{})
+	// Distributed execution also moves the BDM job's input and output
+	// records across process boundaries: register codecs for both pair
+	// shapes (Annotated and CountRecord). The element codecs exist by
+	// now — string and int are runio builtins, entity.Entity is
+	// registered by the entity package's init, Key just above.
+	mapreduce.RegisterPairCodec[string, entity.Entity]()
+	mapreduce.RegisterPairCodec[Key, int]()
 }

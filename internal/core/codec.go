@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bdm"
 	"repro/internal/entity"
+	"repro/internal/mapreduce"
 	"repro/internal/runio"
 )
 
@@ -141,10 +142,38 @@ func decodeInts(src []byte, dst ...*int) (int, error) {
 	return n, nil
 }
 
+type matchPairCodec struct{}
+
+func (matchPairCodec) Append(dst []byte, p MatchPair) []byte {
+	dst = runio.AppendString(dst, p.A)
+	return runio.AppendString(dst, p.B)
+}
+
+func (matchPairCodec) Decode(src []byte) (MatchPair, int, error) {
+	var p MatchPair
+	a, n, err := runio.String(src)
+	if err != nil {
+		return p, 0, fmt.Errorf("MatchPair.A: %w", err)
+	}
+	b, bn, err := runio.String(src[n:])
+	if err != nil {
+		return p, 0, fmt.Errorf("MatchPair.B: %w", err)
+	}
+	p.A, p.B = a, b
+	return p, n + bn, nil
+}
+
 func init() {
 	runio.Register[BSKey](bsKeyCodec{})
 	runio.Register[bsValue](bsValueCodec{})
 	runio.Register[PRKey](prKeyCodec{})
 	runio.Register[BSDKey](bsdKeyCodec{})
 	runio.Register[PRDKey](prdKeyCodec{})
+	// Distributed execution ships match outputs between processes:
+	// register MatchPair and the MatchOutput pair shape. Similarities
+	// travel as the float64 codec's fixed 8 bytes (exact bit pattern),
+	// never as formatted decimals. The AnnotatedEntity pair codec is
+	// registered by the bdm package (the shape is shared).
+	runio.Register[MatchPair](matchPairCodec{})
+	mapreduce.RegisterPairCodec[MatchPair, float64]()
 }

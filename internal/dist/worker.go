@@ -1,0 +1,416 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/runio"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// MasterURL is the master's base URL (required).
+	MasterURL string
+	// Addr is the listen address for the task/run server
+	// ("127.0.0.1:0" when empty). It must be reachable from the master
+	// and from the other workers (shuffle reads).
+	Addr string
+	// Dir is where run files live; the worker creates a private
+	// subdirectory per job under it ("" = the system temp dir) and
+	// removes everything on graceful Stop.
+	Dir string
+	// Slots is the advertised concurrent task capacity (1 when < 1).
+	Slots int
+	// Logf receives operational events. Nil means the standard logger.
+	Logf func(format string, args ...any)
+	// TaskStarted, when non-nil, runs at the top of every task attempt
+	// — the chaos seam: tests and cmd/erworker use it to stall a
+	// chosen phase or mark the moment a kill becomes interesting. The
+	// context is the attempt's (cancelled when the master gives up or
+	// dies mid-request).
+	TaskStarted func(ctx context.Context, phase string, task, attempt int)
+}
+
+// Worker executes dispatched task attempts and serves its map runs.
+// One Worker per process is the intended shape (cmd/erworker), but
+// tests run several in one process.
+type Worker struct {
+	opts   WorkerOptions
+	dir    string
+	ownDir bool
+	srv    *http.Server
+	ln     net.Listener
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	mu        sync.Mutex
+	runnables map[string]mapreduce.RemoteRunnable // by JobRef.ID
+	runs      map[string]string                   // serving token → path
+	jobRuns   map[string][]string                 // JobRef.ID → tokens
+	nextToken int64
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	serveDone chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+}
+
+// StartWorker launches a worker: it binds the task server, then keeps a
+// registration with the master alive in the background (registering,
+// heartbeating, and re-registering as needed) until Stop or Kill.
+func StartWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.MasterURL == "" {
+		return nil, fmt.Errorf("dist: worker: MasterURL is required")
+	}
+	if opts.Slots < 1 {
+		opts.Slots = 1
+	}
+	w := &Worker{
+		opts:      opts,
+		runnables: map[string]mapreduce.RemoteRunnable{},
+		runs:      map[string]string{},
+		jobRuns:   map[string][]string{},
+		serveDone: make(chan struct{}),
+		loopDone:  make(chan struct{}),
+	}
+	w.logf = opts.Logf
+	if w.logf == nil {
+		w.logf = log.Printf
+	}
+	dir, err := os.MkdirTemp(opts.Dir, "erworker-*")
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker: create run dir: %w", err)
+	}
+	w.dir = dir
+	w.ownDir = true
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("dist: worker listen %s: %w", addr, err)
+	}
+	w.ln = ln
+	w.client = &http.Client{Transport: &http.Transport{}}
+	w.ctx, w.cancel = context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc(pathTask, w.handleTask)
+	mux.HandleFunc(pathRun, w.handleRun)
+	mux.HandleFunc(pathRelease, w.handleRelease)
+	w.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(w.serveDone)
+		w.srv.Serve(ln)
+	}()
+	go w.registerLoop()
+	return w, nil
+}
+
+// URL returns the worker's base URL.
+func (w *Worker) URL() string { return "http://" + w.ln.Addr().String() }
+
+// Stop shuts the worker down gracefully: deregistration happens by
+// lease expiry (the protocol has no unregister — death and shutdown
+// look the same to the master), the server drains, and the run
+// directory is removed.
+func (w *Worker) Stop() {
+	w.shutdown(true)
+}
+
+// Kill is the chaos shutdown: the listener and every open connection
+// close immediately (in-flight task responses are cut mid-stream, like
+// a SIGKILL) and the run directory is left behind, exactly as a dead
+// process would leave it. Tests clean the directory themselves.
+func (w *Worker) Kill() {
+	w.shutdown(false)
+}
+
+func (w *Worker) shutdown(graceful bool) {
+	w.closeOnce.Do(func() {
+		w.cancel()
+		<-w.loopDone
+		if graceful {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			w.srv.Shutdown(ctx)
+			cancel()
+			w.srv.Close()
+		} else {
+			w.srv.Close()
+		}
+		<-w.serveDone
+		w.client.CloseIdleConnections()
+		if graceful && w.ownDir {
+			os.RemoveAll(w.dir)
+		}
+	})
+}
+
+// Dir returns the worker's run directory (left behind by Kill).
+func (w *Worker) Dir() string { return w.dir }
+
+// registerLoop keeps the worker leased: register, heartbeat at the
+// assigned interval, re-register when the master forgot us (restart,
+// expiry), retry with backoff while the master is unreachable.
+func (w *Worker) registerLoop() {
+	defer close(w.loopDone)
+	const retryDelay = 200 * time.Millisecond
+	for w.ctx.Err() == nil {
+		reg, err := w.register()
+		if err != nil {
+			w.logf("dist: worker: register with %s failed (will retry): %v", w.opts.MasterURL, err)
+			if !sleepCtx(w.ctx, retryDelay) {
+				return
+			}
+			continue
+		}
+		w.logf("dist: worker %d: registered with %s (serving at %s)", reg.WorkerID, w.opts.MasterURL, w.URL())
+		interval := time.Duration(reg.HeartbeatMillis) * time.Millisecond
+		if interval <= 0 {
+			interval = DefaultHeartbeatInterval
+		}
+		t := time.NewTicker(interval)
+		for ok := true; ok; {
+			select {
+			case <-w.ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			hb, err := w.heartbeat(reg.WorkerID)
+			switch {
+			case err != nil:
+				w.logf("dist: worker %d: heartbeat failed (re-registering): %v", reg.WorkerID, err)
+				ok = false
+			case !hb.OK:
+				w.logf("dist: worker %d: lease lost (re-registering)", reg.WorkerID)
+				ok = false
+			}
+		}
+		t.Stop()
+	}
+}
+
+func (w *Worker) register() (*RegisterResponse, error) {
+	body, _ := json.Marshal(RegisterRequest{URL: w.URL(), Slots: w.opts.Slots})
+	var resp RegisterResponse
+	if err := w.postJSON(w.opts.MasterURL+pathRegister, body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (w *Worker) heartbeat(id int64) (*HeartbeatResponse, error) {
+	body, _ := json.Marshal(HeartbeatRequest{WorkerID: id})
+	var resp HeartbeatResponse
+	if err := w.postJSON(w.opts.MasterURL+pathHeartbeat, body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (w *Worker) postJSON(url string, body []byte, out any) error {
+	ctx, cancel := context.WithTimeout(w.ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: http %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runnableFor returns the job's cached executor, building it through
+// the registered builder on first use.
+func (w *Worker) runnableFor(ref JobRef) (mapreduce.RemoteRunnable, error) {
+	w.mu.Lock()
+	rr, ok := w.runnables[ref.ID]
+	w.mu.Unlock()
+	if ok {
+		return rr, nil
+	}
+	build, ok := lookupJob(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("dist: worker: no job builder registered for %q (is the package imported?)", ref.Name)
+	}
+	rr, err := build(ref.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker: build job %q: %w", ref.Name, err)
+	}
+	w.mu.Lock()
+	// A concurrent builder for the same ref may have won; either value
+	// is equivalent, keep the first.
+	if prev, ok := w.runnables[ref.ID]; ok {
+		rr = prev
+	} else {
+		w.runnables[ref.ID] = rr
+	}
+	w.mu.Unlock()
+	return rr, nil
+}
+
+// handleTask executes one dispatched attempt. The request context is
+// the attempt's lifeline: net/http cancels it when the master hangs up
+// (attempt superseded, lease revoked, master dead), which stops the
+// typed attempt at its usual cancellation points.
+func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad task request", http.StatusBadRequest)
+		return
+	}
+	rr, err := w.runnableFor(req.Job)
+	if err != nil {
+		w.taskError(rw, mapreduce.Fatal(err))
+		return
+	}
+	ctx := r.Context()
+	if w.opts.TaskStarted != nil {
+		w.opts.TaskStarted(ctx, req.Phase, req.Task, req.Attempt)
+	}
+	switch req.Phase {
+	case "map":
+		w.execMap(ctx, rw, rr, &req)
+	case "reduce":
+		w.execReduce(ctx, rw, rr, &req)
+	default:
+		w.taskError(rw, mapreduce.Fatal(fmt.Errorf("dist: worker: unknown phase %q", req.Phase)))
+	}
+}
+
+func (w *Worker) execMap(ctx context.Context, rw http.ResponseWriter, rr mapreduce.RemoteRunnable, req *TaskRequest) {
+	jobDir := filepath.Join(w.dir, req.Job.ID)
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		w.taskError(rw, err)
+		return
+	}
+	runPath := filepath.Join(jobDir, fmt.Sprintf("m%04d-a%03d.run", req.Task, req.Attempt))
+	// A retried dispatch of the same attempt (master resend after a cut
+	// response) may find the file already there; recreate it.
+	os.Remove(runPath)
+	res, err := rr.ExecRemoteMap(ctx, req.M, req.Task, req.Attempt, req.Input, req.InputCount, runPath)
+	if err != nil {
+		w.taskError(rw, err)
+		return
+	}
+	token := w.registerRun(req.Job.ID, runPath)
+	writeJSON(rw, TaskResponse{
+		Metrics:   res.Metrics,
+		Side:      res.Side,
+		SideCount: res.SideCount,
+		RunURL:    w.URL() + pathRun + token,
+	})
+}
+
+func (w *Worker) execReduce(ctx context.Context, rw http.ResponseWriter, rr mapreduce.RemoteRunnable, req *TaskRequest) {
+	srcs := make([]mapreduce.SegmentSource, len(req.Sources))
+	for i, ref := range req.Sources {
+		srcs[i] = mapreduce.SegmentSource{
+			R:    &httpReaderAt{client: w.client, ctx: ctx, urls: ref.URLs},
+			Seg:  segmentOf(ref),
+			Path: fmt.Sprintf("map task %d run (%v)", ref.MapTask, ref.URLs),
+		}
+	}
+	res, err := rr.ExecRemoteReduce(ctx, req.M, req.Task, req.Attempt, srcs)
+	if err != nil {
+		w.taskError(rw, err)
+		return
+	}
+	writeJSON(rw, TaskResponse{
+		Metrics:     res.Metrics,
+		Output:      res.Output,
+		OutputCount: res.OutputCount,
+	})
+}
+
+func (w *Worker) taskError(rw http.ResponseWriter, err error) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusInternalServerError)
+	json.NewEncoder(rw).Encode(newErrorResponse(err))
+}
+
+func (w *Worker) registerRun(jobID, path string) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextToken++
+	token := strconv.FormatInt(w.nextToken, 10)
+	w.runs[token] = path
+	w.jobRuns[jobID] = append(w.jobRuns[jobID], token)
+	return token
+}
+
+// handleRun serves a map run file to reducers (and to the master's
+// replication download). Only registered tokens resolve — the URL space
+// carries no paths.
+func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	token := r.URL.Path[len(pathRun):]
+	w.mu.Lock()
+	path, ok := w.runs[token]
+	w.mu.Unlock()
+	if !ok {
+		http.NotFound(rw, r)
+		return
+	}
+	http.ServeFile(rw, r, path)
+}
+
+// handleRelease drops one job's cached runnable and run files.
+func (w *Worker) handleRelease(rw http.ResponseWriter, r *http.Request) {
+	var req struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad release request", http.StatusBadRequest)
+		return
+	}
+	w.mu.Lock()
+	delete(w.runnables, req.JobID)
+	for _, token := range w.jobRuns[req.JobID] {
+		delete(w.runs, token)
+	}
+	delete(w.jobRuns, req.JobID)
+	w.mu.Unlock()
+	os.RemoveAll(filepath.Join(w.dir, req.JobID))
+	rw.WriteHeader(http.StatusOK)
+}
+
+func segmentOf(ref SegmentRef) runio.Segment {
+	return runio.Segment{Off: ref.Off, Len: ref.Len, Records: ref.Records}
+}
+
+// sleepCtx sleeps for d, returning false if ctx is done first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,247 @@
+package er_test
+
+// The distributed differential: the full two-job pipeline dispatched
+// over real HTTP to in-process workers must produce an er.Result
+// byte-identical to the local typed run — across strategies, and still
+// when a worker is SIGKILL-style killed mid-map or mid-reduce (the
+// master reassigns through heartbeat/lease revocation and transport
+// errors, and reducers fall back to the master's run replicas for dead
+// origins). Execution-history counters are zeroed before comparison,
+// exactly as in the fault differential.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dist"
+	"repro/internal/entity"
+	"repro/internal/er"
+	"repro/internal/mapreduce"
+	"repro/internal/match"
+	"repro/internal/testleak"
+)
+
+func distTestParams(strat core.Strategy) er.DistParams {
+	return er.DistParams{
+		Strategy:    strat.Name(),
+		Attr:        datagen.AttrTitle,
+		KeyPrefix:   3,
+		Threshold:   0.8,
+		R:           5,
+		UseCombiner: true,
+	}
+}
+
+// distLocalConfig is the local-run Config the DistParams expand to on
+// the worker side — the baseline must use the same key and matcher
+// functions the distributed run rebuilds from the declarative spec.
+func distLocalConfig(strat core.Strategy, p er.DistParams) er.Config {
+	return er.Config{
+		RunOptions:      er.RunOptions{Engine: &mapreduce.Engine{Parallelism: 4}},
+		Strategy:        strat,
+		Attr:            p.Attr,
+		BlockKey:        blocking.NormalizedPrefix(p.KeyPrefix),
+		PreparedMatcher: match.EditDistance(p.Attr, p.Threshold),
+		R:               p.R,
+		UseCombiner:     p.UseCombiner,
+	}
+}
+
+// startDistMaster starts a master with fast failure detection (50ms
+// heartbeats, 250ms lease) and quiet logging.
+func startDistMaster(t *testing.T) *dist.Master {
+	t.Helper()
+	m := dist.NewMaster(dist.MasterOptions{
+		HeartbeatInterval: 50 * time.Millisecond,
+		LeaseTTL:          250 * time.Millisecond,
+		Logf:              t.Logf,
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func startDistWorker(t *testing.T, master *dist.Master, opts dist.WorkerOptions) *dist.Worker {
+	t.Helper()
+	opts.MasterURL = master.URL()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	w, err := dist.StartWorker(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	return w
+}
+
+func TestDistributedDifferential(t *testing.T) {
+	parts := entity.SplitRoundRobin(testEntities(150, 3), 4)
+	for _, strat := range []core.Strategy{core.Basic{}, core.BlockSplit{}, core.PairRange{}} {
+		t.Run(strat.Name(), func(t *testing.T) {
+			p := distTestParams(strat)
+			baseline, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), distLocalConfig(strat, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(baseline.Matches) == 0 {
+				t.Fatal("differential vacuous, no matches")
+			}
+			zeroHistory(baseline)
+
+			before := testleak.Snapshot()
+			master := startDistMaster(t)
+			w1 := startDistWorker(t, master, dist.WorkerOptions{Slots: 2})
+			w2 := startDistWorker(t, master, dist.WorkerOptions{Slots: 2})
+			res, err := er.RunDistributedPipeline(context.Background(), er.FromPartitions(parts), p, er.RunOptions{
+				Parallelism: 4,
+				Master:      master,
+				Workers:     2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w1.Stop()
+			w2.Stop()
+			master.Close()
+			testleak.Check(t, before)
+			zeroHistory(res)
+			if !reflect.DeepEqual(res, baseline) {
+				t.Fatal("distributed pipeline diverges from local typed run")
+			}
+			// Graceful worker shutdown leaves no run files behind.
+			for _, w := range []*dist.Worker{w1, w2} {
+				if _, err := os.Stat(w.Dir()); !os.IsNotExist(err) {
+					t.Fatalf("worker dir %s survived graceful Stop (stat err %v)", w.Dir(), err)
+				}
+			}
+		})
+	}
+}
+
+// killOnPhase returns worker options whose TaskStarted hook kills the
+// worker (via the pointer set after StartWorker) on its first task of
+// the given phase, then parks the attempt until the kill cuts its
+// connection — the dispatched task can only ever finish elsewhere.
+func killOnPhase(phase string, victim *atomic.Pointer[dist.Worker], killed *atomic.Bool) dist.WorkerOptions {
+	var once sync.Once
+	return dist.WorkerOptions{
+		Slots: 1,
+		TaskStarted: func(ctx context.Context, ph string, task, attempt int) {
+			if ph != phase {
+				return
+			}
+			once.Do(func() {
+				killed.Store(true)
+				go victim.Load().Kill()
+			})
+			<-ctx.Done()
+		},
+	}
+}
+
+func TestDistributedWorkerKillDifferential(t *testing.T) {
+	parts := entity.SplitRoundRobin(testEntities(150, 3), 4)
+	strat := core.BlockSplit{}
+	p := distTestParams(strat)
+	baseline, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), distLocalConfig(strat, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroHistory(baseline)
+
+	for _, phase := range []string{"map", "reduce"} {
+		t.Run("kill-mid-"+phase, func(t *testing.T) {
+			before := testleak.Snapshot()
+			master := startDistMaster(t)
+			survivor := startDistWorker(t, master, dist.WorkerOptions{Slots: 2})
+			var victimPtr atomic.Pointer[dist.Worker]
+			var killed atomic.Bool
+			victimDir := t.TempDir()
+			opts := killOnPhase(phase, &victimPtr, &killed)
+			opts.Dir = victimDir
+			victim := startDistWorker(t, master, opts)
+			victimPtr.Store(victim)
+
+			res, err := er.RunDistributedPipeline(context.Background(), er.FromPartitions(parts), p, er.RunOptions{
+				Parallelism: 4,
+				Master:      master,
+				Workers:     2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !killed.Load() {
+				t.Fatalf("victim worker never received a %s task; kill differential vacuous", phase)
+			}
+			survivor.Stop()
+			victim.Stop() // no-op after Kill (idempotent shutdown)
+			master.Close()
+			testleak.Check(t, before)
+			zeroHistory(res)
+			if !reflect.DeepEqual(res, baseline) {
+				t.Fatalf("pipeline with a worker killed mid-%s diverges from local run", phase)
+			}
+		})
+	}
+}
+
+// TestDistributedNoWorkersDegradesLocal: a distributed run whose pool
+// is empty (none ever registered) must complete locally with the same
+// result, not hang or fail.
+func TestDistributedNoWorkersDegradesLocal(t *testing.T) {
+	parts := entity.SplitRoundRobin(testEntities(150, 3), 4)
+	strat := core.PairRange{}
+	p := distTestParams(strat)
+	baseline, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), distLocalConfig(strat, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroHistory(baseline)
+
+	before := testleak.Snapshot()
+	master := startDistMaster(t)
+	res, err := er.RunDistributedPipeline(context.Background(), er.FromPartitions(parts), p, er.RunOptions{
+		Parallelism: 4,
+		Master:      master,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Close()
+	testleak.Check(t, before)
+	zeroHistory(res)
+	if !reflect.DeepEqual(res, baseline) {
+		t.Fatal("degraded (workerless) distributed run diverges from local run")
+	}
+}
+
+// TestDistributedUnknownStrategy: the declarative params reject unknown
+// strategy names before any master or worker work happens.
+func TestDistributedUnknownStrategy(t *testing.T) {
+	p := er.DistParams{Strategy: "sorted-neighborhood", Attr: datagen.AttrTitle, KeyPrefix: 3, R: 4}
+	_, err := er.RunDistributedPipeline(context.Background(),
+		er.FromPartitions(entity.SplitRoundRobin(testEntities(20, 1), 2)), p, er.RunOptions{})
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	want := fmt.Sprintf("unknown distributed strategy %q", p.Strategy)
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Fatalf("err = %q, want mention of %q", got, want)
+	}
+}

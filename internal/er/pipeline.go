@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bdm"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/entity"
 	"repro/internal/mapreduce"
 )
@@ -44,6 +45,19 @@ type RunOptions struct {
 	// threaded to every job (chaos testing; see mapreduce.ChaosHook).
 	// Ignored when Engine is set.
 	FaultHook mapreduce.FaultHook
+	// MasterAddr, when non-empty, makes RunDistributedPipeline start a
+	// dist master listening on this address and dispatch the pipeline's
+	// tasks to registered workers ("127.0.0.1:0" picks a free port).
+	// Only RunDistributedPipeline reads it.
+	MasterAddr string
+	// Workers is how many registered workers RunDistributedPipeline
+	// waits for before starting the first job (0 = start immediately;
+	// the engine degrades to local execution when none ever register).
+	Workers int
+	// Master, when non-nil, is a started dist master to dispatch
+	// through instead of starting one from MasterAddr — the seam the
+	// in-process differential tests use. The caller owns its lifetime.
+	Master *dist.Master
 }
 
 // ResolveEngine returns the effective engine: the configured one, or a

@@ -70,9 +70,9 @@ type RetryPolicy struct {
 	// SpeculativeSlowdown enables speculative execution when > 0: a task
 	// running longer than SpeculativeSlowdown × the median duration of
 	// completed same-phase tasks gets one backup attempt; the first
-	// finisher commits and the loser is cancelled via its context. This
-	// graduates internal/cluster/speculative.go's single-backup policy
-	// from the simulator into the engine.
+	// finisher commits and the loser is cancelled via its context
+	// (Hadoop's single-backup policy; this is the one implementation —
+	// the cluster simulator no longer carries its own copy).
 	SpeculativeSlowdown float64
 	// SpeculativeInterval is the monitor's polling period
 	// (0 = DefaultSpeculativeInterval).

@@ -39,6 +39,7 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"log"
 	"slices"
 	"sync"
 )
@@ -361,6 +362,23 @@ type Engine struct {
 	// deterministic fault injection for the chaos differential tests.
 	// Nil costs one predictable branch per emit.
 	FaultHook FaultHook
+	// Remote, when non-nil, dispatches typed task attempts to worker
+	// processes instead of running them in-process (the distributed
+	// execution mode — see remote.go and internal/dist). It overrides
+	// Dataflow for typed jobs; the boxed engine ignores it.
+	Remote RemoteDispatcher
+	// Log receives the engine's rare operational warnings (e.g. the
+	// no-workers degradation notice). Nil means the standard logger.
+	Log func(format string, args ...any)
+}
+
+// logf routes an operational warning to Log or the standard logger.
+func (e *Engine) logf(format string, args ...any) {
+	if e.Log != nil {
+		e.Log(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Run executes the job over the given input partitions and returns the

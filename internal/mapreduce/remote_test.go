@@ -1,0 +1,177 @@
+package mapreduce_test
+
+// Differential tests of the remote-dispatch seam (Engine.Remote)
+// against an in-process dispatcher: a distributed run must produce the
+// same Result as the plain typed dataflow, a transient dispatch failure
+// (a lost worker) must be retried through the normal attempt machinery,
+// and ErrNoWorkers must degrade to local execution with a logged
+// warning — in every case with a byte-identical Result.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/testleak"
+)
+
+func init() {
+	// The word-count job's output type, shipped over the dispatcher
+	// boundary as codec bytes.
+	mapreduce.RegisterPairCodec[string, int]()
+}
+
+// localDispatcher executes dispatched attempts in-process through the
+// same RemoteRunnable a worker would build, with the run files written
+// directly at the master's replica paths. failMaps/failReduces inject
+// transient dispatch errors (the "worker died mid-task" shape); down
+// simulates an empty worker pool.
+type localDispatcher struct {
+	rr          mapreduce.RemoteRunnable
+	down        bool
+	failMaps    atomic.Int64
+	failReduces atomic.Int64
+}
+
+func (d *localDispatcher) RunMapAttempt(ctx context.Context, m, task, attempt int, input []byte, inputCount int, replicaPath string) (*mapreduce.RemoteMapResult, error) {
+	if d.down {
+		return nil, mapreduce.ErrNoWorkers
+	}
+	if d.failMaps.Add(-1) >= 0 {
+		return nil, fmt.Errorf("map task %d: worker lost", task)
+	}
+	return d.rr.ExecRemoteMap(ctx, m, task, attempt, input, inputCount, replicaPath)
+}
+
+func (d *localDispatcher) RunReduceAttempt(ctx context.Context, m, task, attempt int, runs []mapreduce.RemoteRun) (*mapreduce.RemoteReduceResult, error) {
+	if d.down {
+		return nil, mapreduce.ErrNoWorkers
+	}
+	if d.failReduces.Add(-1) >= 0 {
+		return nil, fmt.Errorf("reduce task %d: worker lost", task)
+	}
+	var srcs []mapreduce.SegmentSource
+	for _, run := range runs {
+		if run.Info == nil || run.Info.Segments[task].Records == 0 {
+			continue
+		}
+		f, err := os.Open(run.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		srcs = append(srcs, mapreduce.SegmentSource{R: f, Seg: run.Info.Segments[task], Path: run.Path})
+	}
+	return d.rr.ExecRemoteReduce(ctx, m, task, attempt, srcs)
+}
+
+func TestRemoteDispatchMatchesLocal(t *testing.T) {
+	const m, r = 3, 4
+	input := wordInput(m)
+	for _, combine := range []bool{false, true} {
+		t.Run(fmt.Sprintf("combine=%v", combine), func(t *testing.T) {
+			baseline, err := wordJob(r, combine).Run(&mapreduce.Engine{}, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalize(baseline)
+			before := testleak.Snapshot()
+			rr, err := mapreduce.NewRemoteRunnable(wordJob(r, combine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := &mapreduce.Engine{Parallelism: 2, TmpDir: t.TempDir(), Remote: &localDispatcher{rr: rr}}
+			res, err := wordJob(r, combine).Run(e, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testleak.Check(t, before)
+			normalize(res)
+			if !reflect.DeepEqual(res, baseline) {
+				t.Fatal("remote-dispatched run diverges from local typed run")
+			}
+			if ents, _ := os.ReadDir(e.TmpDir); len(ents) != 0 {
+				t.Fatalf("replica dir not cleaned: %v", ents)
+			}
+		})
+	}
+}
+
+func TestRemoteDispatchErrorRetried(t *testing.T) {
+	const m, r = 3, 4
+	input := wordInput(m)
+	baseline, err := wordJob(r, false).Run(&mapreduce.Engine{}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(baseline)
+	before := testleak.Snapshot()
+	rr, err := mapreduce.NewRemoteRunnable(wordJob(r, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &localDispatcher{rr: rr}
+	d.failMaps.Store(1)    // first map dispatch dies
+	d.failReduces.Store(1) // first reduce dispatch dies
+	e := &mapreduce.Engine{Parallelism: 2, TmpDir: t.TempDir(), Remote: d}
+	e.Retry.BaseBackoff = 1
+	res, err := wordJob(r, false).Run(e, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testleak.Check(t, before)
+	if res.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2 (one lost map, one lost reduce)", res.Retries)
+	}
+	normalize(res)
+	if !reflect.DeepEqual(res, baseline) {
+		t.Fatal("run with lost-worker retries diverges from local typed run")
+	}
+}
+
+func TestRemoteNoWorkersDegradesToLocal(t *testing.T) {
+	const m, r = 3, 4
+	input := wordInput(m)
+	baseline, err := wordJob(r, false).Run(&mapreduce.Engine{}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(baseline)
+	before := testleak.Snapshot()
+	var logs atomic.Int64
+	var lastLog atomic.Value
+	e := &mapreduce.Engine{
+		Parallelism: 2,
+		TmpDir:      t.TempDir(),
+		Remote:      &localDispatcher{down: true},
+		Log: func(format string, args ...any) {
+			logs.Add(1)
+			lastLog.Store(fmt.Sprintf(format, args...))
+		},
+	}
+	res, err := wordJob(r, false).Run(e, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testleak.Check(t, before)
+	if logs.Load() == 0 {
+		t.Fatal("degrading to local execution logged no warning")
+	}
+	if msg, _ := lastLog.Load().(string); !strings.Contains(msg, "local") {
+		t.Fatalf("degradation warning %q does not mention local execution", msg)
+	}
+	// Degraded execution must not surface the pool emptiness as an error.
+	if errors.Is(err, mapreduce.ErrNoWorkers) {
+		t.Fatal("ErrNoWorkers leaked out of a degraded run")
+	}
+	normalize(res)
+	if !reflect.DeepEqual(res, baseline) {
+		t.Fatal("degraded-to-local run diverges from local typed run")
+	}
+}

@@ -394,6 +394,9 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
 	}
+	if e.Remote != nil {
+		return j.runRemote(ctx, e, input, sink)
+	}
 	switch e.Dataflow {
 	case DataflowBoxed:
 		return j.runBoxed(ctx, e, input, sink)
