@@ -1,0 +1,48 @@
+// Allocation pin for the typed engine's fault-free path: the
+// benchmarks in bench_test.go make allocs/op visible, but only fail a
+// human reading the numbers. This test fails the build when the typed
+// hot paths (bucketing, spill sort, merge, group streaming, pooled
+// scratch) regress past an explicit ceiling.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+// typedAllocCeiling is deliberately above the measured steady state
+// (~63 allocs per run of the fixed job below) to absorb sync.Pool
+// evictions when a GC lands mid-measurement, while still catching the
+// failure modes that matter: per-record boxing (the boxed engine costs
+// ~6400 on the same job), per-put pool box allocation, and
+// append-doubling in the task loops — each of which shows up as
+// hundreds of allocs, not tens.
+const typedAllocCeiling = 150
+
+// The pin runs at Parallelism 1 and 4: raising parallelism must not
+// raise the allocation count (workers share the pooled scratch; the
+// parallel sort's helper goroutines are the only per-worker cost).
+func TestTypedEngineAllocsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin is a perf gate, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool items at will; the pin would flake")
+	}
+	input := shuffleBenchInput(4, 500)
+	for _, parallelism := range []int{1, 4} {
+		job := shuffleBenchJob(4, true)
+		eng := mapreduce.Engine{Parallelism: parallelism}
+		run := func() {
+			if _, err := job.Run(&eng, input); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the typed scratch pools
+		if allocs := testing.AllocsPerRun(10, run); allocs > typedAllocCeiling {
+			t.Errorf("typed fault-free run (parallelism %d): %.0f allocs, ceiling %d",
+				parallelism, allocs, typedAllocCeiling)
+		}
+	}
+}

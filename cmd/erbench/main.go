@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/dist"
 	"repro/internal/entity"
@@ -46,6 +48,8 @@ func main() {
 		masterAddr  = flag.String("master", "", "run the distributed-vs-local comparison: listen for erworker registrations on this address (e.g. 127.0.0.1:0)")
 		workers     = flag.Int("workers", 0, "distributed: wait for this many registered workers before dispatching tasks")
 		addrFile    = flag.String("master-addr-file", "", "distributed: write the master's URL to this file once listening (for scripted worker launch)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the selected runs")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -149,6 +153,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		// fail() exits through os.Exit, so flush via the shared hook
+		// rather than a defer.
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfiles()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		writeHeap = func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "erbench: -memprofile: %v\n", err)
+			}
+		}
+		defer stopProfiles()
+	}
+
 	for i, run := range runs {
 		table, err := run(opts)
 		if err != nil {
@@ -168,10 +206,31 @@ func main() {
 	}
 }
 
+// stopCPU / writeHeap flush any active -cpuprofile / -memprofile
+// output. They are invoked both on the normal exit path (deferred) and
+// from fail(), which bypasses defers via os.Exit; stopProfiles makes
+// either order idempotent.
+var (
+	stopCPU   func()
+	writeHeap func()
+)
+
+func stopProfiles() {
+	if stopCPU != nil {
+		stopCPU()
+		stopCPU = nil
+	}
+	if writeHeap != nil {
+		writeHeap()
+		writeHeap = nil
+	}
+}
+
 // fail reports a runtime error (exit 1); usage reports a bad
 // invocation with exit 2, matching the other er commands.
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+	stopProfiles()
 	os.Exit(1)
 }
 

@@ -36,6 +36,27 @@ func (keyCodec) Decode(src []byte) (Key, int, error) {
 	return k, n + pn, nil
 }
 
+// NewSharedDecoder implements runio.SharedDecoder: the decoded BlockKey
+// aliases src. The BDM reducer emits its key into retained output
+// records, so it clones the block key at emit time (see job.go) per the
+// copy-what-you-retain contract.
+func (keyCodec) NewSharedDecoder() func(string) (Key, int, error) {
+	return func(src string) (Key, int, error) {
+		var k Key
+		s, n, err := runio.SharedString(src)
+		if err != nil {
+			return k, 0, fmt.Errorf("bdm.Key block key: %w", err)
+		}
+		k.BlockKey = s
+		p, pn, err := runio.VarintString(src[n:])
+		if err != nil {
+			return k, 0, fmt.Errorf("bdm.Key partition: %w", err)
+		}
+		k.Partition = int(p)
+		return k, n + pn, nil
+	}
+}
+
 func init() {
 	runio.Register[Key](keyCodec{})
 	// Distributed execution also moves the BDM job's input and output

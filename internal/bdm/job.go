@@ -3,6 +3,7 @@ package bdm
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/blocking"
 	"repro/internal/entity"
@@ -123,6 +124,10 @@ func (c *countReducer) Reduce(ctx *mapreduce.ReduceContext[CountRecord], key Key
 	for _, v := range values {
 		sum += v.Value
 	}
+	// The emitted record outlives the reduce call; clone the block key,
+	// which on the external dataflow's arena read path aliases a decode
+	// block (copy-what-you-retain). One clone per matrix cell.
+	key.BlockKey = strings.Clone(key.BlockKey)
 	ctx.Emit(CountRecord{Key: key, Value: sum})
 }
 

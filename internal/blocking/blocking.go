@@ -25,6 +25,28 @@ func Prefix(n int) KeyFunc {
 		panic("blocking: Prefix requires n > 0")
 	}
 	return func(v string) string {
+		// Fast path: when the first min(n, len(v)) bytes are ASCII, the
+		// first n runes are exactly those bytes (and an all-ASCII value
+		// shorter than n runes is its own key) — a substring, no
+		// allocation. The rune-slice fallback only runs for values with
+		// a multi-byte rune in the prefix.
+		limit := n
+		if len(v) < limit {
+			limit = len(v)
+		}
+		ascii := true
+		for i := 0; i < limit; i++ {
+			if v[i] >= 0x80 {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			if len(v) <= n {
+				return v
+			}
+			return v[:n]
+		}
 		r := []rune(v)
 		if len(r) <= n {
 			return string(r)
@@ -84,6 +106,27 @@ func Suffix(n int) KeyFunc {
 		panic("blocking: Suffix requires n > 0")
 	}
 	return func(v string) string {
+		// Fast path mirror of Prefix: an ASCII byte never continues a
+		// multi-byte rune, so when the last min(n, len(v)) bytes are all
+		// ASCII they are exactly the last runes, wherever the earlier
+		// rune boundaries fall.
+		limit := n
+		if len(v) < limit {
+			limit = len(v)
+		}
+		ascii := true
+		for i := len(v) - limit; i < len(v); i++ {
+			if v[i] >= 0x80 {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			if len(v) <= n {
+				return v
+			}
+			return v[len(v)-n:]
+		}
 		r := []rune(v)
 		if len(r) <= n {
 			return string(r)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"slices"
 
@@ -86,6 +85,7 @@ type matchTask struct {
 type Assignment struct {
 	tasks   map[taskID]*matchTask
 	ordered []*matchTask // descending comparisons
+	arena   []matchTask  // chunked backing store of the task structs
 	loads   []int64      // per reduce task
 	avg     int64        // compsPerReduceTask = P/r
 	split   []bool       // per block: was it split into sub-blocks?
@@ -106,20 +106,23 @@ type AssignFunc func(tasks []*matchTask, r int) (loads []int64)
 
 // GreedyAssign implements the paper's heuristic: process match tasks in
 // descending size and give each to the reduce task with the fewest
-// already-assigned comparisons (ties: lowest index).
+// already-assigned comparisons (ties: lowest index). The heap is
+// hand-sifted rather than driven through container/heap, whose
+// interface methods box one loadEntry per push and pop — two heap
+// allocations per match task, which profiling showed dominating the
+// planning phase on large assignments.
 func GreedyAssign(tasks []*matchTask, r int) []int64 {
 	loads := make([]int64, r)
 	h := make(loadHeap, r)
 	for i := range h {
 		h[i] = loadEntry{load: 0, idx: i}
 	}
-	heap.Init(&h)
+	// All-zero loads with ascending indices is already a valid min-heap.
 	for _, t := range tasks {
-		e := heap.Pop(&h).(loadEntry)
-		t.reduce = e.idx
-		e.load += t.comps
-		loads[e.idx] = e.load
-		heap.Push(&h, e)
+		t.reduce = h[0].idx
+		h[0].load += t.comps
+		loads[h[0].idx] = h[0].load
+		h.siftDown(0)
 	}
 	return loads
 }
@@ -201,8 +204,16 @@ func buildAssignment(x *bdm.Matrix, r int, assign AssignFunc, maxEntities int) *
 	return a
 }
 
+// add creates one match task. Tasks live in chunked arenas — a split
+// block creates up to m(m+1)/2 of them, and one heap object each was
+// the planning phase's dominant allocation. A chunk is never grown, so
+// pointers into it stay valid when the next chunk is started.
 func (a *Assignment) add(id taskID, comps int64) {
-	t := &matchTask{id: id, comps: comps}
+	if len(a.arena) == cap(a.arena) {
+		a.arena = make([]matchTask, 0, 1024)
+	}
+	a.arena = append(a.arena, matchTask{id: id, comps: comps})
+	t := &a.arena[len(a.arena)-1]
 	a.tasks[id] = t
 	a.ordered = append(a.ordered, t)
 }
@@ -219,21 +230,31 @@ type loadEntry struct {
 
 type loadHeap []loadEntry
 
-func (h loadHeap) Len() int { return len(h) }
-func (h loadHeap) Less(i, j int) bool {
+func (h loadHeap) less(i, j int) bool {
 	if h[i].load != h[j].load {
 		return h[i].load < h[j].load
 	}
 	return h[i].idx < h[j].idx
 }
-func (h loadHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *loadHeap) Push(x any)   { *h = append(*h, x.(loadEntry)) }
-func (h *loadHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// siftDown restores the min-heap property after h[i] grew.
+func (h loadHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		s := l
+		if r := l + 1; r < n && h.less(r, l) {
+			s = r
+		}
+		if !h.less(s, i) {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
 }
 
 func compareBSKeys(a, b BSKey) int {

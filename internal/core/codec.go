@@ -142,6 +142,132 @@ func decodeInts(src []byte, dst ...*int) (int, error) {
 	return n, nil
 }
 
+// decodeInt4String is decodeInts over a string source for up to four
+// fields (nil stops early). Taking fixed parameters instead of a
+// variadic slice keeps the hot shared-decode path free of the ...*int
+// allocation.
+func decodeInt4String(src string, a, b, c, d *int) (int, error) {
+	n := 0
+	for i, p := range [...]*int{a, b, c, d} {
+		if p == nil {
+			break
+		}
+		v, vn, err := runio.VarintString(src[n:])
+		if err != nil {
+			return 0, fmt.Errorf("field %d: %w", i, err)
+		}
+		*p = int(v)
+		n += vn
+	}
+	return n, nil
+}
+
+// Shared decoders (runio.SharedDecoder) for the strategy codecs: the
+// composite keys are pure varints (nothing to alias — the win is that
+// having them lets the engine pick the arena read path, which needs
+// BOTH the key and value codec to support shared decoding), while
+// bsValue defers to the entity shared decoder whose decoded strings
+// alias the source block.
+
+func (bsKeyCodec) NewSharedDecoder() func(string) (BSKey, int, error) {
+	return func(src string) (BSKey, int, error) {
+		var k BSKey
+		n, err := decodeInt4String(src, &k.Reduce, &k.Block, &k.I, &k.J)
+		if err != nil {
+			return k, 0, fmt.Errorf("BSKey: %w", err)
+		}
+		return k, n, nil
+	}
+}
+
+func (bsValueCodec) NewSharedDecoder() func(string) (bsValue, int, error) {
+	decEnt := entCodec.NewSharedDecoder()
+	return func(src string) (bsValue, int, error) {
+		var v bsValue
+		p, n, err := runio.VarintString(src)
+		if err != nil {
+			return v, 0, fmt.Errorf("bsValue: %w", err)
+		}
+		v.Partition = int(p)
+		e, en, err := decEnt(src[n:])
+		if err != nil {
+			return v, 0, fmt.Errorf("bsValue: %w", err)
+		}
+		v.E = e
+		return v, n + en, nil
+	}
+}
+
+func (prKeyCodec) NewSharedDecoder() func(string) (PRKey, int, error) {
+	return func(src string) (PRKey, int, error) {
+		var k PRKey
+		n, err := decodeInt4String(src, &k.Range, &k.Block, nil, nil)
+		if err != nil {
+			return k, 0, fmt.Errorf("PRKey: %w", err)
+		}
+		idx, in, err := runio.VarintString(src[n:])
+		if err != nil {
+			return k, 0, fmt.Errorf("PRKey index: %w", err)
+		}
+		k.Index = idx
+		return k, n + in, nil
+	}
+}
+
+func (bsdKeyCodec) NewSharedDecoder() func(string) (BSDKey, int, error) {
+	return func(src string) (BSDKey, int, error) {
+		var k BSDKey
+		var srcField int
+		n, err := decodeInt4String(src, &k.Reduce, &k.Block, &k.RPart, &k.SPart)
+		if err != nil {
+			return k, 0, fmt.Errorf("BSDKey: %w", err)
+		}
+		sv, sn, err := runio.VarintString(src[n:])
+		if err != nil {
+			return k, 0, fmt.Errorf("BSDKey: field 4: %w", err)
+		}
+		srcField = int(sv)
+		k.Source = bdm.Source(srcField)
+		return k, n + sn, nil
+	}
+}
+
+func (prdKeyCodec) NewSharedDecoder() func(string) (PRDKey, int, error) {
+	return func(src string) (PRDKey, int, error) {
+		var k PRDKey
+		var srcField int
+		n, err := decodeInt4String(src, &k.Range, &k.Block, &srcField, nil)
+		if err != nil {
+			return k, 0, fmt.Errorf("PRDKey: %w", err)
+		}
+		k.Source = bdm.Source(srcField)
+		idx, in, err := runio.VarintString(src[n:])
+		if err != nil {
+			return k, 0, fmt.Errorf("PRDKey index: %w", err)
+		}
+		k.Index = idx
+		return k, n + in, nil
+	}
+}
+
+// NewSharedDecoder for MatchPair aliases both IDs; used only by remote
+// transport decode, which copies into result slices it owns.
+func (matchPairCodec) NewSharedDecoder() func(string) (MatchPair, int, error) {
+	return func(src string) (MatchPair, int, error) {
+		var p MatchPair
+		a, n, err := runio.SharedString(src)
+		if err != nil {
+			return p, 0, fmt.Errorf("MatchPair.A: %w", err)
+		}
+		b, bn, err := runio.SharedString(src[n:])
+		if err != nil {
+			return p, 0, fmt.Errorf("MatchPair.B: %w", err)
+		}
+		p.A, p.B = a, b
+		return p, n + bn, nil
+	}
+}
+
 type matchPairCodec struct{}
 
 func (matchPairCodec) Append(dst []byte, p MatchPair) []byte {

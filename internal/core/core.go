@@ -136,11 +136,17 @@ type MatchPair struct {
 }
 
 // NewMatchPair returns the canonical (ordered) pair for two entity IDs.
+// The IDs are copied: match pairs are retained in job output long after
+// the reduce call, and on the external dataflow's arena read path an
+// entity ID aliases a ~32KB decode block — a retained alias would pin
+// the whole block. Copying only on match (not per comparison) keeps the
+// cost proportional to the result size; both IDs share one allocation.
 func NewMatchPair(id1, id2 string) MatchPair {
 	if id1 > id2 {
 		id1, id2 = id2, id1
 	}
-	return MatchPair{A: id1, B: id2}
+	joined := id1 + id2
+	return MatchPair{A: joined[:len(id1)], B: joined[len(id1):]}
 }
 
 func (p MatchPair) String() string { return p.A + "|" + p.B }

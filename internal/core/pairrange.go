@@ -188,7 +188,15 @@ func (rd *prReducer) Reduce(ctx *matchCtx, k PRKey, values []mapreduce.Rec[PRKey
 	// exceeds this task, p >= lo iff it is at least this task (every
 	// valid p is < P, so the clamped bounds preserve both equivalences).
 	lo, hi := rd.ranges.Bounds(rd.task)
+	// Every value lands in the buffer; presizing once avoids the
+	// append-doubling allocations the profiler showed on large groups.
+	if cap(rd.buffer) < len(values) {
+		rd.buffer = make([]prValue, 0, len(values))
+	}
 	if pm := rd.kern.pm; pm != nil {
+		if cap(rd.prep) < len(values) {
+			rd.prep = make([]PreparedEntity, 0, len(values))
+		}
 		rd.buffer, rd.prep = rd.buffer[:0], rd.prep[:0]
 		for _, v := range values {
 			pv := prValue{E: v.Value, Index: v.Key.Index}

@@ -56,11 +56,12 @@ func Exponential(n, b int, s float64, seed int64) []entity.Entity {
 	for k, size := range sizes {
 		blockKey := fmt.Sprintf("b%04d", k)
 		for i := 0; i < size; i++ {
+			// Attrs stay sorted by name ("block" < "title").
 			e := entity.Entity{
 				ID: fmt.Sprintf("e%07d", id),
-				Attrs: map[string]string{
-					AttrBlock: blockKey,
-					AttrTitle: randomTitle(rng, 3),
+				Attrs: []entity.Attr{
+					{Name: AttrBlock, Value: blockKey},
+					{Name: AttrTitle, Value: randomTitle(rng, 3)},
 				},
 			}
 			out = append(out, e)

@@ -112,10 +112,7 @@ func Generate(spec Spec) (entities []entity.Entity, truth [][2]string) {
 	for k, size := range sizes {
 		for i := 0; i < size; i++ {
 			title := prefixes[k] + titleTail(rng)
-			entities = append(entities, entity.Entity{
-				ID:    fmt.Sprintf("e%08d", id),
-				Attrs: map[string]string{AttrTitle: title},
-			})
+			entities = append(entities, entity.New(fmt.Sprintf("e%08d", id), AttrTitle, title))
 			id++
 		}
 	}
@@ -123,10 +120,7 @@ func Generate(spec Spec) (entities []entity.Entity, truth [][2]string) {
 	dups := int(float64(len(entities)) * spec.DupRate)
 	for d := 0; d < dups; d++ {
 		base := entities[rng.Intn(spec.N)]
-		dup := entity.Entity{
-			ID:    fmt.Sprintf("d%08d", d),
-			Attrs: map[string]string{AttrTitle: perturb(rng, base.Attr(AttrTitle))},
-		}
+		dup := entity.New(fmt.Sprintf("d%08d", d), AttrTitle, perturb(rng, base.Attr(AttrTitle)))
 		entities = append(entities, dup)
 		truth = append(truth, [2]string{base.ID, dup.ID})
 	}

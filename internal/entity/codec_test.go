@@ -24,7 +24,8 @@ func FuzzEntityCodec(f *testing.F) {
 	f.Fuzz(func(t *testing.T, id, k1, v1, k2, v2 string) {
 		e := Entity{ID: id}
 		if k1 != "" || v1 != "" || k2 != "" || v2 != "" {
-			e.Attrs = map[string]string{k1: v1, k2: v2}
+			e.setAttr(k1, v1)
+			e.setAttr(k2, v2)
 		}
 		var c Codec
 		enc := c.Append(nil, e)

@@ -56,9 +56,9 @@ func ScanCSV(r io.Reader, fn func(Entity) error) error {
 		if len(rec) == 0 {
 			continue
 		}
-		e := Entity{ID: rec[0], Attrs: make(map[string]string, len(header)-1)}
+		e := Entity{ID: rec[0], Attrs: make([]Attr, 0, len(header)-1)}
 		for i := 1; i < len(rec) && i < len(header); i++ {
-			e.Attrs[header[i]] = rec[i]
+			e.setAttr(header[i], rec[i])
 		}
 		if err := fn(e); err != nil {
 			return err

@@ -11,54 +11,85 @@ package entity
 import (
 	"fmt"
 	"slices"
-	"sort"
 	"strings"
 )
 
+// Attr is one named attribute of an entity.
+type Attr struct {
+	Name  string
+	Value string
+}
+
 // Entity is a single record to be resolved. ID must be unique within a
-// source. Attrs holds the record's payload (e.g., a product title).
+// source. Attrs holds the record's payload (e.g., a product title) as a
+// slice sorted by attribute name with unique names — an invariant every
+// constructor in this package maintains. The slice representation makes
+// an entity one allocation instead of a map plus per-bucket overhead,
+// which is what lets the external dataflow decode spilled entities out
+// of reused arenas (see codec.go); two entities with the same
+// attributes are reflect.DeepEqual regardless of how they were built.
 type Entity struct {
 	ID    string
-	Attrs map[string]string
+	Attrs []Attr
 }
 
 // New returns an entity with the given id and a single attribute.
 func New(id, attr, value string) Entity {
-	return Entity{ID: id, Attrs: map[string]string{attr: value}}
+	return Entity{ID: id, Attrs: []Attr{{Name: attr, Value: value}}}
 }
 
-// Attr returns the named attribute or "" when absent.
+// Attr returns the named attribute or "" when absent. Entities hold a
+// handful of attributes, so a linear scan of the sorted slice beats a
+// binary search (and either beats the old map lookup).
 func (e Entity) Attr(name string) string {
-	return e.Attrs[name]
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name {
+			return e.Attrs[i].Value
+		}
+	}
+	return ""
 }
 
-// WithAttr returns a copy of e with the named attribute set. The original
-// entity is not modified; the attribute map is copied.
-func (e Entity) WithAttr(name, value string) Entity {
-	attrs := make(map[string]string, len(e.Attrs)+1)
-	for k, v := range e.Attrs {
-		attrs[k] = v
+// setAttr sets or replaces the named attribute in place, keeping Attrs
+// sorted by name with unique names. Appending already-sorted input (the
+// common decode path) hits the fast append at the end.
+func (e *Entity) setAttr(name, value string) {
+	attrs := e.Attrs
+	i := len(attrs)
+	for i > 0 && attrs[i-1].Name > name {
+		i--
 	}
-	attrs[name] = value
-	return Entity{ID: e.ID, Attrs: attrs}
+	if i > 0 && attrs[i-1].Name == name {
+		attrs[i-1].Value = value
+		return
+	}
+	attrs = append(attrs, Attr{})
+	copy(attrs[i+1:], attrs[i:])
+	attrs[i] = Attr{Name: name, Value: value}
+	e.Attrs = attrs
+}
+
+// WithAttr returns a copy of e with the named attribute set. The
+// original entity is not modified; the attribute slice is copied.
+func (e Entity) WithAttr(name, value string) Entity {
+	attrs := make([]Attr, len(e.Attrs), len(e.Attrs)+1)
+	copy(attrs, e.Attrs)
+	out := Entity{ID: e.ID, Attrs: attrs}
+	out.setAttr(name, value)
+	return out
 }
 
 // String renders the entity as "id{k=v, ...}" with attributes sorted by
-// name, for deterministic logs and test output.
+// name (the slice order), for deterministic logs and test output.
 func (e Entity) String() string {
-	keys := make([]string, 0, len(e.Attrs))
-	for k := range e.Attrs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var b strings.Builder
 	b.WriteString(e.ID)
 	b.WriteByte('{')
-	for i, k := range keys {
+	for i, a := range e.Attrs {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s=%s", k, e.Attrs[k])
+		fmt.Fprintf(&b, "%s=%s", a.Name, a.Value)
 	}
 	b.WriteByte('}')
 	return b.String()

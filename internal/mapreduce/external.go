@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"slices"
 
 	"repro/internal/runio"
 )
@@ -67,6 +66,10 @@ type extConfig[K, V any] struct {
 	dir       string
 	budget    int64
 	codeWidth int
+	// shared is true when both codecs implement runio.SharedDecoder, so
+	// merge sources read through the arena path (block strings, aliasing
+	// decoders, zero copies per record) instead of the byte path.
+	shared bool
 }
 
 // runExternal executes the job on the external dataflow (the job is
@@ -97,10 +100,14 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 	defer os.RemoveAll(dir)
 
 	st := newRunState(j)
+	st.limiter = newSortLimiter(e.Parallelism)
 	cfg := &extConfig[K, V]{kc: kc, vc: vc, dir: dir, budget: e.SpillBudget}
 	if cfg.budget <= 0 {
 		cfg.budget = DefaultSpillBudget
 	}
+	_, kshared := kc.(runio.SharedDecoder[K])
+	_, vshared := vc.(runio.SharedDecoder[V])
+	cfg.shared = kshared && vshared
 	if st.encode != nil {
 		cfg.codeWidth = 16
 	}
@@ -124,13 +131,17 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 		func(task int, out extMapOutput[I, K, V]) error {
 			// Adopt the attempt's spill directory under the task's final
 			// name; the rename is the commit point for the on-disk runs.
+			// The spill file's open fd survives the rename — the reduce
+			// phase reads through it, so the file is never reopened.
 			if len(out.runs) == 0 {
+				out.closeFile()
 				if out.dir != "" {
 					os.RemoveAll(out.dir)
 				}
 			} else {
 				final := filepath.Join(cfg.dir, fmt.Sprintf("m%04d", task))
 				if err := os.Rename(out.dir, final); err != nil {
+					out.closeFile()
 					return fmt.Errorf("adopt spill dir: %w", err)
 				}
 				for _, info := range out.runs {
@@ -145,6 +156,7 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 			return nil
 		},
 		func(out extMapOutput[I, K, V]) {
+			out.closeFile()
 			if out.dir != "" {
 				os.RemoveAll(out.dir)
 			}
@@ -152,6 +164,14 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 		},
 	)
 	res.addStats(mstats)
+	// Committed map tasks hand over their spill file's open fd; close
+	// them all on every exit path from here on (the reduce phase reads
+	// through these fds via pread — runs are never reopened).
+	defer func() {
+		for i := range mapOut {
+			mapOut[i].closeFile()
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
 	}
@@ -163,33 +183,10 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 	}
 
 	// ---- Shuffle + external merge + reduce phase ----
-	// Every run file is opened once; concurrent reduce tasks stream
-	// their segments through io.SectionReaders sharing the handle.
-	files := make([][]*os.File, m)
-	defer func() {
-		for _, fs := range files {
-			for _, f := range fs {
-				if f != nil {
-					f.Close()
-				}
-			}
-		}
-	}()
-	for mi := range mapOut {
-		files[mi] = make([]*os.File, len(mapOut[mi].runs))
-		for ri, info := range mapOut[mi].runs {
-			f, err := os.Open(info.Path)
-			if err != nil {
-				return nil, fmt.Errorf("mapreduce: job %q: open spill run: %w", j.Name, err)
-			}
-			files[mi][ri] = f
-		}
-	}
-
 	reduceOut := make([][]O, r)
 	rstats, rerr := superviseTasks(ctx, e, ReduceTask, r,
 		func(actx context.Context, hook *taskHook, task, attempt int) (typedReduceOut[O], error) {
-			return st.runReduceAttemptExternal(actx, hook, cfg, task, mapOut, files)
+			return st.runReduceAttemptExternal(actx, hook, cfg, task, mapOut)
 		},
 		func(task int, out typedReduceOut[O]) error {
 			out.metrics.Kind = ReduceTask
@@ -240,6 +237,7 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 // reaps it when the attempt is discarded.
 type extMapOutput[I, K, V any] struct {
 	runs    []*runio.Info
+	file    *os.File // the open spill file holding every run in runs
 	buckets [][]Rec[K, V]
 	flat    []Rec[K, V]
 	side    []I
@@ -247,14 +245,28 @@ type extMapOutput[I, K, V any] struct {
 	metrics TaskMetrics
 }
 
+func (out *extMapOutput[I, K, V]) closeFile() {
+	if out.file != nil {
+		out.file.Close()
+		out.file = nil
+	}
+}
+
 func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook *taskHook, cfg *extConfig[K, V], idx, attempt, m int, input []I) (out extMapOutput[I, K, V], err error) {
 	// Declared before recoverAttempt so it runs after it (LIFO): by the
 	// time the attempt's spill directory is reaped, a recovered panic
-	// has already been translated into err.
+	// has already been translated into err. Spill-file fds opened by the
+	// attempt's spillers are closed on the same path.
+	var spillers []*extSpiller[K, V]
 	defer func() {
-		if err != nil && out.dir != "" {
-			os.RemoveAll(out.dir)
-			out.dir = ""
+		if err != nil {
+			for _, s := range spillers {
+				s.closeFile()
+			}
+			if out.dir != "" {
+				os.RemoveAll(out.dir)
+				out.dir = ""
+			}
 		}
 	}()
 	defer recoverAttempt(&err)
@@ -269,6 +281,7 @@ func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook
 	r := j.NumReduceTasks
 	metrics := &out.metrics
 	sp := st.newSpiller(cfg, out.dir, "g0", metrics, hook)
+	spillers = append(spillers, sp)
 	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp, sideCap: len(input), hook: hook}
 	mapper := j.NewMapper()
 	mapper.Configure(m, r, idx)
@@ -287,6 +300,7 @@ func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook
 
 	if j.NewCombiner == nil {
 		out.runs = sp.runs
+		out.file = sp.f // ownership moves to the output (commit/discard)
 		out.buckets, out.flat, err = st.partitionAndSort(sp.takeRecs())
 		return out, err
 	}
@@ -311,6 +325,7 @@ func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook
 	// with partitioning, as in Hadoop), and feed the combiner, whose
 	// output flows through a second-generation spiller.
 	sp2 := st.newSpiller(cfg, out.dir, "g1", metrics, hook)
+	spillers = append(spillers, sp2)
 	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp2, hook: hook}
 	combiner := j.NewCombiner()
 	combiner.Configure(m, r, idx)
@@ -326,6 +341,7 @@ func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook
 	// typed engine does the same after its in-memory combine).
 	metrics.OutputRecords = sp2.count
 	out.runs = sp2.runs
+	out.file = sp2.f // ownership moves to the output (commit/discard)
 	out.buckets, out.flat, err = st.partitionAndSort(sp2.takeRecs())
 	return out, err
 }
@@ -337,21 +353,16 @@ func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpille
 	if err := hook.fire(FaultMerge); err != nil {
 		return err
 	}
-	dec := &recDecoder[K, V]{kc: cfg.kc, vc: cfg.vc, codeWidth: cfg.codeWidth}
+	dec := newRecDecoder(cfg)
 	sources := make([]mergeSource[K, V], 0, len(sp.runs)+1)
-	fs := make([]*os.File, 0, len(sp.runs))
-	defer func() {
-		for _, f := range fs {
-			f.Close()
-		}
-	}()
 	for _, info := range sp.runs {
-		f, err := os.Open(info.Path)
-		if err != nil {
-			return fmt.Errorf("reopen spill run: %w", err)
+		// The spiller's fd is still open; runs are read back through it
+		// via pread — no reopen.
+		if cfg.shared {
+			sources = append(sources, &sharedRunSource[K, V]{f: sp.f, info: info, dec: dec})
+		} else {
+			sources = append(sources, &runSource[K, V]{f: sp.f, info: info, dec: dec})
 		}
-		fs = append(fs, f)
-		sources = append(sources, &runSource[K, V]{f: f, info: info, dec: dec})
 		metrics.SpillBytesRead += info.Bytes
 	}
 	parts, perm, err := sp.sortedPerm()
@@ -390,14 +401,15 @@ func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpille
 	}
 	st.pools.putRecBuf(group)
 	st.pools.putRecBuf(sp.takeRecs())
-	// Generation-1 runs are dead; free the disk before gen-2 grows.
-	for _, info := range sp.runs {
-		os.Remove(info.Path)
+	// Generation-0 runs are dead; free the disk before gen-1 grows.
+	sp.closeFile()
+	if sp.path != "" {
+		os.Remove(sp.path)
 	}
 	return nil
 }
 
-func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, hook *taskHook, cfg *extConfig[K, V], idx int, mapOut []extMapOutput[I, K, V], files [][]*os.File) (rout typedReduceOut[O], err error) {
+func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, hook *taskHook, cfg *extConfig[K, V], idx int, mapOut []extMapOutput[I, K, V]) (rout typedReduceOut[O], err error) {
 	defer recoverAttempt(&err)
 	if err := hook.fire(FaultTaskStart); err != nil {
 		return rout, err
@@ -412,20 +424,26 @@ func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, h
 	// tail bucket, in (map task, run, tail) order: the source index is
 	// the merge tiebreak, which extends the typed engine's map-task
 	// tiebreak with temporal run order — the stability guarantee.
-	dec := &recDecoder[K, V]{kc: cfg.kc, vc: cfg.vc, codeWidth: cfg.codeWidth}
+	dec := newRecDecoder(cfg)
 	var sources []mergeSource[K, V]
 	var total int64
 	for mi := range mapOut {
-		for ri, info := range mapOut[mi].runs {
+		for _, info := range mapOut[mi].runs {
 			seg := info.Segments[idx]
 			if seg.Records == 0 {
 				continue
 			}
-			sources = append(sources, &segSource[K, V]{
-				sr:   runio.NewSegmentReader(files[mi][ri], seg, info.Path),
-				dec:  dec,
-				part: int32(idx),
-			})
+			if cfg.shared {
+				ss := &sharedSegSource[K, V]{dec: dec, part: int32(idx)}
+				ss.sr.Init(mapOut[mi].file, seg, info.Path)
+				sources = append(sources, ss)
+			} else {
+				sources = append(sources, &segSource[K, V]{
+					sr:   runio.NewSegmentReader(mapOut[mi].file, seg, info.Path),
+					dec:  dec,
+					part: int32(idx),
+				})
+			}
 			total += seg.Records
 			metrics.SpillBytesRead += seg.Len
 		}
@@ -482,6 +500,7 @@ type extSpiller[K, V any] struct {
 	r       int
 	cmp     func(a, b *Rec[K, V]) int
 	part    func(K, int) int
+	limiter *sortLimiter
 	metrics *TaskMetrics
 	hook    *taskHook
 
@@ -491,6 +510,17 @@ type extSpiller[K, V any] struct {
 	runs  []*runio.Info
 	count int64 // records appended over the task's lifetime
 	err   error // sticky: first spill failure stops the task
+
+	// All of a generation's runs are appended as sections of one spill
+	// file sharing one fd (runio.NewRunWriter), created lazily at the
+	// first spill. The fd is kept open — the map-side combine and the
+	// reduce phase read segments through it via pread — so a run costs
+	// zero file-lifecycle syscalls beyond its writes, instead of the
+	// create/close/reopen/unlink per run that dominated small-budget
+	// profiles.
+	f       *os.File
+	path    string
+	fileOff int64
 }
 
 type extSpan struct{ off, end int64 }
@@ -501,8 +531,9 @@ func (st *runState[I, K, V, O]) newSpiller(cfg *extConfig[K, V], dir, prefix str
 		dir:     dir,
 		prefix:  prefix,
 		r:       st.job.NumReduceTasks,
-		cmp:     st.cmpRec,
+		cmp:     st.cmp,
 		part:    st.job.Partition,
+		limiter: st.limiter,
 		metrics: metrics,
 		hook:    hook,
 	}
@@ -527,6 +558,16 @@ func (sp *extSpiller[K, V]) add(rec Rec[K, V]) {
 	sp.count++
 	if int64(len(sp.enc)) >= sp.cfg.budget {
 		sp.err = sp.spill()
+	}
+}
+
+// closeFile closes the generation's spill file fd (idempotent). Called
+// when ownership is NOT being handed to extMapOutput: after the
+// map-side combine drains generation 0, or on attempt failure.
+func (sp *extSpiller[K, V]) closeFile() {
+	if sp.f != nil {
+		sp.f.Close()
+		sp.f = nil
 	}
 }
 
@@ -559,12 +600,19 @@ func (sp *extSpiller[K, V]) sortedPerm() (parts, perm []int32, err error) {
 		parts[i] = int32(p)
 		perm[i] = int32(i)
 	}
-	slices.SortStableFunc(perm, func(a, b int32) int {
+	// Sort the permutation by (partition, key) with the shared stable
+	// merge sort — parallel when the run's limiter has free workers,
+	// bitwise-identical to the serial order either way (parsort.go).
+	cmp := func(x, y *int32) int {
+		a, b := *x, *y
 		if parts[a] != parts[b] {
 			return int(parts[a]) - int(parts[b])
 		}
 		return sp.cmp(&sp.recs[a], &sp.recs[b])
-	})
+	}
+	scratch := getInt32Buf(n)
+	stableSortParallelG(perm, scratch, sp.limiter, cmp)
+	putInt32Buf(scratch)
 	return parts, perm, nil
 }
 
@@ -583,8 +631,15 @@ func (sp *extSpiller[K, V]) spill() error {
 	}
 	defer putInt32Buf(parts)
 	defer putInt32Buf(perm)
-	path := filepath.Join(sp.dir, fmt.Sprintf("%s-%04d.run", sp.prefix, len(sp.runs)))
-	w, err := runio.Create(path, sp.r, sp.cfg.codeWidth)
+	if sp.f == nil {
+		sp.path = filepath.Join(sp.dir, sp.prefix+".runs")
+		f, err := os.OpenFile(sp.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("create spill file: %w", err)
+		}
+		sp.f = f
+	}
+	w, err := runio.NewRunWriter(sp.f, sp.fileOff, sp.r, sp.cfg.codeWidth)
 	if err != nil {
 		return err
 	}
@@ -599,6 +654,7 @@ func (sp *extSpiller[K, V]) spill() error {
 	if err != nil {
 		return err
 	}
+	sp.fileOff += info.FileBytes
 	sp.runs = append(sp.runs, info)
 	sp.metrics.SpillRuns++
 	sp.metrics.SpillBytesWritten += info.FileBytes
@@ -612,11 +668,27 @@ func (sp *extSpiller[K, V]) spill() error {
 // ---- merge sources and the external merge heap ----
 
 // recDecoder decodes one on-disk record (code ‖ key ‖ value) into a
-// Rec. Decoded values never alias the read buffer (codec contract).
+// Rec. On the byte path, decoded values never alias the read buffer
+// (codec contract); on the shared path (kdec/vdec non-nil), decoded
+// strings alias the reader's immutable blocks (SharedDecoder contract).
 type recDecoder[K, V any] struct {
 	kc        runio.Codec[K]
 	vc        runio.Codec[V]
 	codeWidth int
+	kdec      func(string) (K, int, error)
+	vdec      func(string) (V, int, error)
+}
+
+// newRecDecoder builds the per-attempt decoder; the shared decode
+// functions are stateful (arenas) and single-goroutine, hence one
+// decoder per task attempt, shared across that attempt's sources.
+func newRecDecoder[K, V any](cfg *extConfig[K, V]) *recDecoder[K, V] {
+	d := &recDecoder[K, V]{kc: cfg.kc, vc: cfg.vc, codeWidth: cfg.codeWidth}
+	if cfg.shared {
+		d.kdec = cfg.kc.(runio.SharedDecoder[K]).NewSharedDecoder()
+		d.vdec = cfg.vc.(runio.SharedDecoder[V]).NewSharedDecoder()
+	}
+	return d
 }
 
 func (d *recDecoder[K, V]) decode(b []byte, dst *Rec[K, V]) error {
@@ -635,6 +707,33 @@ func (d *recDecoder[K, V]) decode(b []byte, dst *Rec[K, V]) error {
 		return fmt.Errorf("decode key: %w", err)
 	}
 	v, n2, err := d.vc.Decode(b[n:])
+	if err != nil {
+		return fmt.Errorf("decode value: %w", err)
+	}
+	if n+n2 != len(b) {
+		return fmt.Errorf("%w: %d trailing record bytes", runio.ErrCorrupt, len(b)-n-n2)
+	}
+	dst.Key, dst.Value = k, v
+	return nil
+}
+
+// decodeShared is decode over a record string from the arena read path.
+func (d *recDecoder[K, V]) decodeShared(b string, dst *Rec[K, V]) error {
+	if d.codeWidth != 0 {
+		if len(b) < d.codeWidth {
+			return fmt.Errorf("%w: record shorter than key code", runio.ErrCorrupt)
+		}
+		dst.code.Hi, _ = runio.Uint64LEString(b)
+		dst.code.Lo, _ = runio.Uint64LEString(b[8:])
+		b = b[d.codeWidth:]
+	} else {
+		dst.code = Code{}
+	}
+	k, n, err := d.kdec(b)
+	if err != nil {
+		return fmt.Errorf("decode key: %w", err)
+	}
+	v, n2, err := d.vdec(b[n:])
 	if err != nil {
 		return fmt.Errorf("decode value: %w", err)
 	}
@@ -706,6 +805,69 @@ func (s *runSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
 			return 0, false, err
 		}
 		if err := s.dec.decode(b, dst); err != nil {
+			return 0, false, err
+		}
+		return s.part, true, nil
+	}
+}
+
+// sharedSegSource is segSource on the arena read path: records arrive
+// as substrings of immutable blocks and decode without copying. The
+// reader is embedded by value so a source costs one allocation total.
+type sharedSegSource[K, V any] struct {
+	sr   runio.SharedSegmentReader
+	dec  *recDecoder[K, V]
+	part int32
+}
+
+func (s *sharedSegSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
+	b, err := s.sr.Next()
+	if err == io.EOF {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if err := s.dec.decodeShared(b, dst); err != nil {
+		return 0, false, err
+	}
+	return s.part, true, nil
+}
+
+// sharedRunSource is runSource on the arena read path.
+type sharedRunSource[K, V any] struct {
+	f      *os.File
+	info   *runio.Info
+	dec    *recDecoder[K, V]
+	cur    int
+	active bool
+	sr     runio.SharedSegmentReader
+	part   int32
+}
+
+func (s *sharedRunSource[K, V]) next(dst *Rec[K, V]) (int32, bool, error) {
+	for {
+		if !s.active {
+			for s.cur < len(s.info.Segments) && s.info.Segments[s.cur].Records == 0 {
+				s.cur++
+			}
+			if s.cur >= len(s.info.Segments) {
+				return 0, false, nil
+			}
+			s.sr.Init(s.f, s.info.Segments[s.cur], s.info.Path)
+			s.active = true
+			s.part = int32(s.cur)
+			s.cur++
+		}
+		b, err := s.sr.Next()
+		if err == io.EOF {
+			s.active = false
+			continue
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		if err := s.dec.decodeShared(b, dst); err != nil {
 			return 0, false, err
 		}
 		return s.part, true, nil

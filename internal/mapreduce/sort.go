@@ -92,12 +92,43 @@ func mergeRuns(a []KeyValue, mid int, scratch []KeyValue, cmp func(x, y any) int
 
 // ---- pooled scratch buffers ----
 
-var kvBufPool = sync.Pool{New: func() any { return new([]KeyValue) }}
+// slicePool recycles []T scratch buffers. sync.Pool can only hold
+// pointers, and the obvious `pool.Put(&b)` heap-allocates a fresh
+// slice-header box on every Put — which profiling showed as three of
+// the engine's top allocation sites. The boxes themselves therefore
+// round-trip through a second pool: get() strips the slice out of its
+// box and parks the empty box for the next put() to reuse, so the
+// steady state allocates nothing on either side.
+type slicePool[T any] struct {
+	bufs  sync.Pool
+	boxes sync.Pool
+}
+
+func (p *slicePool[T]) get() []T {
+	if b, ok := p.bufs.Get().(*[]T); ok {
+		s := *b
+		*b = nil
+		p.boxes.Put(b)
+		return s
+	}
+	return nil
+}
+
+func (p *slicePool[T]) put(s []T) {
+	box, ok := p.boxes.Get().(*[]T)
+	if !ok {
+		box = new([]T)
+	}
+	*box = s
+	p.bufs.Put(box)
+}
+
+var kvBufPool slicePool[KeyValue]
 
 // getKVBuf returns an empty []KeyValue with whatever capacity a previous
 // task left behind.
 func getKVBuf() []KeyValue {
-	return (*kvBufPool.Get().(*[]KeyValue))[:0]
+	return kvBufPool.get()[:0]
 }
 
 // putKVBuf recycles a buffer. Oversized or empty backing arrays are
@@ -108,17 +139,23 @@ func putKVBuf(b []KeyValue) {
 		return
 	}
 	clear(b[:cap(b)])
-	b = b[:0]
-	kvBufPool.Put(&b)
+	kvBufPool.put(b[:0])
 }
 
-var int32BufPool = sync.Pool{New: func() any { return new([]int32) }}
+var int32BufPool slicePool[int32]
 
 // getInt32Buf returns a length-n scratch slice with arbitrary contents.
+// Misses allocate the next power-of-two capacity so slightly-growing
+// request sequences (spill batches wobble around the byte budget)
+// converge on one reused buffer instead of allocating every time.
 func getInt32Buf(n int) []int32 {
-	b := *int32BufPool.Get().(*[]int32)
+	b := int32BufPool.get()
 	if cap(b) < n {
-		return make([]int32, n)
+		c := 1
+		for c < n {
+			c <<= 1
+		}
+		return make([]int32, n, c)
 	}
 	return b[:n]
 }
@@ -127,16 +164,15 @@ func putInt32Buf(b []int32) {
 	if cap(b) == 0 || cap(b) > maxPooledCap {
 		return
 	}
-	b = b[:0]
-	int32BufPool.Put(&b)
+	int32BufPool.put(b[:0])
 }
 
-var runsBufPool = sync.Pool{New: func() any { return new([][]KeyValue) }}
+var runsBufPool slicePool[[]KeyValue]
 
 // getRunsBuf returns an empty [][]KeyValue with capacity for at least n
 // runs.
 func getRunsBuf(n int) [][]KeyValue {
-	b := (*runsBufPool.Get().(*[][]KeyValue))[:0]
+	b := runsBufPool.get()[:0]
 	if cap(b) < n {
 		return make([][]KeyValue, 0, n)
 	}
@@ -147,9 +183,6 @@ func putRunsBuf(b [][]KeyValue) {
 	if cap(b) == 0 || cap(b) > maxPooledCap {
 		return
 	}
-	b = b[:0]
-	for i := range b[:cap(b)] {
-		b[:cap(b)][i] = nil // drop bucket references
-	}
-	runsBufPool.Put(&b)
+	clear(b[:cap(b)]) // drop bucket references
+	runsBufPool.put(b[:0])
 }

@@ -414,6 +414,7 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 		SideOutput: make([][]I, m),
 	}
 	st := newRunState(j)
+	st.limiter = newSortLimiter(e.Parallelism)
 
 	// ---- Map phase ----
 	// mapOut[mapTask][reduceTask] holds the bucketed map output; the
@@ -560,7 +561,15 @@ type runState[I, K, V, O any] struct {
 	group  func(a, b K) int
 
 	pools   *recPools[K, V]
-	outPool *sync.Pool // pooled []O reduce-output buffers
+	outPool *slicePool[O] // pooled []O reduce-output buffers
+
+	// cmp is cmpRec bound once per run so the sort machinery receives a
+	// stable func value instead of allocating a method closure per call.
+	cmp func(a, b *Rec[K, V]) int
+	// limiter bounds the extra goroutines all of this run's sorts may
+	// spawn (nil = serial). Sized from Engine.Parallelism by run /
+	// runExternal; other paths (boxed, remote) never sort Recs.
+	limiter *sortLimiter
 
 	// Supervision state for the two phases, embedded so the fault-free
 	// fast path allocates nothing per phase: &st.mapPhase converts to
@@ -585,6 +594,7 @@ func newRunState[I, K, V, O any](j *Job[I, K, V, O]) *runState[I, K, V, O] {
 	if st.group == nil {
 		st.group = j.Compare
 	}
+	st.cmp = st.cmpRec
 	return st
 }
 
@@ -709,9 +719,8 @@ func (st *runState[I, K, V, O]) partitionAndSort(out []Rec[K, V]) (buckets [][]R
 	st.pools.putRecBuf(out)
 	// Sort each bucket now (stable) so the reduce-side k-way merge only
 	// has to interleave pre-sorted runs — the Hadoop spill-file model.
-	for _, b := range buckets {
-		st.sortRecsStable(b)
-	}
+	// Buckets spread across the run's free sort workers.
+	st.sortBuckets(buckets)
 	return buckets, flat, nil
 }
 

@@ -14,85 +14,59 @@ import (
 
 // sortRecsStable sorts recs with cmpRec, preserving the relative order
 // of equal keys (the emission order within one map task, which the
-// shuffle's stability guarantee is built on).
+// shuffle's stability guarantee is built on). Large inputs split across
+// the run's sortLimiter workers (parsort.go); the parallel sort is
+// bitwise-identical to the serial one.
 func (st *runState[I, K, V, O]) sortRecsStable(recs []Rec[K, V]) {
 	n := len(recs)
 	if n < 2 {
 		return
 	}
 	if n <= insertionRun {
-		st.insertionSortRecs(recs)
+		insertionSortG(recs, st.cmp)
 		return
-	}
-	for lo := 0; lo < n; lo += insertionRun {
-		hi := lo + insertionRun
-		if hi > n {
-			hi = n
-		}
-		st.insertionSortRecs(recs[lo:hi])
 	}
 	scratch := st.pools.getRecBuf()
 	if cap(scratch) < n {
 		scratch = make([]Rec[K, V], n)
 	}
 	scratch = scratch[:n]
-	for width := insertionRun; width < n; width *= 2 {
-		for lo := 0; lo+width < n; lo += 2 * width {
-			hi := lo + 2*width
-			if hi > n {
-				hi = n
-			}
-			st.mergeRecRuns(recs[lo:hi], width, scratch)
-		}
-	}
+	stableSortParallelG(recs, scratch, st.limiter, st.cmp)
 	st.pools.putRecBuf(scratch)
 }
 
-// insertionSortRecs is a stable insertion sort (equal keys never swap).
-func (st *runState[I, K, V, O]) insertionSortRecs(a []Rec[K, V]) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && st.cmpRec(&a[j], &a[j-1]) < 0; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
+// sortBuckets sorts one map task's partition buckets, spreading large
+// buckets across the run's free sort workers. Each bucket sort is
+// independent (disjoint subslices of one flat array) and pulls its own
+// pooled scratch, so the only coordination is the limiter itself.
+func (st *runState[I, K, V, O]) sortBuckets(buckets [][]Rec[K, V]) {
+	var wg sync.WaitGroup
+	for _, b := range buckets {
+		if len(b) < 2 {
+			continue
 		}
-	}
-}
-
-// mergeRecRuns merges the two adjacent sorted runs a[:mid] and a[mid:]
-// in place, taking from the left run on ties (stability). The left run
-// is staged in scratch; the merged output is written from the front of
-// a, which can never overtake the unread part of the right run.
-func (st *runState[I, K, V, O]) mergeRecRuns(a []Rec[K, V], mid int, scratch []Rec[K, V]) {
-	if st.cmpRec(&a[mid-1], &a[mid]) <= 0 {
-		return // already in order
-	}
-	left := scratch[:mid]
-	copy(left, a[:mid])
-	i, j, k := 0, mid, 0
-	for i < mid && j < len(a) {
-		if st.cmpRec(&a[j], &left[i]) < 0 {
-			a[k] = a[j]
-			j++
+		if len(b) >= parallelSortMin && st.limiter.tryAcquire() {
+			wg.Add(1)
+			go func(b []Rec[K, V]) {
+				defer wg.Done()
+				defer st.limiter.release()
+				st.sortRecsStable(b)
+			}(b)
 		} else {
-			a[k] = left[i]
-			i++
+			st.sortRecsStable(b)
 		}
-		k++
 	}
-	for i < mid {
-		a[k] = left[i]
-		i++
-		k++
-	}
+	wg.Wait()
 }
 
 // ---- pooled typed scratch buffers ----
 
 // recPools holds the reusable record and run-list buffers of one
-// (K, V) instantiation. The capacity bound and clearing discipline
-// mirror the boxed pools in sort.go.
+// (K, V) instantiation. The capacity bound, clearing discipline, and
+// box recycling mirror the boxed pools in sort.go (slicePool).
 type recPools[K, V any] struct {
-	recBuf  sync.Pool
-	runsBuf sync.Pool
+	recBuf  slicePool[Rec[K, V]]
+	runsBuf slicePool[[]Rec[K, V]]
 }
 
 // recPoolRegistry maps a Rec[K, V] type to its process-wide *recPools:
@@ -114,40 +88,33 @@ func poolFor[K, V any]() *recPools[K, V] {
 // outPoolRegistry pools reduce-output buffers per output type O. A
 // reduce task's emissions are copied into Result.Output at the end of
 // Run, so the per-task buffers themselves are recyclable.
-var outPoolRegistry sync.Map // reflect.Type -> *sync.Pool
+var outPoolRegistry sync.Map // reflect.Type -> *slicePool[O]
 
-func outPoolFor[O any]() *sync.Pool {
+func outPoolFor[O any]() *slicePool[O] {
 	key := reflect.TypeOf((*[]O)(nil))
 	if p, ok := outPoolRegistry.Load(key); ok {
-		return p.(*sync.Pool)
+		return p.(*slicePool[O])
 	}
-	p, _ := outPoolRegistry.LoadOrStore(key, &sync.Pool{})
-	return p.(*sync.Pool)
+	p, _ := outPoolRegistry.LoadOrStore(key, &slicePool[O]{})
+	return p.(*slicePool[O])
 }
 
-func getOutBuf[O any](pool *sync.Pool) []O {
-	if b, ok := pool.Get().(*[]O); ok {
-		return (*b)[:0]
-	}
-	return nil
+func getOutBuf[O any](pool *slicePool[O]) []O {
+	return pool.get()[:0]
 }
 
-func putOutBuf[O any](pool *sync.Pool, b []O) {
+func putOutBuf[O any](pool *slicePool[O], b []O) {
 	if cap(b) == 0 || cap(b) > maxPooledCap {
 		return
 	}
 	clear(b[:cap(b)])
-	b = b[:0]
-	pool.Put(&b)
+	pool.put(b[:0])
 }
 
 // getRecBuf returns an empty []Rec with whatever capacity a previous
 // task of this run left behind.
 func (p *recPools[K, V]) getRecBuf() []Rec[K, V] {
-	if b, ok := p.recBuf.Get().(*[]Rec[K, V]); ok {
-		return (*b)[:0]
-	}
-	return nil
+	return p.recBuf.get()[:0]
 }
 
 // putRecBuf recycles a buffer. Oversized or empty backing arrays are
@@ -158,14 +125,13 @@ func (p *recPools[K, V]) putRecBuf(b []Rec[K, V]) {
 		return
 	}
 	clear(b[:cap(b)])
-	b = b[:0]
-	p.recBuf.Put(&b)
+	p.recBuf.put(b[:0])
 }
 
 // getRunsBuf returns an empty [][]Rec with capacity for at least n runs.
 func (p *recPools[K, V]) getRunsBuf(n int) [][]Rec[K, V] {
-	if b, ok := p.runsBuf.Get().(*[][]Rec[K, V]); ok && cap(*b) >= n {
-		return (*b)[:0]
+	if b := p.runsBuf.get(); cap(b) >= n {
+		return b[:0]
 	}
 	return make([][]Rec[K, V], 0, n)
 }
@@ -175,6 +141,5 @@ func (p *recPools[K, V]) putRunsBuf(b [][]Rec[K, V]) {
 		return
 	}
 	clear(b[:cap(b)]) // drop bucket references
-	b = b[:0]
-	p.runsBuf.Put(&b)
+	p.runsBuf.put(b[:0])
 }

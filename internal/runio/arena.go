@@ -1,0 +1,141 @@
+package runio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// This file implements the arena read path of the run format: a segment
+// reader that surfaces records as substrings of immutable block
+// strings, so shared decoders (see SharedDecoder) can alias decoded
+// string fields straight out of the read buffer instead of copying
+// every field. One ~32KB block costs one allocation and serves hundreds
+// of records; the byte-path SegmentReader costs one string copy per
+// decoded string field.
+//
+// Aliasing makes the block's lifetime the maximum lifetime of any
+// string decoded from it: a caller that retains one decoded string
+// keeps the whole block reachable. The block size is kept small so that
+// bound is a few tens of KB per retained string, and the engine's
+// reducer contract (copy values you retain beyond the call) keeps
+// well-behaved jobs from retaining blocks at all.
+
+// sharedBlockSize is the target block size. Records larger than a block
+// get a dedicated exact-size block.
+const sharedBlockSize = 32 << 10
+
+// blockScratch pools the transient []byte buffers blocks are read into
+// before being sealed as strings.
+var blockScratch = sync.Pool{
+	New: func() any {
+		b := make([]byte, sharedBlockSize)
+		return &b
+	},
+}
+
+// SharedSegmentReader streams the records of one segment of a run file
+// like SegmentReader, but returns each record as a string aliasing an
+// immutable block. Zero value is not usable; call Init. Readers read
+// via ReadAt, so concurrent readers can share one open *os.File.
+type SharedSegmentReader struct {
+	ra      io.ReaderAt
+	off     int64 // file offset of the first byte not yet read into block
+	unread  int64 // segment payload bytes at off not yet read into block
+	records int64
+	block   string
+	pos     int // next unconsumed byte within block
+	path    string
+}
+
+// Init points the reader at seg of ra; path names the file in
+// corruption errors ("" is allowed). Init (rather than a constructor)
+// lets callers embed the reader by value and pay no allocation per
+// segment.
+func (s *SharedSegmentReader) Init(ra io.ReaderAt, seg Segment, path string) {
+	*s = SharedSegmentReader{ra: ra, off: seg.Off, unread: seg.Len, records: seg.Records, path: path}
+}
+
+// fileOff is the absolute file offset of block[pos] (for error reports).
+func (s *SharedSegmentReader) fileOff() int64 {
+	return s.off - int64(len(s.block)-s.pos)
+}
+
+// refill carries the unconsumed tail of the current block into a fresh
+// block and reads at least need more payload bytes into it (a full
+// block when possible). The old block string is released; records
+// already returned keep their own backing block alive independently.
+func (s *SharedSegmentReader) refill(need int) error {
+	tail := s.block[s.pos:]
+	want := sharedBlockSize
+	if need > want {
+		want = need
+	}
+	readN := int64(want - len(tail))
+	if readN > s.unread {
+		readN = s.unread
+	}
+	if len(tail)+int(readN) < need {
+		return corruptAt(s.path, s.fileOff(),
+			fmt.Sprintf("%d-byte record body, segment has %d bytes left (truncated)", need, len(tail)+int(readN)), nil)
+	}
+	var b strings.Builder
+	b.Grow(len(tail) + int(readN))
+	b.WriteString(tail)
+	if readN > 0 {
+		bufp := blockScratch.Get().(*[]byte)
+		buf := *bufp
+		if int64(cap(buf)) < readN {
+			buf = make([]byte, readN)
+		}
+		buf = buf[:readN]
+		if _, err := s.ra.ReadAt(buf, s.off); err != nil {
+			blockScratch.Put(bufp)
+			return corruptAt(s.path, s.off, fmt.Sprintf("a readable %d-byte block", readN), err)
+		}
+		b.Write(buf)
+		*bufp = buf[:cap(buf)]
+		blockScratch.Put(bufp)
+		s.off += readN
+		s.unread -= readN
+	}
+	s.block = b.String()
+	s.pos = 0
+	return nil
+}
+
+// Next returns the next record (code ‖ key ‖ value, without the length
+// prefix) as a substring of an immutable block, or io.EOF after the
+// last record. Unlike SegmentReader.Next, the returned string stays
+// valid indefinitely — it pins its backing block while reachable.
+func (s *SharedSegmentReader) Next() (string, error) {
+	if s.records <= 0 {
+		return "", io.EOF
+	}
+	if len(s.block)-s.pos < binary.MaxVarintLen64 && s.unread > 0 {
+		if err := s.refill(0); err != nil {
+			return "", err
+		}
+	}
+	l, n, err := UvarintString(s.block[s.pos:])
+	if err != nil {
+		return "", corruptAt(s.path, s.fileOff(), fmt.Sprintf("record length uvarint (%d records remain)", s.records), err)
+	}
+	s.pos += n
+	if l > uint64(int64(len(s.block)-s.pos)+s.unread) {
+		return "", corruptAt(s.path, s.fileOff(),
+			fmt.Sprintf("record of at most %d bytes (segment remainder), got length %d",
+				int64(len(s.block)-s.pos)+s.unread, l), nil)
+	}
+	if len(s.block)-s.pos < int(l) {
+		if err := s.refill(int(l)); err != nil {
+			return "", err
+		}
+	}
+	rec := s.block[s.pos : s.pos+int(l)]
+	s.pos += int(l)
+	s.records--
+	return rec, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // This file implements the spill-run file format. One run is the sorted
@@ -66,26 +67,67 @@ type Writer struct {
 	bw   *bufio.Writer
 	info Info
 	off  int64
+	base int64 // file offset where this run's section starts
 	cur  int
 	err  error
+	// owned reports whether the writer opened f itself (Create) and so
+	// closes it on Finish/Abort; section writers (NewRunWriter) share a
+	// caller-owned fd and leave it open.
+	owned bool
+	// lenBuf is the varint scratch for Append's record-length prefix. As
+	// a struct field it is heap-allocated once per run; as an Append
+	// local it escapes into a fresh heap allocation per record (the
+	// bufio.Writer.Write call keeps the compiler from stack-allocating
+	// it), which profiling showed at ~26k allocations per external job.
+	lenBuf [binary.MaxVarintLen64]byte
+}
+
+// bwPool recycles the 64KB bufio.Writer buffers across run files: a
+// spill-heavy job creates many short-lived runs, and the write buffer is
+// by far the largest per-run allocation.
+var bwPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, 64<<10) },
 }
 
 // Create opens a new run file for writing. numPartitions is the job's
-// reduce task count r; codeWidth must be 0 or 16.
+// reduce task count r; codeWidth must be 0 or 16. The writer owns the
+// file and closes it on Finish/Abort.
 func Create(path string, numPartitions, codeWidth int) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runio: create run: %w", err)
+	}
+	w, err := NewRunWriter(f, 0, numPartitions, codeWidth)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.owned = true
+	return w, nil
+}
+
+// NewRunWriter starts a new run section in f at offset base, which must
+// be f's current write position (sections are appended sequentially).
+// The section is a complete, self-delimiting run image — header,
+// records, trailer — whose Segment offsets are absolute file offsets,
+// so any number of sections can share one file and one fd. The caller
+// retains ownership of f: Finish flushes the section but leaves the
+// file open, and nothing may write to f between NewRunWriter and
+// Finish except this writer.
+func NewRunWriter(f *os.File, base int64, numPartitions, codeWidth int) (*Writer, error) {
+	path := f.Name()
 	if numPartitions <= 0 {
 		return nil, fmt.Errorf("runio: Create %s: numPartitions must be > 0, got %d", path, numPartitions)
 	}
 	if codeWidth != 0 && codeWidth != 16 {
 		return nil, fmt.Errorf("runio: Create %s: code width must be 0 or 16, got %d", path, codeWidth)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("runio: create run: %w", err)
-	}
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(f)
 	w := &Writer{
-		f:  f,
-		bw: bufio.NewWriterSize(f, 64<<10),
+		f:    f,
+		bw:   bw,
+		base: base,
 		info: Info{
 			Path:      path,
 			CodeWidth: codeWidth,
@@ -97,10 +139,10 @@ func Create(path string, numPartitions, codeWidth int) (*Writer, error) {
 	hdr = append(hdr, runVersion, byte(codeWidth))
 	hdr = binary.AppendUvarint(hdr, uint64(numPartitions))
 	if _, err := w.bw.Write(hdr); err != nil {
-		f.Close()
+		w.releaseBW()
 		return nil, fmt.Errorf("runio: write run header: %w", err)
 	}
-	w.off = int64(len(hdr))
+	w.off = base + int64(len(hdr))
 	for i := range w.info.Segments {
 		w.info.Segments[i].Off = w.off
 	}
@@ -124,9 +166,8 @@ func (w *Writer) Append(partition int, rec []byte) error {
 		}
 		w.cur = partition
 	}
-	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
-	if _, err := w.bw.Write(lenBuf[:n]); err != nil {
+	n := binary.PutUvarint(w.lenBuf[:], uint64(len(rec)))
+	if _, err := w.bw.Write(w.lenBuf[:n]); err != nil {
 		w.err = fmt.Errorf("runio: write record: %w", err)
 		return w.err
 	}
@@ -144,11 +185,13 @@ func (w *Writer) Append(partition int, rec []byte) error {
 	return nil
 }
 
-// Finish writes the trailer, flushes, closes the file, and returns the
-// run's segment index. The writer is unusable afterwards.
+// Finish writes the trailer, flushes, and returns the run's segment
+// index. Owned files (Create) are closed; shared files (NewRunWriter)
+// stay open for the caller. The writer is unusable afterwards.
 func (w *Writer) Finish() (*Info, error) {
+	defer w.releaseBW()
 	if w.err != nil {
-		w.f.Close()
+		w.closeOwned()
 		return nil, w.err
 	}
 	for p := w.cur + 1; p < len(w.info.Segments); p++ {
@@ -160,31 +203,60 @@ func (w *Writer) Finish() (*Info, error) {
 		tr = binary.AppendUvarint(tr, uint64(seg.Records))
 		tr = binary.AppendUvarint(tr, uint64(seg.Len))
 	}
+	// The trailer offset is absolute, like the segment offsets, so
+	// ReadInfo on a single-section file (base 0) sees the same numbers
+	// the writer recorded.
 	tr = binary.AppendUvarint(tr, uint64(len(w.info.Segments)))
 	tr = binary.LittleEndian.AppendUint64(tr, uint64(trailerOff))
 	tr = append(tr, runMagic...)
 	if _, err := w.bw.Write(tr); err != nil {
-		w.f.Close()
+		w.closeOwned()
 		return nil, fmt.Errorf("runio: write run trailer: %w", err)
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
+		w.closeOwned()
 		return nil, fmt.Errorf("runio: flush run: %w", err)
 	}
-	if err := w.f.Close(); err != nil {
-		return nil, fmt.Errorf("runio: close run: %w", err)
+	if w.owned {
+		if err := w.f.Close(); err != nil {
+			return nil, fmt.Errorf("runio: close run: %w", err)
+		}
 	}
-	w.info.FileBytes = trailerOff + int64(len(tr))
+	// FileBytes is the section's byte length (equal to the file size for
+	// owned single-section files).
+	w.info.FileBytes = trailerOff + int64(len(tr)) - w.base
 	info := w.info
 	return &info, nil
 }
 
-// Abort closes the underlying file without finalizing it; the caller is
-// expected to remove the temp directory the file lives in.
+// Abort abandons the run without finalizing it: owned files are closed,
+// shared files are left to the caller (an aborted section leaves
+// partial bytes in the shared file, so the owning spiller must not
+// start another section in it). The caller is expected to remove the
+// temp directory the file lives in.
 func (w *Writer) Abort() {
-	if w.f != nil {
+	w.releaseBW()
+	w.closeOwned()
+}
+
+func (w *Writer) closeOwned() {
+	if w.owned && w.f != nil {
 		w.f.Close()
+		w.f = nil
 	}
+}
+
+// releaseBW detaches the pooled write buffer from this writer and
+// returns it (idempotent; safe after Finish or Abort).
+func (w *Writer) releaseBW() {
+	if w.bw == nil {
+		return
+	}
+	// Reset drops any unflushed bytes and the file reference so the
+	// pooled buffer cannot write to a closed fd or pin the file.
+	w.bw.Reset(io.Discard)
+	bwPool.Put(w.bw)
+	w.bw = nil
 }
 
 // ReadInfo recovers a run's segment index from its trailer, proving the

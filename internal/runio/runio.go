@@ -107,6 +107,44 @@ type Codec[T any] interface {
 	Decode(src []byte) (T, int, error)
 }
 
+// SharedDecoder is the optional arena extension of Codec: codecs whose
+// decoded values can alias an immutable string source implement it so
+// the external dataflow's read path decodes records with zero per-field
+// string copies (see SharedSegmentReader). The contract relaxes exactly
+// one clause of the Codec contract — aliasing:
+//
+//  1. The returned decode function parses one value from the front of
+//     src (same self-delimiting framing as Decode, same consumed-byte
+//     count, same errors on the same corrupt inputs).
+//  2. Decoded values MAY alias src: src is an immutable Go string, so
+//     substrings of it are safe to hand out without copying. Readers
+//     guarantee src stays reachable as long as any substring of it is.
+//  3. The decode function may carry state (arenas, scratch) and is for
+//     a single goroutine; callers obtain one per task attempt. It must
+//     still never panic on corrupt input or allocate proportionally to
+//     a corrupt length claim.
+//
+// Values decoded this way keep block-sized backing arrays alive while
+// they are reachable, which is why the engine hands them to user code
+// under the existing "copy what you retain beyond the call" rule.
+type SharedDecoder[T any] interface {
+	NewSharedDecoder() func(src string) (T, int, error)
+}
+
+// LookupShared returns a fresh shared-decode function for T when the
+// registered codec implements SharedDecoder, or nil.
+func LookupShared[T any]() func(src string) (T, int, error) {
+	c, ok := registry.Load(typeOf[T]())
+	if !ok {
+		return nil
+	}
+	sd, ok := c.(SharedDecoder[T])
+	if !ok {
+		return nil
+	}
+	return sd.NewSharedDecoder()
+}
+
 // registry maps a reflect.Type to its Codec[T]. Like the engine's
 // record-pool registry, it exists because generic package-level
 // variables do not: each package registers codecs for the key and value
@@ -184,6 +222,71 @@ func String(src []byte) (string, int, error) {
 	return string(src[n : n+int(l)]), n + int(l), nil
 }
 
+// ---- string-source decode primitives ----
+//
+// Mirrors of the []byte decode primitives that parse from a string
+// source instead. encoding/binary's varint readers only accept []byte,
+// and converting string→[]byte copies, so shared decoders use these
+// hand-rolled equivalents. Same error behavior as the byte versions.
+
+// UvarintString decodes an unsigned LEB128 value from the front of src.
+func UvarintString(src string) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < len(src); i++ {
+		if i == binary.MaxVarintLen64 {
+			break
+		}
+		b := src[i]
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				break // overflows uint64
+			}
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+}
+
+// VarintString decodes a zig-zag LEB128 value from the front of src.
+func VarintString(src string) (int64, int, error) {
+	ux, n, err := UvarintString(src)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, n, nil
+}
+
+// SharedString decodes a length-prefixed string from the front of src.
+// The returned string ALIASES src (it is a substring) — callers must
+// only pass immutable sources, per the SharedDecoder contract.
+func SharedString(src string) (string, int, error) {
+	l, n, err := UvarintString(src)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: string length", ErrCorrupt)
+	}
+	if l > uint64(len(src)-n) {
+		return "", 0, fmt.Errorf("%w: string length %d exceeds remaining %d bytes", ErrCorrupt, l, len(src)-n)
+	}
+	return src[n : n+int(l)], n + int(l), nil
+}
+
+// Uint64LEString reads a fixed 8-byte little-endian uint64 from the
+// front of src (the string-source twin of binary.LittleEndian.Uint64).
+func Uint64LEString(src string) (uint64, error) {
+	if len(src) < 8 {
+		return 0, fmt.Errorf("%w: fixed64 needs 8 bytes, have %d", ErrCorrupt, len(src))
+	}
+	return uint64(src[0]) | uint64(src[1])<<8 | uint64(src[2])<<16 | uint64(src[3])<<24 |
+		uint64(src[4])<<32 | uint64(src[5])<<40 | uint64(src[6])<<48 | uint64(src[7])<<56, nil
+}
+
 // ---- built-in codecs ----
 
 // StringCodec encodes strings as uvarint length + raw bytes. Arbitrary
@@ -192,6 +295,9 @@ type StringCodec struct{}
 
 func (StringCodec) Append(dst []byte, v string) []byte     { return AppendString(dst, v) }
 func (StringCodec) Decode(src []byte) (string, int, error) { return String(src) }
+
+// NewSharedDecoder implements SharedDecoder: decoded strings alias src.
+func (StringCodec) NewSharedDecoder() func(string) (string, int, error) { return SharedString }
 
 // IntCodec encodes ints as zig-zag varints (platform-width safe: the
 // value range of int always fits int64).
@@ -209,6 +315,20 @@ func (IntCodec) Decode(src []byte) (int, int, error) {
 	return int(x), n, nil
 }
 
+// NewSharedDecoder implements SharedDecoder (ints never alias).
+func (IntCodec) NewSharedDecoder() func(string) (int, int, error) {
+	return func(src string) (int, int, error) {
+		x, n, err := VarintString(src)
+		if err != nil {
+			return 0, 0, err
+		}
+		if x < math.MinInt || x > math.MaxInt {
+			return 0, 0, fmt.Errorf("%w: int value %d out of range", ErrCorrupt, x)
+		}
+		return int(x), n, nil
+	}
+}
+
 // Int64Codec encodes int64s as zig-zag varints.
 type Int64Codec struct{}
 
@@ -216,6 +336,9 @@ func (Int64Codec) Append(dst []byte, v int64) []byte { return AppendVarint(dst, 
 func (Int64Codec) Decode(src []byte) (int64, int, error) {
 	return Varint(src)
 }
+
+// NewSharedDecoder implements SharedDecoder.
+func (Int64Codec) NewSharedDecoder() func(string) (int64, int, error) { return VarintString }
 
 // Float64Codec encodes float64s as fixed 8-byte little-endian IEEE 754
 // bits (exact round trip, including NaN payloads and signed zeros).
@@ -230,6 +353,17 @@ func (Float64Codec) Decode(src []byte) (float64, int, error) {
 		return 0, 0, fmt.Errorf("%w: float64 needs 8 bytes, have %d", ErrCorrupt, len(src))
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(src)), 8, nil
+}
+
+// NewSharedDecoder implements SharedDecoder.
+func (Float64Codec) NewSharedDecoder() func(string) (float64, int, error) {
+	return func(src string) (float64, int, error) {
+		bits, err := Uint64LEString(src)
+		if err != nil {
+			return 0, 0, err
+		}
+		return math.Float64frombits(bits), 8, nil
+	}
 }
 
 func init() {

@@ -1,0 +1,178 @@
+package similarity
+
+import (
+	"slices"
+	"sync"
+)
+
+// This file holds the bit-parallel Levenshtein kernels. myersASCII
+// (prepared.go) covers ASCII patterns up to 64 runes in two machine
+// words; the blocked kernels here extend the same recurrence past 64
+// runes (multi-word bit-vectors) and to arbitrary rune alphabets, so
+// long and non-ASCII strings hit the bit-parallel fast path instead of
+// the pooled DP rows. See DESIGN.md ("Blocked Myers") for the
+// word-boundary carry argument.
+//
+// Formulation: Hyyrö's block variant of Myers' algorithm. The pattern's
+// m rows are split into W = ceil(m/64) words. Per text character the
+// words advance bottom-up; the only inter-word coupling is the
+// horizontal delta hin/hout in {-1, 0, +1} crossing the boundary:
+//
+//   - hin = -1 enters the block like a free match at its bottom row
+//     (Eq |= 1) and as a negative horizontal bit (Mh |= 1 after the
+//     shift); hin = +1 only as a positive horizontal bit (Ph |= 1).
+//   - hout is read off the block's top bit of Ph/Mh before the shift.
+//
+// The carry of the (Eq & Pv) + Pv addition never crosses words — that
+// addition propagates match runs, and a run crossing a word boundary is
+// re-established in the next word by the hin mechanism. Word 0 takes
+// hin = +1, which is exactly the `Ph = Ph<<1 | 1` left-boundary term of
+// the single-word kernel (the DP's first column D[i][0] = i).
+//
+// The last word is partially filled when m % 64 != 0: the score is
+// tracked at the pattern's true last row (bit (m-1) % 64) before the
+// shift, and the garbage bits above it never flow downward — in-word
+// addition carries and the Ph/Mh shifts both move strictly upward.
+
+// myersScratch carries the per-call tables of the blocked kernels: the
+// pattern-mask rows (peq), the vertical delta words (pv/mv), and the
+// sorted pattern-rune alphabet for the rune kernel. Pooled so
+// steady-state comparisons allocate nothing.
+type myersScratch struct {
+	peq []uint64
+	pv  []uint64
+	mv  []uint64
+	prs []rune
+}
+
+var myersScratchPool = sync.Pool{New: func() any { return new(myersScratch) }}
+
+// maxPooledMyersWords bounds the peq capacity returned to the pool so
+// one pathological pattern cannot pin a huge table for the process.
+const maxPooledMyersWords = 1 << 16
+
+func getMyersScratch() *myersScratch {
+	return myersScratchPool.Get().(*myersScratch)
+}
+
+func putMyersScratch(s *myersScratch) {
+	if cap(s.peq) > maxPooledMyersWords {
+		return
+	}
+	myersScratchPool.Put(s)
+}
+
+// words returns a zeroed n-word slice backed by the scratch.
+func (s *myersScratch) words(n int) []uint64 {
+	if cap(s.peq) < n {
+		s.peq = make([]uint64, n)
+	}
+	s.peq = s.peq[:n]
+	clear(s.peq)
+	return s.peq
+}
+
+// vecs returns the pv/mv word vectors initialized to the DP's left
+// boundary: every vertical delta +1 (pv all ones, mv zero).
+func (s *myersScratch) vecs(w int) (pv, mv []uint64) {
+	if cap(s.pv) < w {
+		s.pv = make([]uint64, w)
+		s.mv = make([]uint64, w)
+	}
+	pv, mv = s.pv[:w], s.mv[:w]
+	for i := range pv {
+		pv[i] = ^uint64(0)
+		mv[i] = 0
+	}
+	return pv, mv
+}
+
+// myersBlockedCore advances the blocked recurrence over the text mask
+// rows produced by eqRow (the peq row of text character index i) and
+// returns the edit distance. w is the word count, m the pattern length.
+func myersBlockedCore(pv, mv []uint64, m, tlen int, eqRow func(i, b int) uint64) int {
+	w := len(pv)
+	last := w - 1
+	lastMask := uint64(1) << uint((m-1)&63)
+	score := m
+	for i := 0; i < tlen; i++ {
+		hin := 1 // the DP's top row D[0][j] = j: +1 per text character
+		for b := 0; b < w; b++ {
+			eq := eqRow(i, b)
+			pvb, mvb := pv[b], mv[b]
+			var hinNeg uint64
+			if hin < 0 {
+				hinNeg = 1
+			}
+			xv := eq | mvb
+			eq |= hinNeg
+			xh := (((eq & pvb) + pvb) ^ pvb) | eq
+			ph := mvb | ^(xh | pvb)
+			mh := pvb & xh
+			if b == last {
+				if ph&lastMask != 0 {
+					score++
+				} else if mh&lastMask != 0 {
+					score--
+				}
+			}
+			hout := int(ph>>63) - int(mh>>63)
+			ph = ph<<1 | uint64((hin+1)>>1) // carry +1 in as a horizontal bit
+			mh = mh<<1 | hinNeg             // carry -1 in as a horizontal bit
+			pv[b] = mh | ^(xv | ph)
+			mv[b] = ph & xv
+			hin = hout
+		}
+	}
+	return score
+}
+
+// myersASCIIBlocked returns the exact Levenshtein distance between an
+// ASCII pattern p (len(p) >= 1, any length) and an ASCII text t using
+// the blocked Myers recurrence: ceil(len(p)/64) words per text byte.
+// The flat 128-row pattern-mask table lives in pooled scratch — no
+// steady-state allocation.
+func myersASCIIBlocked(p, t string) int {
+	w := (len(p) + 63) >> 6
+	s := getMyersScratch()
+	peq := s.words(128 * w)
+	for i := 0; i < len(p); i++ {
+		peq[int(p[i])*w+(i>>6)] |= 1 << uint(i&63)
+	}
+	pv, mv := s.vecs(w)
+	d := myersBlockedCore(pv, mv, len(p), len(t), func(i, b int) uint64 {
+		return peq[int(t[i])*w+b]
+	})
+	putMyersScratch(s)
+	return d
+}
+
+// myersRunes returns the exact Levenshtein distance between a rune
+// pattern p (len(p) >= 1, any length) and a rune text t. The pattern
+// alphabet is materialized as a sorted unique rune table with one
+// W-word mask row per rune; text runes resolve their row by binary
+// search (runes absent from the pattern contribute an all-zero row).
+// Scratch is pooled — no steady-state allocation.
+func myersRunes(p, t []rune) int {
+	w := (len(p) + 63) >> 6
+	s := getMyersScratch()
+	prs := append(s.prs[:0], p...)
+	slices.Sort(prs)
+	prs = slices.Compact(prs)
+	s.prs = prs
+	peq := s.words(len(prs) * w)
+	for i, r := range p {
+		j, _ := slices.BinarySearch(prs, r)
+		peq[j*w+(i>>6)] |= 1 << uint(i&63)
+	}
+	pv, mv := s.vecs(w)
+	d := myersBlockedCore(pv, mv, len(p), len(t), func(i, b int) uint64 {
+		j, ok := slices.BinarySearch(prs, t[i])
+		if !ok {
+			return 0
+		}
+		return peq[j*w+b]
+	})
+	putMyersScratch(s)
+	return d
+}

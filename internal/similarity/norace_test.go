@@ -1,0 +1,6 @@
+//go:build !race
+
+package similarity
+
+// raceEnabled gates allocation-count assertions; see race_test.go.
+const raceEnabled = false

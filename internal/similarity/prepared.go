@@ -34,7 +34,7 @@ type Prepared struct {
 	// hist counts runes per bucket, saturating at 127. Saturation keeps
 	// BagBound sound for arbitrarily long strings: clamping is monotone
 	// and 1-Lipschitz, so it can only shrink bucket differences.
-	hist        [histBuckets]int8
+	hist        [histBuckets]uint8
 	ascii       bool
 	tokensReady bool
 }
@@ -96,7 +96,7 @@ func (p *Prepared) Release() {
 func (p *Prepared) fill(s string) {
 	p.Raw = s
 	p.ascii = true
-	p.hist = [histBuckets]int8{}
+	p.hist = [histBuckets]uint8{}
 	p.tokensReady = false
 	p.gramN = 0
 	runes := p.runes[:0]
@@ -113,7 +113,7 @@ func (p *Prepared) fill(s string) {
 		}
 	}
 	if !p.ascii {
-		p.hist = [histBuckets]int8{} // rebuild over runes, not bytes
+		p.hist = [histBuckets]uint8{} // rebuild over runes, not bytes
 		for _, r := range s {
 			runes = append(runes, r)
 			if b := uint32(r) & (histBuckets - 1); p.hist[b] < histCap {
@@ -211,23 +211,56 @@ func (p *Prepared) NGramProfile(n int) []gramCount {
 // most one, and collapsing runes into histogram buckets can only cancel
 // differences, so BagBound(a, b) <= Levenshtein(a.Raw, b.Raw) always
 // holds. That makes it a sound pre-filter: BagBound > maxDist implies
-// the edit distance exceeds maxDist. One pass over 64 ints, no
-// allocation.
+// the edit distance exceeds maxDist. The 32 byte-wide buckets are
+// processed as four uint64 SWAR words — per-byte absolute differences
+// and byte sums without a single branch or allocation.
 func BagBound(a, b *Prepared) int {
 	// With onlyA/onlyB the one-sided difference sums: onlyA + onlyB =
 	// Σ|d| and onlyA − onlyB = Σd, so max(onlyA, onlyB) =
-	// (Σ|d| + |Σd|) / 2 — computed branch-free.
-	var sumAbs, sumD int32
-	for i := range a.hist {
-		d := int32(a.hist[i]) - int32(b.hist[i])
-		sumD += d
-		m := d >> 31
-		sumAbs += (d ^ m) - m
+	// (Σ|d| + |Σd|) / 2.
+	//
+	// Per word: t = (x|H) − y computes 0x80 + x−y in every byte lane
+	// without inter-byte borrow (bucket values are ≤ 127), so each high
+	// bit reports x ≥ y and t ^ H is x−y mod 256 per byte. Lanes with
+	// x < y are negated per-byte ((d ^ 0xFF) + 1, carry-free because
+	// the true difference is ≤ 127). Byte sums fold pairwise into four
+	// 16-bit lanes per word — a plain multiply-shift would overflow a
+	// byte — and collapse to ints only once at the end.
+	const (
+		ones01 = 0x0101010101010101
+		high   = 0x8080808080808080
+		pairLo = 0x00FF00FF00FF00FF
+	)
+	var absAcc, aAcc, bAcc uint64 // 4 × 16-bit lanes each
+	for i := 0; i <= histBuckets-8; i += 8 {
+		x := leU64(a.hist[i : i+8 : i+8])
+		y := leU64(b.hist[i : i+8 : i+8])
+		t := (x | high) - y
+		lt := (t&high)>>7 ^ ones01 // per-byte 1 where x < y
+		d := t ^ high
+		abs := (d ^ lt*0xFF) + lt
+		absAcc += (abs & pairLo) + (abs >> 8 & pairLo)
+		aAcc += (x & pairLo) + (x >> 8 & pairLo)
+		bAcc += (y & pairLo) + (y >> 8 & pairLo)
 	}
+	sumAbs := fold16(absAcc)
+	sumD := fold16(aAcc) - fold16(bAcc)
 	if sumD < 0 {
 		sumD = -sumD
 	}
-	return int((sumAbs + sumD) / 2)
+	return (sumAbs + sumD) / 2
+}
+
+// leU64 loads 8 histogram bytes as a little-endian uint64 word.
+func leU64(b []uint8) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// fold16 sums the four 16-bit lanes of a SWAR accumulator.
+func fold16(v uint64) int {
+	return int(v&0xFFFF + v>>16&0xFFFF + v>>32&0xFFFF + v>>48)
 }
 
 // myersASCII returns the exact Levenshtein distance between an ASCII
@@ -266,9 +299,11 @@ func myersASCII(p, t string) int {
 }
 
 // levenshteinPreparedDist dispatches a prepared pair to the fastest
-// exact kernel: Myers bit-parallel for ASCII pairs whose shorter side
-// fits in one word, the rune DP otherwise (materializing cached runes
-// for ASCII strings only in that rare case).
+// exact kernel: single-word Myers for ASCII pairs whose shorter side
+// fits in 64 runes, blocked (multi-word) Myers for longer ASCII pairs,
+// and the rune-alphabet blocked Myers for everything else (materializing
+// cached runes for ASCII strings only in a mixed pair). The rune DP
+// (levenshteinRunes) survives as the property-test reference only.
 func levenshteinPreparedDist(a, b *Prepared) int {
 	if a.ascii && b.ascii {
 		p, t := a.Raw, b.Raw
@@ -281,8 +316,16 @@ func levenshteinPreparedDist(a, b *Prepared) int {
 		if len(p) <= 64 {
 			return myersASCII(p, t)
 		}
+		return myersASCIIBlocked(p, t)
 	}
-	return levenshteinRunes(a.runeSeq(), b.runeSeq())
+	ra, rb := a.runeSeq(), b.runeSeq()
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	return myersRunes(ra, rb)
 }
 
 // LevenshteinPrepared is Levenshtein on the cached forms.
@@ -306,14 +349,31 @@ func LevenshteinBoundedPrepared(a, b *Prepared, maxDist int) (int, bool) {
 		if len(p) == 0 {
 			return len(t), true // length filter above guarantees len(t) <= maxDist
 		}
+		var d int
 		if len(p) <= 64 {
-			if d := myersASCII(p, t); d <= maxDist {
-				return d, true
-			}
-			return maxDist + 1, false
+			d = myersASCII(p, t)
+		} else {
+			d = myersASCIIBlocked(p, t)
 		}
+		if d <= maxDist {
+			return d, true
+		}
+		return maxDist + 1, false
 	}
-	return levenshteinBoundedRunes(a.runeSeq(), b.runeSeq(), maxDist)
+	ra, rb := a.runeSeq(), b.runeSeq()
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb)-len(ra) > maxDist {
+		return maxDist + 1, false
+	}
+	if len(ra) == 0 {
+		return len(rb), true // length filter above guarantees len(rb) <= maxDist
+	}
+	if d := myersRunes(ra, rb); d <= maxDist {
+		return d, true
+	}
+	return maxDist + 1, false
 }
 
 // LevenshteinSimilarityPrepared is LevenshteinSimilarity on the cached

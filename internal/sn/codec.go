@@ -63,6 +63,48 @@ func (rankKeyCodec) Decode(src []byte) (rankKey, int, error) {
 	return k, n + rn, nil
 }
 
+// Shared decoders (runio.SharedDecoder): snKey's strings alias src.
+
+func (snKeyCodec) NewSharedDecoder() func(string) (snKey, int, error) {
+	return func(src string) (snKey, int, error) {
+		var k snKey
+		r, n, err := runio.VarintString(src)
+		if err != nil {
+			return k, 0, fmt.Errorf("snKey range: %w", err)
+		}
+		k.Range = int(r)
+		s, sn_, err := runio.SharedString(src[n:])
+		if err != nil {
+			return k, 0, fmt.Errorf("snKey key: %w", err)
+		}
+		n += sn_
+		k.Key = s
+		id, idn, err := runio.SharedString(src[n:])
+		if err != nil {
+			return k, 0, fmt.Errorf("snKey id: %w", err)
+		}
+		k.ID = id
+		return k, n + idn, nil
+	}
+}
+
+func (rankKeyCodec) NewSharedDecoder() func(string) (rankKey, int, error) {
+	return func(src string) (rankKey, int, error) {
+		var k rankKey
+		r, n, err := runio.VarintString(src)
+		if err != nil {
+			return k, 0, fmt.Errorf("rankKey range: %w", err)
+		}
+		k.Range = int(r)
+		rank, rn, err := runio.VarintString(src[n:])
+		if err != nil {
+			return k, 0, fmt.Errorf("rankKey rank: %w", err)
+		}
+		k.Rank = rank
+		return k, n + rn, nil
+	}
+}
+
 func init() {
 	runio.Register[snKey](snKeyCodec{})
 	runio.Register[rankKey](rankKeyCodec{})

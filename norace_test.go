@@ -1,0 +1,6 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled gates allocation-count assertions; see race_test.go.
+const raceEnabled = false

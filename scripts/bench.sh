@@ -2,10 +2,73 @@
 # Runs the regression benchmarks (shuffle engine, comparison kernel,
 # out-of-core dataflow) with -benchmem and writes a BENCH_<date>.json
 # snapshot in the repo root, seeding the perf trajectory.
-# Usage: scripts/bench.sh [benchtime]
+#
+# Usage:
+#   scripts/bench.sh [benchtime]           run + write BENCH_<date>.json
+#   scripts/bench.sh compare OLD NEW       diff two snapshots; flags any
+#                                          >10% ns/op or allocs/op
+#                                          regression and exits 1
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# compare_snapshots OLD NEW: line-oriented parse of the snapshot format
+# this script writes (one benchmark object per line). A benchmark only
+# in one file is reported but never fails the gate; regressions beyond
+# the threshold fail with exit 1. ns/op on shared noisy boxes swings
+# ±30%, so the gate is advisory for time but hard for allocs — allocs
+# are deterministic and a >10% jump is always a real regression.
+compare_snapshots() {
+    old="$1"; new="$2"
+    awk -v oldfile="$old" -v newfile="$new" '
+    function parse(file, names, ns, allocs,   line, name, n) {
+        n = 0
+        while ((getline line < file) > 0) {
+            if (line !~ /"name":/) continue
+            name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+            names[n++] = name
+            v = line; sub(/.*"ns_per_op": /, "", v); sub(/[,}].*/, "", v)
+            ns[name] = v
+            v = line; sub(/.*"allocs_per_op": /, "", v); sub(/[,}].*/, "", v)
+            allocs[name] = v
+        }
+        close(file)
+        return n
+    }
+    function pct(o, n) { return (n - o) * 100.0 / o }
+    BEGIN {
+        parse(oldfile, onames, ons, oallocs)
+        nn = parse(newfile, nnames, nns, nallocs)
+        printf "%-52s %14s %14s %8s\n", "benchmark", "old", "new", "delta"
+        bad = 0
+        for (i = 0; i < nn; i++) {
+            name = nnames[i]
+            if (!(name in ons)) {
+                printf "%-52s %14s %14s %8s\n", name, "-", nns[name] " ns", "new"
+                continue
+            }
+            seen[name] = 1
+            dns = pct(ons[name], nns[name])
+            da = (oallocs[name] == "null" || nallocs[name] == "null") ? 0 : pct(oallocs[name], nallocs[name])
+            flag = ""
+            if (dns > 10) { flag = flag " TIME-REGRESSION"; bad = 1 }
+            if (da > 10)  { flag = flag " ALLOC-REGRESSION"; bad = 1 }
+            printf "%-52s %11s ns %11s ns %+7.1f%%%s\n", name, ons[name], nns[name], dns, flag
+            if (oallocs[name] != "null")
+                printf "%-52s %8s allocs %8s allocs %+7.1f%%\n", "", oallocs[name], nallocs[name], da
+        }
+        for (name in ons)
+            if (!(name in seen))
+                printf "%-52s %14s %14s %8s\n", name, ons[name] " ns", "-", "gone"
+        exit bad
+    }'
+}
+
+if [ "${1:-}" = "compare" ]; then
+    [ $# -eq 3 ] || { echo "usage: scripts/bench.sh compare OLD.json NEW.json" >&2; exit 2; }
+    compare_snapshots "$2" "$3"
+    exit $?
+fi
 
 benchtime="${1:-20x}"
 date="$(date +%Y-%m-%d)"
