@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race test-cancel-race bench-smoke bench bench-all smoke-lowmem smoke-chaos smoke-dist clean
+.PHONY: check vet build test test-race test-cancel-race bench-smoke bench bench-all smoke-lowmem smoke-chaos smoke-dist smoke-obs clean
 
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
@@ -61,3 +61,10 @@ smoke-chaos:
 # gracefully stopped workers leave empty run directories.
 smoke-dist:
 	scripts/dist_smoke.sh
+
+# smoke-obs runs the distributed comparison with tracing and the
+# introspection server on, polls /status and /debug/vars live, and
+# validates the exported traces (chrome trace_event with per-worker
+# swimlanes; worker-side ndjson) via scripts/tracecheck.
+smoke-obs:
+	scripts/obs_smoke.sh

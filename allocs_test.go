@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // typedAllocCeiling is deliberately above the measured steady state
@@ -20,9 +21,20 @@ import (
 // hundreds of allocs, not tens.
 const typedAllocCeiling = 150
 
+// obsAllocCeiling bounds the same job with an Observer attached. The
+// tracer records into preallocated slots and every counter is a plain
+// atomic, so the enabled path's only extra steady-state allocations
+// are the handful of timer/closure values the span helpers capture —
+// single digits, absorbed by the shared headroom. The pin documents
+// that enabling observability must not change the allocation class of
+// the hot path (per-record or per-task costs would add hundreds).
+const obsAllocCeiling = typedAllocCeiling + 10
+
 // The pin runs at Parallelism 1 and 4: raising parallelism must not
 // raise the allocation count (workers share the pooled scratch; the
 // parallel sort's helper goroutines are the only per-worker cost).
+// Each point runs twice — observability disabled (Obs nil, the default)
+// and enabled — so a regression in either path fails the build.
 func TestTypedEngineAllocsPinned(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation pin is a perf gate, skipped in -short")
@@ -32,17 +44,26 @@ func TestTypedEngineAllocsPinned(t *testing.T) {
 	}
 	input := shuffleBenchInput(4, 500)
 	for _, parallelism := range []int{1, 4} {
-		job := shuffleBenchJob(4, true)
-		eng := mapreduce.Engine{Parallelism: parallelism}
-		run := func() {
-			if _, err := job.Run(&eng, input); err != nil {
-				t.Fatal(err)
+		for _, observed := range []bool{false, true} {
+			job := shuffleBenchJob(4, true)
+			eng := mapreduce.Engine{Parallelism: parallelism}
+			ceiling, mode := typedAllocCeiling, "obs disabled"
+			if observed {
+				// Quiet keeps slog out of the measurement: the pin is
+				// about the tracing/metrics hot path, not log rendering.
+				eng.Obs = obs.New(obs.Options{Log: obs.Quiet()})
+				ceiling, mode = obsAllocCeiling, "obs enabled"
 			}
-		}
-		run() // warm the typed scratch pools
-		if allocs := testing.AllocsPerRun(10, run); allocs > typedAllocCeiling {
-			t.Errorf("typed fault-free run (parallelism %d): %.0f allocs, ceiling %d",
-				parallelism, allocs, typedAllocCeiling)
+			run := func() {
+				if _, err := job.Run(&eng, input); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the typed scratch pools (and intern the job name)
+			if allocs := testing.AllocsPerRun(10, run); allocs > float64(ceiling) {
+				t.Errorf("typed fault-free run (parallelism %d, %s): %.0f allocs, ceiling %d",
+					parallelism, mode, allocs, ceiling)
+			}
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/entity"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -36,7 +37,9 @@ func main() {
 		top    = flag.Int("top", 10, "print only the N largest blocks (0 = all)")
 		plan   = flag.String("plan", "", "also show a strategy's reduce-task plan and timeline: basic, blocksplit, or pairrange")
 		nodes  = flag.Int("nodes", 4, "simulated cluster size for the -plan timeline")
+		obsCLI obs.CLI
 	)
+	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
@@ -64,7 +67,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	matrix, _, _, err := bdm.Compute(&mapreduce.Engine{}, parts, bdm.JobOptions{
+	observer, err := obsCLI.Start(nil)
+	if err != nil {
+		usage(err)
+	}
+	matrix, _, _, err := bdm.Compute(&mapreduce.Engine{Obs: observer}, parts, bdm.JobOptions{
 		Attr:           *attr,
 		KeyFunc:        blocking.NormalizedPrefix(*prefix),
 		NumReduceTasks: *r,
@@ -107,6 +114,9 @@ func main() {
 		if err := showPlan(matrix, *plan, *m, *r, *nodes); err != nil {
 			fail(err)
 		}
+	}
+	if err := obsCLI.Finish(); err != nil {
+		fail(fmt.Errorf("write trace: %w", err))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/experiments"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runio"
 )
@@ -33,6 +34,7 @@ func main() {
 		appendix    = flag.Bool("appendix", false, "run the Appendix I two-source experiment")
 		ablations   = flag.Bool("ablations", false, "run the design-choice ablations")
 		balance     = flag.Bool("balance", false, "report per-strategy reduce-task balance statistics")
+		imbalance   = flag.Bool("imbalance", false, "execute the jobs and report measured per-strategy reduce-task time imbalance (max/mean, from the obs duration histograms)")
 		quality     = flag.Bool("quality", false, "sweep the match threshold and report precision/recall")
 		snrobust    = flag.Bool("sn", false, "sorted-neighborhood skew-robustness extension table")
 		scale       = flag.Float64("scale", 0.05, "dataset scale factor in (0,1]; 1 = paper-sized datasets")
@@ -50,7 +52,9 @@ func main() {
 		addrFile    = flag.String("master-addr-file", "", "distributed: write the master's URL to this file once listening (for scripted worker launch)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the selected runs")
+		obsCLI      obs.CLI
 	)
+	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
@@ -59,13 +63,18 @@ func main() {
 		usage(fmt.Errorf("-workers/-master-addr-file require -master"))
 	}
 
+	observer, err := obsCLI.Start(nil)
+	if err != nil {
+		usage(err)
+	}
+
 	opts := experiments.DefaultOptions()
+	opts.Obs = observer
 	opts.Scale = *scale
 	opts.Executed = *executed
 	opts.Parallelism = *parallelism
 	opts.TmpDir = *tmpdir
 	opts.Retry = mapreduce.RetryPolicy{MaxAttempts: *maxAttempts, TaskTimeout: *taskTimeout}
-	var err error
 	if opts.FaultHook, err = mapreduce.ParseChaos(*faults, *maxAttempts); err != nil {
 		usage(fmt.Errorf("invalid -faults value: %v (expected rate[:seed], rate in [0,1])", err))
 	}
@@ -98,7 +107,7 @@ func main() {
 		// The master starts before the table runs so its URL can be
 		// published for scripted worker launch; the Distributed table
 		// dispatches both jobs' tasks through it per strategy.
-		master := dist.NewMaster(dist.MasterOptions{Addr: *masterAddr})
+		master := dist.NewMaster(dist.MasterOptions{Addr: *masterAddr, Obs: observer, PProf: obsCLI.PProf})
 		if err := master.Start(); err != nil {
 			fail(err)
 		}
@@ -140,6 +149,9 @@ func main() {
 	if *quality || *all {
 		runs = append(runs, experiments.QualityTable)
 	}
+	if *imbalance || *all {
+		runs = append(runs, experiments.Imbalance)
+	}
 	if *snrobust || *all {
 		runs = append(runs, experiments.SNRobustness)
 	}
@@ -148,7 +160,7 @@ func main() {
 		runs = append(runs, experiments.Distributed)
 	}
 	if len(runs) == 0 {
-		fmt.Fprintln(os.Stderr, "erbench: specify -figure 8..14, -all, -appendix, -ablations, -balance, -quality, or -master")
+		fmt.Fprintln(os.Stderr, "erbench: specify -figure 8..14, -all, -appendix, -ablations, -balance, -imbalance, -quality, or -master")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -203,6 +215,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+	}
+	if err := obsCLI.Finish(); err != nil {
+		fail(fmt.Errorf("write trace: %w", err))
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/er"
 	"repro/internal/mapreduce"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/runio"
 	"repro/internal/sn"
 )
@@ -67,7 +68,9 @@ func main() {
 		masterAddr   = flag.String("master", "", "run distributed: listen for erworker registrations on this address (e.g. 127.0.0.1:0 or :7400)")
 		workers      = flag.Int("workers", 0, "distributed: wait for this many registered workers before dispatching tasks")
 		addrFile     = flag.String("master-addr-file", "", "distributed: write the master's URL to this file once listening (for scripted worker launch)")
+		obsCLI       obs.CLI
 	)
+	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
@@ -126,18 +129,25 @@ func main() {
 	if err != nil {
 		usage(fmt.Errorf("invalid -faults value: %v (expected rate[:seed], rate in [0,1])", err))
 	}
+	observer, err := obsCLI.Start(nil)
+	if err != nil {
+		usage(err)
+	}
 	opts := er.RunOptions{
 		Parallelism: *parallelism,
 		SpillBudget: budget,
 		TmpDir:      *tmpdir,
 		Retry:       mapreduce.RetryPolicy{MaxAttempts: *maxAttempts, TaskTimeout: *taskTimeout},
 		FaultHook:   faultHook,
+		Obs:         observer,
 	}
 	if distributed {
 		// The master is started here (not inside the pipeline) so its
 		// URL can be published to -master-addr-file before any worker
-		// needs it; the pipeline then dispatches through it.
-		master := dist.NewMaster(dist.MasterOptions{Addr: *masterAddr})
+		// needs it; the pipeline then dispatches through it. It shares
+		// the run's Observer: dispatch spans and dist.master.* metrics
+		// land in the same trace and /debug/vars as the engine's.
+		master := dist.NewMaster(dist.MasterOptions{Addr: *masterAddr, Obs: observer, PProf: obsCLI.PProf})
 		if err := master.Start(); err != nil {
 			fail(err)
 		}
@@ -261,6 +271,10 @@ func main() {
 		matches, comparisons = res.Matches, res.Comparisons
 	}
 	elapsed := time.Since(start)
+
+	if err := obsCLI.Finish(); err != nil {
+		fail(fmt.Errorf("write trace: %w", err))
+	}
 
 	nMatches := int64(len(matches))
 	if count != nil {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 
 	// Imported for its job builders: the er package registers the
 	// "er/bdm" and "er/match" constructors this worker executes.
@@ -38,7 +39,9 @@ func main() {
 		slots      = flag.Int("slots", 1, "concurrent task capacity advertised to the master")
 		markReduce = flag.String("mark-reduce", "", "chaos: write this file when the first reduce attempt starts (kill-timing marker for the smoke script)")
 		slowReduce = flag.Duration("slow-reduce", 0, "chaos: stall every reduce attempt this long before executing (widens the kill window)")
+		obsCLI     obs.CLI
 	)
+	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
@@ -50,11 +53,21 @@ func main() {
 		*master = "http://" + *master
 	}
 
+	// The worker's task mux doubles as its introspection surface when
+	// observed (/debug/vars, /status, opt-in pprof); -obs-addr serves
+	// the same Observer on a separate listener, and -trace captures the
+	// worker-side task/shuffle timeline on graceful shutdown.
+	observer, err := obsCLI.Start(nil)
+	if err != nil {
+		usage(err)
+	}
 	opts := dist.WorkerOptions{
 		MasterURL: *master,
 		Addr:      *listen,
 		Dir:       *dir,
 		Slots:     *slots,
+		Obs:       observer,
+		PProf:     obsCLI.PProf,
 	}
 	if *markReduce != "" || *slowReduce > 0 {
 		opts.TaskStarted = func(ctx context.Context, phase string, task, attempt int) {
@@ -86,6 +99,9 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	w.Stop()
+	if err := obsCLI.Finish(); err != nil {
+		fail(fmt.Errorf("write trace: %w", err))
+	}
 }
 
 func fail(err error) {

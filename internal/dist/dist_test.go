@@ -11,12 +11,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net"
 	"net/http"
 	"testing"
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/testleak"
 )
 
@@ -25,7 +27,7 @@ func testMaster(t *testing.T) *Master {
 	m := NewMaster(MasterOptions{
 		HeartbeatInterval: 20 * time.Millisecond,
 		LeaseTTL:          100 * time.Millisecond,
-		Logf:              t.Logf,
+		Log:               obs.LogfLogger(slog.LevelDebug, t.Logf),
 	})
 	if err := m.Start(); err != nil {
 		t.Fatal(err)

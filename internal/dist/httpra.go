@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // httpReaderAt adapts HTTP range requests to io.ReaderAt so
@@ -23,16 +25,39 @@ type httpReaderAt struct {
 	client *http.Client
 	ctx    context.Context
 	urls   []string
+
+	// Observability identity (all zero when the worker runs unobserved):
+	// every range read becomes a KShuffleFetch span under the reduce
+	// task's lane with Arg = bytes fetched, and bytes feed the
+	// dist.worker.shuffle_read_bytes_total counter. The obs pointer
+	// gates recording; bytes is nil-safe on its own.
+	obs     *obs.Observer
+	bytes   *obs.Counter
+	job     uint32
+	task    int32
+	attempt int32
+	worker  int32
 }
 
 func (r *httpReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if o := r.obs; o != nil {
+		o.Tracer.Record(obs.Event{Type: obs.EvBegin, Kind: obs.KShuffleFetch,
+			Phase: obs.PhaseReduce, Job: r.job, Task: r.task,
+			Attempt: r.attempt, Worker: r.worker, Arg: int64(len(p))})
+		defer func() {
+			o.Tracer.Record(obs.Event{Type: obs.EvEnd, Kind: obs.KShuffleFetch,
+				Phase: obs.PhaseReduce, Job: r.job, Task: r.task,
+				Attempt: r.attempt, Worker: r.worker, Arg: int64(len(p))})
+		}()
+	}
 	var firstErr error
 	for _, u := range r.urls {
 		n, err := r.readRange(u, p, off)
 		if err == nil {
+			r.bytes.Add(int64(n))
 			return n, nil
 		}
 		if r.ctx.Err() != nil {

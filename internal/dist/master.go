@@ -7,16 +7,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/runio"
 )
 
@@ -39,9 +41,16 @@ type MasterOptions struct {
 	// LeaseTTL is how long a lease survives without renewal
 	// (defaultLeaseMultiple × HeartbeatInterval when 0).
 	LeaseTTL time.Duration
-	// Logf receives operational events (registrations, expiries,
-	// degradations). Nil means the standard logger.
-	Logf func(format string, args ...any)
+	// Log receives operational events (registrations, expiries,
+	// degradations) as structured records. Nil falls back to
+	// Obs.Logger(), which is slog.Default() when Obs is nil too.
+	Log *slog.Logger
+	// Obs, when non-nil, enables tracing (dispatch spans per worker,
+	// death/reassignment instants), dist.master.* metrics, and the
+	// /debug/vars introspection endpoint on the control-plane mux.
+	Obs *obs.Observer
+	// PProf opts the control-plane mux into net/http/pprof handlers.
+	PProf bool
 }
 
 // workerState is the master's view of one registered worker.
@@ -67,12 +76,17 @@ type Master struct {
 	srv    *http.Server
 	ln     net.Listener
 	client *http.Client
-	logf   func(format string, args ...any)
+	log    *slog.Logger
+	obs    *obs.Observer
+	met    masterMetrics
 
 	mu      sync.Mutex
 	closed  bool
 	nextID  int64
 	workers map[int64]*workerState
+	// deaths is the reassignment history served by /status: the most
+	// recent worker deaths, oldest first, capped at deathHistoryCap.
+	deaths []deathRecord
 	// changed is closed and replaced whenever worker availability
 	// changes (register, death, slot release) — a broadcast that wakes
 	// every acquire/AwaitWorkers waiter to re-check.
@@ -85,6 +99,51 @@ type Master struct {
 	monStop   chan struct{}
 	monDone   chan struct{}
 }
+
+// masterMetrics caches the master's dist.master.* registry handles so
+// hot paths never do a name lookup. Every handle is nil when the master
+// has no Observer; the obs metric methods are nil-safe, so call sites
+// stay unconditional.
+type masterMetrics struct {
+	workersLive    *obs.Gauge     // dist.master.workers_live
+	dispatches     *obs.Counter   // dist.master.dispatch_total
+	dispatchErrors *obs.Counter   // dist.master.dispatch_errors_total
+	dispatchInfl   *obs.Gauge     // dist.master.dispatch_inflight
+	acquireWaiting *obs.Gauge     // dist.master.acquire_waiting
+	workerDeaths   *obs.Counter   // dist.master.worker_deaths_total
+	reassigned     *obs.Counter   // dist.master.reassigned_attempts_total
+	leaseAgeNS     *obs.Histogram // dist.master.lease_age_ns
+}
+
+func newMasterMetrics(o *obs.Observer) masterMetrics {
+	if o == nil {
+		return masterMetrics{}
+	}
+	r := o.Reg
+	return masterMetrics{
+		workersLive:    r.Gauge("dist.master.workers_live"),
+		dispatches:     r.Counter("dist.master.dispatch_total"),
+		dispatchErrors: r.Counter("dist.master.dispatch_errors_total"),
+		dispatchInfl:   r.Gauge("dist.master.dispatch_inflight"),
+		acquireWaiting: r.Gauge("dist.master.acquire_waiting"),
+		workerDeaths:   r.Counter("dist.master.worker_deaths_total"),
+		reassigned:     r.Counter("dist.master.reassigned_attempts_total"),
+		leaseAgeNS:     r.Histogram("dist.master.lease_age_ns"),
+	}
+}
+
+// deathRecord is one entry in the reassignment history: which worker
+// died, why, and how many attempts were in flight to it (each of those
+// is cancelled and reassigned by the supervisor's retry loop).
+type deathRecord struct {
+	WorkerID        int64     `json:"worker_id"`
+	URL             string    `json:"url"`
+	Why             string    `json:"why"`
+	InflightAtDeath int       `json:"inflight_at_death"`
+	At              time.Time `json:"at"`
+}
+
+const deathHistoryCap = 64
 
 // NewMaster creates an unstarted Master.
 func NewMaster(opts MasterOptions) *Master {
@@ -103,10 +162,12 @@ func NewMaster(opts MasterOptions) *Master {
 		monStop:   make(chan struct{}),
 		monDone:   make(chan struct{}),
 	}
-	m.logf = opts.Logf
-	if m.logf == nil {
-		m.logf = log.Printf
+	m.log = opts.Log
+	if m.log == nil {
+		m.log = opts.Obs.Logger() // slog.Default() when Obs is nil too
 	}
+	m.obs = opts.Obs
+	m.met = newMasterMetrics(opts.Obs)
 	m.client = &http.Client{Transport: &http.Transport{}}
 	return m
 }
@@ -126,6 +187,13 @@ func (m *Master) Start() error {
 	mux.HandleFunc(pathRegister, m.handleRegister)
 	mux.HandleFunc(pathHeartbeat, m.handleHeartbeat)
 	mux.HandleFunc(pathReplica, m.handleReplica)
+	// Introspection rides the control-plane mux: /status always (it
+	// needs no Observer), /debug/vars and opt-in pprof when observed.
+	if m.obs != nil {
+		obs.Attach(mux, m.obs, m.statusSnapshot, m.opts.PProf)
+	} else {
+		mux.Handle(pathStatus, obs.StatusHandler(m.statusSnapshot))
+	}
 	m.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(m.serveDone)
@@ -229,7 +297,9 @@ func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
 	m.broadcastLocked()
 	n := len(m.workers)
 	m.mu.Unlock()
-	m.logf("dist: master: worker %d registered at %s (%d slots, %d live)", ws.id, ws.url, ws.slots, n)
+	m.met.workersLive.Set(int64(n))
+	m.log.Info("dist master: worker registered",
+		"worker", ws.id, "url", ws.url, "slots", ws.slots, "live", n)
 	writeJSON(w, RegisterResponse{
 		WorkerID:        ws.id,
 		HeartbeatMillis: m.opts.HeartbeatInterval.Milliseconds(),
@@ -283,6 +353,9 @@ func (m *Master) monitor() {
 		m.mu.Lock()
 		var dead []*workerState
 		for _, ws := range m.workers {
+			// Lease age of every live worker, sampled once per tick —
+			// the /debug/vars view of heartbeat health.
+			m.met.leaseAgeNS.Observe(now.Sub(ws.lastBeat).Nanoseconds())
 			if now.Sub(ws.lastBeat) > m.opts.LeaseTTL {
 				dead = append(dead, ws)
 			}
@@ -303,7 +376,30 @@ func (m *Master) markDeadLocked(ws *workerState, why string) {
 	delete(m.workers, ws.id)
 	ws.cancel()
 	m.broadcastLocked()
-	m.logf("dist: master: worker %d (%s) declared dead: %s; reassigning its uncommitted tasks", ws.id, ws.url, why)
+	inflight := ws.inflight
+	m.deaths = append(m.deaths, deathRecord{
+		WorkerID:        ws.id,
+		URL:             ws.url,
+		Why:             why,
+		InflightAtDeath: inflight,
+		At:              time.Now(),
+	})
+	if len(m.deaths) > deathHistoryCap {
+		m.deaths = m.deaths[len(m.deaths)-deathHistoryCap:]
+	}
+	m.met.workersLive.Set(int64(len(m.workers)))
+	m.met.workerDeaths.Inc()
+	m.met.reassigned.Add(int64(inflight))
+	if o := m.obs; o != nil {
+		o.Tracer.Record(obs.Event{Type: obs.EvInstant, Kind: obs.KWorkerDeath,
+			Task: -1, Worker: int32(ws.id), Arg: int64(inflight)})
+		if inflight > 0 {
+			o.Tracer.Record(obs.Event{Type: obs.EvInstant, Kind: obs.KReassign,
+				Task: -1, Worker: int32(ws.id), Arg: int64(inflight)})
+		}
+	}
+	m.log.Warn("dist master: worker declared dead; reassigning its uncommitted tasks",
+		"worker", ws.id, "url", ws.url, "why", why, "inflight", inflight)
 }
 
 // markDead is markDeadLocked for callers not holding m.mu.
@@ -355,11 +451,51 @@ func (m *Master) acquire(ctx context.Context) (*workerState, func(), error) {
 		}
 		ch := m.changed
 		m.mu.Unlock()
+		// Workers exist but every slot is busy: this acquire queues.
+		m.met.acquireWaiting.Add(1)
 		select {
 		case <-ctx.Done():
+			m.met.acquireWaiting.Add(-1)
 			return nil, nil, ctx.Err()
 		case <-ch:
 		}
+		m.met.acquireWaiting.Add(-1)
+	}
+}
+
+// statusSnapshot assembles the /status view: live workers with their
+// load and lease age, plus the recent death/reassignment history.
+func (m *Master) statusSnapshot() any {
+	type workerStatus struct {
+		WorkerID     int64  `json:"worker_id"`
+		URL          string `json:"url"`
+		Slots        int    `json:"slots"`
+		Inflight     int    `json:"inflight"`
+		LeaseAgeMill int64  `json:"lease_age_millis"`
+	}
+	now := time.Now()
+	m.mu.Lock()
+	ws := make([]workerStatus, 0, len(m.workers))
+	for _, w := range m.workers {
+		ws = append(ws, workerStatus{
+			WorkerID:     w.id,
+			URL:          w.url,
+			Slots:        w.slots,
+			Inflight:     w.inflight,
+			LeaseAgeMill: now.Sub(w.lastBeat).Milliseconds(),
+		})
+	}
+	deaths := append([]deathRecord(nil), m.deaths...)
+	replicas := len(m.replicas)
+	closed := m.closed
+	m.mu.Unlock()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].WorkerID < ws[j].WorkerID })
+	return map[string]any{
+		"role":     "master",
+		"closed":   closed,
+		"workers":  ws,
+		"deaths":   deaths,
+		"replicas": replicas,
 	}
 }
 
@@ -391,13 +527,20 @@ func (m *Master) unregisterReplicas(urls []string) {
 // RegisterJob) in the worker binary; spec is the opaque job description
 // the builder consumes.
 func (m *Master) Session(name string, spec []byte) *Session {
-	return &Session{m: m, ref: NewJobRef(name, spec), replicaURLs: map[string]string{}}
+	s := &Session{m: m, ref: NewJobRef(name, spec), replicaURLs: map[string]string{}}
+	if o := m.obs; o != nil {
+		s.jobID = o.Tracer.InternJob(name)
+	}
+	return s
 }
 
 // Session implements mapreduce.RemoteDispatcher for one job.
 type Session struct {
 	m   *Master
 	ref JobRef
+	// jobID is the interned trace name for dispatch spans (0 when the
+	// master has no Observer).
+	jobID uint32
 
 	mu sync.Mutex
 	// replicaURLs caches the /replica/ URL per master-local run path.
@@ -548,6 +691,46 @@ func (s *Session) dispatch(ctx context.Context, treq *TaskRequest, out *TaskResp
 	}
 	defer release()
 
+	// The dispatch span carries Worker — the Chrome exporter turns that
+	// into per-worker swimlanes, so a killed worker's attempts visibly
+	// migrate to the survivors.
+	m := s.m
+	m.met.dispatches.Inc()
+	m.met.dispatchInfl.Add(1)
+	s.recordDispatch(obs.EvBegin, treq, ws, 0)
+	err = s.exchange(ctx, ws, treq, out)
+	var failed int64
+	if err != nil {
+		failed = 1
+		m.met.dispatchErrors.Inc()
+	}
+	s.recordDispatch(obs.EvEnd, treq, ws, failed)
+	m.met.dispatchInfl.Add(-1)
+	if err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+func (s *Session) recordDispatch(typ obs.EventType, treq *TaskRequest, ws *workerState, arg int64) {
+	o := s.m.obs
+	if o == nil {
+		return
+	}
+	phase := obs.PhaseMap
+	if treq.Phase == "reduce" {
+		phase = obs.PhaseReduce
+	}
+	o.Tracer.Record(obs.Event{
+		Type: typ, Kind: obs.KDispatch, Phase: phase, Job: s.jobID,
+		Task: int32(treq.Task), Attempt: int32(treq.Attempt),
+		Worker: int32(ws.id), Arg: arg,
+	})
+}
+
+// exchange performs the task POST to one acquired worker and decodes
+// the outcome; dispatch wraps it with the span and counters.
+func (s *Session) exchange(ctx context.Context, ws *workerState, treq *TaskRequest, out *TaskResponse) error {
 	// The dispatch context dies with the attempt or with the worker's
 	// lease, whichever goes first — a hung worker cannot hang the task.
 	dctx, cancel := context.WithCancel(ctx)
@@ -557,20 +740,20 @@ func (s *Session) dispatch(ctx context.Context, treq *TaskRequest, out *TaskResp
 
 	body, err := json.Marshal(treq)
 	if err != nil {
-		return nil, mapreduce.Fatal(fmt.Errorf("dist: encode task request: %w", err))
+		return mapreduce.Fatal(fmt.Errorf("dist: encode task request: %w", err))
 	}
 	req, err := http.NewRequestWithContext(dctx, http.MethodPost, ws.url+pathTask, bytes.NewReader(body))
 	if err != nil {
-		return nil, mapreduce.Fatal(err)
+		return mapreduce.Fatal(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := s.m.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return ctx.Err()
 		}
 		s.m.markDead(ws, fmt.Sprintf("dispatch failed: %v", err))
-		return nil, fmt.Errorf("dist: worker %d: %s task %d attempt %d: %w", ws.id, treq.Phase, treq.Task, treq.Attempt, err)
+		return fmt.Errorf("dist: worker %d: %s task %d attempt %d: %w", ws.id, treq.Phase, treq.Task, treq.Attempt, err)
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -579,15 +762,15 @@ func (s *Session) dispatch(ctx context.Context, treq *TaskRequest, out *TaskResp
 	if resp.StatusCode != http.StatusOK {
 		var er ErrorResponse
 		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
-			return nil, fmt.Errorf("dist: worker %d: %s task %d attempt %d: http %s", ws.id, treq.Phase, treq.Task, treq.Attempt, resp.Status)
+			return fmt.Errorf("dist: worker %d: %s task %d attempt %d: http %s", ws.id, treq.Phase, treq.Task, treq.Attempt, resp.Status)
 		}
-		return nil, fmt.Errorf("dist: worker %d: %s task %d attempt %d: %w", ws.id, treq.Phase, treq.Task, treq.Attempt, er.toError())
+		return fmt.Errorf("dist: worker %d: %s task %d attempt %d: %w", ws.id, treq.Phase, treq.Task, treq.Attempt, er.toError())
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		s.m.markDead(ws, fmt.Sprintf("bad task response: %v", err))
-		return nil, fmt.Errorf("dist: worker %d: decode task response: %w", ws.id, err)
+		return fmt.Errorf("dist: worker %d: decode task response: %w", ws.id, err)
 	}
-	return ws, nil
+	return nil
 }
 
 // download fetches a worker's run file to a master-local replica.

@@ -6,16 +6,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/runio"
 )
 
@@ -33,8 +35,14 @@ type WorkerOptions struct {
 	Dir string
 	// Slots is the advertised concurrent task capacity (1 when < 1).
 	Slots int
-	// Logf receives operational events. Nil means the standard logger.
-	Logf func(format string, args ...any)
+	// Log receives operational events as structured records. Nil falls
+	// back to Obs.Logger(), which is slog.Default() when Obs is nil too.
+	Log *slog.Logger
+	// Obs, when non-nil, enables worker-side task spans, shuffle-read
+	// tracing, dist.worker.* metrics, and /debug/vars on the task mux.
+	Obs *obs.Observer
+	// PProf opts the task mux into net/http/pprof handlers.
+	PProf bool
 	// TaskStarted, when non-nil, runs at the top of every task attempt
 	// — the chaos seam: tests and cmd/erworker use it to stall a
 	// chosen phase or mark the moment a kill becomes interesting. The
@@ -53,7 +61,12 @@ type Worker struct {
 	srv    *http.Server
 	ln     net.Listener
 	client *http.Client
-	logf   func(format string, args ...any)
+	log    *slog.Logger
+	obs    *obs.Observer
+	met    workerMetrics
+	// id is the master-assigned worker id of the current registration
+	// (0 before the first one) — stamped on every worker-side span.
+	id atomic.Int64
 
 	mu        sync.Mutex
 	runnables map[string]mapreduce.RemoteRunnable // by JobRef.ID
@@ -66,6 +79,30 @@ type Worker struct {
 	serveDone chan struct{}
 	loopDone  chan struct{}
 	closeOnce sync.Once
+}
+
+// workerMetrics caches the worker's dist.worker.* registry handles.
+// All handles are nil (and every call a no-op) without an Observer.
+type workerMetrics struct {
+	tasks         *obs.Counter // dist.worker.tasks_total
+	taskErrors    *obs.Counter // dist.worker.task_errors_total
+	inflight      *obs.Gauge   // dist.worker.tasks_inflight
+	shuffleBytes  *obs.Counter // dist.worker.shuffle_read_bytes_total
+	registrations *obs.Counter // dist.worker.registrations_total
+}
+
+func newWorkerMetrics(o *obs.Observer) workerMetrics {
+	if o == nil {
+		return workerMetrics{}
+	}
+	r := o.Reg
+	return workerMetrics{
+		tasks:         r.Counter("dist.worker.tasks_total"),
+		taskErrors:    r.Counter("dist.worker.task_errors_total"),
+		inflight:      r.Gauge("dist.worker.tasks_inflight"),
+		shuffleBytes:  r.Counter("dist.worker.shuffle_read_bytes_total"),
+		registrations: r.Counter("dist.worker.registrations_total"),
+	}
 }
 
 // StartWorker launches a worker: it binds the task server, then keeps a
@@ -86,10 +123,12 @@ func StartWorker(opts WorkerOptions) (*Worker, error) {
 		serveDone: make(chan struct{}),
 		loopDone:  make(chan struct{}),
 	}
-	w.logf = opts.Logf
-	if w.logf == nil {
-		w.logf = log.Printf
+	w.log = opts.Log
+	if w.log == nil {
+		w.log = opts.Obs.Logger() // slog.Default() when Obs is nil too
 	}
+	w.obs = opts.Obs
+	w.met = newWorkerMetrics(opts.Obs)
 	dir, err := os.MkdirTemp(opts.Dir, "erworker-*")
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker: create run dir: %w", err)
@@ -112,6 +151,11 @@ func StartWorker(opts WorkerOptions) (*Worker, error) {
 	mux.HandleFunc(pathTask, w.handleTask)
 	mux.HandleFunc(pathRun, w.handleRun)
 	mux.HandleFunc(pathRelease, w.handleRelease)
+	if w.obs != nil {
+		obs.Attach(mux, w.obs, w.statusSnapshot, opts.PProf)
+	} else {
+		mux.Handle(pathStatus, obs.StatusHandler(w.statusSnapshot))
+	}
 	w.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(w.serveDone)
@@ -172,13 +216,17 @@ func (w *Worker) registerLoop() {
 	for w.ctx.Err() == nil {
 		reg, err := w.register()
 		if err != nil {
-			w.logf("dist: worker: register with %s failed (will retry): %v", w.opts.MasterURL, err)
+			w.log.Warn("dist worker: register failed (will retry)",
+				"master", w.opts.MasterURL, "err", err)
 			if !sleepCtx(w.ctx, retryDelay) {
 				return
 			}
 			continue
 		}
-		w.logf("dist: worker %d: registered with %s (serving at %s)", reg.WorkerID, w.opts.MasterURL, w.URL())
+		w.id.Store(reg.WorkerID)
+		w.met.registrations.Inc()
+		w.log.Info("dist worker: registered",
+			"worker", reg.WorkerID, "master", w.opts.MasterURL, "url", w.URL())
 		interval := time.Duration(reg.HeartbeatMillis) * time.Millisecond
 		if interval <= 0 {
 			interval = DefaultHeartbeatInterval
@@ -194,10 +242,12 @@ func (w *Worker) registerLoop() {
 			hb, err := w.heartbeat(reg.WorkerID)
 			switch {
 			case err != nil:
-				w.logf("dist: worker %d: heartbeat failed (re-registering): %v", reg.WorkerID, err)
+				w.log.Warn("dist worker: heartbeat failed (re-registering)",
+					"worker", reg.WorkerID, "err", err)
 				ok = false
 			case !hb.OK:
-				w.logf("dist: worker %d: lease lost (re-registering)", reg.WorkerID)
+				w.log.Warn("dist worker: lease lost (re-registering)",
+					"worker", reg.WorkerID)
 				ok = false
 			}
 		}
@@ -289,6 +339,16 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 		w.taskError(rw, mapreduce.Fatal(err))
 		return
 	}
+	// Worker-side task span: the worker's own timeline of dispatched
+	// attempts (its engine-side obs stays nil — master-side supervision
+	// already traces attempts; this is the remote half of the picture).
+	w.met.tasks.Inc()
+	w.met.inflight.Add(1)
+	w.recordTask(obs.EvBegin, &req)
+	defer func() {
+		w.recordTask(obs.EvEnd, &req)
+		w.met.inflight.Add(-1)
+	}()
 	ctx := r.Context()
 	if w.opts.TaskStarted != nil {
 		w.opts.TaskStarted(ctx, req.Phase, req.Task, req.Attempt)
@@ -300,6 +360,41 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 		w.execReduce(ctx, rw, rr, &req)
 	default:
 		w.taskError(rw, mapreduce.Fatal(fmt.Errorf("dist: worker: unknown phase %q", req.Phase)))
+	}
+}
+
+func (w *Worker) recordTask(typ obs.EventType, req *TaskRequest) {
+	o := w.obs
+	if o == nil {
+		return
+	}
+	phase := obs.PhaseMap
+	if req.Phase == "reduce" {
+		phase = obs.PhaseReduce
+	}
+	o.Tracer.Record(obs.Event{
+		Type: typ, Kind: obs.KTask, Phase: phase,
+		Job:  o.Tracer.InternJob(req.Job.Name),
+		Task: int32(req.Task), Attempt: int32(req.Attempt),
+		Worker: int32(w.id.Load()),
+	})
+}
+
+// statusSnapshot assembles the worker's /status view.
+func (w *Worker) statusSnapshot() any {
+	w.mu.Lock()
+	jobs := len(w.runnables)
+	runs := len(w.runs)
+	w.mu.Unlock()
+	return map[string]any{
+		"role":        "worker",
+		"worker_id":   w.id.Load(),
+		"master_url":  w.opts.MasterURL,
+		"url":         w.URL(),
+		"slots":       w.opts.Slots,
+		"dir":         w.dir,
+		"cached_jobs": jobs,
+		"served_runs": runs,
 	}
 }
 
@@ -330,8 +425,19 @@ func (w *Worker) execMap(ctx context.Context, rw http.ResponseWriter, rr mapredu
 func (w *Worker) execReduce(ctx context.Context, rw http.ResponseWriter, rr mapreduce.RemoteRunnable, req *TaskRequest) {
 	srcs := make([]mapreduce.SegmentSource, len(req.Sources))
 	for i, ref := range req.Sources {
+		ra := &httpReaderAt{client: w.client, ctx: ctx, urls: ref.URLs}
+		if o := w.obs; o != nil {
+			// Shuffle fetches trace under the reduce task's lane: one
+			// span per range read, Arg = bytes fetched.
+			ra.obs = o
+			ra.bytes = w.met.shuffleBytes
+			ra.job = o.Tracer.InternJob(req.Job.Name)
+			ra.task = int32(req.Task)
+			ra.attempt = int32(req.Attempt)
+			ra.worker = int32(w.id.Load())
+		}
 		srcs[i] = mapreduce.SegmentSource{
-			R:    &httpReaderAt{client: w.client, ctx: ctx, urls: ref.URLs},
+			R:    ra,
 			Seg:  segmentOf(ref),
 			Path: fmt.Sprintf("map task %d run (%v)", ref.MapTask, ref.URLs),
 		}
@@ -349,6 +455,7 @@ func (w *Worker) execReduce(ctx context.Context, rw http.ResponseWriter, rr mapr
 }
 
 func (w *Worker) taskError(rw http.ResponseWriter, err error) {
+	w.met.taskErrors.Inc()
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(http.StatusInternalServerError)
 	json.NewEncoder(rw).Encode(newErrorResponse(err))

@@ -109,7 +109,7 @@ func RunDistributedPipeline(ctx context.Context, src Source, p DistParams, opts 
 
 	master := opts.Master
 	if master == nil {
-		master = dist.NewMaster(dist.MasterOptions{Addr: opts.MasterAddr})
+		master = dist.NewMaster(dist.MasterOptions{Addr: opts.MasterAddr, Obs: opts.Obs})
 		if err := master.Start(); err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ package er_test
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"reflect"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/er"
 	"repro/internal/mapreduce"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/testleak"
 )
 
@@ -64,7 +66,7 @@ func startDistMaster(t *testing.T) *dist.Master {
 	m := dist.NewMaster(dist.MasterOptions{
 		HeartbeatInterval: 50 * time.Millisecond,
 		LeaseTTL:          250 * time.Millisecond,
-		Logf:              t.Logf,
+		Log:               obs.LogfLogger(slog.LevelDebug, t.Logf),
 	})
 	if err := m.Start(); err != nil {
 		t.Fatal(err)
@@ -79,8 +81,8 @@ func startDistWorker(t *testing.T, master *dist.Master, opts dist.WorkerOptions)
 	if opts.Dir == "" {
 		opts.Dir = t.TempDir()
 	}
-	if opts.Logf == nil {
-		opts.Logf = t.Logf
+	if opts.Log == nil {
+		opts.Log = obs.LogfLogger(slog.LevelDebug, t.Logf)
 	}
 	w, err := dist.StartWorker(opts)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/entity"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // RunOptions is the execution plumbing shared by every pipeline entry
@@ -58,6 +59,12 @@ type RunOptions struct {
 	// through instead of starting one from MasterAddr — the seam the
 	// in-process differential tests use. The caller owns its lifetime.
 	Master *dist.Master
+	// Obs, when non-nil, threads tracing and metrics through the
+	// pipeline's engine (and, for RunDistributedPipeline, through a
+	// master started from MasterAddr). Nil keeps every hot path on the
+	// zero-overhead disabled branch. When Engine is set, the engine's
+	// own Obs wins if non-nil; otherwise this one is installed on it.
+	Obs *obs.Observer
 }
 
 // ResolveEngine returns the effective engine: the configured one, or a
@@ -65,9 +72,12 @@ type RunOptions struct {
 // spill budget is set).
 func (o *RunOptions) ResolveEngine() *mapreduce.Engine {
 	if o.Engine != nil {
+		if o.Engine.Obs == nil {
+			o.Engine.Obs = o.Obs
+		}
 		return o.Engine
 	}
-	e := &mapreduce.Engine{Parallelism: o.Parallelism, Retry: o.Retry, FaultHook: o.FaultHook}
+	e := &mapreduce.Engine{Parallelism: o.Parallelism, Retry: o.Retry, FaultHook: o.FaultHook, Obs: o.Obs}
 	if o.SpillBudget > 0 {
 		e.Dataflow = mapreduce.DataflowExternal
 		e.SpillBudget = o.SpillBudget

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the task-attempt supervision layer shared by all three
@@ -331,6 +333,14 @@ type taskSupervisor[T any] struct {
 	maxAttempts int
 	ops         taskOps[T]
 
+	// obs mirrors e.Obs; nil disables every trace/metric site below at
+	// the cost of one nil check. jobID is the interned trace id of the
+	// running job; started counts tasks handed to runOne, reconciling
+	// the tasks-pending gauge when a phase aborts early.
+	obs     *obs.Observer
+	jobID   uint32
+	started atomic.Int64
+
 	stats attemptStats
 	board *specBoard
 
@@ -345,14 +355,30 @@ type taskSupervisor[T any] struct {
 // init prepares the supervisor for one phase. Kept separate from
 // supervise so callers on the hot path can embed the supervisor in an
 // existing allocation instead of constructing one per phase.
-func (sv *taskSupervisor[T]) init(e *Engine, phase TaskKind, ops taskOps[T]) {
+func (sv *taskSupervisor[T]) init(e *Engine, phase TaskKind, jobID uint32, ops taskOps[T]) {
 	sv.e = e
 	sv.pol = &e.Retry
 	sv.phase = phase
 	sv.maxAttempts = e.Retry.maxAttempts()
 	sv.ops = ops
+	sv.obs = e.Obs
+	sv.jobID = jobID
 	sv.firstTask = -1
 	sv.firstErr = nil
+}
+
+// record emits one trace event stamped with the supervisor's job and
+// phase identity. Callers guard on sv.obs themselves when they bundle
+// metric updates; record alone is safe to call either way.
+func (sv *taskSupervisor[T]) record(typ obs.EventType, kind obs.Kind, task, attempt int32, arg int64) {
+	if sv.obs == nil {
+		return
+	}
+	sv.obs.Tracer.Record(obs.Event{
+		Type: typ, Kind: kind,
+		Phase: obs.PhaseOf(int(sv.phase)), Job: sv.jobID,
+		Task: task, Attempt: attempt, Arg: arg,
+	})
 }
 
 // supervise runs n tasks of the phase under the engine's RetryPolicy,
@@ -361,6 +387,16 @@ func (sv *taskSupervisor[T]) init(e *Engine, phase TaskKind, ops taskOps[T]) {
 // order (a *TaskError, or the context error when the run was
 // cancelled).
 func (sv *taskSupervisor[T]) supervise(ctx context.Context, n int) (attemptStats, error) {
+	if o := sv.obs; o != nil {
+		sv.record(obs.EvBegin, obs.KPhase, -1, 0, int64(n))
+		o.Engine.TasksPending.Add(int64(n))
+		defer func() {
+			// Tasks never started (early abort) leave the pending gauge;
+			// started ones already decremented themselves in runOne.
+			o.Engine.TasksPending.Add(sv.started.Load() - int64(n))
+			sv.record(obs.EvEnd, obs.KPhase, -1, 0, int64(n))
+		}()
+	}
 	if sv.pol.SpeculativeSlowdown > 0 {
 		sv.board = &specBoard{running: make(map[int]*specTask, n)}
 		stop := make(chan struct{})
@@ -383,11 +419,35 @@ func (sv *taskSupervisor[T]) supervise(ctx context.Context, n int) (attemptStats
 // the plain or speculative retry loop and records the failure of the
 // lowest-numbered failed task.
 func (sv *taskSupervisor[T]) runOne(ctx context.Context, task int) {
+	var begun time.Time
+	if o := sv.obs; o != nil {
+		sv.started.Add(1)
+		o.Engine.TasksPending.Add(-1)
+		sv.record(obs.EvBegin, obs.KTask, int32(task), 0, 0)
+		begun = time.Now()
+	}
 	var err error
 	if sv.board != nil {
 		err = sv.runSpecTask(ctx, task)
 	} else {
 		err = sv.runPlainTask(ctx, task)
+	}
+	if o := sv.obs; o != nil {
+		var failed int64
+		if err != nil {
+			failed = 1
+		}
+		sv.record(obs.EvEnd, obs.KTask, int32(task), 0, failed)
+		if err == nil {
+			// The per-task duration histograms feed the load-imbalance
+			// view (max/mean task time); failed tasks would skew it.
+			d := int64(time.Since(begun))
+			if sv.phase == MapTask {
+				o.Engine.MapTaskNS.Observe(d)
+			} else {
+				o.Engine.ReduceTaskNS.Observe(d)
+			}
+		}
 	}
 	if err != nil {
 		sv.errMu.Lock()
@@ -418,13 +478,14 @@ func superviseTasks[T any](
 	ctx context.Context,
 	e *Engine,
 	phase TaskKind,
+	jobID uint32,
 	n int,
 	run func(ctx context.Context, hook *taskHook, task, attempt int) (T, error),
 	commit func(task int, out T) error,
 	discard func(out T),
 ) (attemptStats, error) {
 	sv := &taskSupervisor[T]{}
-	sv.init(e, phase, &funcTaskOps[T]{run: run, commit: commit, discard: discard})
+	sv.init(e, phase, jobID, &funcTaskOps[T]{run: run, commit: commit, discard: discard})
 	return sv.supervise(ctx, n)
 }
 
@@ -432,6 +493,13 @@ func superviseTasks[T any](
 // binding, and attempt accounting.
 func (sv *taskSupervisor[T]) runAttempt(ctx context.Context, task, attempt int) (T, error) {
 	atomic.AddInt64(&sv.stats.attempts, 1)
+	if o := sv.obs; o != nil {
+		// The attempt-span count reconciles exactly with Metrics.Attempts:
+		// both increments sit on this one code path.
+		o.Engine.Attempts.Inc()
+		o.Engine.Inflight.Add(1)
+		sv.record(obs.EvBegin, obs.KAttempt, int32(task), int32(attempt), 0)
+	}
 	actx := ctx
 	var cancel context.CancelFunc
 	if sv.pol.TaskTimeout > 0 {
@@ -444,6 +512,14 @@ func (sv *taskSupervisor[T]) runAttempt(ctx context.Context, task, attempt int) 
 	out, err := sv.ops.runTaskAttempt(actx, hook, task, attempt)
 	if cancel != nil {
 		cancel()
+	}
+	if o := sv.obs; o != nil {
+		o.Engine.Inflight.Add(-1)
+		var failed int64
+		if err != nil {
+			failed = 1
+		}
+		sv.record(obs.EvEnd, obs.KAttempt, int32(task), int32(attempt), failed)
 	}
 	return out, err
 }
@@ -459,6 +535,10 @@ func (sv *taskSupervisor[T]) runPlainTask(ctx context.Context, task int) error {
 			if cerr := sv.ops.commitTask(task, out); cerr != nil {
 				return &TaskError{Phase: sv.phase, Task: task, Attempt: attempt, Cause: cerr}
 			}
+			if o := sv.obs; o != nil {
+				o.Engine.Commits.Inc()
+				sv.record(obs.EvInstant, obs.KCommit, int32(task), int32(attempt), 0)
+			}
 			return nil
 		}
 		if ctx.Err() != nil {
@@ -471,7 +551,12 @@ func (sv *taskSupervisor[T]) runPlainTask(ctx context.Context, task int) error {
 			return &TaskError{Phase: sv.phase, Task: task, Attempt: attempt, Cause: err}
 		}
 		atomic.AddInt64(&sv.stats.retries, 1)
-		if !sleepCtx(ctx, sv.pol.backoffFor(sv.phase, task, failed)) {
+		backoff := sv.pol.backoffFor(sv.phase, task, failed)
+		if o := sv.obs; o != nil {
+			o.Engine.Retries.Inc()
+			sv.record(obs.EvInstant, obs.KRetry, int32(task), int32(attempt), int64(backoff))
+		}
+		if !sleepCtx(ctx, backoff) {
 			return ctx.Err()
 		}
 	}
@@ -564,7 +649,7 @@ func (sv *taskSupervisor[T]) primaryLoop(actx, rctx context.Context, st *specTas
 		attempt := int(st.seq.Add(1))
 		out, err := sv.runAttempt(actx, st.task, attempt)
 		if err == nil {
-			sv.finish(st, st.task, out, false)
+			sv.finish(st, st.task, attempt, out, false)
 			return nil
 		}
 		if st.won.Load() {
@@ -581,7 +666,12 @@ func (sv *taskSupervisor[T]) primaryLoop(actx, rctx context.Context, st *specTas
 			return &TaskError{Phase: sv.phase, Task: st.task, Attempt: attempt, Cause: err}
 		}
 		atomic.AddInt64(&sv.stats.retries, 1)
-		if !sleepCtx(actx, sv.pol.backoffFor(sv.phase, st.task, failed)) {
+		backoff := sv.pol.backoffFor(sv.phase, st.task, failed)
+		if o := sv.obs; o != nil {
+			o.Engine.Retries.Inc()
+			sv.record(obs.EvInstant, obs.KRetry, int32(st.task), int32(attempt), int64(backoff))
+		}
+		if !sleepCtx(actx, backoff) {
 			if rctx.Err() != nil {
 				return rctx.Err()
 			}
@@ -594,7 +684,7 @@ func (sv *taskSupervisor[T]) primaryLoop(actx, rctx context.Context, st *specTas
 // output, records the task's duration for the straggler median, and
 // cancels the competing attempt; any later finisher discards. Returns
 // whether this attempt won.
-func (sv *taskSupervisor[T]) finish(st *specTask, task int, out T, backup bool) bool {
+func (sv *taskSupervisor[T]) finish(st *specTask, task, attempt int, out T, backup bool) bool {
 	if !st.won.CompareAndSwap(false, true) {
 		sv.ops.discardOut(out)
 		return false
@@ -605,13 +695,22 @@ func (sv *taskSupervisor[T]) finish(st *specTask, task int, out T, backup bool) 
 	if backup {
 		other = st.primaryCancel
 	}
+	launched := st.backupLaunched
 	b.mu.Unlock()
 	if other != nil {
 		other()
 	}
+	if launched && sv.obs != nil {
+		// A backup exists, so whichever line lost is being cancelled.
+		sv.record(obs.EvInstant, obs.KSpecCancel, int32(task), int32(attempt), 0)
+	}
 	if err := sv.ops.commitTask(task, out); err != nil {
 		st.commitErr = err
 		return true
+	}
+	if o := sv.obs; o != nil {
+		o.Engine.Commits.Inc()
+		sv.record(obs.EvInstant, obs.KCommit, int32(task), int32(attempt), 0)
 	}
 	d := time.Since(st.start)
 	b.mu.Lock()
@@ -666,6 +765,11 @@ func (sv *taskSupervisor[T]) scanStragglers(ctx context.Context) {
 		st.backupCancel = bcancel
 		b.mu.Unlock()
 		atomic.AddInt64(&sv.stats.specLaunched, 1)
+		if o := sv.obs; o != nil {
+			// Reconciles with Metrics.SpeculativeLaunched (same path).
+			o.Engine.SpecLaunched.Inc()
+			sv.record(obs.EvInstant, obs.KSpecLaunch, int32(st.task), 0, 0)
+		}
 		go func(st *specTask, bctx context.Context, bcancel context.CancelFunc) {
 			defer st.backupWG.Done()
 			defer bcancel()
@@ -674,8 +778,12 @@ func (sv *taskSupervisor[T]) scanStragglers(ctx context.Context) {
 			if err != nil {
 				return
 			}
-			if sv.finish(st, st.task, out, true) {
+			if sv.finish(st, st.task, attempt, out, true) {
 				atomic.AddInt64(&sv.stats.specWon, 1)
+				if o := sv.obs; o != nil {
+					o.Engine.SpecWon.Inc()
+					sv.record(obs.EvInstant, obs.KSpecWin, int32(st.task), int32(attempt), 0)
+				}
 			}
 		}(st, bctx, bcancel)
 	}

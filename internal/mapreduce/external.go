@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/obs"
 	"repro/internal/runio"
 )
 
@@ -70,6 +71,10 @@ type extConfig[K, V any] struct {
 	// merge sources read through the arena path (block strings, aliasing
 	// decoders, zero copies per record) instead of the byte path.
 	shared bool
+	// obs/jobID thread the run's observability identity to the spillers
+	// and merge paths (spill spans, spill-byte counters). nil when off.
+	obs   *obs.Observer
+	jobID uint32
 }
 
 // runExternal executes the job on the external dataflow (the job is
@@ -101,7 +106,10 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 
 	st := newRunState(j)
 	st.limiter = newSortLimiter(e.Parallelism)
-	cfg := &extConfig[K, V]{kc: kc, vc: vc, dir: dir, budget: e.SpillBudget}
+	jobID := e.beginJob(j.Name)
+	defer e.endJob(jobID)
+	st.obs, st.jobID = e.Obs, jobID
+	cfg := &extConfig[K, V]{kc: kc, vc: vc, dir: dir, budget: e.SpillBudget, obs: e.Obs, jobID: jobID}
 	if cfg.budget <= 0 {
 		cfg.budget = DefaultSpillBudget
 	}
@@ -124,7 +132,7 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 
 	// ---- Map phase (spilling) ----
 	mapOut := make([]extMapOutput[I, K, V], m)
-	mstats, merr := superviseTasks(ctx, e, MapTask, m,
+	mstats, merr := superviseTasks(ctx, e, MapTask, jobID, m,
 		func(actx context.Context, hook *taskHook, task, attempt int) (extMapOutput[I, K, V], error) {
 			return st.runMapAttemptExternal(actx, hook, cfg, task, attempt, m, input[task])
 		},
@@ -184,9 +192,9 @@ func (j *Job[I, K, V, O]) runExternal(ctx context.Context, e *Engine, input [][]
 
 	// ---- Shuffle + external merge + reduce phase ----
 	reduceOut := make([][]O, r)
-	rstats, rerr := superviseTasks(ctx, e, ReduceTask, r,
+	rstats, rerr := superviseTasks(ctx, e, ReduceTask, jobID, r,
 		func(actx context.Context, hook *taskHook, task, attempt int) (typedReduceOut[O], error) {
-			return st.runReduceAttemptExternal(actx, hook, cfg, task, mapOut)
+			return st.runReduceAttemptExternal(actx, hook, cfg, task, attempt, mapOut)
 		},
 		func(task int, out typedReduceOut[O]) error {
 			out.metrics.Kind = ReduceTask
@@ -280,7 +288,7 @@ func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook
 	j := st.job
 	r := j.NumReduceTasks
 	metrics := &out.metrics
-	sp := st.newSpiller(cfg, out.dir, "g0", metrics, hook)
+	sp := st.newSpiller(cfg, out.dir, "g0", idx, attempt, metrics, hook)
 	spillers = append(spillers, sp)
 	ctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp, sideCap: len(input), hook: hook}
 	mapper := j.NewMapper()
@@ -324,7 +332,7 @@ func (st *runState[I, K, V, O]) runMapAttemptExternal(actx context.Context, hook
 	// (a group never spans partitions — grouping must be compatible
 	// with partitioning, as in Hadoop), and feed the combiner, whose
 	// output flows through a second-generation spiller.
-	sp2 := st.newSpiller(cfg, out.dir, "g1", metrics, hook)
+	sp2 := st.newSpiller(cfg, out.dir, "g1", idx, attempt, metrics, hook)
 	spillers = append(spillers, sp2)
 	cctx := &MapContext[I, K, V]{metrics: metrics, encode: st.encode, spill: sp2, hook: hook}
 	combiner := j.NewCombiner()
@@ -353,8 +361,16 @@ func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpille
 	if err := hook.fire(FaultMerge); err != nil {
 		return err
 	}
+	if cfg.obs != nil {
+		st.recordMerge(obs.EvBegin, obs.PhaseMap, sp.task, sp.attempt, int64(len(sp.runs)))
+		defer st.recordMerge(obs.EvEnd, obs.PhaseMap, sp.task, sp.attempt, int64(len(sp.runs)))
+	}
 	dec := newRecDecoder(cfg)
 	sources := make([]mergeSource[K, V], 0, len(sp.runs)+1)
+	var spillRead *obs.Counter // nil-safe handle when observability is off
+	if cfg.obs != nil {
+		spillRead = cfg.obs.Engine.SpillBytesRead
+	}
 	for _, info := range sp.runs {
 		// The spiller's fd is still open; runs are read back through it
 		// via pread — no reopen.
@@ -364,6 +380,7 @@ func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpille
 			sources = append(sources, &runSource[K, V]{f: sp.f, info: info, dec: dec})
 		}
 		metrics.SpillBytesRead += info.Bytes
+		spillRead.Add(info.Bytes)
 	}
 	parts, perm, err := sp.sortedPerm()
 	if err != nil {
@@ -409,7 +426,7 @@ func (st *runState[I, K, V, O]) mergeSpilled(cfg *extConfig[K, V], sp *extSpille
 	return nil
 }
 
-func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, hook *taskHook, cfg *extConfig[K, V], idx int, mapOut []extMapOutput[I, K, V]) (rout typedReduceOut[O], err error) {
+func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, hook *taskHook, cfg *extConfig[K, V], idx, attempt int, mapOut []extMapOutput[I, K, V]) (rout typedReduceOut[O], err error) {
 	defer recoverAttempt(&err)
 	if err := hook.fire(FaultTaskStart); err != nil {
 		return rout, err
@@ -427,6 +444,10 @@ func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, h
 	dec := newRecDecoder(cfg)
 	var sources []mergeSource[K, V]
 	var total int64
+	var spillRead *obs.Counter // nil-safe handle when observability is off
+	if cfg.obs != nil {
+		spillRead = cfg.obs.Engine.SpillBytesRead
+	}
 	for mi := range mapOut {
 		for _, info := range mapOut[mi].runs {
 			seg := info.Segments[idx]
@@ -446,6 +467,7 @@ func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, h
 			}
 			total += seg.Records
 			metrics.SpillBytesRead += seg.Len
+			spillRead.Add(seg.Len)
 		}
 		if b := mapOut[mi].buckets[idx]; len(b) > 0 {
 			sources = append(sources, &bucketSource[K, V]{recs: b, part: int32(idx)})
@@ -456,6 +478,10 @@ func (st *runState[I, K, V, O]) runReduceAttemptExternal(actx context.Context, h
 
 	if err := hook.fire(FaultMerge); err != nil {
 		return rout, err
+	}
+	if st.obs != nil {
+		st.recordMerge(obs.EvBegin, obs.PhaseReduce, idx, attempt, total)
+		defer st.recordMerge(obs.EvEnd, obs.PhaseReduce, idx, attempt, total)
 	}
 	mg, err := newExtMerger(st, sources)
 	if err != nil {
@@ -503,6 +529,9 @@ type extSpiller[K, V any] struct {
 	limiter *sortLimiter
 	metrics *TaskMetrics
 	hook    *taskHook
+	// task/attempt identify the owning attempt in spill trace spans.
+	task    int
+	attempt int
 
 	recs  []Rec[K, V]
 	enc   []byte
@@ -525,7 +554,16 @@ type extSpiller[K, V any] struct {
 
 type extSpan struct{ off, end int64 }
 
-func (st *runState[I, K, V, O]) newSpiller(cfg *extConfig[K, V], dir, prefix string, metrics *TaskMetrics, hook *taskHook) *extSpiller[K, V] {
+// recordSpill emits a spill-span event with the owning attempt's
+// identity. Callers guard on cfg.obs.
+func (sp *extSpiller[K, V]) recordSpill(typ obs.EventType, arg int64) {
+	sp.cfg.obs.Tracer.Record(obs.Event{
+		Type: typ, Kind: obs.KSpill, Phase: obs.PhaseMap, Job: sp.cfg.jobID,
+		Task: int32(sp.task), Attempt: int32(sp.attempt), Arg: arg,
+	})
+}
+
+func (st *runState[I, K, V, O]) newSpiller(cfg *extConfig[K, V], dir, prefix string, task, attempt int, metrics *TaskMetrics, hook *taskHook) *extSpiller[K, V] {
 	return &extSpiller[K, V]{
 		cfg:     cfg,
 		dir:     dir,
@@ -536,6 +574,8 @@ func (st *runState[I, K, V, O]) newSpiller(cfg *extConfig[K, V], dir, prefix str
 		limiter: st.limiter,
 		metrics: metrics,
 		hook:    hook,
+		task:    task,
+		attempt: attempt,
 	}
 }
 
@@ -625,6 +665,12 @@ func (sp *extSpiller[K, V]) spill() error {
 	if err := sp.hook.fire(FaultSpill); err != nil {
 		return err
 	}
+	if sp.cfg.obs != nil {
+		sp.recordSpill(obs.EvBegin, int64(len(sp.enc)))
+		// Arg mirrors the begin event's buffered-byte count; the span's
+		// duration covers the sort and the run write together.
+		defer sp.recordSpill(obs.EvEnd, int64(len(sp.enc)))
+	}
 	parts, perm, err := sp.sortedPerm()
 	if err != nil {
 		return err
@@ -658,6 +704,14 @@ func (sp *extSpiller[K, V]) spill() error {
 	sp.runs = append(sp.runs, info)
 	sp.metrics.SpillRuns++
 	sp.metrics.SpillBytesWritten += info.FileBytes
+	if o := sp.cfg.obs; o != nil {
+		// Obs counters count every attempt's spills as they happen;
+		// TaskMetrics above is attempt-private and published only on
+		// commit — that asymmetry is deliberate (obs is observational,
+		// TaskMetrics is inside the differential contract).
+		o.Engine.SpillRuns.Inc()
+		o.Engine.SpillBytesWritten.Add(info.FileBytes)
+	}
 	clear(sp.recs)
 	sp.recs = sp.recs[:0]
 	sp.enc = sp.enc[:0]

@@ -39,9 +39,11 @@ package mapreduce
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"slices"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // KeyValue is a single record flowing through the dataflow. Keys may have
@@ -367,18 +369,45 @@ type Engine struct {
 	// execution mode — see remote.go and internal/dist). It overrides
 	// Dataflow for typed jobs; the boxed engine ignores it.
 	Remote RemoteDispatcher
+	// Obs, when non-nil, enables the observability layer: task-timeline
+	// tracing, engine metrics, and structured logging (see internal/obs
+	// and DESIGN.md "Observability"). Nil disables it entirely; the
+	// disabled path costs one nil check per would-be event and never
+	// allocates. Durations and event counts live only here — TaskMetrics
+	// stays deterministic and inside the differential contract.
+	Obs *obs.Observer
 	// Log receives the engine's rare operational warnings (e.g. the
-	// no-workers degradation notice). Nil means the standard logger.
-	Log func(format string, args ...any)
+	// no-workers degradation notice). Nil falls back to Obs.Log, then to
+	// slog.Default(). Silence it in tests with obs.Quiet().
+	Log *slog.Logger
 }
 
-// logf routes an operational warning to Log or the standard logger.
-func (e *Engine) logf(format string, args ...any) {
+// logger resolves the engine's structured logger: Log, else the
+// observer's, else the process default.
+func (e *Engine) logger() *slog.Logger {
 	if e.Log != nil {
-		e.Log(format, args...)
-		return
+		return e.Log
 	}
-	log.Printf(format, args...)
+	return e.Obs.Logger()
+}
+
+// beginJob opens the job-level trace span and interns the job name,
+// returning the id the run's events carry. No-op (id 0) without an
+// observer.
+func (e *Engine) beginJob(name string) uint32 {
+	o := e.Obs
+	if o == nil {
+		return 0
+	}
+	id := o.Tracer.InternJob(name)
+	o.Tracer.Record(obs.Event{Type: obs.EvBegin, Kind: obs.KJob, Job: id, Task: -1})
+	return id
+}
+
+func (e *Engine) endJob(jobID uint32) {
+	if o := e.Obs; o != nil {
+		o.Tracer.Record(obs.Event{Type: obs.EvEnd, Kind: obs.KJob, Job: jobID, Task: -1})
+	}
 }
 
 // Run executes the job over the given input partitions and returns the
@@ -417,11 +446,14 @@ func (e *Engine) runBoxed(ctx context.Context, job *BoxedJob, input [][]KeyValue
 		SideOutput: make([][]KeyValue, m),
 	}
 
+	jobID := e.beginJob(job.Name)
+	defer e.endJob(jobID)
+
 	// ---- Map phase ----
 	// mapOut[mapTask][reduceTask] holds the bucketed map output,
 	// published per task by the supervisor's commit step.
 	mapOut := make([][][]KeyValue, m)
-	mstats, merr := superviseTasks(ctx, e, MapTask, m,
+	mstats, merr := superviseTasks(ctx, e, MapTask, jobID, m,
 		func(actx context.Context, hook *taskHook, task, attempt int) (boxedMapOut, error) {
 			return e.runMapAttempt(actx, hook, job, task, m, input[task])
 		},
@@ -453,7 +485,7 @@ func (e *Engine) runBoxed(ctx context.Context, job *BoxedJob, input [][]KeyValue
 	// buffered per attempt and drained to the sink (or the collected
 	// Output) only at commit — the task-commit protocol.
 	reduceOut := make([][]KeyValue, r)
-	rstats, rerr := superviseTasks(ctx, e, ReduceTask, r,
+	rstats, rerr := superviseTasks(ctx, e, ReduceTask, jobID, r,
 		func(actx context.Context, hook *taskHook, task, attempt int) (boxedReduceOut, error) {
 			return e.runReduceAttempt(actx, hook, job, task, m, mapOut)
 		},

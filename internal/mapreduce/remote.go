@@ -362,11 +362,18 @@ func (j *Job[I, K, V, O]) runRemote(ctx context.Context, e *Engine, input [][]I,
 	var degradeOnce sync.Once
 	logDegraded := func() {
 		degradeOnce.Do(func() {
-			e.logf("mapreduce: job %q: no live workers; degrading to local execution", j.Name)
+			e.logger().Warn("no live workers; degrading to local execution", "job", j.Name)
+			if o := e.Obs; o != nil {
+				o.Engine.Degraded.Inc()
+			}
 		})
 	}
 
+	jobID := e.beginJob(j.Name)
+	defer e.endJob(jobID)
+
 	st := newRunState(j)
+	st.obs, st.jobID = e.Obs, jobID
 	codeWidth := 0
 	if st.encode != nil {
 		codeWidth = 16
@@ -385,7 +392,7 @@ func (j *Job[I, K, V, O]) runRemote(ctx context.Context, e *Engine, input [][]I,
 
 	// ---- Map phase (remote dispatch, run replication) ----
 	runs := make([]RemoteRun, m)
-	mstats, merr := superviseTasks(ctx, e, MapTask, m,
+	mstats, merr := superviseTasks(ctx, e, MapTask, jobID, m,
 		func(actx context.Context, hook *taskHook, task, attempt int) (remoteMapOut[I], error) {
 			var out remoteMapOut[I]
 			path := filepath.Join(dir, fmt.Sprintf("m%04d-a%03d.run", task, attempt))
@@ -445,7 +452,7 @@ func (j *Job[I, K, V, O]) runRemote(ctx context.Context, e *Engine, input [][]I,
 
 	// ---- Reduce phase (remote dispatch over committed runs) ----
 	reduceOut := make([][]O, r)
-	rstats, rerr := superviseTasks(ctx, e, ReduceTask, r,
+	rstats, rerr := superviseTasks(ctx, e, ReduceTask, jobID, r,
 		func(actx context.Context, hook *taskHook, task, attempt int) (typedReduceOut[O], error) {
 			var rout typedReduceOut[O]
 			rr, err := e.Remote.RunReduceAttempt(actx, m, task, attempt, runs)

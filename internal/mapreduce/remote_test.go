@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"reflect"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/testleak"
 )
 
@@ -150,10 +152,10 @@ func TestRemoteNoWorkersDegradesToLocal(t *testing.T) {
 		Parallelism: 2,
 		TmpDir:      t.TempDir(),
 		Remote:      &localDispatcher{down: true},
-		Log: func(format string, args ...any) {
+		Log: obs.LogfLogger(slog.LevelDebug, func(format string, args ...any) {
 			logs.Add(1)
 			lastLog.Store(fmt.Sprintf(format, args...))
-		},
+		}),
 	}
 	res, err := wordJob(r, false).Run(e, input)
 	if err != nil {

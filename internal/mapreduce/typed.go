@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // This file is the typed engine: the generic, boxing-free realization of
@@ -415,6 +417,9 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 	}
 	st := newRunState(j)
 	st.limiter = newSortLimiter(e.Parallelism)
+	jobID := e.beginJob(j.Name)
+	defer e.endJob(jobID)
+	st.obs, st.jobID = e.Obs, jobID
 
 	// ---- Map phase ----
 	// mapOut[mapTask][reduceTask] holds the bucketed map output; the
@@ -424,7 +429,7 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 	mapOut := make([][][]Rec[K, V], m)
 	mapFlat := make([][]Rec[K, V], m)
 	st.mapPhase = typedMapPhase[I, K, V, O]{st: st, input: input, m: m, res: res, mapOut: mapOut, mapFlat: mapFlat}
-	st.mapSup.init(e, MapTask, &st.mapPhase)
+	st.mapSup.init(e, MapTask, jobID, &st.mapPhase)
 	mstats, merr := st.mapSup.supervise(ctx, m)
 	res.addStats(mstats)
 	if err := ctx.Err(); err != nil {
@@ -442,7 +447,7 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, e *Engine, input [][]I, sink 
 	// collected Output) only at commit — the task-commit protocol.
 	reduceOut := make([][]O, r)
 	st.redPhase = typedReducePhase[I, K, V, O]{st: st, e: e, m: m, res: res, mapOut: mapOut, sink: sink, reduceOut: reduceOut}
-	st.redSup.init(e, ReduceTask, &st.redPhase)
+	st.redSup.init(e, ReduceTask, jobID, &st.redPhase)
 	rstats, rerr := st.redSup.supervise(ctx, r)
 	res.addStats(rstats)
 	if err := ctx.Err(); err != nil {
@@ -531,7 +536,7 @@ type typedReducePhase[I, K, V, O any] struct {
 }
 
 func (p *typedReducePhase[I, K, V, O]) runTaskAttempt(actx context.Context, hook *taskHook, task, attempt int) (typedReduceOut[O], error) {
-	return p.st.runReduceAttempt(actx, hook, p.e, task, p.m, p.mapOut)
+	return p.st.runReduceAttempt(actx, hook, p.e, task, attempt, p.m, p.mapOut)
 }
 
 func (p *typedReducePhase[I, K, V, O]) commitTask(task int, out typedReduceOut[O]) error {
@@ -570,6 +575,13 @@ type runState[I, K, V, O any] struct {
 	// spawn (nil = serial). Sized from Engine.Parallelism by run /
 	// runExternal; other paths (boxed, remote) never sort Recs.
 	limiter *sortLimiter
+
+	// obs/jobID carry the run's observability identity into the attempt
+	// runners (merge spans). nil/0 when observability is off — including
+	// always on the worker side of remote execution, where tracing
+	// happens at the dist layer instead.
+	obs   *obs.Observer
+	jobID uint32
 
 	// Supervision state for the two phases, embedded so the fault-free
 	// fast path allocates nothing per phase: &st.mapPhase converts to
@@ -742,7 +754,7 @@ func (st *runState[I, K, V, O]) combine(idx, m int, out []Rec[K, V], metrics *Ta
 	return cctx.out, nil
 }
 
-func (st *runState[I, K, V, O]) runReduceAttempt(actx context.Context, hook *taskHook, e *Engine, idx, m int, mapOut [][][]Rec[K, V]) (rout typedReduceOut[O], err error) {
+func (st *runState[I, K, V, O]) runReduceAttempt(actx context.Context, hook *taskHook, e *Engine, idx, attempt, m int, mapOut [][][]Rec[K, V]) (rout typedReduceOut[O], err error) {
 	defer recoverAttempt(&err)
 	if err := hook.fire(FaultTaskStart); err != nil {
 		return rout, err
@@ -783,6 +795,10 @@ func (st *runState[I, K, V, O]) runReduceAttempt(actx context.Context, hook *tas
 		}
 	}
 	metrics.InputRecords = int64(total)
+	if st.obs != nil {
+		st.recordMerge(obs.EvBegin, obs.PhaseReduce, idx, attempt, int64(total))
+		defer st.recordMerge(obs.EvEnd, obs.PhaseReduce, idx, attempt, int64(total))
+	}
 	check := actx.Done() != nil
 	switch len(runs) {
 	case 0:
@@ -815,6 +831,15 @@ func (st *runState[I, K, V, O]) runReduceAttempt(actx context.Context, hook *tas
 	st.pools.putRunsBuf(runs)
 	rout.out = ctx.out
 	return rout, nil
+}
+
+// recordMerge emits a merge-span event carrying the run's job identity.
+// Callers guard on st.obs.
+func (st *runState[I, K, V, O]) recordMerge(typ obs.EventType, phase uint8, task, attempt int, arg int64) {
+	st.obs.Tracer.Record(obs.Event{
+		Type: typ, Kind: obs.KMerge, Phase: phase, Job: st.jobID,
+		Task: int32(task), Attempt: int32(attempt), Arg: arg,
+	})
 }
 
 // reduceSortedRun walks one fully sorted input run and invokes the

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+	"time"
+)
+
+// VarsHandler serves the registry snapshot plus tracer statistics as a
+// single JSON object — the /debug/vars-style endpoint. Reading is
+// concurrency-safe (atomics plus the registry mutex), so it can be
+// polled while a run is live.
+func VarsHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"metrics": o.Reg.Snapshot(),
+			"trace": map[string]any{
+				"events":  o.Tracer.Len(),
+				"dropped": o.Tracer.Dropped(),
+				"cap":     o.Tracer.Cap(),
+			},
+		}
+		writeJSON(w, body)
+	})
+}
+
+// StatusHandler serves whatever the status callback assembles (worker
+// tables, leases, reassignment history) as JSON.
+func StatusHandler(status func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, status())
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Attach mounts the introspection endpoints on an existing mux (the
+// dist master and workers share their task mux with these):
+// /debug/vars, /status (when a status callback is given), and — only
+// when opted in — the net/http/pprof handlers.
+func Attach(mux *http.ServeMux, o *Observer, status func() any, pprof bool) {
+	mux.Handle("/debug/vars", VarsHandler(o))
+	if status != nil {
+		mux.Handle("/status", StatusHandler(status))
+	}
+	if pprof {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
+}
+
+// Serve starts a standalone introspection server (the CLIs' -obs-addr)
+// and returns its base URL and a closer. The listener is bound before
+// returning so scripts can poll immediately.
+func Serve(addr string, o *Observer, status func() any, pprof bool) (url string, closer func(), err error) {
+	mux := http.NewServeMux()
+	Attach(mux, o, status, pprof)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// LogfLogger adapts a printf-style sink — typically testing.T.Logf —
+// into a *slog.Logger, so tests can route the runtime's structured
+// logs through the test log (and have them silenced on pass).
+func LogfLogger(level slog.Level, f func(format string, args ...any)) *slog.Logger {
+	return slog.New(&logfHandler{level: level, f: f})
+}
+
+// logfHandler renders records as "LEVEL msg k=v k=v" lines. It exists
+// for test plumbing, not production formatting: groups flatten into
+// dotted prefixes and values print with %v.
+type logfHandler struct {
+	level  slog.Level
+	f      func(format string, args ...any)
+	prefix string
+	attrs  []slog.Attr
+}
+
+func (h *logfHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, h.prefix, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.prefix, a)
+		return true
+	})
+	h.f("%s", b.String())
+	return nil
+}
+
+func writeAttr(b *strings.Builder, prefix string, a slog.Attr) {
+	if a.Value.Kind() == slog.KindGroup {
+		for _, ga := range a.Value.Group() {
+			writeAttr(b, prefix+a.Key+".", ga)
+		}
+		return
+	}
+	fmt.Fprintf(b, " %s%s=%v", prefix, a.Key, a.Value.Any())
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	n := *h
+	n.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &n
+}
+
+func (h *logfHandler) WithGroup(name string) slog.Handler {
+	n := *h
+	n.prefix = h.prefix + name + "."
+	return &n
+}

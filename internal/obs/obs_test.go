@@ -1,0 +1,303 @@
+package obs
+
+// Unit tests for the observability primitives themselves: ring claim
+// and drop-newest overflow, interning, histogram exactness, registry
+// identity, both exporters' output validity, and the slog adapters.
+// The engine-level invariants (span pairing, nesting, reconciliation
+// with Metrics) live in the mapreduce and er test suites.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsAndDropsNewest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Event{Kind: KTask, Task: int32(i)})
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if got := tr.Cap(); got != 4 {
+		t.Fatalf("Cap = %d, want 4", got)
+	}
+	// Drop-newest keeps the contiguous prefix: tasks 0..3, in order.
+	for i, ev := range tr.Events() {
+		if ev.Task != int32(i) {
+			t.Fatalf("event %d: Task = %d, want %d (prefix must be contiguous)", i, ev.Task, i)
+		}
+	}
+	// Timestamps are monotone non-decreasing in claim order.
+	events := tr.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("timestamps not monotone: event %d at %d after %d", i, events[i].TS, events[i-1].TS)
+		}
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{}) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Cap() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must report an empty buffer")
+	}
+	if tr.InternJob("x") != 0 || tr.JobName(0) != "" {
+		t.Fatal("nil tracer interning must be inert")
+	}
+}
+
+func TestInternJobStableIDs(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.InternJob("bdm")
+	b := tr.InternJob("match")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("ids must be distinct and nonzero: %d, %d", a, b)
+	}
+	if tr.InternJob("bdm") != a {
+		t.Fatal("re-interning must return the same id")
+	}
+	if tr.JobName(a) != "bdm" || tr.JobName(b) != "match" {
+		t.Fatal("JobName must round-trip")
+	}
+	if tr.JobName(99) != "" {
+		t.Fatal("unknown id must resolve to empty")
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{10, 20, 30, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 160 || s.Min != 10 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v, want count=4 sum=160 min=10 max=100", s)
+	}
+	if s.Mean != 40 {
+		t.Fatalf("Mean = %g, want 40", s.Mean)
+	}
+	if got := s.MaxOverMean(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("MaxOverMean = %g, want 2.5", got)
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if s := nilH.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("nil histogram snapshot = %+v, want zero", s)
+	}
+	if s := NewHistogram().Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("empty histogram snapshot = %+v, want zero (min must not leak MaxInt64)", s)
+	}
+	if (HistSnapshot{}).MaxOverMean() != 0 {
+		t.Fatal("empty MaxOverMean must be 0")
+	}
+}
+
+func TestRegistryIdentityAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b_total")
+	if r.Counter("a.b_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	c.Add(3)
+	r.Gauge("a.g").Set(-2)
+	r.Histogram("a.h_ns").Observe(7)
+	snap := r.Snapshot()
+	if snap["a.b_total"] != int64(3) {
+		t.Fatalf("counter snapshot = %v", snap["a.b_total"])
+	}
+	if snap["a.g"] != int64(-2) {
+		t.Fatalf("gauge snapshot = %v", snap["a.g"])
+	}
+	if hs, ok := snap["a.h_ns"].(HistSnapshot); !ok || hs.Count != 1 {
+		t.Fatalf("hist snapshot = %#v", snap["a.h_ns"])
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a.b_total" || names[1] != "a.g" || names[2] != "a.h_ns" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestNilRegistryYieldsUsableNilHandles(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("x"), r.Gauge("y"), r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	g.Add(1)
+	h.Observe(1) // none may panic
+	if len(r.Snapshot()) != 0 || r.Names() != nil {
+		t.Fatal("nil registry must snapshot empty")
+	}
+}
+
+func TestWriteNDJSONIsValidAndComplete(t *testing.T) {
+	tr := NewTracer(16)
+	job := tr.InternJob("wordcount")
+	tr.Record(Event{Type: EvBegin, Kind: KTask, Phase: PhaseMap, Job: job, Task: 2, Attempt: 0})
+	tr.Record(Event{Type: EvEnd, Kind: KTask, Phase: PhaseMap, Job: job, Task: 2, Attempt: 0, Arg: 1})
+	tr.Record(Event{Type: EvInstant, Kind: KRetry, Phase: PhaseReduce, Job: job, Task: 1, Arg: 55})
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 4 { // 3 events + meta
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if lines[0]["type"] != "begin" || lines[0]["kind"] != "task" || lines[0]["job"] != "wordcount" || lines[0]["phase"] != "map" {
+		t.Fatalf("first line = %v", lines[0])
+	}
+	if lines[2]["kind"] != "retry" || lines[2]["arg"] != float64(55) {
+		t.Fatalf("instant line = %v", lines[2])
+	}
+	meta := lines[3]
+	if meta["meta"] != "trace" || meta["events"] != float64(3) || meta["dropped"] != float64(0) {
+		t.Fatalf("meta line = %v", meta)
+	}
+}
+
+// chromeDoc mirrors the exporter's wrapper for decoding in tests.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int32          `json:"pid"`
+		Tid  int32          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTracePairsSpans(t *testing.T) {
+	tr := NewTracer(16)
+	job := tr.InternJob("wc")
+	tr.Record(Event{Type: EvBegin, Kind: KTask, Phase: PhaseMap, Job: job, Task: 0})
+	tr.Record(Event{Type: EvEnd, Kind: KTask, Phase: PhaseMap, Job: job, Task: 0})
+	tr.Record(Event{Type: EvInstant, Kind: KCommit, Phase: PhaseMap, Job: job, Task: 0})
+	tr.Record(Event{Type: EvBegin, Kind: KDispatch, Phase: PhaseReduce, Job: job, Task: 1, Worker: 3})
+	// Dispatch to worker 3 left unclosed: must surface as an instant.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var xs, is, metas int
+	var sawWorkerLane, sawUnclosed bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xs++
+			if ev.Dur < 0 {
+				t.Fatalf("negative duration: %+v", ev)
+			}
+		case "i":
+			is++
+			if strings.Contains(ev.Name, "unclosed") {
+				sawUnclosed = true
+			}
+		case "M":
+			metas++
+			if ev.Pid == 3 && ev.Args["name"] == "worker 3" {
+				sawWorkerLane = true
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if xs != 1 {
+		t.Fatalf("complete events = %d, want 1", xs)
+	}
+	if is != 2 { // the commit instant + the unclosed dispatch
+		t.Fatalf("instants = %d, want 2", is)
+	}
+	if metas != 2 { // pid 0 (driver) and pid 3 (worker 3)
+		t.Fatalf("process metadata = %d, want 2", metas)
+	}
+	if !sawUnclosed {
+		t.Fatal("unclosed begin must be emitted as a labeled instant")
+	}
+	if !sawWorkerLane {
+		t.Fatal("worker pid must get a 'worker N' process_name")
+	}
+}
+
+func TestLogfLoggerRendersAttrs(t *testing.T) {
+	var got []string
+	log := LogfLogger(slog.LevelInfo, func(format string, args ...any) {
+		got = append(got, strings.TrimSpace(fmt.Sprintf(format, args...)))
+	})
+	log.Debug("hidden") // below threshold
+	log.Warn("worker died", "worker", 3, "why", "lease expired")
+	log.WithGroup("dist").Info("hello", "n", 1)
+	if len(got) != 2 {
+		t.Fatalf("got %d lines: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "WARN") || !strings.Contains(got[0], "worker died") ||
+		!strings.Contains(got[0], "worker=3") || !strings.Contains(got[0], "why=lease expired") {
+		t.Fatalf("warn line = %q", got[0])
+	}
+	if !strings.Contains(got[1], "dist.n=1") {
+		t.Fatalf("group attrs must flatten to dotted keys: %q", got[1])
+	}
+}
+
+func TestObserverDefaultsAndQuiet(t *testing.T) {
+	o := New(Options{})
+	if o.Tracer == nil || o.Reg == nil || o.Engine == nil || o.Log == nil {
+		t.Fatal("New must wire every component")
+	}
+	if o.Tracer.Cap() != DefaultTraceCapacity {
+		t.Fatalf("default capacity = %d", o.Tracer.Cap())
+	}
+	var nilObs *Observer
+	if nilObs.Logger() == nil {
+		t.Fatal("nil observer must resolve to the default logger")
+	}
+	q := Quiet()
+	if q.Enabled(nil, slog.LevelError) {
+		t.Fatal("Quiet logger must discard everything")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level must error")
+	}
+}

@@ -36,9 +36,12 @@ go build -o "$WORK/bin/" ./cmd/ergen ./cmd/ermatch ./cmd/erworker
 
 # Distributed run: the master waits for three registered workers
 # before dispatching, and publishes its URL through the addr file.
+# -trace captures the driver-side timeline across the kill, validated
+# below: the reassignment must be visible in the exported trace.
 ADDR_FILE="$WORK/master.addr"
 "$WORK/bin/ermatch" -in "$WORK/ds.csv" -strategy blocksplit -m 4 -r 16 \
     -master 127.0.0.1:0 -master-addr-file "$ADDR_FILE" -workers 3 \
+    -trace "$WORK/dist.trace.json" \
     -out "$WORK/dist.csv" &
 MASTER_PID=$!
 
@@ -76,6 +79,14 @@ MASTER_PID=""
 
 cmp "$WORK/local.csv" "$WORK/dist.csv"
 echo "dist-smoke: distributed output byte-identical to local run ($(wc -l < "$WORK/dist.csv") lines)"
+
+# The exported trace must be Perfetto-loadable, show per-worker
+# swimlanes (the victim plus at least one survivor — dispatch reuses
+# freed workers, so an idle third lane is legitimate), and record the
+# death and the reassignment of the in-flight attempt as instants.
+go run ./scripts/tracecheck -format chrome -min-complete 1 \
+    -min-worker-lanes 2 -require worker-death,reassign \
+    "$WORK/dist.trace.json"
 
 # Graceful shutdown: survivors must remove their private run dirs.
 for pid in "${WORKER_PIDS[@]}"; do

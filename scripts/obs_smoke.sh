@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end observability smoke.
+#
+# Runs the distributed-vs-local erbench comparison with tracing and the
+# introspection server enabled, polls the live endpoints while the
+# master waits for workers, and validates the exported traces:
+#
+#   - the master's /status answers with the master role and worker table
+#   - -obs-addr's /debug/vars exposes the engine and dist metric
+#     families plus trace-buffer occupancy
+#   - a worker's /status answers with the worker role
+#   - the driver's chrome trace is well-formed trace_event JSON with
+#     per-worker swimlanes (dispatch spans landed on >= 2 worker pids)
+#   - a worker's ndjson trace parses line by line with a consistent
+#     meta line
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+WORKER_PIDS=()
+MASTER_PID=""
+cleanup() {
+    for pid in ${WORKER_PIDS[@]+"${WORKER_PIDS[@]}"}; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    [ -n "$MASTER_PID" ] && kill "$MASTER_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# fetch URL PATTERN LABEL — curl an endpoint and require a key in the body.
+fetch() {
+    local url="$1" pattern="$2" label="$3" body
+    body="$(curl -sf "$url")" || { echo "obs-smoke: FAIL: $label: $url unreachable" >&2; exit 1; }
+    grep -q "$pattern" <<<"$body" || {
+        echo "obs-smoke: FAIL: $label: $url missing $pattern in: $body" >&2; exit 1; }
+    echo "obs-smoke: $label ok ($url)"
+}
+
+echo "obs-smoke: building binaries"
+go build -o "$WORK/bin/" ./cmd/erbench ./cmd/erworker
+
+# The distributed comparison table: erbench hosts the master and
+# dispatches through two erworker processes; -trace captures the
+# driver-side timeline (job/phase/task spans plus per-worker dispatch
+# spans), -obs-addr serves the live metrics.
+ADDR_FILE="$WORK/master.addr"
+"$WORK/bin/erbench" -scale 0.02 -master 127.0.0.1:0 \
+    -master-addr-file "$ADDR_FILE" -workers 2 \
+    -trace "$WORK/driver.trace.json" -obs-addr 127.0.0.1:0 \
+    >"$WORK/bench.out" 2>"$WORK/bench.err" &
+MASTER_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$ADDR_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$ADDR_FILE" ] || { cat "$WORK/bench.err" >&2; echo "obs-smoke: FAIL: master never wrote $ADDR_FILE" >&2; exit 1; }
+MASTER_URL="$(cat "$ADDR_FILE")"
+
+OBS_URL=""
+for _ in $(seq 1 100); do
+    OBS_URL="$(sed -n 's|^obs: serving /debug/vars at ||p' "$WORK/bench.err" | head -1)"
+    [ -n "$OBS_URL" ] && break
+    sleep 0.1
+done
+[ -n "$OBS_URL" ] || { cat "$WORK/bench.err" >&2; echo "obs-smoke: FAIL: -obs-addr URL never announced" >&2; exit 1; }
+echo "obs-smoke: master at $MASTER_URL, obs at $OBS_URL"
+
+# Live endpoints, polled while the master waits for registrations.
+fetch "$MASTER_URL/status" '"role": "master"' "master /status role"
+fetch "$MASTER_URL/status" '"workers"' "master /status worker table"
+fetch "$OBS_URL/debug/vars" '"engine.attempts_total"' "/debug/vars engine metrics"
+fetch "$OBS_URL/debug/vars" '"dist.master.dispatch_total"' "/debug/vars dist metrics"
+fetch "$OBS_URL/debug/vars" '"trace"' "/debug/vars trace occupancy"
+
+# Two workers; the first also exports its own ndjson trace on SIGTERM.
+mkdir -p "$WORK/w1" "$WORK/w2"
+"$WORK/bin/erworker" -master "$MASTER_URL" -dir "$WORK/w1" -slots 2 \
+    -trace "$WORK/worker1.trace.ndjson" -trace-format ndjson \
+    2>"$WORK/w1.err" &
+WORKER_PIDS+=("$!")
+"$WORK/bin/erworker" -master "$MASTER_URL" -dir "$WORK/w2" -slots 2 \
+    2>"$WORK/w2.err" &
+WORKER_PIDS+=("$!")
+
+W1_URL=""
+for _ in $(seq 1 100); do
+    W1_URL="$(sed -n 's|^erworker: serving at \([^ ]*\).*|\1|p' "$WORK/w1.err" | head -1)"
+    [ -n "$W1_URL" ] && break
+    sleep 0.1
+done
+[ -n "$W1_URL" ] || { cat "$WORK/w1.err" >&2; echo "obs-smoke: FAIL: worker 1 never announced its URL" >&2; exit 1; }
+fetch "$W1_URL/status" '"role": "worker"' "worker /status role"
+
+wait "$MASTER_PID"
+MASTER_PID=""
+echo "obs-smoke: distributed comparison finished"
+
+# Graceful worker stop flushes the worker-side trace.
+for pid in "${WORKER_PIDS[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${WORKER_PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+done
+WORKER_PIDS=()
+
+# The driver trace must be Perfetto-loadable with a swimlane per worker
+# (both registered workers received dispatches).
+go run ./scripts/tracecheck -format chrome -min-complete 1 -min-worker-lanes 2 \
+    "$WORK/driver.trace.json"
+go run ./scripts/tracecheck -format ndjson "$WORK/worker1.trace.ndjson"
+
+echo "obs-smoke: OK"
