@@ -5,8 +5,21 @@ GO ?= go
 # check is the CI gate: static analysis, build, tests, benchmark smoke.
 check: vet build test bench-smoke
 
+# vet gates on three layers: stock go vet, erlint (the repo's
+# invariant analyzers — internal/analysis, DESIGN.md "Static
+# analysis"), and gofmt-clean sources (fixtures under testdata
+# included). erlint is built once and driven through go vet's
+# -vettool protocol, so per-package results are cached by the go
+# build cache like any other vet check; -list prints each analyzer's
+# invariant with live finding/suppression counts.
 vet:
 	$(GO) vet ./...
+	@mkdir -p bin
+	$(GO) build -o bin/erlint ./cmd/erlint
+	$(GO) vet -vettool=bin/erlint ./...
+	bin/erlint -list
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 
 build:
 	$(GO) build ./...

@@ -49,7 +49,7 @@ func cell(b *testing.B, t *report.Table, row, col int) float64 {
 func BenchmarkFigure8DatasetStats(b *testing.B) {
 	var largestPairShare float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Figure8(benchOptions())
+		t, err := experiments.Figure8(b.Context(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func BenchmarkFigure8DatasetStats(b *testing.B) {
 func BenchmarkFigure9Skew(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Figure9(benchOptions())
+		t, err := experiments.Figure9(b.Context(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func BenchmarkFigure9Skew(b *testing.B) {
 func BenchmarkFigure10ReduceTasks(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Figure10(benchOptions())
+		t, err := experiments.Figure10(b.Context(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func BenchmarkFigure10ReduceTasks(b *testing.B) {
 func BenchmarkFigure11Sorted(b *testing.B) {
 	var slowdown float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Figure11(benchOptions())
+		t, err := experiments.Figure11(b.Context(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func BenchmarkFigure11Sorted(b *testing.B) {
 func BenchmarkFigure12MapOutput(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Figure12(benchOptions())
+		t, err := experiments.Figure12(b.Context(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func BenchmarkFigure12MapOutput(b *testing.B) {
 func BenchmarkFigure13ScalabilityDS1(b *testing.B) {
 	var bsSpeedup, basicSpeedup float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Figure13(benchOptions())
+		t, err := experiments.Figure13(b.Context(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +143,7 @@ func BenchmarkFigure13ScalabilityDS1(b *testing.B) {
 func BenchmarkFigure14ScalabilityDS2(b *testing.B) {
 	var prSpeedup float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Figure14(benchOptions())
+		t, err := experiments.Figure14(b.Context(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

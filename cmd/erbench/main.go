@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"repro/internal/dist"
 	"repro/internal/entity"
@@ -122,19 +125,24 @@ func main() {
 		opts.Workers = *workers
 	}
 
-	type namedTable func(experiments.Options) (*reportTable, error)
+	// The run context: Ctrl-C / SIGTERM cancels every engine and dist
+	// task attempt below (the experiments API threads it throughout).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	type namedTable func(context.Context, experiments.Options) (*reportTable, error)
 	var runs []namedTable
 	if *all {
 		for _, f := range []int{8, 9, 10, 11, 12, 13, 14} {
 			f := f
-			runs = append(runs, func(o experiments.Options) (*reportTable, error) {
-				return experiments.ByNumber(f, o)
+			runs = append(runs, func(ctx context.Context, o experiments.Options) (*reportTable, error) {
+				return experiments.ByNumber(ctx, f, o)
 			})
 		}
 	} else if *figure != 0 {
 		f := *figure
-		runs = append(runs, func(o experiments.Options) (*reportTable, error) {
-			return experiments.ByNumber(f, o)
+		runs = append(runs, func(ctx context.Context, o experiments.Options) (*reportTable, error) {
+			return experiments.ByNumber(ctx, f, o)
 		})
 	}
 	if *appendix || *all {
@@ -200,7 +208,7 @@ func main() {
 	}
 
 	for i, run := range runs {
-		table, err := run(opts)
+		table, err := run(ctx, opts)
 		if err != nil {
 			fail(err)
 		}

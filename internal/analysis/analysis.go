@@ -1,0 +1,136 @@
+// Package analysis is the repo's static-analysis framework: a minimal,
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis model (Analyzer, Pass, Diagnostic) plus the two drivers
+// the repo needs — the `go vet -vettool` unitchecker protocol
+// (unitchecker.go) and a from-source module loader (load.go) for
+// standalone runs and fixture tests.
+//
+// The x/tools framework is the production-Go way to enforce invariants
+// like ours, but this module is deliberately dependency-free (stdlib
+// only), so the subset we rely on is reimplemented here: no facts, no
+// analyzer DAG — every analyzer is a pure function of one type-checked
+// package. That subset is all the engine's invariants need, because
+// each of them is phrased package-locally (see DESIGN.md "Static
+// analysis").
+//
+// # Suppression
+//
+// A finding that is intentional is silenced in place with
+//
+//	//erlint:ignore <analyzer> <reason>
+//
+// either trailing the offending line or on the line directly above it.
+// The reason is mandatory; a directive that names an unknown analyzer,
+// omits the reason, or no longer suppresses anything is itself a
+// diagnostic — so the suppression inventory cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Unlike x/tools there are
+// no required inputs or facts: Run sees one fully type-checked package
+// and reports diagnostics through the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //erlint:ignore
+	// directives. Lowercase, no spaces.
+	Name string
+	// Doc states the enforced invariant. The first line is the summary
+	// shown by `erlint -list`.
+	Doc string
+	// Run analyzes the package. Diagnostics go through pass.Report; the
+	// error is for operational failures only (it aborts the whole run).
+	Run func(*Pass) error
+}
+
+// DocSummary returns the first line of the analyzer's documentation.
+func (a *Analyzer) DocSummary() string {
+	doc := a.Doc
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		doc = doc[:i]
+	}
+	return strings.TrimSpace(doc)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Most
+// analyzers skip test files: the invariants target production code,
+// and tests legitimately construct the patterns the analyzers hunt
+// (fault fixtures, deliberate allocations, background contexts).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Unit is one type-checked package: the driver-independent input to
+// RunAnalyzers. Both drivers (unitchecker and the source loader)
+// produce Units.
+type Unit struct {
+	ID    string // display identifier (import path, or go vet's unit ID)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Result is the outcome of running the analyzer suite over one unit:
+// the surviving diagnostics (suppressions applied, directive problems
+// included under the pseudo-analyzer "erlint") and the per-analyzer
+// counts of suppressed findings.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  map[string]int
+}
+
+// RunAnalyzers executes every analyzer on the unit, applies the
+// //erlint:ignore directives, and reports directive misuse. The
+// returned error carries the first analyzer failure (not findings).
+func RunAnalyzers(u *Unit, analyzers []*Analyzer) (*Result, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			report:    func(d Diagnostic) { all = append(all, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.ID, err)
+		}
+	}
+	return applyDirectives(u, analyzers, all), nil
+}

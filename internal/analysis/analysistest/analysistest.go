@@ -1,0 +1,113 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (stdlib-only, like the
+// rest of internal/analysis).
+//
+// Fixtures live under the calling test's testdata/src/<path> in
+// GOPATH-style layout; fixture packages may import each other by that
+// path and may import the standard library. A line that should be
+// flagged carries a trailing comment of one or more quoted regular
+// expressions:
+//
+//	pool.Put(&buf) // want `heap-allocates a pointer box`
+//
+// Every diagnostic must be matched by a want on its line and every
+// want must match a diagnostic — so negative fixtures are simply
+// lines without want comments, and a valid //erlint:ignore directive
+// proves itself by making the expected diagnostic disappear.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer against its
+// want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join("testdata", "src"))
+	for _, pkg := range pkgs {
+		u, err := loader.LoadFixture(pkg)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", pkg, err)
+		}
+		res, err := analysis.RunAnalyzers(u, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
+		}
+		check(t, u, res.Diagnostics)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, u *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				key := lineKey(pos.Filename, pos.Line)
+				rest := strings.TrimSpace(c.Text[idx+len("// want "):])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want expectation %q: %v", key, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: unquote %q: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		key := lineKey(pos.Filename, pos.Line)
+		matched := false
+		for _, e := range wants[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, es := range wants {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, e.re)
+			}
+		}
+	}
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}

@@ -1,0 +1,12 @@
+package arenaretain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenaretain"
+)
+
+func TestArenaretain(t *testing.T) {
+	analysistest.Run(t, arenaretain.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package codecreg_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/codecreg"
+)
+
+func TestCodecreg(t *testing.T) {
+	analysistest.Run(t, codecreg.Analyzer, "a")
+}

@@ -1,0 +1,8 @@
+// Package mapreduce is a fixture stand-in for the typed engine: only
+// the Job type's shape (four type parameters, K and V in the middle)
+// matters to codecreg.
+package mapreduce
+
+type Job[I, K, V, O any] struct {
+	Name string
+}

@@ -1,0 +1,36 @@
+// Package a exercises the ctxflow analyzer: library code must thread
+// the caller's context rather than minting fresh roots.
+package a
+
+import "context"
+
+// fresh mints a root context in library code: flagged.
+func fresh() context.Context {
+	return context.Background() // want `context\.Background\(\) detaches this call tree`
+}
+
+// todo is the same violation spelled differently.
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) detaches this call tree`
+}
+
+// threaded passes the caller's context on: not flagged.
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// adapter is the sanctioned escape hatch: a directive with a reason
+// suppresses the finding (proven here by the absence of a want).
+func adapter() context.Context {
+	//erlint:ignore ctxflow fixture: legacy entry-point adapter keeps the context-free signature
+	return context.Background()
+}
+
+// shadowed is a user-defined context package lookalike: not flagged.
+func shadowed() int {
+	type contextpkg struct{}
+	_ = contextpkg{}
+	return background()
+}
+
+func background() int { return 0 }

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the second driver: a from-source package loader for the
+// standalone modes that run without cmd/go's help — `erlint -list`
+// (load the whole module, count findings) and the analysistest harness
+// (load one fixture tree under testdata/src). In-module imports are
+// type-checked recursively from source; everything else (the standard
+// library) comes from the gc toolchain's export data.
+
+// A Loader type-checks packages from source. resolve maps an import
+// path to a source directory when the loader owns it; all other
+// imports fall back to compiled export data.
+type Loader struct {
+	fset    *token.FileSet
+	resolve func(importPath string) (string, bool)
+	std     types.Importer
+	units   map[string]*Unit
+	loading map[string]bool
+}
+
+func newLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "gc", nil),
+		units:   make(map[string]*Unit),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over the loader's two sources.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if u, ok := l.units[path]; ok {
+		return u.Pkg, nil
+	}
+	if dir, ok := l.resolve(path); ok {
+		u, err := l.load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package in dir under the given
+// import path. Build constraints are honored; test files are excluded,
+// matching what a plain `go build` of the package would compile.
+func (l *Loader) load(dir, importPath string) (*Unit, error) {
+	if u, ok := l.units[importPath]; ok {
+		return u, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	tc := &types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := tc.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{ID: importPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.units[importPath] = u
+	return u, nil
+}
+
+// NewFixtureLoader returns a loader rooted at a GOPATH-style source
+// tree (testdata/src): import path "a/b" resolves to srcRoot/a/b.
+func NewFixtureLoader(srcRoot string) *Loader {
+	return newLoader(func(importPath string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+// LoadFixture loads one fixture package by its path under the loader's
+// source root.
+func (l *Loader) LoadFixture(importPath string) (*Unit, error) {
+	dir, ok := l.resolve(importPath)
+	if !ok {
+		return nil, fmt.Errorf("no fixture package %q", importPath)
+	}
+	return l.load(dir, importPath)
+}
+
+// LoadModule loads every package of the Go module rooted at root
+// (identified by its go.mod), skipping testdata, hidden, and bin
+// directories. Units come back sorted by import path.
+func LoadModule(root string) ([]*Unit, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	loader := newLoader(func(importPath string) (string, bool) {
+		if importPath == modPath {
+			return root, true
+		}
+		rest, ok := strings.CutPrefix(importPath, modPath+"/")
+		if !ok {
+			return "", false
+		}
+		dir := filepath.Join(root, filepath.FromSlash(rest))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+
+	var units []*Unit
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "bin" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		u, err := loader.load(path, importPath)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil // directory holds no buildable Go files
+			}
+			return fmt.Errorf("load %s: %w", importPath, err)
+		}
+		units = append(units, u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].ID < units[j].ID })
+	return units, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

@@ -1,0 +1,127 @@
+// Package metricname enforces the metric naming grammar on every
+// constant name handed to the obs registry:
+//
+//	<area>[.<area>...].<noun>_<suffix>
+//
+// Areas and nouns are lowercase [a-z][a-z0-9]* words; the final
+// segment carries the kind-specific suffix that makes /debug/vars and
+// trace tooling self-describing:
+//
+//	Counter    _total
+//	Histogram  _ns, _bytes, or _seconds
+//	Gauge      _inflight, _pending, _live, or _waiting
+//
+// The grammar exists so dashboards can be built from name structure
+// alone (PR 9 introduced the registry with engine.* and dist.* trees
+// already in this shape); an off-grammar name is invisible to that
+// tooling forever, because metric names are append-only once emitted.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer validates constant metric names passed to
+// (*obs.Registry).Counter/Gauge/Histogram.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "obs registry metric names must match the <area>.<noun>_<unit|total> grammar",
+	Run:  run,
+}
+
+var (
+	segmentRE = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+	leafRE    = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+)
+
+var kindSuffixes = map[string][]string{
+	"Counter":   {"_total"},
+	"Histogram": {"_ns", "_bytes", "_seconds"},
+	"Gauge":     {"_inflight", "_pending", "_live", "_waiting"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			suffixes, isKind := kindSuffixes[sel.Sel.Name]
+			if !isKind || !isObsRegistryMethod(pass, sel.Sel) {
+				return true
+			}
+			tv := pass.TypesInfo.Types[call.Args[0]]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic names are out of scope
+			}
+			if msg := checkName(constant.StringVal(tv.Value), sel.Sel.Name, suffixes); msg != "" {
+				pass.Reportf(call.Args[0].Pos(), "%s", msg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistryMethod reports whether the selected method's receiver
+// is the Registry type of a package named obs.
+func isObsRegistryMethod(pass *analysis.Pass, sel *ast.Ident) bool {
+	fn, ok := pass.TypesInfo.Uses[sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// checkName validates one metric name; it returns "" when the name
+// conforms, otherwise the diagnostic message.
+func checkName(name, kind string, suffixes []string) string {
+	segs := strings.Split(name, ".")
+	if len(segs) < 2 {
+		return "metric name " + quoted(name) + " needs at least <area>.<noun>_<suffix> (dotted area prefix required)"
+	}
+	for _, s := range segs[:len(segs)-1] {
+		if !segmentRE.MatchString(s) {
+			return "metric area segment " + quoted(s) + " in " + quoted(name) + " must match [a-z][a-z0-9]*"
+		}
+	}
+	leaf := segs[len(segs)-1]
+	if !leafRE.MatchString(leaf) {
+		return "metric leaf " + quoted(leaf) + " in " + quoted(name) + " must be <noun>_<suffix> with lowercase [a-z0-9_] words"
+	}
+	for _, want := range suffixes {
+		if strings.HasSuffix(leaf, want) {
+			return ""
+		}
+	}
+	return kind + " name " + quoted(name) + " must end with " + strings.Join(suffixes, ", ")
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, metricname.Analyzer, "a")
+}

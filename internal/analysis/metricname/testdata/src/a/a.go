@@ -1,0 +1,32 @@
+// Package a exercises the metricname analyzer against the obs fixture
+// registry.
+package a
+
+import "obs"
+
+const leaseAge = "dist.master.lease_age_ns" // constants resolve at the call site
+
+func register(r *obs.Registry) {
+	// Conforming names: not flagged.
+	r.Counter("engine.attempts_total")
+	r.Histogram(leaseAge)
+	r.Histogram("runio.spill_bytes")
+	r.Gauge("engine.tasks_pending")
+
+	// Grammar violations.
+	r.Counter("attempts_total")        // want `needs at least <area>\.<noun>_<suffix>`
+	r.Counter("engine.attempts")       // want `must be <noun>_<suffix> with lowercase`
+	r.Counter("engine.attempts_count") // want `Counter name .* must end with _total`
+	r.Gauge("engine.tasks_total")      // want `Gauge name .* must end with _inflight, _pending, _live, _waiting`
+	r.Histogram("engine.map_task_ms")  // want `Histogram name .* must end with _ns, _bytes, _seconds`
+	r.Counter("Engine.attempts_total") // want `area segment "Engine" .* must match \[a-z\]\[a-z0-9\]\*`
+
+	// Dynamic names are out of scope for a static grammar check.
+	r.Counter("engine." + suffix())
+
+	// A deliberate off-grammar name carries a directive with a reason.
+	//erlint:ignore metricname fixture: legacy exported name frozen before the grammar existed
+	r.Counter("engine.legacy")
+}
+
+func suffix() string { return "x_total" }

@@ -1,0 +1,18 @@
+// Package obs is a fixture stand-in for the real registry surface:
+// metricname matches the receiver by (package name, type name), so
+// this mini Registry exercises it exactly like internal/obs does.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name string) *Counter { return new(Counter) }
+
+func (r *Registry) Gauge(name string) *Gauge { return new(Gauge) }
+
+func (r *Registry) Histogram(name string) *Histogram { return new(Histogram) }

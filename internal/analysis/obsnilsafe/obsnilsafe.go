@@ -1,0 +1,166 @@
+// Package obsnilsafe enforces the observability seam's zero-cost-
+// when-disabled contract: a nil *Observer (and every handle reachable
+// from it — Tracer, Registry, EngineMetrics, Counter, Gauge,
+// Histogram) must be safe to call, because instrumented code threads
+// these pointers unconditionally and "observability off" is spelled
+// nil. Any pointer-receiver method on a reachable type must therefore
+// guard the receiver against nil before its first field access;
+// otherwise an un-instrumented run panics the moment a hot path
+// records a metric.
+//
+// The reachable set is computed structurally: the package's Observer
+// struct seeds a closure over same-package struct-typed fields, so a
+// helper type that never hangs off the seam (a CLI struct, an HTTP
+// handler) is not burdened with guards it does not need.
+package obsnilsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer checks that methods on obs handle types nil-guard the
+// receiver before touching fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnilsafe",
+	Doc:  "obs handle methods must guard the nil receiver before any field access (nil = observability off)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "obs" {
+		return nil
+	}
+	reachable := reachableHandleTypes(pass.Pkg)
+	if len(reachable) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(pass, reachable, fd)
+		}
+	}
+	return nil
+}
+
+// reachableHandleTypes closes over the struct fields of Observer:
+// every same-package struct type reachable through (possibly pointer)
+// fields is an observability handle.
+func reachableHandleTypes(pkg *types.Package) map[*types.TypeName]bool {
+	seedObj, ok := pkg.Scope().Lookup("Observer").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	reachable := map[*types.TypeName]bool{seedObj: true}
+	queue := []*types.TypeName{seedObj}
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			ft := st.Field(i).Type()
+			if p, ok := ft.(*types.Pointer); ok {
+				ft = p.Elem()
+			}
+			named, ok := ft.(*types.Named)
+			if !ok {
+				continue
+			}
+			obj := named.Obj()
+			if obj.Pkg() != pkg || reachable[obj] {
+				continue
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				reachable[obj] = true
+				queue = append(queue, obj)
+			}
+		}
+	}
+	return reachable
+}
+
+// checkMethod verifies one method: if the pointer receiver's fields
+// are accessed, a nil comparison of the receiver must appear first.
+func checkMethod(pass *analysis.Pass, reachable map[*types.TypeName]bool, fd *ast.FuncDecl) {
+	recvField := fd.Recv.List[0]
+	rt := pass.TypesInfo.Types[recvField.Type].Type
+	ptr, ok := rt.(*types.Pointer)
+	if !ok {
+		return // value receivers cannot be nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || !reachable[named.Obj()] {
+		return
+	}
+	if len(recvField.Names) == 0 {
+		return // unnamed receiver: no field access possible
+	}
+	recvVar := pass.TypesInfo.Defs[recvField.Names[0]]
+	if recvVar == nil {
+		return
+	}
+
+	firstAccess, firstGuard := firstFieldAccessAndGuard(pass, fd.Body, recvVar)
+	if !firstAccess.IsValid() {
+		return
+	}
+	if !firstGuard.IsValid() || firstGuard > firstAccess {
+		pass.Reportf(fd.Name.Pos(),
+			"method (*%s).%s reads receiver fields without a nil guard; a nil %s must be a no-op (zero-cost-when-disabled contract)",
+			named.Obj().Name(), fd.Name.Name, recvField.Names[0].Name)
+	}
+}
+
+// firstFieldAccessAndGuard returns the position of the earliest field
+// access on recv and the earliest `recv == nil` / `recv != nil`
+// comparison in body (token.NoPos when absent). Positions order
+// source, so guard < access means the access is dominated by a check
+// in all the guard idioms this package uses (early return, && chain).
+func firstFieldAccessAndGuard(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) (access, guard token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isUseOf(pass, n.X, recv) {
+				if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					if !access.IsValid() || n.Pos() < access {
+						access = n.Pos()
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if (isUseOf(pass, n.X, recv) && isNil(pass, n.Y)) ||
+					(isUseOf(pass, n.Y, recv) && isNil(pass, n.X)) {
+					if !guard.IsValid() || n.Pos() < guard {
+						guard = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return access, guard
+}
+
+func isUseOf(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}

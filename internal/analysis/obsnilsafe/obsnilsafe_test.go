@@ -1,0 +1,12 @@
+package obsnilsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsnilsafe"
+)
+
+func TestObsnilsafe(t *testing.T) {
+	analysistest.Run(t, obsnilsafe.Analyzer, "obs")
+}

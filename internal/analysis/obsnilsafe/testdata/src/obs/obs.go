@@ -1,0 +1,78 @@
+// Package obs exercises the obsnilsafe analyzer: every handle type
+// reachable from Observer must tolerate a nil receiver, because
+// "observability off" is spelled nil.
+package obs
+
+// Observer seeds the reachable-handle closure.
+type Observer struct {
+	Tracer *Tracer
+	Reg    *Registry
+}
+
+type Registry struct {
+	names []string
+}
+
+type Tracer struct {
+	events []int
+	n      int
+}
+
+// Record guards the receiver before the field access: ok.
+func (t *Tracer) Record(e int) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Len uses the compound-guard idiom; the nil check still dominates the
+// access: ok.
+func (t *Tracer) Len() int {
+	if t != nil && t.events != nil {
+		return len(t.events)
+	}
+	return 0
+}
+
+// Dropped reads a field with no guard at all: flagged.
+func (t *Tracer) Dropped() int { // want `\(\*Tracer\)\.Dropped reads receiver fields without a nil guard`
+	return t.n
+}
+
+// Names guards only after the first access: flagged.
+func (r *Registry) Names() []string { // want `\(\*Registry\)\.Names reads receiver fields without a nil guard`
+	n := len(r.names)
+	if r == nil {
+		return nil
+	}
+	_ = n
+	return r.names
+}
+
+// On is field-free: nothing to guard, not flagged.
+func (t *Tracer) On() bool {
+	return t != nil
+}
+
+// Snapshot has a value receiver, which cannot be nil: exempt.
+func (t Tracer) Snapshot() int {
+	return t.n
+}
+
+// Helper never hangs off the Observer seam, so it owes no guard.
+type Helper struct {
+	n int
+}
+
+func (h *Helper) N() int {
+	return h.n
+}
+
+// checked documents a method that is only ever called through a
+// non-nil parent, suppressed with a reason.
+//
+//erlint:ignore obsnilsafe fixture: only reachable through a guarded Observer method
+func (r *Registry) mustNames() []string {
+	return r.names
+}

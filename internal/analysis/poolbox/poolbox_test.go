@@ -1,0 +1,12 @@
+package poolbox_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolbox"
+)
+
+func TestPoolbox(t *testing.T) {
+	analysistest.Run(t, poolbox.Analyzer, "a")
+}

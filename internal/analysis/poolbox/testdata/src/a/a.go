@@ -1,0 +1,77 @@
+// Package a exercises the poolbox analyzer: Put arguments allocated
+// at the call site defeat the pool.
+package a
+
+import "sync"
+
+var bufPool sync.Pool
+
+// putLocal re-boxes a local on every Put: flagged.
+func putLocal() {
+	buf := make([]byte, 0, 64)
+	bufPool.Put(&buf) // want `heap-allocates a pointer box on every Put`
+}
+
+// putComposite allocates both value and box at the Put site: flagged.
+func putComposite() {
+	bufPool.Put(&[]byte{}) // want `allocates a fresh value and box on every Put`
+}
+
+// putBareComposite boxes a fresh composite: flagged.
+func putBareComposite() {
+	bufPool.Put([]byte{}) // want `boxes a fresh composite into the pool's interface`
+}
+
+// putNew and putMake allocate the argument in the call: flagged.
+func putNew() {
+	bufPool.Put(new([]byte)) // want `allocates its argument at the call site`
+}
+
+func putMake() {
+	bufPool.Put(make([]byte, 8)) // want `allocates its argument at the call site`
+}
+
+// unrelated Put methods are not sync.Pool.Put: not flagged.
+type bin struct{}
+
+func (bin) Put(v any) {}
+
+func putOther(b bin) {
+	x := 1
+	b.Put(&x)
+}
+
+// twoPool is the sanctioned pattern from internal/mapreduce/sort.go:
+// the pointer box itself is pooled, so steady-state Put allocates
+// nothing. Not flagged.
+type twoPool struct {
+	bufs  sync.Pool // stores *[]byte
+	boxes sync.Pool // parks empty boxes while their slice is out
+}
+
+func (p *twoPool) get() []byte {
+	if bp, ok := p.bufs.Get().(*[]byte); ok {
+		b := *bp
+		*bp = nil
+		p.boxes.Put(bp) // recycled box, no allocation: ok
+		return b
+	}
+	return make([]byte, 0, 64)
+}
+
+func (p *twoPool) put(b []byte) {
+	bp, ok := p.boxes.Get().(*[]byte)
+	if !ok {
+		bp = new([]byte) // miss-path allocation outside Put: ok
+	}
+	*bp = b
+	p.bufs.Put(bp) // pointer variable, no allocation: ok
+}
+
+// suppressed documents a deliberate exception: the directive with a
+// reason silences the finding (no want on the next line).
+func suppressed() {
+	buf := make([]byte, 0, 8)
+	//erlint:ignore poolbox fixture: one-shot pool teardown, not a hot path
+	bufPool.Put(&buf)
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive marker. Go directive
+// convention: comment text starts exactly with "erlint:ignore" (no
+// space after "//").
+const ignorePrefix = "erlint:ignore"
+
+// directiveAnalyzer is the pseudo-analyzer name under which directive
+// misuse (missing reason, unknown analyzer, stale suppression) is
+// reported. It is not suppressible.
+const directiveAnalyzer = "erlint"
+
+// directive is one parsed //erlint:ignore comment.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int    // line the comment ends on; it covers line and line+1
+	analyzer string // "" when malformed
+	reason   string
+	used     bool
+}
+
+// applyDirectives filters diagnostics through the //erlint:ignore
+// directives found in the unit's files and appends directive-misuse
+// diagnostics. Suppressed findings are tallied per analyzer.
+func applyDirectives(u *Unit, analyzers []*Analyzer, diags []Diagnostic) *Result {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var directives []*directive
+	var misuse []Diagnostic
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				end := u.Fset.Position(c.End())
+				d := &directive{pos: c.Pos(), file: end.Filename, line: end.Line}
+				switch {
+				case len(fields) == 0:
+					misuse = append(misuse, Diagnostic{
+						Pos: c.Pos(), Analyzer: directiveAnalyzer,
+						Message: "erlint:ignore needs an analyzer name and a reason: //erlint:ignore <analyzer> <reason>",
+					})
+				case len(fields) == 1:
+					misuse = append(misuse, Diagnostic{
+						Pos: c.Pos(), Analyzer: directiveAnalyzer,
+						Message: "erlint:ignore " + fields[0] + " is missing the mandatory reason",
+					})
+				case !known[fields[0]]:
+					misuse = append(misuse, Diagnostic{
+						Pos: c.Pos(), Analyzer: directiveAnalyzer,
+						Message: "erlint:ignore names unknown analyzer " + fields[0],
+					})
+				default:
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				directives = append(directives, d)
+			}
+		}
+	}
+
+	res := &Result{Suppressed: make(map[string]int)}
+	for _, diag := range diags {
+		pos := u.Fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range directives {
+			if d.analyzer == diag.Analyzer && d.file == pos.Filename &&
+				(d.line == pos.Line || d.line+1 == pos.Line) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if suppressed {
+			res.Suppressed[diag.Analyzer]++
+		} else {
+			res.Diagnostics = append(res.Diagnostics, diag)
+		}
+	}
+	res.Diagnostics = append(res.Diagnostics, misuse...)
+	for _, d := range directives {
+		if d.analyzer != "" && !d.used {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: "stale erlint:ignore " + d.analyzer + ": it suppresses no finding; delete it",
+			})
+		}
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		return res.Diagnostics[i].Pos < res.Diagnostics[j].Pos
+	})
+	return res
+}

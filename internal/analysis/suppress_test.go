@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+)
+
+// TestSuppressionDirectives checks directive handling on the suppress
+// fixture: one valid suppression, three misuse shapes (bare directive,
+// missing reason, unknown analyzer), and one stale directive. Misuse
+// diagnostics anchor at the directive comment itself, where a // want
+// comment cannot sit, so this test asserts on them directly instead of
+// going through analysistest.
+func TestSuppressionDirectives(t *testing.T) {
+	loader := analysis.NewFixtureLoader(filepath.Join("testdata", "src"))
+	u, err := loader.LoadFixture("suppress")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	res, err := analysis.RunAnalyzers(u, []*analysis.Analyzer{ctxflow.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if got := res.Suppressed["ctxflow"]; got != 1 {
+		t.Errorf("suppressed ctxflow findings = %d, want 1 (the valid directive in ok())", got)
+	}
+
+	// Expected surviving diagnostics: the malformed directives do not
+	// suppress, so their Background() calls report as ctxflow, and each
+	// misuse reports under the erlint pseudo-analyzer.
+	wantMessages := []string{
+		"erlint:ignore ctxflow is missing the mandatory reason",
+		"erlint:ignore needs an analyzer name and a reason",
+		"erlint:ignore names unknown analyzer nosuchanalyzer",
+		"stale erlint:ignore ctxflow: it suppresses no finding",
+	}
+	byAnalyzer := make(map[string]int)
+	for _, d := range res.Diagnostics {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["erlint"] != len(wantMessages) {
+		t.Errorf("erlint directive-misuse diagnostics = %d, want %d:\n%s",
+			byAnalyzer["erlint"], len(wantMessages), format(u, res.Diagnostics))
+	}
+	if byAnalyzer["ctxflow"] != 3 {
+		t.Errorf("surviving ctxflow diagnostics = %d, want 3 (missing/bare/unknown directives do not suppress):\n%s",
+			byAnalyzer["ctxflow"], format(u, res.Diagnostics))
+	}
+	for _, want := range wantMessages {
+		found := false
+		for _, d := range res.Diagnostics {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q:\n%s", want, format(u, res.Diagnostics))
+		}
+	}
+}
+
+func format(u *analysis.Unit, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(u.Fset.Position(d.Pos).String())
+		b.WriteString(": ")
+		b.WriteString(d.Analyzer)
+		b.WriteString(": ")
+		b.WriteString(d.Message)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

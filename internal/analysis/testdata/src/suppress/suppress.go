@@ -1,0 +1,37 @@
+// Package suppress exercises the //erlint:ignore directive contract:
+// a valid directive needs a known analyzer name plus a reason, and a
+// directive that suppresses nothing is itself an error.
+package suppress
+
+import "context"
+
+// ok is suppressed by a well-formed directive.
+func ok() context.Context {
+	//erlint:ignore ctxflow fixture: legacy adapter keeps the context-free signature
+	return context.Background()
+}
+
+// missing omits the mandatory reason, so the finding survives and the
+// directive is flagged.
+func missing() context.Context {
+	//erlint:ignore ctxflow
+	return context.Background()
+}
+
+// bare has neither analyzer nor reason.
+func bare() context.Context {
+	//erlint:ignore
+	return context.Background()
+}
+
+// unknown names an analyzer that does not exist.
+func unknown() context.Context {
+	//erlint:ignore nosuchanalyzer the analyzer name is wrong
+	return context.Background()
+}
+
+// stale: nothing on the directive's line or the next violates ctxflow.
+func stale(ctx context.Context) context.Context {
+	//erlint:ignore ctxflow this suppresses nothing
+	return ctx
+}

@@ -148,6 +148,7 @@ func (c *countCombiner) Combine(ctx *mapreduce.MapContext[Annotated, Key, int], 
 // Compute runs Algorithm 3 over the partitioned input — the pre-context
 // adapter over ComputeContext.
 func Compute(eng *mapreduce.Engine, parts entity.Partitions, opts JobOptions) (*Matrix, [][]Annotated, *JobResult, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return ComputeContext(context.Background(), eng, parts, opts)
 }
 

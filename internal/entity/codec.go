@@ -105,7 +105,7 @@ func (Codec) NewSharedDecoder() func(string) (Entity, int, error) {
 			// Carve a capacity-capped sub-slice so setAttr's appends stay
 			// inside the carved region and can never grow into a later
 			// record's carve.
-			e.Attrs = arena[start:start : start+need]
+			e.Attrs = arena[start : start : start+need]
 			for i := uint64(0); i < count; i++ {
 				k, kn, err := runio.SharedString(src[n:])
 				if err != nil {

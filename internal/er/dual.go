@@ -52,6 +52,7 @@ type DualResult struct {
 // pre-context adapter over RunDualPipeline, kept for one release of
 // compatibility.
 func RunDual(partsR, partsS entity.Partitions, cfg DualConfig) (*DualResult, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return RunDualPipeline(context.Background(), FromPartitions(partsR), FromPartitions(partsS), cfg)
 }
 

@@ -114,6 +114,7 @@ func (r *Result) SimulatedTime(cfg cluster.Config, cm cluster.CostModel) (float6
 // input — the pre-context adapter over RunPipeline, kept for one
 // release of compatibility.
 func Run(parts entity.Partitions, cfg Config) (*Result, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return RunPipeline(context.Background(), FromPartitions(parts), cfg)
 }
 

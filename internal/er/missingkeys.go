@@ -53,6 +53,7 @@ func dualStrategyFor(s core.Strategy) core.DualStrategy {
 // RunWithMissingKeys runs the full decomposition — the pre-context
 // adapter over RunWithMissingKeysPipeline.
 func RunWithMissingKeys(parts entity.Partitions, cfg Config) (*MissingKeyResult, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return RunWithMissingKeysPipeline(context.Background(), FromPartitions(parts), cfg)
 }
 

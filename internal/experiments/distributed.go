@@ -23,7 +23,7 @@ import (
 // exactly, because task attempts run the same typed kernels and the
 // shuffle ships the same ERN1 byte stream the local external dataflow
 // writes.
-func Distributed(o Options) (*report.Table, error) {
+func Distributed(ctx context.Context, o Options) (*report.Table, error) {
 	if o.Master == nil {
 		return nil, fmt.Errorf("experiments: Distributed requires a started dist master (erbench -master)")
 	}
@@ -42,7 +42,7 @@ func Distributed(o Options) (*report.Table, error) {
 	}
 	for _, strat := range allStrategies() {
 		start := time.Now()
-		local, err := er.RunPipeline(context.Background(), er.FromPartitions(parts), er.Config{
+		local, err := er.RunPipeline(ctx, er.FromPartitions(parts), er.Config{
 			RunOptions:      o.runOptions(),
 			Strategy:        strat,
 			Attr:            datagen.AttrTitle,
@@ -57,7 +57,7 @@ func Distributed(o Options) (*report.Table, error) {
 		localWall := time.Since(start)
 
 		start = time.Now()
-		dist, err := er.RunDistributedPipeline(context.Background(), er.FromPartitions(parts), er.DistParams{
+		dist, err := er.RunDistributedPipeline(ctx, er.FromPartitions(parts), er.DistParams{
 			Strategy:    strat.Name(),
 			Attr:        datagen.AttrTitle,
 			KeyPrefix:   keyPrefix,

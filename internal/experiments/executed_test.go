@@ -16,11 +16,11 @@ func TestExecutedModeEqualsPlannerMode(t *testing.T) {
 	executed.Executed = true
 
 	for _, figure := range []int{9, 10} {
-		pt, err := ByNumber(figure, planner)
+		pt, err := ByNumber(t.Context(), figure, planner)
 		if err != nil {
 			t.Fatalf("figure %d planner: %v", figure, err)
 		}
-		et, err := ByNumber(figure, executed)
+		et, err := ByNumber(t.Context(), figure, executed)
 		if err != nil {
 			t.Fatalf("figure %d executed: %v", figure, err)
 		}

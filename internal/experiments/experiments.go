@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/bdm"
@@ -117,12 +119,12 @@ func buildBDM(es []entity.Entity, m int, key blocking.KeyFunc) (*bdm.Matrix, err
 // strategyTime returns the simulated execution time of the full workflow
 // for one strategy, using the analytic planner or — in executed mode —
 // the measured workloads of a real engine run.
-func strategyTime(o Options, parts entity.Partitions, x *bdm.Matrix, strat core.Strategy, attr string, key blocking.KeyFunc, r int, cfg cluster.Config) (float64, error) {
+func strategyTime(ctx context.Context, o Options, parts entity.Partitions, x *bdm.Matrix, strat core.Strategy, attr string, key blocking.KeyFunc, r int, cfg cluster.Config) (float64, error) {
 	if !o.Executed {
 		t, _, err := er.SimulatedStrategyTime(x, strat, x.NumPartitions(), r, cfg, o.Cost)
 		return t, err
 	}
-	res, err := er.Run(parts, er.Config{
+	res, err := er.RunPipeline(ctx, er.FromPartitions(parts), er.Config{
 		RunOptions:  o.runOptions(),
 		Strategy:    strat,
 		Attr:        attr,
@@ -139,7 +141,7 @@ func strategyTime(o Options, parts entity.Partitions, x *bdm.Matrix, strat core.
 
 // Figure8 reproduces the dataset-statistics table: entities, blocks,
 // size and pair share of the largest block, total pairs.
-func Figure8(o Options) (*report.Table, error) {
+func Figure8(ctx context.Context, o Options) (*report.Table, error) {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Figure 8: datasets (scale=%g)", o.scale()),
 		Headers: []string{"dataset", "entities", "blocks", "largest block", "largest %ents", "pairs", "largest %pairs"},
@@ -162,7 +164,7 @@ func Figure8(o Options) (*report.Table, error) {
 // nodes, m=20 map tasks, r=100 reduce tasks. Basic is fastest at s=0
 // (no BDM job) and degrades steeply with skew; BlockSplit and PairRange
 // stay flat.
-func Figure9(o Options) (*report.Table, error) {
+func Figure9(ctx context.Context, o Options) (*report.Table, error) {
 	const (
 		nodes  = 10
 		m      = 20
@@ -185,7 +187,7 @@ func Figure9(o Options) (*report.Table, error) {
 		pairs := x.Pairs()
 		row := []any{s, pairs}
 		for _, strat := range allStrategies() {
-			tt, err := strategyTime(o, parts, x, strat, datagen.AttrBlock, blocking.Identity(), r, cfg)
+			tt, err := strategyTime(ctx, o, parts, x, strat, datagen.AttrBlock, blocking.Identity(), r, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -201,7 +203,7 @@ func Figure9(o Options) (*report.Table, error) {
 // for r ∈ {20..160}, nodes=10, m=20. Basic is bounded below by its
 // largest block and shows peaks when several large blocks hash to the
 // same reduce task; BlockSplit and PairRange improve with r.
-func Figure10(o Options) (*report.Table, error) {
+func Figure10(ctx context.Context, o Options) (*report.Table, error) {
 	const (
 		nodes = 10
 		m     = 20
@@ -220,7 +222,7 @@ func Figure10(o Options) (*report.Table, error) {
 	for r := 20; r <= 160; r += 20 {
 		row := []any{r}
 		for _, strat := range allStrategies() {
-			tt, err := strategyTime(o, parts, x, strat, datagen.AttrTitle, datagen.BlockKey(), r, cfg)
+			tt, err := strategyTime(ctx, o, parts, x, strat, datagen.AttrTitle, datagen.BlockKey(), r, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -236,7 +238,7 @@ func Figure10(o Options) (*report.Table, error) {
 // sorted by title and split contiguously. Sorting groups large blocks
 // into few partitions, crippling BlockSplit's splitting; PairRange is
 // unaffected.
-func Figure11(o Options) (*report.Table, error) {
+func Figure11(ctx context.Context, o Options) (*report.Table, error) {
 	const (
 		nodes = 10
 		m     = 20
@@ -279,7 +281,7 @@ func Figure11(o Options) (*report.Table, error) {
 // Basic always emits exactly one pair per entity; BlockSplit grows
 // step-wise (splitting more blocks as r grows); PairRange grows almost
 // linearly with r and eventually emits the most.
-func Figure12(o Options) (*report.Table, error) {
+func Figure12(ctx context.Context, o Options) (*report.Table, error) {
 	const m = 20
 	es := ds1(o)
 	x, err := buildBDM(es, m, datagen.BlockKey())
@@ -311,7 +313,7 @@ var scalabilityNodes = []int{1, 2, 5, 10, 20, 40, 100}
 // speedup for n nodes with m=2n map and r=10n reduce tasks. Basic stops
 // scaling past ~2 nodes; the balanced strategies scale near-linearly up
 // to ~10 nodes at DS1's size.
-func Figure13(o Options) (*report.Table, error) {
+func Figure13(ctx context.Context, o Options) (*report.Table, error) {
 	return scalability("Figure 13", ds1(o), allStrategies(), o)
 }
 
@@ -319,7 +321,7 @@ func Figure13(o Options) (*report.Table, error) {
 // PairRange only — the paper drops Basic for the large dataset). The
 // 10× larger workload keeps per-task comparisons reasonable, so
 // near-linear scaling extends to ~40 nodes.
-func Figure14(o Options) (*report.Table, error) {
+func Figure14(ctx context.Context, o Options) (*report.Table, error) {
 	return scalability("Figure 14", ds2(o), []core.Strategy{core.BlockSplit{}, core.PairRange{}}, o)
 }
 
@@ -365,22 +367,22 @@ func scaledCount(n int, scale float64) int {
 }
 
 // ByNumber dispatches to the figure functions; valid numbers are 8-14.
-func ByNumber(figure int, o Options) (*report.Table, error) {
+func ByNumber(ctx context.Context, figure int, o Options) (*report.Table, error) {
 	switch figure {
 	case 8:
-		return Figure8(o)
+		return Figure8(ctx, o)
 	case 9:
-		return Figure9(o)
+		return Figure9(ctx, o)
 	case 10:
-		return Figure10(o)
+		return Figure10(ctx, o)
 	case 11:
-		return Figure11(o)
+		return Figure11(ctx, o)
 	case 12:
-		return Figure12(o)
+		return Figure12(ctx, o)
 	case 13:
-		return Figure13(o)
+		return Figure13(ctx, o)
 	case 14:
-		return Figure14(o)
+		return Figure14(ctx, o)
 	default:
 		return nil, fmt.Errorf("experiments: no figure %d (valid: 8-14)", figure)
 	}

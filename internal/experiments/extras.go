@@ -21,7 +21,7 @@ import (
 // the DS1 stand-in into two overlapping sources and reports, per reduce
 // task count, the cross-source pair count and each dual strategy's
 // straggler factor (max/mean reduce load) and Gini coefficient.
-func AppendixDual(o Options) (*report.Table, error) {
+func AppendixDual(ctx context.Context, o Options) (*report.Table, error) {
 	es := ds1(o)
 	r1, s1 := datagen.TwoSources(es, 0.5, 17)
 	parts := append(entity.SplitRoundRobin(r1, 10), entity.SplitRoundRobin(s1, 10)...)
@@ -56,7 +56,7 @@ func AppendixDual(o Options) (*report.Table, error) {
 
 // Ablations quantifies the design choices DESIGN.md calls out, on the
 // DS1 stand-in with m=20.
-func Ablations(o Options) (*report.Table, error) {
+func Ablations(ctx context.Context, o Options) (*report.Table, error) {
 	es := ds1(o)
 	parts := entity.SplitRoundRobin(es, 20)
 	x, err := bdm.FromPartitions(parts, datagen.AttrTitle, datagen.BlockKey())
@@ -83,13 +83,13 @@ func Ablations(o Options) (*report.Table, error) {
 
 	// 2. BDM combiner.
 	eng := o.engine()
-	_, _, plain, err := bdm.Compute(eng, parts, bdm.JobOptions{
+	_, _, plain, err := bdm.ComputeContext(ctx, eng, parts, bdm.JobOptions{
 		Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20,
 	})
 	if err != nil {
 		return nil, err
 	}
-	_, _, combined, err := bdm.Compute(eng, parts, bdm.JobOptions{
+	_, _, combined, err := bdm.ComputeContext(ctx, eng, parts, bdm.JobOptions{
 		Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20, UseCombiner: true,
 	})
 	if err != nil {
@@ -132,7 +132,7 @@ func Ablations(o Options) (*report.Table, error) {
 	// RetryPolicy.SpeculativeSlowdown is now the single implementation).
 	// One map attempt stalls far past the median task duration — with
 	// backups enabled a second attempt overtakes it.
-	specRatio, err := speculativeAblation(o, parts)
+	specRatio, err := speculativeAblation(ctx, o, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +163,7 @@ func Ablations(o Options) (*report.Table, error) {
 // attempt (which the hook leaves alone) as soon as the straggler
 // crosses the slowdown threshold, so its wall clock is bounded by the
 // backup's start, not the stall. Returns the plain/speculative ratio.
-func speculativeAblation(o Options, parts entity.Partitions) (float64, error) {
+func speculativeAblation(ctx context.Context, o Options, parts entity.Partitions) (float64, error) {
 	const stallFor = 200 * time.Millisecond
 	hook := func(ctx context.Context, phase mapreduce.TaskKind, task, attempt int, point mapreduce.FaultPoint) error {
 		if phase == mapreduce.MapTask && task == 0 && attempt == 1 && point == mapreduce.FaultTaskStart {
@@ -179,7 +179,7 @@ func speculativeAblation(o Options, parts entity.Partitions) (float64, error) {
 	run := func(retry mapreduce.RetryPolicy) (time.Duration, error) {
 		eng := &mapreduce.Engine{Parallelism: o.parallelism(), Retry: retry, FaultHook: hook}
 		start := time.Now()
-		_, _, _, err := bdm.Compute(eng, parts, bdm.JobOptions{
+		_, _, _, err := bdm.ComputeContext(ctx, eng, parts, bdm.JobOptions{
 			Attr: datagen.AttrTitle, KeyFunc: datagen.BlockKey(), NumReduceTasks: 20, UseCombiner: true,
 		})
 		return time.Since(start), err
@@ -207,7 +207,7 @@ func speculativeAblation(o Options, parts entity.Partitions) (float64, error) {
 // duplicates — executed end to end (real comparisons). Not a paper
 // figure (the paper fixes the threshold at 0.8 and studies runtime);
 // included because a downstream user tuning a matcher needs it.
-func QualityTable(o Options) (*report.Table, error) {
+func QualityTable(ctx context.Context, o Options) (*report.Table, error) {
 	spec := datagen.DS1Spec(minScale(o.scale(), 0.02))
 	es, truthPairs := datagen.Generate(spec)
 	truth := make([]core.MatchPair, len(truthPairs))
@@ -221,7 +221,7 @@ func QualityTable(o Options) (*report.Table, error) {
 	}
 	for _, th := range []float64{0.60, 0.70, 0.80, 0.90, 0.95} {
 		th := th
-		res, err := er.Run(parts, er.Config{
+		res, err := er.RunPipeline(ctx, er.FromPartitions(parts), er.Config{
 			RunOptions:      o.runOptions(),
 			Strategy:        core.BlockSplit{},
 			Attr:            datagen.AttrTitle,
@@ -250,7 +250,7 @@ func minScale(s, cap float64) float64 {
 // BalanceTable reports per-strategy load statistics (straggler factor,
 // CV, Gini) on the DS1 stand-in — the quantitative core of the paper's
 // balance argument, independent of any cost model.
-func BalanceTable(o Options) (*report.Table, error) {
+func BalanceTable(ctx context.Context, o Options) (*report.Table, error) {
 	es := ds1(o)
 	const m, r = 20, 100
 	x, err := bdm.FromPartitions(entity.SplitRoundRobin(es, m), datagen.AttrTitle, datagen.BlockKey())

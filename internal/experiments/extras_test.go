@@ -6,7 +6,7 @@ import (
 )
 
 func TestAppendixDual(t *testing.T) {
-	tbl, err := AppendixDual(quickOptions())
+	tbl, err := AppendixDual(t.Context(), quickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestAppendixDual(t *testing.T) {
 }
 
 func TestAblationsTable(t *testing.T) {
-	tbl, err := Ablations(quickOptions())
+	tbl, err := Ablations(t.Context(), quickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestAblationsTable(t *testing.T) {
 }
 
 func TestBalanceTable(t *testing.T) {
-	tbl, err := BalanceTable(quickOptions())
+	tbl, err := BalanceTable(t.Context(), quickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestBalanceTable(t *testing.T) {
 }
 
 func TestQualityTable(t *testing.T) {
-	tbl, err := QualityTable(quickOptions())
+	tbl, err := QualityTable(t.Context(), quickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/datagen"
@@ -23,7 +25,7 @@ import (
 // Wall-clock times are nondeterministic, so the table asserts nothing;
 // the stable signal is the ordering — Basic's max/mean tracks the
 // blocking skew, BlockSplit and PairRange stay near 1.
-func Imbalance(o Options) (*report.Table, error) {
+func Imbalance(ctx context.Context, o Options) (*report.Table, error) {
 	scale := minScale(o.scale(), 0.02)
 	spec := datagen.DS1Spec(scale)
 	es, _ := datagen.Generate(spec)
@@ -50,7 +52,7 @@ func Imbalance(o Options) (*report.Table, error) {
 				TmpDir:      o.TmpDir,
 				Obs:         observer,
 			}
-			res, err := er.Run(parts, er.Config{
+			res, err := er.RunPipeline(ctx, er.FromPartitions(parts), er.Config{
 				RunOptions:      ro,
 				Strategy:        strat,
 				Attr:            datagen.AttrTitle,

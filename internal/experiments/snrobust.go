@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/entity"
+	"repro/internal/er"
 	"repro/internal/report"
 	"repro/internal/sn"
 )
@@ -17,7 +20,7 @@ import (
 // entities), while SN's window bounds total comparisons at < w·n
 // regardless of skew. The table reports both, plus SN's per-reduce-task
 // balance (max/mean of the window comparisons).
-func SNRobustness(o Options) (*report.Table, error) {
+func SNRobustness(ctx context.Context, o Options) (*report.Table, error) {
 	const (
 		m      = 20
 		r      = 40
@@ -52,11 +55,11 @@ func SNRobustness(o Options) (*report.Table, error) {
 			Window:     window,
 			R:          r,
 		}
-		keyed, err := sn.Run(parts, cfg)
+		keyed, err := sn.RunPipeline(ctx, er.FromPartitions(parts), cfg)
 		if err != nil {
 			return nil, err
 		}
-		ranked, err := sn.RunRanked(parts, cfg)
+		ranked, err := sn.RunRankedPipeline(ctx, er.FromPartitions(parts), cfg)
 		if err != nil {
 			return nil, err
 		}

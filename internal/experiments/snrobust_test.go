@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestSNRobustness(t *testing.T) {
-	tbl, err := SNRobustness(quickOptions())
+	tbl, err := SNRobustness(t.Context(), quickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

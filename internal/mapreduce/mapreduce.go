@@ -413,6 +413,7 @@ func (e *Engine) endJob(jobID uint32) {
 // Run executes the job over the given input partitions and returns the
 // result — the pre-context adapter over RunContext.
 func (e *Engine) Run(job *BoxedJob, input [][]KeyValue) (*BoxedResult, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return e.RunContext(context.Background(), job, input)
 }
 

@@ -348,6 +348,7 @@ func (j *Job[I, K, V, O]) validate(numPartitions int) error {
 // result — the pre-context adapter over RunContext, kept for one release
 // of compatibility.
 func (j *Job[I, K, V, O]) Run(e *Engine, input [][]I) (*Result[I, O], error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return j.RunContext(context.Background(), e, input)
 }
 

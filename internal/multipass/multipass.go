@@ -193,6 +193,7 @@ type Config struct {
 // Run executes the full load-balanced multi-pass workflow — the
 // pre-context adapter over RunPipeline.
 func Run(parts entity.Partitions, cfg Config) (*er.Result, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
 }
 

@@ -131,8 +131,8 @@ func TestBlockedMyersProperty(t *testing.T) {
 // "e" + U+0301 is two runes and distance("é", "é") is 2 (one
 // substitution plus one insertion at rune granularity).
 func TestBlockedMyersCombiningMarks(t *testing.T) {
-	precomposed := "é"        // single rune U+00E9
-	combining := "é"    // 'e' + combining acute: two runes
+	precomposed := "é" // single rune U+00E9
+	combining := "é"  // 'e' + combining acute: two runes
 	pa, pb := Prepare(precomposed), Prepare(combining)
 	want := levenshteinRunes([]rune(precomposed), []rune(combining))
 	if got := LevenshteinPrepared(pa, pb); got != want || got != 2 {

@@ -58,6 +58,7 @@ type MultiResult struct {
 // RunMultiPass executes all passes and unions the matches — the
 // pre-context adapter over RunMultiPassPipeline.
 func RunMultiPass(parts entity.Partitions, cfg MultiConfig) (*MultiResult, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return RunMultiPassPipeline(context.Background(), er.FromPartitions(parts), cfg)
 }
 

@@ -120,6 +120,7 @@ func (d *rankDistribution) rangeOfRank(rank int64) int {
 // RunRanked executes sorted neighborhood with rank partitioning — the
 // pre-context adapter over RunRankedPipeline.
 func RunRanked(parts entity.Partitions, cfg Config) (*Result, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return RunRankedPipeline(context.Background(), er.FromPartitions(parts), cfg)
 }
 

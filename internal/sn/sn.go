@@ -168,6 +168,7 @@ type fringe struct {
 // Run executes the full sorted-neighborhood workflow — the pre-context
 // adapter over RunPipeline, kept for one release of compatibility.
 func Run(parts entity.Partitions, cfg Config) (*Result, error) {
+	//erlint:ignore ctxflow pre-context compatibility adapter: callers without a context start at a fresh root here
 	return RunPipeline(context.Background(), er.FromPartitions(parts), cfg)
 }
 

@@ -8,6 +8,22 @@ cd "$(dirname "$0")/.."
 echo "==> go vet"
 go vet ./...
 
+echo "==> erlint (invariant analyzers, via go vet -vettool)"
+lint_start=$(date +%s)
+mkdir -p bin
+go build -o bin/erlint ./cmd/erlint
+go vet -vettool=bin/erlint ./...
+bin/erlint -list
+echo "erlint took $(($(date +%s) - lint_start))s (go vet caches clean packages across runs)"
+
+echo "==> gofmt"
+fmt="$(gofmt -l .)"
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:"
+	echo "$fmt"
+	exit 1
+fi
+
 echo "==> go build"
 go build ./...
 
